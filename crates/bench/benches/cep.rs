@@ -1,0 +1,88 @@
+//! E8 timing: event recognition throughput — detectors and the NFA engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_bench::{maritime_small, reports_of};
+use datacron_cep::{CpaDetector, LoiteringDetector, Pattern, PatternElem, RendezvousDetector, Runs};
+use datacron_geo::TimeMs;
+use std::hint::black_box;
+
+fn bench_cep(c: &mut Criterion) {
+    let data = maritime_small();
+    let reports = reports_of(&data);
+    let mut group = c.benchmark_group("cep");
+    group.throughput(Throughput::Elements(reports.len() as u64));
+
+    group.bench_function("loitering", |b| {
+        b.iter(|| {
+            let mut det = LoiteringDetector::default();
+            let mut n = 0usize;
+            for r in &reports {
+                if det.update(black_box(r)).is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("rendezvous", |b| {
+        b.iter(|| {
+            let mut det = RendezvousDetector::new(data.world.region);
+            let mut n = 0usize;
+            for r in &reports {
+                n += det.update(black_box(r)).len();
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("cpa", |b| {
+        b.iter(|| {
+            let mut det = CpaDetector::default();
+            let mut n = 0usize;
+            for r in &reports {
+                n += det.update(black_box(r)).len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+
+    // NFA pattern-count sweep (A5).
+    let mut group = c.benchmark_group("nfa");
+    let events: Vec<u32> = (0..50_000u32).map(|i| i % 10).collect();
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for n_patterns in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("patterns", n_patterns),
+            &n_patterns,
+            |b, &n_patterns| {
+                b.iter(|| {
+                    let mut runs: Vec<Runs<u32>> = (0..n_patterns)
+                        .map(|i| {
+                            Runs::new(Pattern::new(
+                                format!("p{i}"),
+                                vec![
+                                    PatternElem::single(move |e: &u32| *e == i as u32),
+                                    PatternElem::single(move |e: &u32| *e == (i + 1) as u32),
+                                ],
+                                60_000,
+                            ))
+                        })
+                        .collect();
+                    let mut matches = 0usize;
+                    for (i, e) in events.iter().enumerate() {
+                        for r in &mut runs {
+                            matches += r.on_event(TimeMs(i as i64 * 10), black_box(e)).len();
+                        }
+                    }
+                    black_box(matches)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cep);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E6 timing: forecasting model training and prediction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datacron_forecast::{
+    DeadReckoningPredictor, MarkovGridModel, Predictor, RouteModel,
+};
+use datacron_geo::{Grid, TimeMs};
+use std::hint::black_box;
+
+fn tracks() -> Vec<datacron_model::Trajectory> {
+    datacron_bench::maritime_small().true_trajectories
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let history = tracks();
+    let region = datacron_sim::aegean_world().region;
+    let mut group = c.benchmark_group("forecast");
+    group.sample_size(30);
+
+    group.bench_function("train_markov", |b| {
+        b.iter(|| {
+            let mut m = MarkovGridModel::new(Grid::new(region, 0.05).unwrap(), 60_000);
+            m.train_all(black_box(&history));
+            black_box(m.state_count())
+        })
+    });
+
+    group.bench_function("train_route", |b| {
+        b.iter(|| {
+            let mut m = RouteModel::new(Grid::new(region, 0.02).unwrap());
+            m.train_all(black_box(&history));
+            black_box(m.route_count())
+        })
+    });
+
+    let mut markov = MarkovGridModel::new(Grid::new(region, 0.05).unwrap(), 60_000);
+    markov.train_all(&history);
+    let mut route = RouteModel::new(Grid::new(region, 0.02).unwrap());
+    route.train_all(&history);
+    let probe = &history
+        .iter()
+        .find(|t| t.len() > 30)
+        .expect("long track")
+        .points()[..20];
+    let at = probe.last().unwrap().time + TimeMs::from_mins(20).millis();
+
+    group.bench_function("predict_dead_reckoning", |b| {
+        b.iter(|| black_box(DeadReckoningPredictor.predict(black_box(probe), at)))
+    });
+    group.bench_function("predict_markov_20min", |b| {
+        b.iter(|| black_box(markov.predict(black_box(probe), at)))
+    });
+    group.bench_function("predict_route_20min", |b| {
+        b.iter(|| black_box(route.predict(black_box(probe), at)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecast);
+criterion_main!(benches);

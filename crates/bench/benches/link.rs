@@ -1,0 +1,53 @@
+//! E4 timing: link discovery — blocking vs the quadratic baseline (A3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacron_geo::TimeMs;
+use datacron_link::{discover_links, discover_links_exhaustive, LinkRecord, LinkRule};
+use datacron_sim::{
+    generate_maritime, generate_registries, MaritimeConfig, NoiseModel, RegistryConfig,
+};
+use std::hint::black_box;
+
+fn registries(n: usize) -> (Vec<LinkRecord>, Vec<LinkRecord>) {
+    let fleet = generate_maritime(&MaritimeConfig {
+        seed: 3,
+        n_vessels: n,
+        duration_ms: TimeMs::from_hours(1).millis(),
+        report_interval_ms: 60_000,
+        noise: NoiseModel::none(),
+        frac_loitering: 0.0,
+        frac_gap: 0.0,
+        frac_drifting: 0.0,
+        n_rendezvous_pairs: 0,
+    });
+    let reg = generate_registries(&fleet, &RegistryConfig::default());
+    (
+        reg.source_a.iter().map(LinkRecord::from).collect(),
+        reg.source_b.iter().map(LinkRecord::from).collect(),
+    )
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link");
+    group.sample_size(20);
+    for n in [100usize, 300] {
+        let (a, b) = registries(n);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                let (links, _) = discover_links(black_box(&a), black_box(&b), &LinkRule::default());
+                black_box(links.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |bench, _| {
+            bench.iter(|| {
+                let links =
+                    discover_links_exhaustive(black_box(&a), black_box(&b), &LinkRule::default());
+                black_box(links.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_link);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E11 timing: end-to-end pipeline throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_bench::{maritime_small, reports_of};
+use datacron_core::{Pipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = maritime_small();
+    let reports = reports_of(&data);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(reports.len() as u64));
+
+    for (name, enable_rdf) in [("full", true), ("analytics_only", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end", name),
+            &enable_rdf,
+            |b, &enable_rdf| {
+                b.iter(|| {
+                    let mut p = Pipeline::new(PipelineConfig {
+                        enable_rdf,
+                        ..PipelineConfig::default()
+                    });
+                    let mut events = 0usize;
+                    for r in &reports {
+                        events += p.process(black_box(r)).len();
+                    }
+                    black_box(events)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E5 timing: triple-store load and query answering, with the partitioning
+//! ablation (A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacron_bench::{maritime_small, reports_of};
+use datacron_geo::TimeMs;
+use datacron_rdf::{
+    execute, parse_query, Graph, HashPartitioner, PartitionedStore, SpatialGridPartitioner,
+    TemporalPartitioner,
+};
+use datacron_transform::RdfMapper;
+use std::hint::black_box;
+
+fn build_graph() -> (Graph, datacron_geo::BoundingBox) {
+    let data = maritime_small();
+    let reports = reports_of(&data);
+    let mut graph = Graph::new();
+    let mut mapper = RdfMapper::new();
+    for v in &data.vessels {
+        mapper.map_vessel_info(&mut graph, v);
+    }
+    for r in &reports {
+        mapper.map_report(&mut graph, r, None);
+    }
+    graph.commit();
+    (graph, data.world.region)
+}
+
+fn bench_rdf(c: &mut Criterion) {
+    let (graph, region) = build_graph();
+    let mut group = c.benchmark_group("rdf");
+
+    group.bench_function("bulk_load", |b| {
+        let data = maritime_small();
+        let reports = reports_of(&data);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let mut m = RdfMapper::new();
+            for r in &reports {
+                m.map_report(&mut g, black_box(r), None);
+            }
+            g.commit();
+            black_box(g.len())
+        })
+    });
+
+    let queries = [
+        ("q1_lookup", "SELECT ?n WHERE { ?n da:ofMovingObject da:obj/7 }"),
+        ("q2_star", "SELECT ?v ?name WHERE { ?v da:name ?name . ?v rdf:type da:Vessel }"),
+        ("q4_spatial", "SELECT ?n WHERE { ?n da:hasGeometry ?g . FILTER st_within(?g, 23.2, 37.4, 24.2, 38.4) }"),
+        ("q5_temporal", "SELECT ?n WHERE { ?n da:hasTemporalFeature ?t . FILTER t_between(?t, 0, 3600000) }"),
+        ("q6_spatiotemporal", "SELECT ?n WHERE { ?n da:hasGeometry ?g . ?n da:hasTemporalFeature ?t . FILTER st_within(?g, 23.2, 37.4, 24.7, 38.9) FILTER t_between(?t, 0, 3600000) }"),
+    ];
+    for (name, text) in queries {
+        let q = parse_query(text).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(execute(&graph, black_box(&q)).0.len()))
+        });
+    }
+
+    // Partitioning ablation on the spatial query.
+    let q = parse_query(queries[2].1).unwrap();
+    let stores = vec![
+        (
+            "hash",
+            PartitionedStore::build(&graph, Box::new(HashPartitioner::new(4))),
+        ),
+        (
+            "spatial",
+            PartitionedStore::build(
+                &graph,
+                Box::new(SpatialGridPartitioner::new(4, region, 0.5)),
+            ),
+        ),
+        (
+            "temporal",
+            PartitionedStore::build(
+                &graph,
+                Box::new(TemporalPartitioner::new(4, TimeMs(0), 30 * 60_000)),
+            ),
+        ),
+    ];
+    for (name, store) in &stores {
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_spatial_query", name),
+            store,
+            |b, store| b.iter(|| black_box(store.execute(black_box(&q)).0.rows.len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rdf);
+criterion_main!(benches);

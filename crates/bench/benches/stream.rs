@@ -1,0 +1,59 @@
+//! E12 timing: stream-engine operator and windowing throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_geo::TimeMs;
+use datacron_stream::{
+    with_watermarks, BoundedOutOfOrderness, CountAny, KeyedWindowOp, MapOp, Message, Operator,
+    WindowSpec,
+};
+use std::hint::black_box;
+
+fn bench_stream(c: &mut Criterion) {
+    let n = 100_000i64;
+    let mut group = c.benchmark_group("stream");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("map_operator", |b| {
+        let msgs: Vec<Message<i64>> = (0..n)
+            .map(|i| Message::record(TimeMs(i), i))
+            .chain(std::iter::once(Message::End))
+            .collect();
+        b.iter(|| {
+            let mut op = MapOp(|x: i64| x.wrapping_mul(31));
+            black_box(op.run(black_box(msgs.clone())).len())
+        })
+    });
+
+    group.bench_function("watermark_generation", |b| {
+        let src: Vec<(TimeMs, i64)> = (0..n).map(|i| (TimeMs(i), i)).collect();
+        b.iter(|| {
+            let count = with_watermarks(
+                black_box(src.clone()),
+                BoundedOutOfOrderness::new(100, 64),
+            )
+            .count();
+            black_box(count)
+        })
+    });
+
+    for keys in [8u32, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("tumbling_window", keys),
+            &keys,
+            |b, &keys| {
+                let src: Vec<(TimeMs, u32)> = (0..n).map(|i| (TimeMs(i), i as u32 % keys)).collect();
+                let msgs: Vec<Message<u32>> =
+                    with_watermarks(src, BoundedOutOfOrderness::new(100, 64)).collect();
+                b.iter(|| {
+                    let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
+                        KeyedWindowOp::new(WindowSpec::tumbling(1000), |k: &u32| *k);
+                    black_box(op.run(black_box(msgs.clone())).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E1 timing: in-situ cleansing, compression and critical-point detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_bench::{maritime_small, reports_of};
+use datacron_synopses::{Cleanser, CriticalPointDetector, DeadReckoningCompressor, SynopsisConfig};
+use std::hint::black_box;
+
+fn bench_synopses(c: &mut Criterion) {
+    let data = maritime_small();
+    let reports = reports_of(&data);
+    let mut group = c.benchmark_group("synopses");
+    group.throughput(Throughput::Elements(reports.len() as u64));
+
+    group.bench_function("cleanse", |b| {
+        b.iter(|| {
+            let mut cleanser = Cleanser::default();
+            let mut kept = 0usize;
+            for r in &reports {
+                if cleanser.check(black_box(r)) {
+                    kept += 1;
+                }
+            }
+            black_box(kept)
+        })
+    });
+
+    for threshold in [50.0, 100.0, 250.0] {
+        group.bench_with_input(
+            BenchmarkId::new("dead_reckoning", threshold as u64),
+            &threshold,
+            |b, &threshold| {
+                b.iter(|| {
+                    let mut comp = DeadReckoningCompressor::new(threshold);
+                    let mut kept = 0usize;
+                    for r in &reports {
+                        if comp.check(black_box(r)) {
+                            kept += 1;
+                        }
+                    }
+                    black_box(kept)
+                })
+            },
+        );
+    }
+
+    group.bench_function("critical_points", |b| {
+        b.iter(|| {
+            let mut det = CriticalPointDetector::new(SynopsisConfig::default());
+            let mut out = Vec::new();
+            for r in &reports {
+                det.update(black_box(r), &mut out);
+            }
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synopses);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E3 timing: CSV parsing and RDF mapping throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datacron_bench::{maritime_small, reports_of};
+use datacron_rdf::Graph;
+use datacron_transform::{parse_ais_csv, report_to_ais_csv, RdfMapper};
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    let data = maritime_small();
+    let reports = reports_of(&data);
+    let csv: String = reports
+        .iter()
+        .map(report_to_ais_csv)
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut group = c.benchmark_group("transform");
+    group.throughput(Throughput::Elements(reports.len() as u64));
+
+    group.bench_function("ais_serialize", |b| {
+        b.iter(|| {
+            let out: String = reports
+                .iter()
+                .map(|r| report_to_ais_csv(black_box(r)))
+                .collect::<Vec<_>>()
+                .join("\n");
+            black_box(out.len())
+        })
+    });
+
+    group.bench_function("ais_parse", |b| {
+        b.iter(|| {
+            let (parsed, errors) = parse_ais_csv(black_box(&csv));
+            black_box((parsed.len(), errors.len()))
+        })
+    });
+
+    group.bench_function("rdf_map", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let mut mapper = RdfMapper::new();
+            for r in &reports {
+                mapper.map_report(&mut graph, black_box(r), None);
+            }
+            graph.commit();
+            black_box(graph.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

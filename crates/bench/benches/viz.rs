@@ -1,0 +1,47 @@
+//! E10 timing: visual-analytics aggregation rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_bench::{maritime_small, reports_of};
+use datacron_geo::Grid;
+use datacron_viz::DensityGrid;
+use std::hint::black_box;
+
+fn bench_viz(c: &mut Criterion) {
+    let data = maritime_small();
+    let reports = reports_of(&data);
+    let points: Vec<datacron_geo::GeoPoint> = reports.iter().map(|r| r.position()).collect();
+
+    let mut group = c.benchmark_group("viz");
+    group.throughput(Throughput::Elements(points.len() as u64));
+    for cell_deg in [0.02, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::new("density_build", format!("{cell_deg}")),
+            &cell_deg,
+            |b, &cell_deg| {
+                b.iter(|| {
+                    let mut d =
+                        DensityGrid::new(Grid::new(data.world.region, cell_deg).unwrap());
+                    for p in &points {
+                        d.add(black_box(p));
+                    }
+                    black_box(d.occupied_cells())
+                })
+            },
+        );
+    }
+
+    let mut density = DensityGrid::new(Grid::new(data.world.region, 0.02).unwrap());
+    for p in &points {
+        density.add(p);
+    }
+    group.bench_function("top_k_10", |b| {
+        b.iter(|| black_box(density.top_k(black_box(10)).len()))
+    });
+    group.bench_function("render_ascii", |b| {
+        b.iter(|| black_box(datacron_viz::render_ascii(black_box(&density)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_viz);
+criterion_main!(benches);

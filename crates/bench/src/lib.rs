@@ -1,0 +1,104 @@
+//! Shared workload builders for the experiment suite (E1–E12).
+//!
+//! Every experiment in EXPERIMENTS.md draws its data from these builders so
+//! Criterion benches (timing) and the `report` binary (quality metrics)
+//! measure the same workloads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use datacron_geo::TimeMs;
+use datacron_model::PositionReport;
+use datacron_sim::{
+    generate_aviation, generate_maritime, AviationConfig, AviationData, MaritimeConfig,
+    MaritimeData, NoiseModel,
+};
+
+/// The standard maritime workload: 6 hours, AIS every 10 s, scripted
+/// anomalies. `scale` multiplies the fleet size (1 → 50 vessels ≈ 108k
+/// reports).
+pub fn maritime_workload(scale: usize) -> MaritimeData {
+    generate_maritime(&MaritimeConfig {
+        seed: 4242,
+        n_vessels: 50 * scale,
+        duration_ms: TimeMs::from_hours(6).millis(),
+        report_interval_ms: 10_000,
+        noise: NoiseModel {
+            max_delay_ms: 2_000,
+            ..NoiseModel::default()
+        },
+        frac_loitering: 0.1,
+        frac_gap: 0.08,
+        frac_drifting: 0.04,
+        n_rendezvous_pairs: 2 * scale,
+    })
+}
+
+/// A smaller maritime workload for per-iteration benches.
+pub fn maritime_small() -> MaritimeData {
+    generate_maritime(&MaritimeConfig {
+        seed: 777,
+        n_vessels: 20,
+        duration_ms: TimeMs::from_hours(2).millis(),
+        report_interval_ms: 10_000,
+        noise: NoiseModel::default(),
+        frac_loitering: 0.1,
+        frac_gap: 0.1,
+        frac_drifting: 0.05,
+        n_rendezvous_pairs: 1,
+    })
+}
+
+/// The standard aviation workload: 4 hours, ADS-B every 5 s.
+pub fn aviation_workload() -> AviationData {
+    generate_aviation(&AviationConfig {
+        seed: 4343,
+        n_flights: 60,
+        duration_ms: TimeMs::from_hours(4).millis(),
+        report_interval_ms: 5_000,
+        frac_holding: 0.2,
+        ..AviationConfig::default()
+    })
+}
+
+/// Extracts the plain report vector (event-time order) from maritime data.
+pub fn reports_of(data: &MaritimeData) -> Vec<PositionReport> {
+    data.reports.iter().map(|o| o.report).collect()
+}
+
+/// Renders a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Renders a markdown-style table from headers and rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&row(&headers.iter().map(|_| "---".to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&row(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = maritime_small();
+        let b = maritime_small();
+        assert_eq!(a.reports.len(), b.reports.len());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t, "| a | b |\n| --- | --- |\n| 1 | 2 |\n");
+    }
+}

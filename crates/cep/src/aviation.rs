@@ -1,0 +1,446 @@
+//! Aviation complex-event recognisers: holding patterns, sector hotspots
+//! (capacity demand) and loss-of-separation risk.
+
+use crate::maritime::cpa;
+use datacron_geo::units::heading_delta_deg;
+use datacron_geo::{GeoPoint, Polygon, TimeInterval, TimeMs};
+use datacron_model::{EventKind, EventRecord, ObjectId, PositionReport};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Holding pattern: sustained turning accumulating at least a full circle
+/// within a window, at roughly constant altitude.
+pub struct HoldingDetector {
+    /// Sliding window, ms.
+    pub window_ms: i64,
+    /// Total accumulated |heading change| to alert, degrees.
+    pub min_total_turn_deg: f64,
+    /// Maximum altitude band within the window, metres.
+    pub max_alt_band_m: f64,
+    /// Cooldown per aircraft, ms.
+    pub cooldown_ms: i64,
+    state: FxHashMap<ObjectId, VecDeque<(TimeMs, f64, f64, GeoPoint)>>, // (t, heading, alt, pos)
+    last_alert: FxHashMap<ObjectId, TimeMs>,
+}
+
+impl Default for HoldingDetector {
+    fn default() -> Self {
+        Self {
+            window_ms: 12 * 60_000,
+            min_total_turn_deg: 360.0,
+            max_alt_band_m: 600.0,
+            cooldown_ms: 15 * 60_000,
+            state: FxHashMap::default(),
+            last_alert: FxHashMap::default(),
+        }
+    }
+}
+
+impl HoldingDetector {
+    /// Processes one report.
+    pub fn update(&mut self, r: &PositionReport) -> Option<EventRecord> {
+        if !r.heading_deg.is_finite() || r.alt_m < 500.0 {
+            return None;
+        }
+        let buf = self.state.entry(r.object).or_default();
+        buf.push_back((r.time, r.heading_deg, r.alt_m, r.position()));
+        while let Some(&(t0, ..)) = buf.front() {
+            if r.time - t0 > self.window_ms {
+                buf.pop_front();
+            } else {
+                break;
+            }
+        }
+        if buf.len() < 4 {
+            return None;
+        }
+        let total_turn: f64 = buf
+            .iter()
+            .zip(buf.iter().skip(1))
+            .map(|(a, b)| heading_delta_deg(b.1, a.1).abs())
+            .sum();
+        let (alt_min, alt_max) = buf
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, _, a, _)| {
+                (lo.min(a), hi.max(a))
+            });
+        if total_turn >= self.min_total_turn_deg && alt_max - alt_min <= self.max_alt_band_m {
+            let since = self.last_alert.get(&r.object).copied();
+            if since.is_none_or(|t| r.time - t >= self.cooldown_ms) {
+                self.last_alert.insert(r.object, r.time);
+                let start = buf.front().map(|&(t, ..)| t).unwrap_or(r.time);
+                // Centre of the hold: centroid of buffered positions.
+                let n = buf.len() as f64;
+                let (sx, sy) = buf
+                    .iter()
+                    .fold((0.0, 0.0), |(sx, sy), &(_, _, _, p)| (sx + p.lon, sy + p.lat));
+                return Some(
+                    EventRecord::durative(
+                        EventKind::HoldingPattern,
+                        vec![r.object],
+                        TimeInterval::new(start, r.time),
+                        GeoPoint::new(sx / n, sy / n),
+                    )
+                    .with_attr("turn_deg", format!("{total_turn:.0}")),
+                );
+            }
+        }
+        None
+    }
+}
+
+/// Sector hotspot (capacity demand): the number of distinct aircraft inside
+/// a sector within a time bucket exceeds its declared capacity.
+pub struct SectorHotspotDetector {
+    sectors: Vec<(String, Polygon, usize)>,
+    /// Occupancy bucket length, ms.
+    pub bucket_ms: i64,
+    /// sector → (bucket start, set of objects seen in bucket).
+    occupancy: Vec<(TimeMs, FxHashMap<ObjectId, ()>)>,
+    /// sector → last alerted bucket (suppress repeats within a bucket).
+    alerted_bucket: Vec<TimeMs>,
+}
+
+impl SectorHotspotDetector {
+    /// Creates a detector for `(name, polygon, capacity)` sectors.
+    pub fn new(sectors: Vec<(String, Polygon, usize)>, bucket_ms: i64) -> Self {
+        let n = sectors.len();
+        Self {
+            sectors,
+            bucket_ms: bucket_ms.max(1),
+            occupancy: (0..n).map(|_| (TimeMs::MIN, FxHashMap::default())).collect(),
+            alerted_bucket: vec![TimeMs::MIN; n],
+        }
+    }
+
+    /// Processes one report; may emit hotspot events.
+    pub fn update(&mut self, r: &PositionReport) -> Vec<EventRecord> {
+        let mut out = Vec::new();
+        if r.alt_m < 1000.0 {
+            return out; // en-route sectors only
+        }
+        let pos = r.position();
+        let bucket = TimeMs(r.time.millis() - r.time.millis().rem_euclid(self.bucket_ms));
+        for (i, (name, poly, capacity)) in self.sectors.iter().enumerate() {
+            if !poly.contains(&pos) {
+                continue;
+            }
+            let (cur_bucket, seen) = &mut self.occupancy[i];
+            if *cur_bucket != bucket {
+                *cur_bucket = bucket;
+                seen.clear();
+            }
+            seen.insert(r.object, ());
+            if seen.len() > *capacity && self.alerted_bucket[i] != bucket {
+                self.alerted_bucket[i] = bucket;
+                out.push(
+                    EventRecord::durative(
+                        EventKind::SectorHotspot,
+                        seen.keys().copied().collect(),
+                        TimeInterval::new(bucket, bucket + self.bucket_ms),
+                        poly.vertex_centroid(),
+                    )
+                    .with_attr("sector", name)
+                    .with_attr("occupancy", seen.len())
+                    .with_attr("capacity", *capacity),
+                );
+            }
+        }
+        out
+    }
+
+    /// Current occupancy of a sector (within its live bucket).
+    pub fn occupancy(&self, sector: &str) -> usize {
+        self.sectors
+            .iter()
+            .position(|(n, _, _)| n == sector)
+            .map_or(0, |i| self.occupancy[i].1.len())
+    }
+}
+
+/// Loss-of-separation risk: projected CPA violating both the horizontal
+/// (5 NM ≈ 9260 m) and vertical (1000 ft ≈ 300 m) minima within a horizon.
+pub struct SeparationRiskDetector {
+    /// Horizontal separation minimum, metres.
+    pub horizontal_m: f64,
+    /// Vertical separation minimum, metres.
+    pub vertical_m: f64,
+    /// Look-ahead horizon, ms.
+    pub horizon_ms: i64,
+    /// Fix staleness bound, ms.
+    pub staleness_ms: i64,
+    /// Cooldown per pair, ms.
+    pub cooldown_ms: i64,
+    latest: FxHashMap<ObjectId, PositionReport>,
+    last_alert: FxHashMap<(ObjectId, ObjectId), TimeMs>,
+}
+
+impl Default for SeparationRiskDetector {
+    fn default() -> Self {
+        Self {
+            horizontal_m: 9_260.0,
+            vertical_m: 300.0,
+            horizon_ms: 10 * 60_000,
+            staleness_ms: 60_000,
+            cooldown_ms: 10 * 60_000,
+            latest: FxHashMap::default(),
+            last_alert: FxHashMap::default(),
+        }
+    }
+}
+
+impl SeparationRiskDetector {
+    /// Processes one report; may emit separation-risk forecasts.
+    pub fn update(&mut self, r: &PositionReport) -> Vec<EventRecord> {
+        self.latest.insert(r.object, *r);
+        let mut out = Vec::new();
+        if r.alt_m < 1000.0 {
+            return out;
+        }
+        for (other, o) in self.latest.iter() {
+            if *other == r.object || r.time - o.time > self.staleness_ms || o.alt_m < 1000.0 {
+                continue;
+            }
+            let (t_s, d_m) = cpa(r, o);
+            if !(t_s > 0.0 && (t_s * 1000.0) as i64 <= self.horizon_ms) {
+                continue;
+            }
+            // Vertical separation at CPA from current vertical rates.
+            let alt_r = r.alt_m + r.vrate_mps * t_s;
+            let alt_o = o.alt_m + o.vrate_mps * t_s;
+            let dv = (alt_r - alt_o).abs();
+            if d_m <= self.horizontal_m && dv <= self.vertical_m {
+                let key = if r.object < *other {
+                    (r.object, *other)
+                } else {
+                    (*other, r.object)
+                };
+                let since = self.last_alert.get(&key).copied();
+                if since.is_none_or(|t| r.time - t >= self.cooldown_ms) {
+                    let conf = (1.0 - t_s * 1000.0 / self.horizon_ms as f64).clamp(0.05, 0.99);
+                    out.push(
+                        EventRecord::durative(
+                            EventKind::SeparationRisk,
+                            vec![key.0, key.1],
+                            TimeInterval::new(r.time, r.time + (t_s * 1000.0) as i64),
+                            r.position().midpoint(&o.position()),
+                        )
+                        .as_forecast(conf)
+                        .with_attr("h_cpa_m", format!("{d_m:.0}"))
+                        .with_attr("v_cpa_m", format!("{dv:.0}")),
+                    );
+                }
+            }
+        }
+        for e in &out {
+            self.last_alert
+                .insert((e.objects[0], e.objects[1]), r.time);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{BoundingBox, GeoPoint3};
+    use datacron_model::SourceId;
+
+    fn rep3(obj: u64, t_min: f64, pos: GeoPoint, alt: f64, speed: f64, heading: f64, vrate: f64) -> PositionReport {
+        PositionReport::aviation(
+            ObjectId(obj),
+            TimeMs((t_min * 60_000.0) as i64),
+            GeoPoint3::new(pos.lon, pos.lat, alt),
+            speed,
+            heading,
+            vrate,
+            SourceId::ADSB,
+        )
+    }
+
+    // --- holding ---
+
+    #[test]
+    fn circling_aircraft_detected() {
+        let mut d = HoldingDetector::default();
+        let center = GeoPoint::new(10.0, 45.0);
+        let mut fired = false;
+        // A full circle in ~10 minutes at constant altitude: 36 deg/min.
+        for i in 0..20 {
+            let bearing = (i * 36 % 360) as f64;
+            let pos = center.destination(bearing, 7_000.0);
+            let heading = datacron_geo::units::normalize_deg(bearing + 90.0);
+            if d.update(&rep3(1, i as f64, pos, 5_000.0, 150.0, heading, 0.0)).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "holding not detected");
+    }
+
+    #[test]
+    fn straight_flight_not_holding() {
+        let mut d = HoldingDetector::default();
+        let start = GeoPoint::new(10.0, 45.0);
+        for i in 0..30 {
+            let pos = start.destination(90.0, 220.0 * 60.0 * i as f64);
+            assert!(d
+                .update(&rep3(1, i as f64, pos, 10_000.0, 220.0, 90.0, 0.0))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn spiral_descent_not_holding() {
+        // Turning but altitude changing fast: the altitude band gate rejects.
+        let mut d = HoldingDetector::default();
+        let center = GeoPoint::new(10.0, 45.0);
+        for i in 0..25 {
+            let bearing = (i * 36 % 360) as f64;
+            let pos = center.destination(bearing, 7_000.0);
+            let heading = datacron_geo::units::normalize_deg(bearing + 90.0);
+            let alt = 8_000.0 - 200.0 * i as f64;
+            assert!(d
+                .update(&rep3(1, i as f64, pos, alt, 150.0, heading, -4.0))
+                .is_none());
+        }
+    }
+
+    // --- hotspot ---
+
+    fn one_sector(capacity: usize) -> SectorHotspotDetector {
+        SectorHotspotDetector::new(
+            vec![(
+                "S1".into(),
+                Polygon::rectangle(&BoundingBox::new(9.0, 44.0, 11.0, 46.0)),
+                capacity,
+            )],
+            10 * 60_000,
+        )
+    }
+
+    #[test]
+    fn hotspot_when_capacity_exceeded() {
+        let mut d = one_sector(2);
+        let inside = GeoPoint::new(10.0, 45.0);
+        assert!(d.update(&rep3(1, 0.0, inside, 10_000.0, 220.0, 90.0, 0.0)).is_empty());
+        assert!(d.update(&rep3(2, 1.0, inside, 10_500.0, 220.0, 90.0, 0.0)).is_empty());
+        let evs = d.update(&rep3(3, 2.0, inside, 11_000.0, 220.0, 90.0, 0.0));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::SectorHotspot);
+        assert_eq!(evs[0].attr("sector"), Some("S1"));
+        assert_eq!(evs[0].attr("occupancy"), Some("3"));
+        assert_eq!(evs[0].objects.len(), 3);
+        // Fourth aircraft in the same bucket: suppressed.
+        assert!(d.update(&rep3(4, 3.0, inside, 9_000.0, 220.0, 90.0, 0.0)).is_empty());
+        assert_eq!(d.occupancy("S1"), 4);
+    }
+
+    #[test]
+    fn bucket_rollover_resets_occupancy() {
+        let mut d = one_sector(2);
+        let inside = GeoPoint::new(10.0, 45.0);
+        for obj in 1..=3u64 {
+            d.update(&rep3(obj, 0.0, inside, 10_000.0, 220.0, 90.0, 0.0));
+        }
+        // Next bucket (>=10 min later): occupancy restarts.
+        let evs = d.update(&rep3(9, 11.0, inside, 10_000.0, 220.0, 90.0, 0.0));
+        assert!(evs.is_empty());
+        assert_eq!(d.occupancy("S1"), 1);
+    }
+
+    #[test]
+    fn ground_traffic_ignored() {
+        let mut d = one_sector(0);
+        let inside = GeoPoint::new(10.0, 45.0);
+        assert!(d.update(&rep3(1, 0.0, inside, 50.0, 10.0, 90.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn outside_sector_ignored() {
+        let mut d = one_sector(0);
+        let outside = GeoPoint::new(20.0, 50.0);
+        assert!(d.update(&rep3(1, 0.0, outside, 10_000.0, 220.0, 90.0, 0.0)).is_empty());
+    }
+
+    // --- separation risk ---
+
+    #[test]
+    fn converging_same_level_alerts() {
+        let mut d = SeparationRiskDetector::default();
+        let base = GeoPoint::new(10.0, 45.0);
+        let a = rep3(1, 0.0, base, 10_000.0, 220.0, 90.0, 0.0);
+        let b = rep3(
+            2,
+            0.0,
+            base.destination(90.0, 100_000.0),
+            10_100.0,
+            220.0,
+            270.0,
+            0.0,
+        );
+        d.update(&a);
+        let evs = d.update(&b);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::SeparationRisk);
+        assert!(evs[0].confidence < 1.0);
+    }
+
+    #[test]
+    fn vertical_separation_prevents_alert() {
+        let mut d = SeparationRiskDetector::default();
+        let base = GeoPoint::new(10.0, 45.0);
+        let a = rep3(1, 0.0, base, 10_000.0, 220.0, 90.0, 0.0);
+        // 1 km above: vertically separated at CPA.
+        let b = rep3(
+            2,
+            0.0,
+            base.destination(90.0, 100_000.0),
+            11_000.0,
+            220.0,
+            270.0,
+            0.0,
+        );
+        d.update(&a);
+        assert!(d.update(&b).is_empty());
+    }
+
+    #[test]
+    fn climbing_into_conflict_detected() {
+        let mut d = SeparationRiskDetector::default();
+        let base = GeoPoint::new(10.0, 45.0);
+        // Same level difference of 1 km, but b climbs 5 m/s: at CPA
+        // (~227 s for 100 km closing at 440 m/s) b gained ~1.1 km.
+        let a = rep3(1, 0.0, base, 10_000.0, 220.0, 90.0, 0.0);
+        let b = rep3(
+            2,
+            0.0,
+            base.destination(90.0, 100_000.0),
+            9_000.0,
+            220.0,
+            270.0,
+            5.0,
+        );
+        d.update(&a);
+        let evs = d.update(&b);
+        assert_eq!(evs.len(), 1, "climb not projected");
+    }
+
+    #[test]
+    fn diverging_no_alert() {
+        let mut d = SeparationRiskDetector::default();
+        let base = GeoPoint::new(10.0, 45.0);
+        let a = rep3(1, 0.0, base, 10_000.0, 220.0, 270.0, 0.0);
+        let b = rep3(
+            2,
+            0.0,
+            base.destination(90.0, 50_000.0),
+            10_000.0,
+            220.0,
+            90.0,
+            0.0,
+        );
+        d.update(&a);
+        assert!(d.update(&b).is_empty());
+    }
+}

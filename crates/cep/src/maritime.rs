@@ -1,0 +1,828 @@
+//! Maritime complex-event recognisers.
+//!
+//! Each detector consumes the (cleansed) report stream per object — or per
+//! object *pair* for the multi-object patterns — and emits
+//! [`EventRecord`]s. Detectors are deliberately streaming: bounded state,
+//! one pass, event-time driven.
+
+use datacron_geo::{BoundingBox, GeoPoint, Grid, TimeInterval, TimeMs};
+use datacron_model::{EventKind, EventRecord, NavStatus, ObjectId, PositionReport};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Shared helper: a per-object sliding buffer of recent fixes.
+#[derive(Debug, Default)]
+struct WindowBuf {
+    buf: VecDeque<(TimeMs, GeoPoint, f64)>, // (time, pos, speed)
+}
+
+impl WindowBuf {
+    fn push(&mut self, t: TimeMs, pos: GeoPoint, speed: f64, window_ms: i64) {
+        self.buf.push_back((t, pos, speed));
+        while let Some(&(t0, _, _)) = self.buf.front() {
+            if t - t0 > window_ms {
+                self.buf.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn span_ms(&self) -> i64 {
+        match (self.buf.front(), self.buf.back()) {
+            (Some(&(a, _, _)), Some(&(b, _, _))) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Diameter of the position set (max pairwise bbox diagonal, metres).
+    fn diameter_m(&self) -> f64 {
+        let bbox = BoundingBox::from_points(self.buf.iter().map(|&(_, p, _)| p));
+        match bbox {
+            Some(b) => GeoPoint::new(b.min_lon, b.min_lat)
+                .haversine_m(&GeoPoint::new(b.max_lon, b.max_lat)),
+            None => 0.0,
+        }
+    }
+
+    fn mean_speed(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        self.buf.iter().map(|&(_, _, s)| s).sum::<f64>() / self.buf.len() as f64
+    }
+
+    /// Path length / net displacement (1 = dead straight; large = tangled).
+    fn tortuosity(&self) -> f64 {
+        if self.buf.len() < 2 {
+            return 1.0;
+        }
+        let mut path = 0.0;
+        let pts: Vec<GeoPoint> = self.buf.iter().map(|&(_, p, _)| p).collect();
+        for w in pts.windows(2) {
+            path += w[0].haversine_m(&w[1]);
+        }
+        let net = pts[0].haversine_m(&pts[pts.len() - 1]);
+        if net < 1.0 {
+            return f64::INFINITY;
+        }
+        path / net
+    }
+
+    fn centroid(&self) -> Option<GeoPoint> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let (sx, sy) = self
+            .buf
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), &(_, p, _)| (sx + p.lon, sy + p.lat));
+        let n = self.buf.len() as f64;
+        Some(GeoPoint::new(sx / n, sy / n))
+    }
+}
+
+/// Loitering: slow, tangled movement confined to a small area for a
+/// sustained period, while not moored.
+pub struct LoiteringDetector {
+    /// Sliding window length, ms.
+    pub window_ms: i64,
+    /// Maximum confinement diameter, metres.
+    pub max_diameter_m: f64,
+    /// Mean speed band (moving but slowly), m/s.
+    pub speed_band: (f64, f64),
+    /// Minimum path/net ratio (rules out slow straight transits).
+    pub min_tortuosity: f64,
+    /// Cooldown between alerts per object, ms.
+    pub cooldown_ms: i64,
+    state: FxHashMap<ObjectId, WindowBuf>,
+    last_alert: FxHashMap<ObjectId, TimeMs>,
+}
+
+impl Default for LoiteringDetector {
+    fn default() -> Self {
+        Self {
+            window_ms: 30 * 60_000,
+            max_diameter_m: 2_000.0,
+            speed_band: (0.15, 2.0),
+            min_tortuosity: 2.0,
+            cooldown_ms: 30 * 60_000,
+            state: FxHashMap::default(),
+            last_alert: FxHashMap::default(),
+        }
+    }
+}
+
+impl LoiteringDetector {
+    /// Processes one report.
+    pub fn update(&mut self, r: &PositionReport) -> Option<EventRecord> {
+        if r.nav_status == NavStatus::Moored || r.nav_status == NavStatus::AtAnchor {
+            self.state.remove(&r.object);
+            return None;
+        }
+        let buf = self.state.entry(r.object).or_default();
+        buf.push(r.time, r.position(), r.speed_mps.max(0.0), self.window_ms);
+        if buf.span_ms() < self.window_ms * 3 / 4 {
+            return None;
+        }
+        let mean_v = buf.mean_speed();
+        if buf.diameter_m() <= self.max_diameter_m
+            && mean_v >= self.speed_band.0
+            && mean_v <= self.speed_band.1
+            && buf.tortuosity() >= self.min_tortuosity
+        {
+            let since = self.last_alert.get(&r.object).copied();
+            if since.is_none_or(|t| r.time - t >= self.cooldown_ms) {
+                self.last_alert.insert(r.object, r.time);
+                let center = buf.centroid().unwrap_or(r.position());
+                let start = buf.buf.front().map(|&(t, _, _)| t).unwrap_or(r.time);
+                return Some(
+                    EventRecord::durative(
+                        EventKind::Loitering,
+                        vec![r.object],
+                        TimeInterval::new(start, r.time),
+                        center,
+                    )
+                    .with_attr("diameter_m", format!("{:.0}", buf.diameter_m())),
+                );
+            }
+        }
+        None
+    }
+}
+
+/// Drifting: slow but *straight* sustained movement while under way —
+/// the complement of loitering in the slow-speed regime.
+pub struct DriftingDetector {
+    /// Sliding window, ms.
+    pub window_ms: i64,
+    /// Speed band, m/s.
+    pub speed_band: (f64, f64),
+    /// Maximum path/net ratio (straightness requirement).
+    pub max_tortuosity: f64,
+    /// Minimum net displacement over the window, metres.
+    pub min_net_m: f64,
+    /// Cooldown per object, ms.
+    pub cooldown_ms: i64,
+    state: FxHashMap<ObjectId, WindowBuf>,
+    last_alert: FxHashMap<ObjectId, TimeMs>,
+}
+
+impl Default for DriftingDetector {
+    fn default() -> Self {
+        Self {
+            window_ms: 20 * 60_000,
+            speed_band: (0.25, 1.6),
+            max_tortuosity: 1.25,
+            min_net_m: 250.0,
+            cooldown_ms: 30 * 60_000,
+            state: FxHashMap::default(),
+            last_alert: FxHashMap::default(),
+        }
+    }
+}
+
+impl DriftingDetector {
+    /// Processes one report.
+    pub fn update(&mut self, r: &PositionReport) -> Option<EventRecord> {
+        if r.nav_status == NavStatus::Moored || r.nav_status == NavStatus::AtAnchor {
+            self.state.remove(&r.object);
+            return None;
+        }
+        let buf = self.state.entry(r.object).or_default();
+        buf.push(r.time, r.position(), r.speed_mps.max(0.0), self.window_ms);
+        if buf.span_ms() < self.window_ms * 3 / 4 {
+            return None;
+        }
+        let mean_v = buf.mean_speed();
+        let pts_net = buf
+            .buf
+            .front()
+            .zip(buf.buf.back())
+            .map(|(a, b)| a.1.haversine_m(&b.1))
+            .unwrap_or(0.0);
+        if mean_v >= self.speed_band.0
+            && mean_v <= self.speed_band.1
+            && buf.tortuosity() <= self.max_tortuosity
+            && pts_net >= self.min_net_m
+        {
+            let since = self.last_alert.get(&r.object).copied();
+            if since.is_none_or(|t| r.time - t >= self.cooldown_ms) {
+                self.last_alert.insert(r.object, r.time);
+                let start = buf.buf.front().map(|&(t, _, _)| t).unwrap_or(r.time);
+                return Some(EventRecord::durative(
+                    EventKind::Drifting,
+                    vec![r.object],
+                    TimeInterval::new(start, r.time),
+                    r.position(),
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Dark activity: a communication gap longer than a threshold. Consumes
+/// gap-start/gap-end low-level events (from the synopsis).
+pub struct DarkActivityDetector {
+    /// Minimum gap duration to alert, ms.
+    pub min_gap_ms: i64,
+    open_gaps: FxHashMap<ObjectId, (TimeMs, GeoPoint)>,
+}
+
+impl DarkActivityDetector {
+    /// Creates the detector.
+    pub fn new(min_gap_ms: i64) -> Self {
+        Self {
+            min_gap_ms,
+            open_gaps: FxHashMap::default(),
+        }
+    }
+
+    /// Feeds a low-level event; emits a dark-activity event when a long
+    /// enough gap closes.
+    pub fn update(&mut self, ev: &EventRecord) -> Option<EventRecord> {
+        match ev.kind {
+            EventKind::GapStart => {
+                self.open_gaps
+                    .insert(ev.objects[0], (ev.interval.start, ev.location));
+                None
+            }
+            EventKind::GapEnd => {
+                let (start, loc) = self.open_gaps.remove(&ev.objects[0])?;
+                let dur = ev.interval.start - start;
+                (dur >= self.min_gap_ms).then(|| {
+                    EventRecord::durative(
+                        EventKind::DarkActivity,
+                        ev.objects.clone(),
+                        TimeInterval::new(start, ev.interval.start),
+                        loc,
+                    )
+                    .with_attr("gap_min", dur / 60_000)
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Rendezvous: two vessels within `max_dist_m` of each other, both slow,
+/// for at least `min_duration_ms`, away from anchorages.
+pub struct RendezvousDetector {
+    /// Pair proximity threshold, metres.
+    pub max_dist_m: f64,
+    /// Both vessels must be slower than this, m/s.
+    pub max_speed_mps: f64,
+    /// Minimum sustained proximity, ms.
+    pub min_duration_ms: i64,
+    /// Spatial hashing grid for pair generation.
+    grid: Grid,
+    /// Latest fix per object.
+    latest: FxHashMap<ObjectId, (TimeMs, GeoPoint, f64)>,
+    /// Open proximity episodes per (a, b) with a < b:
+    /// (episode start, last time the pair was observed close).
+    episodes: FxHashMap<(ObjectId, ObjectId), (TimeMs, TimeMs)>,
+    /// Pairs already alerted (suppress repeats per episode).
+    alerted: FxHashMap<(ObjectId, ObjectId), bool>,
+    /// Fixes older than this are ignored for pairing, ms.
+    pub staleness_ms: i64,
+    /// Exclusion zones (ports/anchorages) where rendezvous is normal.
+    pub exclusion: Vec<(GeoPoint, f64)>,
+}
+
+impl RendezvousDetector {
+    /// Creates a detector over the given region.
+    pub fn new(region: BoundingBox) -> Self {
+        Self {
+            max_dist_m: 500.0,
+            max_speed_mps: 1.5,
+            min_duration_ms: 10 * 60_000,
+            grid: Grid::new(region, 0.02).expect("valid region"),
+            latest: FxHashMap::default(),
+            episodes: FxHashMap::default(),
+            alerted: FxHashMap::default(),
+            staleness_ms: 5 * 60_000,
+            exclusion: Vec::new(),
+        }
+    }
+
+    /// Adds an exclusion circle (port/anchorage).
+    pub fn exclude(&mut self, center: GeoPoint, radius_m: f64) {
+        self.exclusion.push((center, radius_m));
+    }
+
+    fn excluded(&self, p: &GeoPoint) -> bool {
+        self.exclusion
+            .iter()
+            .any(|(c, r)| p.haversine_m(c) <= *r)
+    }
+
+    /// Processes one report; may emit rendezvous events.
+    pub fn update(&mut self, r: &PositionReport) -> Vec<EventRecord> {
+        let pos = r.position();
+        let speed = if r.speed_mps.is_finite() { r.speed_mps } else { 99.0 };
+        self.latest.insert(r.object, (r.time, pos, speed));
+        let mut out = Vec::new();
+        if self.grid.cell_of(&pos).is_none() {
+            return out;
+        }
+
+        // Candidate partners: latest fixes in the same/adjacent cells.
+        let cell = self.grid.cell_of_clamped(&pos);
+        let mut cells = self.grid.neighbors(cell);
+        cells.push(cell);
+        // A scan over `latest` filtered by cell is simpler than maintaining
+        // a cell index and is fine at fleet sizes (hundreds).
+        let candidates: Vec<(ObjectId, TimeMs, GeoPoint, f64)> = self
+            .latest
+            .iter()
+            .filter(|(obj, (t, p, _))| {
+                **obj != r.object
+                    && r.time - *t <= self.staleness_ms
+                    && cells.contains(&self.grid.cell_of_clamped(p))
+            })
+            .map(|(obj, (t, p, s))| (*obj, *t, *p, *s))
+            .collect();
+
+        for (other, _t2, p2, s2) in candidates {
+            let key = if r.object < other {
+                (r.object, other)
+            } else {
+                (other, r.object)
+            };
+            let close = pos.haversine_m(&p2) <= self.max_dist_m;
+            let slow = speed <= self.max_speed_mps && s2 <= self.max_speed_mps;
+            let in_port = self.excluded(&pos);
+            if close && slow && !in_port {
+                let entry = self.episodes.entry(key).or_insert((r.time, r.time));
+                if r.time - entry.1 >= self.staleness_ms {
+                    // The pair drifted out of observation since the episode
+                    // was last confirmed: restart it.
+                    *entry = (r.time, r.time);
+                    self.alerted.remove(&key);
+                }
+                entry.1 = r.time;
+                let start = entry.0;
+                let already = self.alerted.get(&key).copied().unwrap_or(false);
+                if !already && r.time - start >= self.min_duration_ms {
+                    self.alerted.insert(key, true);
+                    out.push(
+                        EventRecord::durative(
+                            EventKind::Rendezvous,
+                            vec![key.0, key.1],
+                            TimeInterval::new(start, r.time),
+                            pos.midpoint(&p2),
+                        )
+                        .with_attr("dist_m", format!("{:.0}", pos.haversine_m(&p2))),
+                    );
+                }
+            } else if !close {
+                self.episodes.remove(&key);
+                self.alerted.remove(&key);
+            }
+        }
+        out
+    }
+}
+
+/// Collision risk via closest point of approach: for vessel pairs on
+/// converging courses, alert when the projected CPA distance and time fall
+/// below thresholds. This is a *forecast* event (confidence < 1).
+pub struct CpaDetector {
+    /// Alert when projected CPA distance is below this, metres.
+    pub cpa_dist_m: f64,
+    /// Alert when time to CPA is below this, ms.
+    pub cpa_time_ms: i64,
+    /// Only consider pairs currently within this range, metres.
+    pub pair_range_m: f64,
+    /// Fix staleness bound, ms.
+    pub staleness_ms: i64,
+    /// Cooldown per pair, ms.
+    pub cooldown_ms: i64,
+    latest: FxHashMap<ObjectId, PositionReport>,
+    last_alert: FxHashMap<(ObjectId, ObjectId), TimeMs>,
+}
+
+/// Computes `(t_cpa_s, d_cpa_m)` for two kinematic states in a local
+/// tangent plane. `t_cpa_s` may be negative (diverging).
+pub fn cpa(a: &PositionReport, b: &PositionReport) -> (f64, f64) {
+    // Local ENU around a.
+    let lat0 = a.lat.to_radians();
+    let mx = datacron_geo::EARTH_RADIUS_M * lat0.cos();
+    let to_xy = |r: &PositionReport| {
+        (
+            (r.lon - a.lon).to_radians() * mx,
+            (r.lat - a.lat).to_radians() * datacron_geo::EARTH_RADIUS_M,
+        )
+    };
+    let vel = |r: &PositionReport| {
+        let s = if r.speed_mps.is_finite() { r.speed_mps } else { 0.0 };
+        let h = if r.heading_deg.is_finite() {
+            r.heading_deg.to_radians()
+        } else {
+            0.0
+        };
+        (s * h.sin(), s * h.cos())
+    };
+    let (xa, ya) = to_xy(a);
+    let (xb, yb) = to_xy(b);
+    let (vxa, vya) = vel(a);
+    let (vxb, vyb) = vel(b);
+    let (dx, dy) = (xb - xa, yb - ya);
+    let (dvx, dvy) = (vxb - vxa, vyb - vya);
+    let dv2 = dvx * dvx + dvy * dvy;
+    if dv2 < 1e-9 {
+        return (f64::INFINITY, (dx * dx + dy * dy).sqrt());
+    }
+    let t = -(dx * dvx + dy * dvy) / dv2;
+    let cx = dx + dvx * t;
+    let cy = dy + dvy * t;
+    (t, (cx * cx + cy * cy).sqrt())
+}
+
+impl Default for CpaDetector {
+    fn default() -> Self {
+        Self {
+            cpa_dist_m: 500.0,
+            cpa_time_ms: 20 * 60_000,
+            pair_range_m: 20_000.0,
+            staleness_ms: 3 * 60_000,
+            cooldown_ms: 15 * 60_000,
+            latest: FxHashMap::default(),
+            last_alert: FxHashMap::default(),
+        }
+    }
+}
+
+impl CpaDetector {
+    /// Builder: sets the CPA distance and time thresholds.
+    pub fn with_thresholds(mut self, cpa_dist_m: f64, cpa_time_ms: i64) -> Self {
+        self.cpa_dist_m = cpa_dist_m;
+        self.cpa_time_ms = cpa_time_ms;
+        self
+    }
+
+    /// Processes one report; may emit collision-risk forecasts.
+    pub fn update(&mut self, r: &PositionReport) -> Vec<EventRecord> {
+        self.latest.insert(r.object, *r);
+        let mut out = Vec::new();
+        let pos = r.position();
+        for (other, o) in self.latest.iter() {
+            if *other == r.object || r.time - o.time > self.staleness_ms {
+                continue;
+            }
+            if pos.fast_dist2_m2(&o.position()).sqrt() > self.pair_range_m {
+                continue;
+            }
+            let (t_s, d_m) = cpa(r, o);
+            if t_s > 0.0
+                && (t_s * 1000.0) as i64 <= self.cpa_time_ms
+                && d_m <= self.cpa_dist_m
+            {
+                let key = if r.object < *other {
+                    (r.object, *other)
+                } else {
+                    (*other, r.object)
+                };
+                let since = self.last_alert.get(&key).copied();
+                if since.is_none_or(|t| r.time - t >= self.cooldown_ms) {
+                    // Confidence decays with time-to-CPA.
+                    let conf =
+                        (1.0 - t_s * 1000.0 / self.cpa_time_ms as f64).clamp(0.05, 0.99);
+                    out.push(
+                        EventRecord::durative(
+                            EventKind::CollisionRisk,
+                            vec![key.0, key.1],
+                            TimeInterval::new(
+                                r.time,
+                                r.time + (t_s * 1000.0) as i64,
+                            ),
+                            pos.midpoint(&o.position()),
+                        )
+                        .as_forecast(conf)
+                        .with_attr("cpa_m", format!("{d_m:.0}"))
+                        .with_attr("tcpa_s", format!("{t_s:.0}")),
+                    );
+                }
+            }
+        }
+        for e in &out {
+            let key = (e.objects[0], e.objects[1]);
+            self.last_alert.insert(key, r.time);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_model::SourceId;
+
+    fn rep(obj: u64, t_min: f64, pos: GeoPoint, speed: f64, heading: f64) -> PositionReport {
+        PositionReport::maritime(
+            ObjectId(obj),
+            TimeMs((t_min * 60_000.0) as i64),
+            pos,
+            speed,
+            heading,
+            SourceId::AIS_TERRESTRIAL,
+            NavStatus::UnderWay,
+        )
+    }
+
+    // --- loitering ---
+
+    #[test]
+    fn loitering_fires_on_confined_meander() {
+        let mut d = LoiteringDetector::default();
+        let center = GeoPoint::new(24.5, 37.2);
+        let mut fired = false;
+        for i in 0..60 {
+            // Pseudo-random small offsets (deterministic).
+            let angle = (i * 73 % 360) as f64;
+            let pos = center.destination(angle, 300.0 + (i % 5) as f64 * 60.0);
+            if d.update(&rep(1, i as f64, pos, 0.8, angle)).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "loitering not detected");
+    }
+
+    #[test]
+    fn transit_does_not_loiter() {
+        let mut d = LoiteringDetector::default();
+        let start = GeoPoint::new(24.0, 37.0);
+        for i in 0..120 {
+            let pos = start.destination(90.0, 6.0 * 60.0 * i as f64);
+            assert!(
+                d.update(&rep(1, i as f64, pos, 6.0, 90.0)).is_none(),
+                "transit misclassified at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_straight_transit_is_not_loitering() {
+        // Slow but straight: tortuosity gate must reject.
+        let mut d = LoiteringDetector::default();
+        let start = GeoPoint::new(24.0, 37.0);
+        for i in 0..120 {
+            let pos = start.destination(90.0, 1.0 * 60.0 * i as f64);
+            assert!(d.update(&rep(1, i as f64, pos, 1.0, 90.0)).is_none());
+        }
+    }
+
+    #[test]
+    fn moored_vessel_never_loiters() {
+        let mut d = LoiteringDetector::default();
+        let pos = GeoPoint::new(24.0, 37.0);
+        for i in 0..120 {
+            let mut r = rep(1, i as f64, pos, 0.1, 0.0);
+            r.nav_status = NavStatus::Moored;
+            assert!(d.update(&r).is_none());
+        }
+    }
+
+    #[test]
+    fn loitering_cooldown_suppresses_repeats() {
+        let mut d = LoiteringDetector {
+            cooldown_ms: 10 * 60 * 60_000, // longer than the test run
+            ..LoiteringDetector::default()
+        };
+        let center = GeoPoint::new(24.5, 37.2);
+        let mut count = 0;
+        for i in 0..80 {
+            let angle = (i * 73 % 360) as f64;
+            let pos = center.destination(angle, 300.0);
+            if d.update(&rep(1, i as f64, pos, 0.8, angle)).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 1, "cooldown failed");
+    }
+
+    // --- drifting ---
+
+    #[test]
+    fn drifting_fires_on_slow_straight_movement() {
+        let mut d = DriftingDetector::default();
+        let start = GeoPoint::new(24.0, 37.0);
+        let mut fired = false;
+        for i in 0..40 {
+            let pos = start.destination(45.0, 0.7 * 60.0 * i as f64);
+            if d.update(&rep(1, i as f64, pos, 0.7, 45.0)).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "drifting not detected");
+    }
+
+    #[test]
+    fn normal_cruise_is_not_drifting() {
+        let mut d = DriftingDetector::default();
+        let start = GeoPoint::new(24.0, 37.0);
+        for i in 0..60 {
+            let pos = start.destination(45.0, 6.0 * 60.0 * i as f64);
+            assert!(d.update(&rep(1, i as f64, pos, 6.0, 45.0)).is_none());
+        }
+    }
+
+    // --- dark activity ---
+
+    #[test]
+    fn dark_activity_from_gap_events() {
+        let mut d = DarkActivityDetector::new(15 * 60_000);
+        let pos = GeoPoint::new(24.0, 37.0);
+        let start = EventRecord::instant(EventKind::GapStart, ObjectId(1), TimeMs(0), pos);
+        assert!(d.update(&start).is_none());
+        // Gap end 30 minutes later.
+        let end = EventRecord::instant(
+            EventKind::GapEnd,
+            ObjectId(1),
+            TimeMs(30 * 60_000),
+            GeoPoint::new(24.1, 37.0),
+        );
+        let ev = d.update(&end).unwrap();
+        assert_eq!(ev.kind, EventKind::DarkActivity);
+        assert_eq!(ev.interval.duration_ms(), 30 * 60_000);
+        assert_eq!(ev.location, pos, "stamped where contact was lost");
+        assert_eq!(ev.attr("gap_min"), Some("30"));
+    }
+
+    #[test]
+    fn short_gap_not_dark() {
+        let mut d = DarkActivityDetector::new(15 * 60_000);
+        let pos = GeoPoint::new(24.0, 37.0);
+        d.update(&EventRecord::instant(EventKind::GapStart, ObjectId(1), TimeMs(0), pos));
+        let end = EventRecord::instant(EventKind::GapEnd, ObjectId(1), TimeMs(5 * 60_000), pos);
+        assert!(d.update(&end).is_none());
+    }
+
+    #[test]
+    fn gap_end_without_start_ignored() {
+        let mut d = DarkActivityDetector::new(1000);
+        let end = EventRecord::instant(
+            EventKind::GapEnd,
+            ObjectId(9),
+            TimeMs(1000),
+            GeoPoint::new(0.0, 0.0),
+        );
+        assert!(d.update(&end).is_none());
+    }
+
+    // --- rendezvous ---
+
+    fn region() -> BoundingBox {
+        BoundingBox::new(22.0, 34.5, 29.5, 41.2)
+    }
+
+    #[test]
+    fn rendezvous_detected_after_sustained_proximity() {
+        let mut d = RendezvousDetector::new(region());
+        let meet = GeoPoint::new(24.5, 37.0);
+        let mut events = Vec::new();
+        for i in 0..15 {
+            let t = i as f64;
+            events.extend(d.update(&rep(1, t, meet.destination(0.0, 50.0), 0.5, 0.0)));
+            events.extend(d.update(&rep(2, t, meet.destination(180.0, 50.0), 0.4, 0.0)));
+        }
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].kind, EventKind::Rendezvous);
+        assert_eq!(events[0].objects, vec![ObjectId(1), ObjectId(2)]);
+        assert!(events[0].interval.duration_ms() >= 10 * 60_000);
+    }
+
+    #[test]
+    fn passing_ships_no_rendezvous() {
+        let mut d = RendezvousDetector::new(region());
+        // Two fast ships crossing: close only briefly, and too fast.
+        let a0 = GeoPoint::new(24.0, 37.0);
+        let b0 = GeoPoint::new(24.2, 37.0);
+        for i in 0..30 {
+            let t = i as f64;
+            let a = a0.destination(90.0, 7.0 * 60.0 * i as f64);
+            let b = b0.destination(270.0, 7.0 * 60.0 * i as f64);
+            assert!(d.update(&rep(1, t, a, 7.0, 90.0)).is_empty());
+            assert!(d.update(&rep(2, t, b, 7.0, 270.0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn rendezvous_in_exclusion_zone_suppressed() {
+        let mut d = RendezvousDetector::new(region());
+        let port = GeoPoint::new(23.6, 37.93);
+        d.exclude(port, 5_000.0);
+        for i in 0..20 {
+            let t = i as f64;
+            assert!(d.update(&rep(1, t, port.destination(0.0, 30.0), 0.3, 0.0)).is_empty());
+            assert!(d.update(&rep(2, t, port.destination(90.0, 30.0), 0.3, 0.0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn separation_resets_episode() {
+        let mut d = RendezvousDetector::new(region());
+        let meet = GeoPoint::new(24.5, 37.0);
+        // 6 minutes close (below min duration)…
+        for i in 0..6 {
+            d.update(&rep(1, i as f64, meet, 0.5, 0.0));
+            d.update(&rep(2, i as f64, meet.destination(0.0, 60.0), 0.5, 0.0));
+        }
+        // …then far apart…
+        for i in 6..10 {
+            d.update(&rep(1, i as f64, meet.destination(270.0, 5_000.0), 5.0, 270.0));
+            d.update(&rep(2, i as f64, meet.destination(90.0, 5_000.0), 5.0, 90.0));
+        }
+        // …then close again for 6 minutes: still below min duration since
+        // the episode restarted.
+        let mut fired = false;
+        for i in 10..16 {
+            fired |= !d.update(&rep(1, i as f64, meet, 0.5, 0.0)).is_empty();
+            fired |= !d
+                .update(&rep(2, i as f64, meet.destination(0.0, 60.0), 0.5, 0.0))
+                .is_empty();
+        }
+        assert!(!fired, "episode did not reset");
+    }
+
+    // --- CPA ---
+
+    #[test]
+    fn cpa_head_on_collision_course() {
+        // Two vessels 10 km apart, head-on, 5 m/s each → CPA 0 m in 1000 s.
+        let a = rep(1, 0.0, GeoPoint::new(24.0, 37.0), 5.0, 90.0);
+        let b = rep(2, 0.0, GeoPoint::new(24.0, 37.0).destination(90.0, 10_000.0), 5.0, 270.0);
+        let (t_s, d_m) = cpa(&a, &b);
+        assert!((t_s - 1000.0).abs() < 20.0, "t = {t_s}");
+        assert!(d_m < 50.0, "d = {d_m}");
+    }
+
+    #[test]
+    fn cpa_parallel_courses_never_close() {
+        let a = rep(1, 0.0, GeoPoint::new(24.0, 37.0), 5.0, 90.0);
+        let b = rep(2, 0.0, GeoPoint::new(24.0, 37.02), 5.0, 90.0);
+        let (t_s, d_m) = cpa(&a, &b);
+        assert!(t_s.is_infinite());
+        assert!((d_m - 2_224.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn cpa_detector_alerts_on_collision_course() {
+        let mut d = CpaDetector::default();
+        let a = rep(1, 0.0, GeoPoint::new(24.0, 37.0), 5.0, 90.0);
+        let b = rep(
+            2,
+            0.0,
+            GeoPoint::new(24.0, 37.0).destination(90.0, 8_000.0),
+            5.0,
+            270.0,
+        );
+        assert!(d.update(&a).is_empty(), "single vessel cannot alert");
+        let evs = d.update(&b);
+        assert_eq!(evs.len(), 1);
+        let e = &evs[0];
+        assert_eq!(e.kind, EventKind::CollisionRisk);
+        assert!(e.confidence < 1.0, "collision risk is a forecast");
+        assert!(e.attr("cpa_m").is_some());
+        assert!(e.attr("tcpa_s").is_some());
+    }
+
+    #[test]
+    fn cpa_detector_ignores_diverging() {
+        let mut d = CpaDetector::default();
+        let a = rep(1, 0.0, GeoPoint::new(24.0, 37.0), 5.0, 270.0);
+        let b = rep(
+            2,
+            0.0,
+            GeoPoint::new(24.0, 37.0).destination(90.0, 8_000.0),
+            5.0,
+            90.0,
+        );
+        d.update(&a);
+        assert!(d.update(&b).is_empty());
+    }
+
+    #[test]
+    fn cpa_detector_cooldown() {
+        let mut d = CpaDetector::default();
+        let base = GeoPoint::new(24.0, 37.0);
+        let mut total = 0;
+        for i in 0..5 {
+            let t = i as f64;
+            let a = rep(1, t, base.destination(90.0, 5.0 * 60.0 * i as f64), 5.0, 90.0);
+            let b = rep(
+                2,
+                t,
+                base.destination(90.0, 8_000.0 - 5.0 * 60.0 * i as f64),
+                5.0,
+                270.0,
+            );
+            d.update(&a);
+            total += d.update(&b).len();
+        }
+        assert_eq!(total, 1, "cooldown failed");
+    }
+}

@@ -1,0 +1,428 @@
+//! A generic NFA pattern engine with skip-till-next-match semantics.
+//!
+//! Patterns are sequences of elements over a caller event type `E`:
+//! `Single` (one matching event), `Kleene` (one-or-more, greedily folded),
+//! and `Not` (no matching event may occur between the surrounding
+//! positives). A `WITHIN` window bounds first-to-last event time.
+
+use datacron_geo::TimeMs;
+
+/// A predicate over events.
+pub type Pred<E> = Box<dyn Fn(&E) -> bool + Send + Sync>;
+
+/// One element of a pattern.
+pub enum PatternElem<E> {
+    /// Exactly one event satisfying the predicate.
+    Single(Pred<E>),
+    /// One or more consecutive-in-match events satisfying the predicate.
+    Kleene(Pred<E>),
+    /// Negation: between the previous and next positive element, no event
+    /// satisfying this predicate may occur.
+    Not(Pred<E>),
+}
+
+impl<E> PatternElem<E> {
+    /// Convenience: a `Single` from a closure.
+    pub fn single(f: impl Fn(&E) -> bool + Send + Sync + 'static) -> Self {
+        PatternElem::Single(Box::new(f))
+    }
+
+    /// Convenience: a `Kleene` from a closure.
+    pub fn kleene(f: impl Fn(&E) -> bool + Send + Sync + 'static) -> Self {
+        PatternElem::Kleene(Box::new(f))
+    }
+
+    /// Convenience: a `Not` from a closure.
+    pub fn not(f: impl Fn(&E) -> bool + Send + Sync + 'static) -> Self {
+        PatternElem::Not(Box::new(f))
+    }
+}
+
+/// A sequential pattern with a time window.
+pub struct Pattern<E> {
+    /// The element sequence.
+    pub elems: Vec<PatternElem<E>>,
+    /// Maximum first-to-last duration of a match, ms.
+    pub within_ms: i64,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl<E> Pattern<E> {
+    /// Creates a pattern.
+    pub fn new(name: impl Into<String>, elems: Vec<PatternElem<E>>, within_ms: i64) -> Self {
+        assert!(
+            elems
+                .iter()
+                .any(|e| !matches!(e, PatternElem::Not(_))),
+            "pattern needs at least one positive element"
+        );
+        assert!(
+            !matches!(elems.last(), Some(PatternElem::Not(_))),
+            "pattern must end with a positive element"
+        );
+        Self {
+            elems: elems.into_iter().collect(),
+            within_ms,
+            name: name.into(),
+        }
+    }
+
+    /// Indices of positive (non-`Not`) elements.
+    fn positive_indices(&self) -> Vec<usize> {
+        self.elems
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !matches!(e, PatternElem::Not(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A completed match: the timestamps and payload indices of the matched
+/// positive events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternMatch {
+    /// Event-time of the first matched event.
+    pub start: TimeMs,
+    /// Event-time of the last matched event.
+    pub end: TimeMs,
+    /// Input sequence numbers of the matched positive events.
+    pub matched: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Run {
+    /// Next positive element (index into `positives`) to satisfy.
+    next_pos: usize,
+    start: TimeMs,
+    last: TimeMs,
+    matched: Vec<u64>,
+    /// True while the previous element was a Kleene that may absorb more.
+    in_kleene: bool,
+}
+
+/// The runtime for one pattern instance over one event stream (callers
+/// keep one `Runs` per key — per object or object pair).
+pub struct Runs<E> {
+    pattern: Pattern<E>,
+    positives: Vec<usize>,
+    active: Vec<Run>,
+    seq: u64,
+    /// Completed matches count (for quick stats).
+    completed: u64,
+}
+
+impl<E> Runs<E> {
+    /// Creates the runtime for `pattern`.
+    pub fn new(pattern: Pattern<E>) -> Self {
+        let positives = pattern.positive_indices();
+        Self {
+            pattern,
+            positives,
+            active: Vec::new(),
+            seq: 0,
+            completed: 0,
+        }
+    }
+
+    /// The pattern name.
+    pub fn name(&self) -> &str {
+        &self.pattern.name
+    }
+
+    /// Number of live partial matches.
+    pub fn active_runs(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Matches completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The element index preceding positive `pos_idx` is a Not? Return it.
+    fn guard_before(&self, pos_idx: usize) -> Option<&Pred<E>> {
+        let elem_idx = self.positives[pos_idx];
+        if elem_idx == 0 {
+            return None;
+        }
+        match &self.pattern.elems[elem_idx - 1] {
+            PatternElem::Not(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Feeds one event; returns completed matches.
+    pub fn on_event(&mut self, t: TimeMs, event: &E) -> Vec<PatternMatch> {
+        let seq = self.seq;
+        self.seq += 1;
+        let mut out = Vec::new();
+        let mut next_active: Vec<Run> = Vec::new();
+
+        // Try to extend existing runs.
+        let drained = std::mem::take(&mut self.active);
+        for run in drained {
+            // Window expiry.
+            if t - run.start > self.pattern.within_ms {
+                continue;
+            }
+            let elem_idx = self.positives[run.next_pos];
+            let elem = &self.pattern.elems[elem_idx];
+
+            // Kleene absorption: the previous positive was a Kleene and this
+            // event still matches it — fork: absorb or move on.
+            if run.in_kleene {
+                let prev_elem = &self.pattern.elems[self.positives[run.next_pos - 1]];
+                if let PatternElem::Kleene(p) = prev_elem {
+                    if p(event) {
+                        let mut absorbed = run.clone();
+                        absorbed.last = t;
+                        absorbed.matched.push(seq);
+                        next_active.push(absorbed);
+                    }
+                }
+            }
+
+            // Negation guard between previous positive and the awaited one.
+            if let Some(guard) = self.guard_before(run.next_pos) {
+                if guard(event) {
+                    // Poisoned: this run dies.
+                    continue;
+                }
+            }
+
+            let matches_next = match elem {
+                PatternElem::Single(p) | PatternElem::Kleene(p) => p(event),
+                PatternElem::Not(_) => unreachable!("positives exclude Not"),
+            };
+            if matches_next {
+                let mut advanced = run;
+                advanced.last = t;
+                advanced.matched.push(seq);
+                advanced.next_pos += 1;
+                advanced.in_kleene = matches!(elem, PatternElem::Kleene(_));
+                if advanced.next_pos == self.positives.len() {
+                    self.completed += 1;
+                    out.push(PatternMatch {
+                        start: advanced.start,
+                        end: advanced.last,
+                        matched: advanced.matched.clone(),
+                    });
+                    // Kleene at the end may keep absorbing; keep the run if
+                    // the final element was Kleene.
+                    if advanced.in_kleene {
+                        next_active.push(advanced);
+                    }
+                } else {
+                    next_active.push(advanced);
+                }
+            } else {
+                // Skip-till-next-match: a non-matching event is skipped and
+                // the run waits; a matching event consumed the run above.
+                next_active.push(run);
+            }
+        }
+
+        // Start a fresh run at the first positive element.
+        let first_elem = &self.pattern.elems[self.positives[0]];
+        let first_matches = match first_elem {
+            PatternElem::Single(p) | PatternElem::Kleene(p) => p(event),
+            PatternElem::Not(_) => unreachable!(),
+        };
+        if first_matches {
+            let run = Run {
+                next_pos: 1,
+                start: t,
+                last: t,
+                matched: vec![seq],
+                in_kleene: matches!(first_elem, PatternElem::Kleene(_)),
+            };
+            if self.positives.len() == 1 {
+                self.completed += 1;
+                out.push(PatternMatch {
+                    start: t,
+                    end: t,
+                    matched: vec![seq],
+                });
+                if run.in_kleene {
+                    next_active.push(run);
+                }
+            } else {
+                next_active.push(run);
+            }
+        }
+
+        // Bound state: drop expired runs eagerly (cheap since window known).
+        self.active = next_active
+            .into_iter()
+            .filter(|r| t - r.start <= self.pattern.within_ms)
+            .collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    fn run_pattern(pattern: Pattern<Ev>, events: &[(i64, Ev)]) -> Vec<PatternMatch> {
+        let mut runs = Runs::new(pattern);
+        let mut out = Vec::new();
+        for &(t, e) in events {
+            out.extend(runs.on_event(TimeMs(t), &e));
+        }
+        out
+    }
+
+    fn seq_ab(within: i64) -> Pattern<Ev> {
+        Pattern::new(
+            "a-then-b",
+            vec![
+                PatternElem::single(|e: &Ev| *e == Ev::A),
+                PatternElem::single(|e: &Ev| *e == Ev::B),
+            ],
+            within,
+        )
+    }
+
+    #[test]
+    fn simple_sequence_matches() {
+        let out = run_pattern(seq_ab(1000), &[(0, Ev::A), (10, Ev::B)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].start, TimeMs(0));
+        assert_eq!(out[0].end, TimeMs(10));
+        assert_eq!(out[0].matched, vec![0, 1]);
+    }
+
+    #[test]
+    fn skip_till_next_match_ignores_noise() {
+        let out = run_pattern(seq_ab(1000), &[(0, Ev::A), (5, Ev::C), (10, Ev::B)]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn window_expiry() {
+        let out = run_pattern(seq_ab(100), &[(0, Ev::A), (500, Ev::B)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_starts_multiple_matches() {
+        // Two As then one B → two matches (each A pairs with the B).
+        let out = run_pattern(seq_ab(1000), &[(0, Ev::A), (5, Ev::A), (10, Ev::B)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn negation_poisons_run() {
+        let p = Pattern::new(
+            "a-no-c-b",
+            vec![
+                PatternElem::single(|e: &Ev| *e == Ev::A),
+                PatternElem::not(|e: &Ev| *e == Ev::C),
+                PatternElem::single(|e: &Ev| *e == Ev::B),
+            ],
+            1000,
+        );
+        let bad = run_pattern(p, &[(0, Ev::A), (5, Ev::C), (10, Ev::B)]);
+        assert!(bad.is_empty());
+        let p = Pattern::new(
+            "a-no-c-b",
+            vec![
+                PatternElem::single(|e: &Ev| *e == Ev::A),
+                PatternElem::not(|e: &Ev| *e == Ev::C),
+                PatternElem::single(|e: &Ev| *e == Ev::B),
+            ],
+            1000,
+        );
+        let good = run_pattern(p, &[(0, Ev::A), (10, Ev::B)]);
+        assert_eq!(good.len(), 1);
+    }
+
+    #[test]
+    fn kleene_absorbs_and_each_extension_matches() {
+        let p = Pattern::new(
+            "a-plus-b",
+            vec![
+                PatternElem::kleene(|e: &Ev| *e == Ev::A),
+                PatternElem::single(|e: &Ev| *e == Ev::B),
+            ],
+            1000,
+        );
+        // A A B: runs = {A1}, {A1A2}, {A2} → three matches ending at B.
+        let out = run_pattern(p, &[(0, Ev::A), (5, Ev::A), (10, Ev::B)]);
+        assert_eq!(out.len(), 3);
+        // The longest match covers both As.
+        assert!(out.iter().any(|m| m.matched == vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn single_element_pattern() {
+        let p = Pattern::new(
+            "just-a",
+            vec![PatternElem::single(|e: &Ev| *e == Ev::A)],
+            1000,
+        );
+        let out = run_pattern(p, &[(0, Ev::B), (1, Ev::A), (2, Ev::A)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "end with a positive")]
+    fn trailing_not_rejected() {
+        let _: Pattern<Ev> = Pattern::new(
+            "bad",
+            vec![
+                PatternElem::single(|e: &Ev| *e == Ev::A),
+                PatternElem::not(|e: &Ev| *e == Ev::C),
+            ],
+            100,
+        );
+    }
+
+    #[test]
+    fn state_is_bounded_by_window() {
+        let mut runs = Runs::new(seq_ab(100));
+        for i in 0..1000 {
+            runs.on_event(TimeMs(i * 10), &Ev::A);
+        }
+        // Only As within the last 100 ms survive.
+        assert!(runs.active_runs() <= 12, "runs = {}", runs.active_runs());
+    }
+
+    #[test]
+    fn completed_counter() {
+        let mut runs = Runs::new(seq_ab(1000));
+        runs.on_event(TimeMs(0), &Ev::A);
+        runs.on_event(TimeMs(1), &Ev::B);
+        runs.on_event(TimeMs(2), &Ev::A);
+        runs.on_event(TimeMs(3), &Ev::B);
+        assert_eq!(runs.completed(), 2);
+        assert_eq!(runs.name(), "a-then-b");
+    }
+
+    #[test]
+    fn three_step_sequence() {
+        let p = Pattern::new(
+            "abc",
+            vec![
+                PatternElem::single(|e: &Ev| *e == Ev::A),
+                PatternElem::single(|e: &Ev| *e == Ev::B),
+                PatternElem::single(|e: &Ev| *e == Ev::C),
+            ],
+            1000,
+        );
+        let out = run_pattern(p, &[(0, Ev::A), (1, Ev::B), (2, Ev::A), (3, Ev::C)]);
+        // A(0) B(1) C(3) matches; A(2) never gets a B.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].matched, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Prebuilt patterns over low-level event streams, and a keyed runtime.
+//!
+//! The detectors in [`crate::maritime`] / [`crate::aviation`] work on raw
+//! reports; this module works one level up, on the derived low-level event
+//! stream, composing [`crate::nfa`] patterns per object. It supplies the
+//! declarative face of the CEP component: the patterns the paper's
+//! examples sketch, expressed as sequences over [`EventKind`]s.
+
+use crate::nfa::{Pattern, PatternElem, PatternMatch, Runs};
+use datacron_model::{EventKind, EventRecord, ObjectId};
+use rustc_hash::FxHashMap;
+
+/// Factory for one pattern instance (each key needs its own [`Runs`]).
+pub type PatternFactory = Box<dyn Fn() -> Pattern<EventKind> + Send + Sync>;
+
+/// A keyed pattern runtime: one [`Runs`] per object per pattern.
+pub struct KeyedPatterns {
+    factories: Vec<(String, PatternFactory)>,
+    runs: FxHashMap<(ObjectId, usize), Runs<EventKind>>,
+}
+
+impl KeyedPatterns {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Self {
+            factories: Vec::new(),
+            runs: FxHashMap::default(),
+        }
+    }
+
+    /// Registers a pattern by factory.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Pattern<EventKind> + Send + Sync + 'static,
+    ) {
+        self.factories.push((name.into(), Box::new(factory)));
+    }
+
+    /// Registered pattern names.
+    pub fn pattern_names(&self) -> Vec<&str> {
+        self.factories.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Feeds one low-level event; returns `(pattern name, match)` pairs for
+    /// every pattern completed by this event on this object.
+    pub fn on_event(&mut self, ev: &EventRecord) -> Vec<(String, PatternMatch)> {
+        let mut out = Vec::new();
+        let obj = ev.objects[0];
+        for (i, (name, factory)) in self.factories.iter().enumerate() {
+            let runs = self
+                .runs
+                .entry((obj, i))
+                .or_insert_with(|| Runs::new(factory()));
+            for m in runs.on_event(ev.interval.start, &ev.kind) {
+                out.push((name.clone(), m));
+            }
+        }
+        out
+    }
+
+    /// Total live partial matches across keys (state diagnostics).
+    pub fn active_runs(&self) -> usize {
+        self.runs.values().map(|r| r.active_runs()).sum()
+    }
+}
+
+impl Default for KeyedPatterns {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// "Suspicious stop": a vessel stops, goes dark during the stop, and only
+/// resumes after contact returns — the transshipment signature over
+/// low-level events. `SEQ(StopStart, GapStart, GapEnd, StopEnd)` within the
+/// window.
+pub fn suspicious_stop(within_ms: i64) -> Pattern<EventKind> {
+    Pattern::new(
+        "suspicious-stop",
+        vec![
+            PatternElem::single(|e: &EventKind| *e == EventKind::StopStart),
+            PatternElem::single(|e: &EventKind| *e == EventKind::GapStart),
+            PatternElem::single(|e: &EventKind| *e == EventKind::GapEnd),
+            PatternElem::single(|e: &EventKind| *e == EventKind::StopEnd),
+        ],
+        within_ms,
+    )
+}
+
+/// "Evasive manoeuvre": repeated turning (one-or-more turning points)
+/// followed by a speed change, with no intervening stop — a vessel breaking
+/// its pattern without mooring.
+pub fn evasive_manoeuvre(within_ms: i64) -> Pattern<EventKind> {
+    Pattern::new(
+        "evasive-manoeuvre",
+        vec![
+            PatternElem::kleene(|e: &EventKind| *e == EventKind::TurningPoint),
+            PatternElem::not(|e: &EventKind| *e == EventKind::StopStart),
+            PatternElem::single(|e: &EventKind| *e == EventKind::SpeedChange),
+        ],
+        within_ms,
+    )
+}
+
+/// "Missed approach": an aircraft levels off, then climbs again (takeoff
+/// power) without a landing in between.
+pub fn missed_approach(within_ms: i64) -> Pattern<EventKind> {
+    Pattern::new(
+        "missed-approach",
+        vec![
+            PatternElem::single(|e: &EventKind| *e == EventKind::LevelFlight),
+            PatternElem::not(|e: &EventKind| *e == EventKind::Landing),
+            PatternElem::single(|e: &EventKind| *e == EventKind::Takeoff),
+        ],
+        within_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{GeoPoint, TimeMs};
+
+    fn ev(kind: EventKind, obj: u64, t_min: i64) -> EventRecord {
+        EventRecord::instant(kind, ObjectId(obj), TimeMs(t_min * 60_000), GeoPoint::new(24.0, 37.0))
+    }
+
+    fn runtime() -> KeyedPatterns {
+        let mut kp = KeyedPatterns::new();
+        kp.register("suspicious-stop", || suspicious_stop(4 * 60 * 60_000));
+        kp.register("evasive", || evasive_manoeuvre(60 * 60_000));
+        kp
+    }
+
+    #[test]
+    fn suspicious_stop_sequence_matches() {
+        let mut kp = runtime();
+        let seq = [
+            ev(EventKind::StopStart, 1, 0),
+            ev(EventKind::GapStart, 1, 10),
+            ev(EventKind::GapEnd, 1, 40),
+            ev(EventKind::StopEnd, 1, 50),
+        ];
+        let mut matches = Vec::new();
+        for e in &seq {
+            matches.extend(kp.on_event(e));
+        }
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].0, "suspicious-stop");
+        assert_eq!(matches[0].1.start, TimeMs(0));
+        assert_eq!(matches[0].1.end, TimeMs(50 * 60_000));
+    }
+
+    #[test]
+    fn stop_without_gap_does_not_match() {
+        let mut kp = runtime();
+        let seq = [
+            ev(EventKind::StopStart, 1, 0),
+            ev(EventKind::StopEnd, 1, 30),
+        ];
+        let mut matches = Vec::new();
+        for e in &seq {
+            matches.extend(kp.on_event(e));
+        }
+        assert!(matches.iter().all(|(n, _)| n != "suspicious-stop"));
+    }
+
+    #[test]
+    fn per_object_isolation() {
+        let mut kp = runtime();
+        // Interleave two objects; only object 1 completes the sequence.
+        let seq = [
+            ev(EventKind::StopStart, 1, 0),
+            ev(EventKind::StopStart, 2, 1),
+            ev(EventKind::GapStart, 1, 10),
+            ev(EventKind::GapEnd, 1, 40),
+            ev(EventKind::StopEnd, 2, 45),
+            ev(EventKind::StopEnd, 1, 50),
+        ];
+        let mut matches = Vec::new();
+        for e in &seq {
+            matches.extend(kp.on_event(e));
+        }
+        let suspicious: Vec<_> = matches.iter().filter(|(n, _)| n == "suspicious-stop").collect();
+        assert_eq!(suspicious.len(), 1);
+    }
+
+    #[test]
+    fn evasive_needs_turns_then_speed_change_without_stop() {
+        let mut kp = runtime();
+        let good = [
+            ev(EventKind::TurningPoint, 3, 0),
+            ev(EventKind::TurningPoint, 3, 5),
+            ev(EventKind::SpeedChange, 3, 10),
+        ];
+        let mut matches = Vec::new();
+        for e in &good {
+            matches.extend(kp.on_event(e));
+        }
+        assert!(matches.iter().any(|(n, _)| n == "evasive"));
+
+        // A stop between turn and speed change poisons it.
+        let mut kp = runtime();
+        let bad = [
+            ev(EventKind::TurningPoint, 3, 0),
+            ev(EventKind::StopStart, 3, 5),
+            ev(EventKind::SpeedChange, 3, 10),
+        ];
+        let mut matches = Vec::new();
+        for e in &bad {
+            matches.extend(kp.on_event(e));
+        }
+        assert!(!matches.iter().any(|(n, _)| n == "evasive"));
+    }
+
+    #[test]
+    fn window_expiry_kills_slow_sequences() {
+        let mut kp = KeyedPatterns::new();
+        kp.register("fast-stop", || suspicious_stop(30 * 60_000));
+        let seq = [
+            ev(EventKind::StopStart, 1, 0),
+            ev(EventKind::GapStart, 1, 10),
+            ev(EventKind::GapEnd, 1, 50), // past the 30-minute window
+            ev(EventKind::StopEnd, 1, 55),
+        ];
+        let mut matches = Vec::new();
+        for e in &seq {
+            matches.extend(kp.on_event(e));
+        }
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn missed_approach_pattern() {
+        let mut kp = KeyedPatterns::new();
+        kp.register("missed", || missed_approach(30 * 60_000));
+        let seq = [
+            ev(EventKind::LevelFlight, 9, 0),
+            ev(EventKind::Takeoff, 9, 5),
+        ];
+        let mut matches = Vec::new();
+        for e in &seq {
+            matches.extend(kp.on_event(e));
+        }
+        assert_eq!(matches.len(), 1);
+
+        let mut kp = KeyedPatterns::new();
+        kp.register("missed", || missed_approach(30 * 60_000));
+        let landed = [
+            ev(EventKind::LevelFlight, 9, 0),
+            ev(EventKind::Landing, 9, 3),
+            ev(EventKind::Takeoff, 9, 5),
+        ];
+        let mut matches = Vec::new();
+        for e in &landed {
+            matches.extend(kp.on_event(e));
+        }
+        assert!(matches.is_empty(), "landing between must poison");
+    }
+
+    #[test]
+    fn diagnostics() {
+        let mut kp = runtime();
+        assert_eq!(kp.pattern_names(), vec!["suspicious-stop", "evasive"]);
+        kp.on_event(&ev(EventKind::StopStart, 1, 0));
+        assert!(kp.active_runs() >= 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property test: the incremental NFA agrees with a brute-force reference
+//! recognizer on random event streams.
+
+use datacron_cep::{Pattern, PatternElem, Runs};
+use datacron_geo::TimeMs;
+use proptest::prelude::*;
+
+/// Events are small integers; patterns are sequences of symbol constraints
+/// with an optional negated symbol between consecutive positives.
+#[derive(Debug, Clone)]
+struct SymbolPattern {
+    positives: Vec<u8>,
+    /// `guards[i]` forbids a symbol between positive `i` and `i+1`.
+    guards: Vec<Option<u8>>,
+    within_ms: i64,
+}
+
+fn build_pattern(sp: &SymbolPattern) -> Pattern<u8> {
+    let mut elems: Vec<PatternElem<u8>> = Vec::new();
+    for (i, &sym) in sp.positives.iter().enumerate() {
+        if i > 0 {
+            if let Some(g) = sp.guards[i - 1] {
+                elems.push(PatternElem::not(move |e: &u8| *e == g));
+            }
+        }
+        elems.push(PatternElem::single(move |e: &u8| *e == sym));
+    }
+    Pattern::new("prop", elems, sp.within_ms)
+}
+
+/// Brute-force reference for *skip-till-next-match* semantics: a run
+/// starts at every event matching the first positive and then evolves
+/// deterministically — it dies on a guarded symbol while waiting, advances
+/// on the first event matching the awaited positive, and expires when the
+/// window closes. One completed match per surviving run.
+fn reference_matches(sp: &SymbolPattern, events: &[(i64, u8)]) -> usize {
+    let mut count = 0usize;
+    for (start, &(t0, sym0)) in events.iter().enumerate() {
+        if sym0 != sp.positives[0] {
+            continue;
+        }
+        if sp.positives.len() == 1 {
+            count += 1;
+            continue;
+        }
+        let mut pos = 1usize;
+        for &(t, sym) in &events[start + 1..] {
+            if t - t0 > sp.within_ms {
+                break;
+            }
+            // Guard between positive pos-1 and pos (checked before the
+            // awaited element, mirroring the engine).
+            if let Some(g) = sp.guards.get(pos - 1).copied().flatten() {
+                if sym == g {
+                    pos = usize::MAX; // poisoned
+                    break;
+                }
+            }
+            if sym == sp.positives[pos] {
+                pos += 1;
+                if pos == sp.positives.len() {
+                    count += 1;
+                    break;
+                }
+            }
+        }
+        let _ = pos;
+    }
+    count
+}
+
+fn arb_case() -> impl Strategy<Value = (SymbolPattern, Vec<(i64, u8)>)> {
+    let pattern = (
+        prop::collection::vec(0u8..4, 1..4),
+        prop::collection::vec(prop::option::of(0u8..4), 3),
+        50i64..2000,
+    )
+        .prop_map(|(positives, mut guards, within_ms)| {
+            guards.truncate(positives.len().saturating_sub(1));
+            SymbolPattern {
+                positives,
+                guards,
+                within_ms,
+            }
+        });
+    let events = prop::collection::vec((0u8..4, 1i64..100), 0..25).prop_map(|steps| {
+        let mut t = 0;
+        steps
+            .into_iter()
+            .map(|(sym, dt)| {
+                t += dt;
+                (t, sym)
+            })
+            .collect::<Vec<(i64, u8)>>()
+    });
+    (pattern, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn nfa_matches_reference_count((sp, events) in arb_case()) {
+        let mut runs = Runs::new(build_pattern(&sp));
+        let mut nfa_count = 0usize;
+        for &(t, e) in &events {
+            nfa_count += runs.on_event(TimeMs(t), &e).len();
+        }
+        let want = reference_matches(&sp, &events);
+        prop_assert_eq!(
+            nfa_count,
+            want,
+            "pattern {:?} over {:?}",
+            sp,
+            events
+        );
+    }
+
+    #[test]
+    fn matches_respect_window((sp, events) in arb_case()) {
+        let mut runs = Runs::new(build_pattern(&sp));
+        for &(t, e) in &events {
+            for m in runs.on_event(TimeMs(t), &e) {
+                prop_assert!(m.end - m.start <= sp.within_ms);
+                prop_assert!(m.matched.len() == sp.positives.len());
+                // Matched sequence numbers strictly increase.
+                for w in m.matched.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+            }
+        }
+    }
+}

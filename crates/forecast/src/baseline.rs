@@ -1,0 +1,210 @@
+//! Memoryless kinematic baselines.
+
+use crate::Predictor;
+use datacron_geo::units::heading_delta_deg;
+use datacron_geo::{GeoPoint, TimeMs};
+use datacron_model::TrajPoint;
+
+/// Constant-velocity dead reckoning: continue at the last observed speed
+/// and course.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadReckoningPredictor;
+
+impl DeadReckoningPredictor {
+    /// Effective speed/heading of the track's last step, falling back to the
+    /// reported values when the step is degenerate.
+    fn last_motion(history: &[TrajPoint]) -> Option<(GeoPoint, TimeMs, f64, f64)> {
+        let last = history.last()?;
+        let pos = last.position();
+        if history.len() >= 2 {
+            let prev = &history[history.len() - 2];
+            let dt_s = (last.time - prev.time) as f64 / 1000.0;
+            if dt_s > 0.0 {
+                let d = prev.position().haversine_m(&pos);
+                let speed = d / dt_s;
+                let heading = if d > 1.0 {
+                    prev.position().bearing_deg(&pos)
+                } else if last.heading_deg.is_finite() {
+                    last.heading_deg
+                } else {
+                    0.0
+                };
+                return Some((pos, last.time, speed, heading));
+            }
+        }
+        let speed = if last.speed_mps.is_finite() {
+            last.speed_mps
+        } else {
+            return None;
+        };
+        let heading = if last.heading_deg.is_finite() {
+            last.heading_deg
+        } else {
+            return None;
+        };
+        Some((pos, last.time, speed, heading))
+    }
+}
+
+impl Predictor for DeadReckoningPredictor {
+    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint> {
+        let (pos, now, speed, heading) = Self::last_motion(history)?;
+        let dt_s = (at - now) as f64 / 1000.0;
+        if dt_s < 0.0 {
+            return None;
+        }
+        Some(pos.destination(heading, speed * dt_s))
+    }
+
+    fn name(&self) -> &'static str {
+        "dead-reckoning"
+    }
+}
+
+/// Constant-turn-rate prediction: estimate the turn rate from the last two
+/// steps and integrate it forward in short arcs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantTurnPredictor;
+
+impl Predictor for ConstantTurnPredictor {
+    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint> {
+        if history.len() < 3 {
+            return DeadReckoningPredictor.predict(history, at);
+        }
+        let n = history.len();
+        let (a, b, c) = (&history[n - 3], &history[n - 2], &history[n - 1]);
+        let h1 = a.position().bearing_deg(&b.position());
+        let h2 = b.position().bearing_deg(&c.position());
+        let dt1 = (b.time - a.time) as f64 / 1000.0;
+        let dt2 = (c.time - b.time) as f64 / 1000.0;
+        if dt1 <= 0.0 || dt2 <= 0.0 {
+            return DeadReckoningPredictor.predict(history, at);
+        }
+        let turn_rate = heading_delta_deg(h2, h1) / dt2; // deg/s
+        let speed = b.position().haversine_m(&c.position()) / dt2;
+        let mut pos = c.position();
+        let mut heading = h2;
+        let mut remaining_s = (at - c.time) as f64 / 1000.0;
+        if remaining_s < 0.0 {
+            return None;
+        }
+        // Integrate in ≤30 s arcs so the curvature shows up.
+        while remaining_s > 0.0 {
+            let step = remaining_s.min(30.0);
+            heading = datacron_geo::units::normalize_deg(heading + turn_rate * step);
+            pos = pos.destination(heading, speed * step);
+            remaining_s -= step;
+        }
+        Some(pos)
+    }
+
+    fn name(&self) -> &'static str {
+        "constant-turn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_model::ObjectId;
+    use datacron_model::Trajectory;
+
+    fn straight_track(n: usize, speed: f64) -> Vec<TrajPoint> {
+        let start = GeoPoint::new(24.0, 37.0);
+        (0..n)
+            .map(|i| {
+                let pos = start.destination(90.0, speed * 10.0 * i as f64);
+                TrajPoint::new2(TimeMs(i as i64 * 10_000), pos, speed, 90.0)
+            })
+            .collect()
+    }
+
+    fn circular_track(n: usize) -> Vec<TrajPoint> {
+        // 0.5 deg/s turn, 6 m/s, 10 s steps.
+        let mut pos = GeoPoint::new(24.0, 37.0);
+        let mut heading = 0.0;
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.push(TrajPoint::new2(TimeMs(i as i64 * 10_000), pos, 6.0, heading));
+            heading = datacron_geo::units::normalize_deg(heading + 5.0);
+            pos = pos.destination(heading, 60.0);
+        }
+        out
+    }
+
+    #[test]
+    fn dead_reckoning_on_straight_track_is_exact() {
+        let track = straight_track(10, 6.0);
+        let truth_at_120s = GeoPoint::new(24.0, 37.0).destination(90.0, 6.0 * 120.0);
+        let p = DeadReckoningPredictor
+            .predict(&track, TimeMs(120_000))
+            .unwrap();
+        assert!(p.haversine_m(&truth_at_120s) < 5.0);
+    }
+
+    #[test]
+    fn dead_reckoning_single_point_uses_reported_kinematics() {
+        let track = vec![TrajPoint::new2(
+            TimeMs(0),
+            GeoPoint::new(24.0, 37.0),
+            10.0,
+            0.0,
+        )];
+        let p = DeadReckoningPredictor.predict(&track, TimeMs(60_000)).unwrap();
+        let want = GeoPoint::new(24.0, 37.0).destination(0.0, 600.0);
+        assert!(p.haversine_m(&want) < 1.0);
+    }
+
+    #[test]
+    fn dead_reckoning_needs_kinematics_or_two_points() {
+        let mut p0 = TrajPoint::new2(TimeMs(0), GeoPoint::new(24.0, 37.0), f64::NAN, f64::NAN);
+        p0.speed_mps = f64::NAN;
+        assert!(DeadReckoningPredictor.predict(&[p0], TimeMs(1000)).is_none());
+        assert!(DeadReckoningPredictor.predict(&[], TimeMs(1000)).is_none());
+    }
+
+    #[test]
+    fn past_target_is_rejected() {
+        let track = straight_track(5, 6.0);
+        assert!(DeadReckoningPredictor.predict(&track, TimeMs(0)).is_none());
+    }
+
+    #[test]
+    fn constant_turn_beats_dead_reckoning_on_circle() {
+        let track = circular_track(40);
+        let history = &track[..20];
+        // Truth: continue the circle to step 30 (t = 300 s).
+        let truth = track[30].position();
+        let at = TimeMs(300_000);
+        let ct = ConstantTurnPredictor.predict(history, at).unwrap();
+        let dr = DeadReckoningPredictor.predict(history, at).unwrap();
+        let e_ct = ct.haversine_m(&truth);
+        let e_dr = dr.haversine_m(&truth);
+        assert!(
+            e_ct < e_dr * 0.6,
+            "constant-turn {e_ct:.0} m vs dead-reckoning {e_dr:.0} m"
+        );
+    }
+
+    #[test]
+    fn constant_turn_falls_back_on_short_history() {
+        let track = straight_track(2, 6.0);
+        let p = ConstantTurnPredictor.predict(&track, TimeMs(60_000));
+        assert!(p.is_some());
+    }
+
+    #[test]
+    fn names_differ() {
+        assert_ne!(
+            DeadReckoningPredictor.name(),
+            ConstantTurnPredictor.name()
+        );
+    }
+
+    #[test]
+    fn works_with_trajectory_slices() {
+        let tr = Trajectory::from_points(ObjectId(1), straight_track(10, 5.0));
+        let p = DeadReckoningPredictor.predict(tr.points(), TimeMs(150_000));
+        assert!(p.is_some());
+    }
+}

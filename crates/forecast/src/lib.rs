@@ -1,0 +1,51 @@
+//! Trajectory reconstruction and forecasting.
+//!
+//! datAcron's analytics forecast "future states of moving entities" in the
+//! maritime (2D) and aviation (3D) domains. This crate implements:
+//!
+//! * [`reconstruct`] — turning a cleansed report stream back into
+//!   per-object trajectories: gap segmentation and fixed-rate resampling;
+//! * [`baseline`] — memoryless kinematic predictors: constant-velocity
+//!   dead reckoning and constant turn rate;
+//! * [`markov`] — a first-order grid Markov model learned from history;
+//! * [`route`] — the route-network model: historical trajectories become
+//!   cell-sequence routes; a live track matches routes through its current
+//!   cell and is advanced along the best route at its own speed;
+//! * [`vertical`] — the aviation vertical-profile predictor (climb/descent
+//!   persistence with level-off), composed with any horizontal predictor;
+//! * [`evaluate`] — the horizon-sweep harness behind experiments E6/E7.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod evaluate;
+pub mod kalman;
+pub mod markov;
+pub mod reconstruct;
+pub mod route;
+pub mod vertical;
+
+pub use baseline::{ConstantTurnPredictor, DeadReckoningPredictor};
+pub use evaluate::{evaluate_horizons, ErrorStats, HorizonReport};
+pub use kalman::KalmanSmoother;
+pub use markov::MarkovGridModel;
+pub use reconstruct::{reconstruct_tracks, resample, segment_on_gaps};
+pub use route::RouteModel;
+pub use vertical::VerticalProfilePredictor;
+
+use datacron_geo::{GeoPoint, TimeMs};
+use datacron_model::TrajPoint;
+
+/// A horizontal position predictor.
+///
+/// `history` is the object's track up to "now" (the last point's time);
+/// `at` is a strictly later instant. `None` means the model cannot predict
+/// (insufficient history or no matching knowledge).
+pub trait Predictor {
+    /// Predicts the horizontal position at `at`.
+    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint>;
+
+    /// A short display name for reports.
+    fn name(&self) -> &'static str;
+}

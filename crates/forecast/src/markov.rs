@@ -1,0 +1,220 @@
+//! A first-order grid Markov model over movement cells.
+//!
+//! Training counts transitions between grid cells at a fixed time step;
+//! prediction propagates the cell distribution forward and returns its
+//! probability-weighted centroid. Data-driven but memoryless beyond one
+//! cell — the middle ground between dead reckoning and the route model.
+
+use crate::reconstruct::resample;
+use crate::Predictor;
+use datacron_geo::{CellId, GeoPoint, Grid, TimeMs};
+use datacron_model::{TrajPoint, Trajectory};
+use rustc_hash::FxHashMap;
+
+/// The trained model.
+#[derive(Debug)]
+pub struct MarkovGridModel {
+    grid: Grid,
+    step_ms: i64,
+    /// cell → (next cell → count).
+    transitions: FxHashMap<u64, FxHashMap<u64, u32>>,
+}
+
+impl MarkovGridModel {
+    /// Creates an untrained model over `grid` with transition step
+    /// `step_ms`.
+    pub fn new(grid: Grid, step_ms: i64) -> Self {
+        assert!(step_ms > 0);
+        Self {
+            grid,
+            step_ms,
+            transitions: FxHashMap::default(),
+        }
+    }
+
+    /// Trains on one historical trajectory (resampled to the step
+    /// internally).
+    pub fn train(&mut self, traj: &Trajectory) {
+        let rs = resample(traj, self.step_ms);
+        let cells: Vec<CellId> = rs
+            .points()
+            .iter()
+            .map(|p| self.grid.cell_of_clamped(&p.position()))
+            .collect();
+        for w in cells.windows(2) {
+            *self
+                .transitions
+                .entry(w[0].pack())
+                .or_default()
+                .entry(w[1].pack())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Trains on many trajectories.
+    pub fn train_all<'a>(&mut self, trajs: impl IntoIterator<Item = &'a Trajectory>) {
+        for t in trajs {
+            self.train(t);
+        }
+    }
+
+    /// Number of cells with outgoing transitions.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Maximum number of cells kept in the propagated distribution.
+    const MAX_SUPPORT: usize = 64;
+}
+
+impl Predictor for MarkovGridModel {
+    /// Propagates the full cell distribution `steps` transitions forward
+    /// (pruned to the [`MarkovGridModel::MAX_SUPPORT`] most probable cells)
+    /// and returns the probability-weighted centroid. Walking only the
+    /// argmax chain would stall on the self-transitions that encode dwell
+    /// time, so the expectation is the right point estimate here.
+    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint> {
+        let last = history.last()?;
+        let horizon = at - last.time;
+        if horizon < 0 {
+            return None;
+        }
+        let steps = (horizon as f64 / self.step_ms as f64).round() as usize;
+        if steps == 0 {
+            return Some(last.position());
+        }
+        let start = self.grid.cell_of_clamped(&last.position()).pack();
+        if !self.transitions.contains_key(&start) {
+            return None; // unseen state: no opinion
+        }
+        let mut dist: FxHashMap<u64, f64> = FxHashMap::default();
+        dist.insert(start, 1.0);
+        for _ in 0..steps {
+            let mut next_dist: FxHashMap<u64, f64> = FxHashMap::default();
+            for (&cell, &p) in &dist {
+                match self.transitions.get(&cell) {
+                    Some(nexts) => {
+                        let total: u32 = nexts.values().sum();
+                        for (&nc, &c) in nexts {
+                            *next_dist.entry(nc).or_insert(0.0) +=
+                                p * f64::from(c) / f64::from(total);
+                        }
+                    }
+                    // Absorbing unseen state: mass stays put.
+                    None => *next_dist.entry(cell).or_insert(0.0) += p,
+                }
+            }
+            if next_dist.len() > Self::MAX_SUPPORT {
+                let mut entries: Vec<(u64, f64)> = next_dist.into_iter().collect();
+                entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                entries.truncate(Self::MAX_SUPPORT);
+                let norm: f64 = entries.iter().map(|(_, p)| p).sum();
+                next_dist = entries.into_iter().map(|(c, p)| (c, p / norm)).collect();
+            }
+            dist = next_dist;
+        }
+        let mut lon = 0.0;
+        let mut lat = 0.0;
+        let mut total = 0.0;
+        for (&cell, &p) in &dist {
+            let center = self.grid.cell_center(CellId::unpack(cell));
+            lon += center.lon * p;
+            lat += center.lat * p;
+            total += p;
+        }
+        (total > 0.0).then(|| GeoPoint::new(lon / total, lat / total))
+    }
+
+    fn name(&self) -> &'static str {
+        "markov-grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::BoundingBox;
+    use datacron_model::ObjectId;
+
+    fn grid() -> Grid {
+        Grid::new(BoundingBox::new(23.0, 36.0, 26.0, 39.0), 0.05).unwrap()
+    }
+
+    fn eastbound(lat: f64) -> Trajectory {
+        let pts: Vec<TrajPoint> = (0..60)
+            .map(|i| {
+                TrajPoint::new2(
+                    TimeMs(i * 60_000),
+                    GeoPoint::new(23.2 + 0.01 * i as f64, lat),
+                    9.0,
+                    90.0,
+                )
+            })
+            .collect();
+        Trajectory::from_points(ObjectId(1), pts)
+    }
+
+    #[test]
+    fn learns_and_follows_a_corridor() {
+        let mut m = MarkovGridModel::new(grid(), 60_000);
+        for _ in 0..5 {
+            m.train(&eastbound(37.0));
+        }
+        assert!(m.state_count() > 5);
+        let hist = eastbound(37.0);
+        let prefix = &hist.points()[..10];
+        let truth = hist.position_at(TimeMs(30 * 60_000)).unwrap();
+        let p = m.predict(prefix, TimeMs(30 * 60_000)).unwrap();
+        // Within ~1.5 cells of truth.
+        assert!(p.haversine_m(&truth) < 9_000.0, "err {}", p.haversine_m(&truth));
+    }
+
+    #[test]
+    fn unseen_state_returns_none() {
+        let mut m = MarkovGridModel::new(grid(), 60_000);
+        m.train(&eastbound(37.0));
+        // A track far from the corridor.
+        let stranger = vec![TrajPoint::new2(
+            TimeMs(0),
+            GeoPoint::new(25.5, 38.5),
+            5.0,
+            0.0,
+        )];
+        assert!(m.predict(&stranger, TimeMs(600_000)).is_none());
+    }
+
+    #[test]
+    fn zero_horizon_returns_current_position() {
+        let mut m = MarkovGridModel::new(grid(), 60_000);
+        m.train(&eastbound(37.0));
+        let hist = eastbound(37.0);
+        let last = *hist.points().last().unwrap();
+        let p = m.predict(hist.points(), last.time + 1).unwrap();
+        assert!(p.haversine_m(&last.position()) < 1.0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut m = MarkovGridModel::new(grid(), 60_000);
+        m.train(&eastbound(37.0));
+        m.train(&eastbound(37.0));
+        let hist = eastbound(37.0);
+        let a = m.predict(&hist.points()[..5], TimeMs(20 * 60_000));
+        let b = m.predict(&hist.points()[..5], TimeMs(20 * 60_000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_history_none() {
+        let m = MarkovGridModel::new(grid(), 60_000);
+        assert!(m.predict(&[], TimeMs(1000)).is_none());
+    }
+
+    #[test]
+    fn train_all_counts_everything() {
+        let mut m = MarkovGridModel::new(grid(), 60_000);
+        let ts = vec![eastbound(37.0), eastbound(37.5)];
+        m.train_all(&ts);
+        assert!(m.state_count() > 10);
+    }
+}

@@ -1,0 +1,188 @@
+//! Trajectory reconstruction: gap segmentation and resampling.
+
+use datacron_geo::position_at_time;
+use datacron_model::{ObjectId, PositionReport, TrajPoint, Trajectory};
+use rustc_hash::FxHashMap;
+
+/// Groups reports by object and splits each object's track at silences
+/// longer than `gap_ms`. Reports are sorted per object; duplicates drop.
+pub fn reconstruct_tracks(reports: &[PositionReport], gap_ms: i64) -> Vec<Trajectory> {
+    let mut per_object: FxHashMap<ObjectId, Vec<TrajPoint>> = FxHashMap::default();
+    for r in reports {
+        per_object.entry(r.object).or_default().push(TrajPoint::from(r));
+    }
+    let mut out = Vec::new();
+    let mut objects: Vec<ObjectId> = per_object.keys().copied().collect();
+    objects.sort_unstable();
+    for obj in objects {
+        let mut pts = per_object.remove(&obj).expect("key exists");
+        pts.sort_by_key(|p| p.time);
+        pts.dedup_by_key(|p| p.time);
+        out.extend(segment_on_gaps(obj, &pts, gap_ms));
+    }
+    out
+}
+
+/// Splits a time-ordered point sequence into trajectories at gaps longer
+/// than `gap_ms`.
+pub fn segment_on_gaps(object: ObjectId, points: &[TrajPoint], gap_ms: i64) -> Vec<Trajectory> {
+    let mut out = Vec::new();
+    let mut current: Vec<TrajPoint> = Vec::new();
+    for p in points {
+        if let Some(last) = current.last() {
+            if p.time - last.time > gap_ms {
+                out.push(Trajectory::from_points(object, std::mem::take(&mut current)));
+            }
+        }
+        current.push(*p);
+    }
+    if !current.is_empty() {
+        out.push(Trajectory::from_points(object, current));
+    }
+    out
+}
+
+/// Resamples a trajectory to a fixed `interval_ms`, interpolating positions
+/// (and blending altitude/speed linearly). The first sample is at the first
+/// fix; sampling stops at the last fix.
+pub fn resample(traj: &Trajectory, interval_ms: i64) -> Trajectory {
+    assert!(interval_ms > 0, "non-positive resample interval");
+    let pts = traj.points();
+    if pts.len() < 2 {
+        return traj.clone();
+    }
+    let start = pts[0].time;
+    let end = pts[pts.len() - 1].time;
+    let mut out = Vec::with_capacity(((end - start) / interval_ms + 1) as usize);
+    let mut seg = 0usize;
+    let mut t = start;
+    while t <= end {
+        while seg + 1 < pts.len() && pts[seg + 1].time <= t {
+            seg += 1;
+        }
+        let p = if seg + 1 >= pts.len() || pts[seg].time == t {
+            pts[seg]
+        } else {
+            let (a, b) = (&pts[seg], &pts[seg + 1]);
+            let f = (t - a.time) as f64 / (b.time - a.time) as f64;
+            let pos = position_at_time((&a.position(), a.time), (&b.position(), b.time), t);
+            TrajPoint {
+                time: t,
+                lon: pos.lon,
+                lat: pos.lat,
+                alt_m: a.alt_m + (b.alt_m - a.alt_m) * f,
+                speed_mps: if a.speed_mps.is_finite() && b.speed_mps.is_finite() {
+                    a.speed_mps + (b.speed_mps - a.speed_mps) * f
+                } else {
+                    a.speed_mps
+                },
+                heading_deg: a.heading_deg,
+            }
+        };
+        out.push(TrajPoint { time: t, ..p });
+        t = t + interval_ms;
+    }
+    Trajectory::from_points(traj.object, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{GeoPoint, TimeMs};
+    use datacron_model::{NavStatus, SourceId};
+
+    fn rep(obj: u64, t_s: i64, lon: f64) -> PositionReport {
+        PositionReport::maritime(
+            ObjectId(obj),
+            TimeMs(t_s * 1000),
+            GeoPoint::new(lon, 37.0),
+            5.0,
+            90.0,
+            SourceId::AIS_TERRESTRIAL,
+            NavStatus::UnderWay,
+        )
+    }
+
+    #[test]
+    fn groups_by_object_and_sorts() {
+        let reports = vec![rep(2, 10, 24.1), rep(1, 20, 24.2), rep(1, 10, 24.0), rep(2, 20, 24.3)];
+        let tracks = reconstruct_tracks(&reports, 600_000);
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].object, ObjectId(1));
+        assert_eq!(tracks[0].points()[0].time, TimeMs(10_000));
+        assert_eq!(tracks[1].object, ObjectId(2));
+    }
+
+    #[test]
+    fn splits_on_gap() {
+        let reports = vec![rep(1, 0, 24.0), rep(1, 60, 24.01), rep(1, 2000, 24.5), rep(1, 2060, 24.51)];
+        let tracks = reconstruct_tracks(&reports, 10 * 60_000);
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].len(), 2);
+        assert_eq!(tracks[1].len(), 2);
+    }
+
+    #[test]
+    fn no_gap_single_track() {
+        let reports: Vec<_> = (0..10).map(|i| rep(1, i * 60, 24.0 + 0.01 * i as f64)).collect();
+        let tracks = reconstruct_tracks(&reports, 10 * 60_000);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].len(), 10);
+    }
+
+    #[test]
+    fn duplicate_timestamps_dropped() {
+        let reports = vec![rep(1, 10, 24.0), rep(1, 10, 24.9), rep(1, 20, 24.1)];
+        let tracks = reconstruct_tracks(&reports, 600_000);
+        assert_eq!(tracks[0].len(), 2);
+    }
+
+    #[test]
+    fn resample_uniform_spacing() {
+        let reports: Vec<_> = (0..5).map(|i| rep(1, i * 100, 24.0 + 0.1 * i as f64)).collect();
+        let tracks = reconstruct_tracks(&reports, 600_000);
+        let rs = resample(&tracks[0], 25_000);
+        // 0..=400 s at 25 s: 17 samples.
+        assert_eq!(rs.len(), 17);
+        for w in rs.points().windows(2) {
+            assert_eq!(w[1].time - w[0].time, 25_000);
+        }
+        // Interpolated positions fall between neighbours.
+        let p = rs.points()[1]; // t=25s → lon ≈ 24.025
+        assert!((p.lon - 24.025).abs() < 1e-3, "lon = {}", p.lon);
+    }
+
+    #[test]
+    fn resample_short_tracks_unchanged() {
+        let tracks = reconstruct_tracks(&[rep(1, 0, 24.0)], 600_000);
+        let rs = resample(&tracks[0], 10_000);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn resample_blends_altitude() {
+        let mut a = TrajPoint::from(&rep(1, 0, 24.0));
+        let mut b = TrajPoint::from(&rep(1, 100, 24.1));
+        a.alt_m = 0.0;
+        b.alt_m = 1000.0;
+        let tr = Trajectory::from_points(ObjectId(1), vec![a, b]);
+        let rs = resample(&tr, 50_000);
+        assert_eq!(rs.len(), 3);
+        assert!((rs.points()[1].alt_m - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_preserves_total_points() {
+        let pts: Vec<TrajPoint> = (0..20)
+            .map(|i| TrajPoint::from(&rep(1, i * if i % 7 == 0 { 1000 } else { 30 }, 24.0)))
+            .collect();
+        let mut sorted = pts.clone();
+        sorted.sort_by_key(|p| p.time);
+        sorted.dedup_by_key(|p| p.time);
+        let total: usize = segment_on_gaps(ObjectId(1), &sorted, 5 * 60_000)
+            .iter()
+            .map(|t| t.len())
+            .sum();
+        assert_eq!(total, sorted.len());
+    }
+}

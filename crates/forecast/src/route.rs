@@ -1,0 +1,334 @@
+//! The route-network forecasting model.
+//!
+//! Historical trajectories are reduced to *routes*: deduplicated sequences
+//! of grid cells with a per-route mean speed. A live track is matched to
+//! routes passing through its current cell in a compatible direction; the
+//! prediction advances along the best-supported route's polyline at the
+//! track's own speed. Falls back to `None` off the learned network.
+
+use crate::Predictor;
+use datacron_geo::units::heading_delta_deg;
+use datacron_geo::{GeoPoint, Grid, TimeMs};
+use datacron_model::{TrajPoint, Trajectory};
+use rustc_hash::FxHashMap;
+
+/// One learned route.
+#[derive(Debug, Clone)]
+struct Route {
+    /// Polyline of cell-entry positions along the training trajectory.
+    path: Vec<GeoPoint>,
+    /// Cell ids along the path (same indexing as `path`).
+    cells: Vec<u64>,
+    /// How many training trajectories contributed this route shape.
+    support: u32,
+}
+
+/// The trained route network.
+#[derive(Debug)]
+pub struct RouteModel {
+    grid: Grid,
+    routes: Vec<Route>,
+    /// cell → (route idx, position of the cell within the route).
+    index: FxHashMap<u64, Vec<(u32, u32)>>,
+}
+
+impl RouteModel {
+    /// Creates an untrained model over `grid`.
+    pub fn new(grid: Grid) -> Self {
+        Self {
+            grid,
+            routes: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// The deduplicated cell sequence of a trajectory, paired with the
+    /// actual position at which each cell was first entered. Anchoring the
+    /// polyline on real fixes (rather than cell centres) keeps the route's
+    /// length true to the lane, so advancing along it does not lag.
+    fn cell_sequence(&self, traj: &Trajectory) -> (Vec<u64>, Vec<GeoPoint>) {
+        let mut cells: Vec<u64> = Vec::new();
+        let mut entries: Vec<GeoPoint> = Vec::new();
+        for p in traj.points() {
+            let c = self.grid.cell_of_clamped(&p.position()).pack();
+            if cells.last() != Some(&c) {
+                cells.push(c);
+                entries.push(p.position());
+            }
+        }
+        (cells, entries)
+    }
+
+    /// Trains on one historical trajectory.
+    pub fn train(&mut self, traj: &Trajectory) {
+        let (cells, path) = self.cell_sequence(traj);
+        if cells.len() < 3 {
+            return;
+        }
+        // Merge with an existing identical route, else add a new one.
+        if let Some(existing) = self.routes.iter_mut().find(|r| r.cells == cells) {
+            existing.support += 1;
+            return;
+        }
+        let idx = self.routes.len() as u32;
+        for (pos, &c) in cells.iter().enumerate() {
+            self.index.entry(c).or_default().push((idx, pos as u32));
+        }
+        self.routes.push(Route {
+            path,
+            cells,
+            support: 1,
+        });
+    }
+
+    /// Trains on many trajectories.
+    pub fn train_all<'a>(&mut self, trajs: impl IntoIterator<Item = &'a Trajectory>) {
+        for t in trajs {
+            self.train(t);
+        }
+    }
+
+    /// Number of learned routes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Current speed estimate of a track (last step).
+    fn track_speed(history: &[TrajPoint]) -> Option<f64> {
+        let last = history.last()?;
+        if history.len() >= 2 {
+            let prev = &history[history.len() - 2];
+            let dt = (last.time - prev.time) as f64 / 1000.0;
+            if dt > 0.0 {
+                return Some(prev.position().haversine_m(&last.position()) / dt);
+            }
+        }
+        last.speed_mps.is_finite().then_some(last.speed_mps)
+    }
+
+    /// Current heading estimate of a track.
+    fn track_heading(history: &[TrajPoint]) -> Option<f64> {
+        let last = history.last()?;
+        if history.len() >= 2 {
+            let prev = &history[history.len() - 2];
+            if prev.position().haversine_m(&last.position()) > 1.0 {
+                return Some(prev.position().bearing_deg(&last.position()));
+            }
+        }
+        last.heading_deg.is_finite().then_some(last.heading_deg)
+    }
+}
+
+impl Predictor for RouteModel {
+    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint> {
+        let last = history.last()?;
+        let horizon_s = (at - last.time) as f64 / 1000.0;
+        if horizon_s < 0.0 {
+            return None;
+        }
+        let speed = Self::track_speed(history)?;
+        let heading = Self::track_heading(history)?;
+        let cell = self.grid.cell_of_clamped(&last.position()).pack();
+        let hits = self.index.get(&cell)?;
+
+        // The track's recent distinct-cell suffix (up to 8 cells, newest
+        // last) — the online counterpart of the training cell sequences.
+        let mut suffix: Vec<u64> = Vec::with_capacity(8);
+        for p in history.iter().rev() {
+            let c = self.grid.cell_of_clamped(&p.position()).pack();
+            if suffix.last() != Some(&c) {
+                suffix.push(c);
+                if suffix.len() == 8 {
+                    break;
+                }
+            }
+        }
+        suffix.reverse();
+
+        // Candidate routes through this cell, compatible in direction.
+        // Rank by (1) how long a suffix of the track's cell sequence the
+        // route reproduces ending at `pos` — the vessel's recent path
+        // identifies its lane where lanes cross — then (2) direction
+        // agreement, then (3) support.
+        let mut best: Option<(&Route, usize, usize, f64, u32)> = None;
+        for &(ridx, pos) in hits {
+            let route = &self.routes[ridx as usize];
+            let pos = pos as usize;
+            if pos + 1 >= route.path.len() {
+                continue; // route ends here
+            }
+            let dir = route.path[pos].bearing_deg(&route.path[pos + 1]);
+            let delta = heading_delta_deg(dir, heading).abs();
+            if delta > 75.0 {
+                continue;
+            }
+            // Longest match between `suffix` (ending at the current cell)
+            // and the route cells ending at `pos`.
+            let mut matched = 0usize;
+            while matched < suffix.len()
+                && matched <= pos
+                && route.cells[pos - matched] == suffix[suffix.len() - 1 - matched]
+            {
+                matched += 1;
+            }
+            let better = match best {
+                None => true,
+                Some((_, _, m, d, s)) => {
+                    matched > m
+                        || (matched == m && delta + 5.0 < d)
+                        || (matched == m && (delta - d).abs() <= 5.0 && route.support > s)
+                }
+            };
+            if better {
+                best = Some((route, pos, matched, delta, route.support));
+            }
+        }
+        let (route, pos, _, _, _) = best?;
+
+        // Advance along the route polyline from the *actual* position.
+        let mut current = last.position();
+        let mut remaining = speed * horizon_s;
+        let mut next = pos + 1;
+        while remaining > 0.0 && next < route.path.len() {
+            let target = route.path[next];
+            let d = current.haversine_m(&target);
+            if d <= remaining {
+                current = target;
+                remaining -= d;
+                next += 1;
+            } else {
+                let bearing = current.bearing_deg(&target);
+                current = current.destination(bearing, remaining);
+                remaining = 0.0;
+            }
+        }
+        if remaining > 0.0 {
+            // Ran off the end of the route (training voyages are finite);
+            // continue on the route's final bearing.
+            let bearing = route.path[route.path.len() - 2]
+                .bearing_deg(&route.path[route.path.len() - 1]);
+            current = current.destination(bearing, remaining);
+        }
+        Some(current)
+    }
+
+    fn name(&self) -> &'static str {
+        "route-network"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::BoundingBox;
+    use datacron_model::ObjectId;
+
+    fn grid() -> Grid {
+        Grid::new(BoundingBox::new(23.0, 36.0, 27.0, 40.0), 0.05).unwrap()
+    }
+
+    /// An L-shaped voyage: east then north.
+    fn l_shaped(speed: f64) -> Trajectory {
+        let mut pts = Vec::new();
+        let mut pos = GeoPoint::new(23.2, 37.0);
+        let mut t = 0i64;
+        for _ in 0..40 {
+            pts.push(TrajPoint::new2(TimeMs(t), pos, speed, 90.0));
+            pos = pos.destination(90.0, speed * 60.0);
+            t += 60_000;
+        }
+        for _ in 0..40 {
+            pts.push(TrajPoint::new2(TimeMs(t), pos, speed, 0.0));
+            pos = pos.destination(0.0, speed * 60.0);
+            t += 60_000;
+        }
+        Trajectory::from_points(ObjectId(1), pts)
+    }
+
+    #[test]
+    fn follows_the_turn_where_dead_reckoning_cannot() {
+        let mut model = RouteModel::new(grid());
+        for _ in 0..3 {
+            model.train(&l_shaped(8.0));
+        }
+        let full = l_shaped(8.0);
+        // History: 30 min — still on the eastbound leg (turn at t=40 min).
+        let hist = &full.points()[..30];
+        // Predict 30 min ahead: truth is on the northbound leg.
+        let at = TimeMs(60 * 60_000);
+        let truth = full.position_at(at).unwrap();
+        let route_pred = model.predict(hist, at).unwrap();
+        let dr_pred = crate::baseline::DeadReckoningPredictor
+            .predict(hist, at)
+            .unwrap();
+        let e_route = route_pred.haversine_m(&truth);
+        let e_dr = dr_pred.haversine_m(&truth);
+        assert!(
+            e_route < e_dr / 2.0,
+            "route {e_route:.0} m vs dead-reckoning {e_dr:.0} m"
+        );
+    }
+
+    #[test]
+    fn direction_gate_rejects_reverse_traffic() {
+        let mut model = RouteModel::new(grid());
+        model.train(&l_shaped(8.0));
+        // A track moving WEST through the eastbound corridor.
+        let pts: Vec<TrajPoint> = (0..5)
+            .map(|i| {
+                TrajPoint::new2(
+                    TimeMs(i * 60_000),
+                    GeoPoint::new(23.8 - 0.01 * i as f64, 37.0),
+                    8.0,
+                    270.0,
+                )
+            })
+            .collect();
+        assert!(model.predict(&pts, TimeMs(30 * 60_000)).is_none());
+    }
+
+    #[test]
+    fn off_network_returns_none() {
+        let mut model = RouteModel::new(grid());
+        model.train(&l_shaped(8.0));
+        let stranger = vec![
+            TrajPoint::new2(TimeMs(0), GeoPoint::new(26.5, 39.5), 5.0, 90.0),
+            TrajPoint::new2(TimeMs(60_000), GeoPoint::new(26.51, 39.5), 5.0, 90.0),
+        ];
+        assert!(model.predict(&stranger, TimeMs(600_000)).is_none());
+    }
+
+    #[test]
+    fn repeated_training_merges_routes() {
+        let mut model = RouteModel::new(grid());
+        for _ in 0..5 {
+            model.train(&l_shaped(8.0));
+        }
+        assert_eq!(model.route_count(), 1);
+    }
+
+    #[test]
+    fn short_trajectories_ignored() {
+        let mut model = RouteModel::new(grid());
+        let tiny = Trajectory::from_points(
+            ObjectId(2),
+            vec![TrajPoint::new2(TimeMs(0), GeoPoint::new(24.0, 37.0), 5.0, 0.0)],
+        );
+        model.train(&tiny);
+        assert_eq!(model.route_count(), 0);
+    }
+
+    #[test]
+    fn prediction_advances_with_horizon() {
+        let mut model = RouteModel::new(grid());
+        model.train(&l_shaped(8.0));
+        let full = l_shaped(8.0);
+        let hist = &full.points()[..10];
+        let now = hist.last().unwrap();
+        let p10 = model.predict(hist, now.time + 10 * 60_000).unwrap();
+        let p30 = model.predict(hist, now.time + 30 * 60_000).unwrap();
+        let d10 = now.position().haversine_m(&p10);
+        let d30 = now.position().haversine_m(&p30);
+        assert!(d30 > d10 * 2.0, "d10 {d10:.0} d30 {d30:.0}");
+    }
+}

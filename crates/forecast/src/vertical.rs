@@ -1,0 +1,124 @@
+//! Aviation vertical-profile prediction.
+
+use datacron_geo::TimeMs;
+use datacron_model::TrajPoint;
+
+/// Predicts altitude by persisting the observed vertical rate, clamped to
+/// a plausible altitude band and levelled off at the inferred cruise
+/// altitude (the maximum altitude seen so far, when climbing).
+#[derive(Debug, Clone, Copy)]
+pub struct VerticalProfilePredictor {
+    /// Floor altitude (field elevation), metres.
+    pub min_alt_m: f64,
+    /// Ceiling altitude, metres.
+    pub max_alt_m: f64,
+}
+
+impl Default for VerticalProfilePredictor {
+    fn default() -> Self {
+        Self {
+            min_alt_m: 0.0,
+            max_alt_m: 13_000.0,
+        }
+    }
+}
+
+impl VerticalProfilePredictor {
+    /// Predicts altitude at `at` from the track history; `None` without at
+    /// least two fixes.
+    pub fn predict_alt(&self, history: &[TrajPoint], at: TimeMs) -> Option<f64> {
+        if history.len() < 2 {
+            return history.last().map(|p| p.alt_m);
+        }
+        let last = history[history.len() - 1];
+        let prev = history[history.len() - 2];
+        let dt = (last.time - prev.time) as f64 / 1000.0;
+        if dt <= 0.0 {
+            return Some(last.alt_m);
+        }
+        let vrate = (last.alt_m - prev.alt_m) / dt;
+        let horizon_s = (at - last.time) as f64 / 1000.0;
+        if horizon_s < 0.0 {
+            return None;
+        }
+        let mut alt = last.alt_m + vrate * horizon_s;
+        if vrate > 0.0 {
+            // Climbing: level off at the highest plausible cruise — the max
+            // altitude seen across history plus a one-step extrapolation
+            // margin, capped by the ceiling.
+            let seen_max = history.iter().map(|p| p.alt_m).fold(f64::MIN, f64::max);
+            let cruise_guess = (seen_max + vrate * 120.0).min(self.max_alt_m);
+            alt = alt.min(cruise_guess);
+        }
+        Some(alt.clamp(self.min_alt_m, self.max_alt_m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn pt(t_s: i64, alt: f64) -> TrajPoint {
+        TrajPoint {
+            time: TimeMs(t_s * 1000),
+            lon: 10.0,
+            lat: 45.0,
+            alt_m: alt,
+            speed_mps: 220.0,
+            heading_deg: 90.0,
+        }
+    }
+
+    #[test]
+    fn level_flight_stays_level() {
+        let hist = vec![pt(0, 10_000.0), pt(10, 10_000.0)];
+        let alt = VerticalProfilePredictor::default()
+            .predict_alt(&hist, TimeMs(600_000))
+            .unwrap();
+        assert!((alt - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn climb_persists_then_levels() {
+        // Climbing 10 m/s from 5000 m.
+        let hist = vec![pt(0, 4_900.0), pt(10, 5_000.0)];
+        let p = VerticalProfilePredictor::default();
+        let soon = p.predict_alt(&hist, TimeMs(40_000)).unwrap();
+        assert!((soon - 5_300.0).abs() < 1.0, "soon = {soon}");
+        // Far ahead: clamped at the level-off guess, not 5_000 + 10*3600.
+        let far = p.predict_alt(&hist, TimeMs(3_610_000)).unwrap();
+        assert!(far <= 5_000.0 + 10.0 * 120.0 + 1.0, "far = {far}");
+    }
+
+    #[test]
+    fn descent_clamps_at_floor() {
+        let hist = vec![pt(0, 1_000.0), pt(10, 900.0)];
+        let alt = VerticalProfilePredictor::default()
+            .predict_alt(&hist, TimeMs(600_000))
+            .unwrap();
+        assert_eq!(alt, 0.0);
+    }
+
+    #[test]
+    fn single_fix_returns_current() {
+        let hist = vec![pt(0, 3_000.0)];
+        let alt = VerticalProfilePredictor::default()
+            .predict_alt(&hist, TimeMs(60_000))
+            .unwrap();
+        assert_eq!(alt, 3_000.0);
+    }
+
+    #[test]
+    fn empty_history_none() {
+        assert!(VerticalProfilePredictor::default()
+            .predict_alt(&[], TimeMs(0))
+            .is_none());
+    }
+
+    #[test]
+    fn past_target_rejected() {
+        let hist = vec![pt(0, 1_000.0), pt(10, 1_100.0)];
+        assert!(VerticalProfilePredictor::default()
+            .predict_alt(&hist, TimeMs(5_000))
+            .is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Interpolation along trajectories.
+
+use crate::point::{GeoPoint, GeoPoint3};
+use crate::time::TimeMs;
+
+/// Linear interpolation between scalars, `f` in `[0, 1]`.
+pub fn lerp(a: f64, b: f64, f: f64) -> f64 {
+    a + (b - a) * f
+}
+
+/// Position along the great-circle segment `a → b` at fraction `f ∈ [0, 1]`.
+///
+/// Uses the destination-point formulation (constant initial bearing over the
+/// short legs of a sampled trajectory), which is accurate for the report
+/// intervals seen in surveillance data (seconds to minutes).
+pub fn point_along(a: &GeoPoint, b: &GeoPoint, f: f64) -> GeoPoint {
+    let f = f.clamp(0.0, 1.0);
+    if f == 0.0 {
+        return *a;
+    }
+    if f == 1.0 {
+        return *b;
+    }
+    let dist = a.haversine_m(b);
+    if dist < 1e-9 {
+        return *a;
+    }
+    a.destination(a.bearing_deg(b), dist * f)
+}
+
+/// Interpolated position at time `t` between two timestamped fixes.
+///
+/// Returns the first fix when the timestamps coincide; clamps `t` to the
+/// segment's time range.
+pub fn position_at_time(
+    (p0, t0): (&GeoPoint, TimeMs),
+    (p1, t1): (&GeoPoint, TimeMs),
+    t: TimeMs,
+) -> GeoPoint {
+    let span = t1 - t0;
+    if span <= 0 {
+        return *p0;
+    }
+    let f = ((t - t0) as f64 / span as f64).clamp(0.0, 1.0);
+    point_along(p0, p1, f)
+}
+
+/// Interpolated 3D position at time `t` between two timestamped fixes, with
+/// linear altitude blending.
+pub fn position3_at_time(
+    (p0, t0): (&GeoPoint3, TimeMs),
+    (p1, t1): (&GeoPoint3, TimeMs),
+    t: TimeMs,
+) -> GeoPoint3 {
+    let span = t1 - t0;
+    if span <= 0 {
+        return *p0;
+    }
+    let f = ((t - t0) as f64 / span as f64).clamp(0.0, 1.0);
+    GeoPoint3 {
+        horiz: point_along(&p0.horiz, &p1.horiz, f),
+        alt_m: lerp(p0.alt_m, p1.alt_m, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        assert_eq!(lerp(0.0, 10.0, 0.0), 0.0);
+        assert_eq!(lerp(0.0, 10.0, 1.0), 10.0);
+        assert_eq!(lerp(0.0, 10.0, 0.5), 5.0);
+        assert_eq!(lerp(-4.0, 4.0, 0.25), -2.0);
+    }
+
+    #[test]
+    fn point_along_endpoints() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 1.0);
+        assert_eq!(point_along(&a, &b, 0.0), a);
+        assert_eq!(point_along(&a, &b, 1.0), b);
+        // Clamping.
+        assert_eq!(point_along(&a, &b, -0.5), a);
+        assert_eq!(point_along(&a, &b, 1.5), b);
+    }
+
+    #[test]
+    fn point_along_midpoint_halves_distance() {
+        let a = GeoPoint::new(23.0, 37.0);
+        let b = GeoPoint::new(24.0, 38.0);
+        let mid = point_along(&a, &b, 0.5);
+        let d_total = a.haversine_m(&b);
+        assert!((a.haversine_m(&mid) - d_total / 2.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn point_along_degenerate_segment() {
+        let a = GeoPoint::new(5.0, 5.0);
+        assert_eq!(point_along(&a, &a, 0.7), a);
+    }
+
+    #[test]
+    fn position_at_time_linear_in_time() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 1.0);
+        let p = position_at_time((&a, TimeMs(0)), (&b, TimeMs(1000)), TimeMs(250));
+        assert!((p.lat - 0.25).abs() < 1e-6, "lat = {}", p.lat);
+        // Clamp before the segment.
+        assert_eq!(
+            position_at_time((&a, TimeMs(0)), (&b, TimeMs(1000)), TimeMs(-100)),
+            a
+        );
+        // Clamp after.
+        let end = position_at_time((&a, TimeMs(0)), (&b, TimeMs(1000)), TimeMs(5000));
+        assert!((end.lat - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_at_time_zero_span() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 1.0);
+        assert_eq!(
+            position_at_time((&a, TimeMs(10)), (&b, TimeMs(10)), TimeMs(10)),
+            a
+        );
+    }
+
+    #[test]
+    fn position3_blends_altitude() {
+        let a = GeoPoint3::new(0.0, 0.0, 0.0);
+        let b = GeoPoint3::new(0.0, 1.0, 10_000.0);
+        let p = position3_at_time((&a, TimeMs(0)), (&b, TimeMs(1000)), TimeMs(500));
+        assert!((p.alt_m - 5000.0).abs() < 1e-9);
+        assert!((p.horiz.lat - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the geometry substrate.
+
+use datacron_geo::{
+    point_along, BoundingBox, CellId, GeoPoint, Grid, Polygon, RTree, RTreeEntry, TimeInterval,
+    TimeMs,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-179.0f64..179.0, -85.0f64..85.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+fn arb_regional_point() -> impl Strategy<Value = GeoPoint> {
+    // A region the size of the Aegean, away from poles/antimeridian.
+    (20.0f64..28.0, 34.0f64..41.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+proptest! {
+    #[test]
+    fn haversine_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.haversine_m(&b);
+        let bc = b.haversine_m(&c);
+        let ac = a.haversine_m(&c);
+        // Allow a small absolute slack for floating error on near-degenerate triangles.
+        prop_assert!(ac <= ab + bc + 1e-4);
+    }
+
+    #[test]
+    fn haversine_nonnegative_symmetric(a in arb_point(), b in arb_point()) {
+        let d1 = a.haversine_m(&b);
+        let d2 = b.haversine_m(&a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_distance_consistent(
+        p in arb_regional_point(),
+        bearing in 0.0f64..360.0,
+        dist in 1.0f64..200_000.0,
+    ) {
+        let q = p.destination(bearing, dist);
+        prop_assert!((p.haversine_m(&q) - dist).abs() < dist * 1e-6 + 0.01);
+    }
+
+    #[test]
+    fn point_along_stays_on_segment(
+        a in arb_regional_point(),
+        b in arb_regional_point(),
+        f in 0.0f64..1.0,
+    ) {
+        let m = point_along(&a, &b, f);
+        let total = a.haversine_m(&b);
+        let via = a.haversine_m(&m) + m.haversine_m(&b);
+        // The interpolated point must not add length (within tolerance).
+        prop_assert!(via <= total + total * 1e-3 + 0.5, "via {via} total {total}");
+    }
+
+    #[test]
+    fn normalized_always_valid(lon in -1000.0f64..1000.0, lat in -200.0f64..200.0) {
+        prop_assert!(GeoPoint::new(lon, lat).normalized().is_valid());
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all(pts in prop::collection::vec(arb_point(), 1..50)) {
+        let bbox = BoundingBox::from_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bbox.contains(p));
+        }
+    }
+
+    #[test]
+    fn grid_cell_of_round_trips_through_bbox(
+        p in arb_regional_point(),
+        cell_deg in 0.01f64..2.0,
+    ) {
+        let grid = Grid::new(BoundingBox::new(20.0, 34.0, 28.0, 41.0), cell_deg).unwrap();
+        let cell = grid.cell_of(&p).unwrap();
+        let bbox = grid.cell_bbox(cell);
+        prop_assert!(bbox.contains(&p), "cell bbox {bbox:?} missing {p:?}");
+        // Cell centre maps back to the same cell.
+        prop_assert_eq!(grid.cell_of_clamped(&grid.cell_center(cell)), cell);
+    }
+
+    #[test]
+    fn cellid_pack_unpack(x in any::<u32>(), y in any::<u32>()) {
+        let c = CellId { x, y };
+        prop_assert_eq!(CellId::unpack(c.pack()), c);
+    }
+
+    #[test]
+    fn rtree_query_equals_linear_scan(
+        pts in prop::collection::vec(arb_regional_point(), 0..200),
+        q_lon in 20.0f64..27.0,
+        q_lat in 34.0f64..40.0,
+        w in 0.0f64..3.0,
+        h in 0.0f64..3.0,
+    ) {
+        let query = BoundingBox::new(q_lon, q_lat, q_lon + w, q_lat + h);
+        let entries: Vec<RTreeEntry<usize>> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RTreeEntry::point(p, i))
+            .collect();
+        let tree = RTree::bulk_load(entries);
+        let mut got: Vec<usize> = tree.query(&query).iter().map(|e| e.item).collect();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_nearest_is_global_minimum(
+        pts in prop::collection::vec(arb_regional_point(), 1..200),
+        probe in arb_regional_point(),
+    ) {
+        let entries: Vec<RTreeEntry<usize>> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RTreeEntry::point(p, i))
+            .collect();
+        let tree = RTree::bulk_load(entries);
+        let (nearest, d) = tree.nearest(&probe, 1)[0];
+        let best = pts
+            .iter()
+            .map(|p| probe.fast_dist2_m2(p).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d - best).abs() < 1e-6);
+        let np = nearest.bbox.center();
+        prop_assert!((probe.fast_dist2_m2(&np).sqrt() - best).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polygon_bbox_contains_polygon_points(
+        pts in prop::collection::vec(arb_regional_point(), 3..20),
+    ) {
+        if let Some(poly) = Polygon::new(pts) {
+            for v in poly.ring() {
+                prop_assert!(poly.bbox().contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn circle_polygon_contains_interior_points(
+        center in arb_regional_point(),
+        radius in 1_000.0f64..50_000.0,
+        bearing in 0.0f64..360.0,
+        frac in 0.0f64..0.8,
+    ) {
+        let poly = Polygon::circle(center, radius, 36);
+        let inside = center.destination(bearing, radius * frac);
+        prop_assert!(poly.contains(&inside));
+        let outside = center.destination(bearing, radius * 1.3);
+        prop_assert!(!poly.contains(&outside));
+    }
+
+    #[test]
+    fn allen_relations_partition(
+        s1 in 0i64..100, d1 in 1i64..100,
+        s2 in 0i64..100, d2 in 1i64..100,
+    ) {
+        let a = TimeInterval::new(TimeMs(s1), TimeMs(s1 + d1));
+        let b = TimeInterval::new(TimeMs(s2), TimeMs(s2 + d2));
+        // Exactly one relation holds, and it is consistent with overlaps().
+        let rel = a.allen(&b);
+        prop_assert_eq!(rel.inverse(), b.allen(&a));
+        use datacron_geo::AllenRelation::*;
+        let disjoint = matches!(rel, Before | After | Meets | MetBy);
+        prop_assert_eq!(a.overlaps(&b), !disjoint, "rel {:?}", rel);
+    }
+
+    #[test]
+    fn interval_intersection_inside_both(
+        s1 in 0i64..100, d1 in 1i64..100,
+        s2 in 0i64..100, d2 in 1i64..100,
+    ) {
+        let a = TimeInterval::new(TimeMs(s1), TimeMs(s1 + d1));
+        let b = TimeInterval::new(TimeMs(s2), TimeMs(s2 + d2));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.start >= a.start && i.end <= a.end);
+            prop_assert!(i.start >= b.start && i.end <= b.end);
+            prop_assert!(a.overlaps(&b));
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Similarity measures for records and trajectories.
+
+use datacron_geo::GeoPoint;
+use rustc_hash::FxHashSet;
+
+/// Levenshtein edit distance between two strings (char-level).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// Normalized name similarity in `[0, 1]`: `1 - lev / max_len`,
+/// case-insensitive. Empty-vs-empty is 1.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let a = a.to_uppercase();
+    let b = b.to_uppercase();
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&a, &b) as f64 / max_len as f64
+}
+
+/// Jaccard similarity over whitespace-separated tokens, case-insensitive.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let ta: FxHashSet<String> = a.split_whitespace().map(str::to_uppercase).collect();
+    let tb: FxHashSet<String> = b.split_whitespace().map(str::to_uppercase).collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.union(&tb).count();
+    inter as f64 / union as f64
+}
+
+/// Dynamic-time-warping distance between two point sequences, in metres
+/// (mean per matched step). Returns `f64::INFINITY` for empty inputs.
+pub fn dtw_distance_m(a: &[GeoPoint], b: &[GeoPoint]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let m = b.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for pa in a {
+        curr[0] = f64::INFINITY;
+        for (j, pb) in b.iter().enumerate() {
+            let d = pa.haversine_m(pb);
+            curr[j + 1] = d + prev[j].min(prev[j + 1]).min(curr[j]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    // Normalise by the longer sequence so lengths compare fairly.
+    prev[m] / a.len().max(b.len()) as f64
+}
+
+/// Discrete Fréchet distance between two point sequences, in metres.
+/// Returns `f64::INFINITY` for empty inputs.
+pub fn frechet_distance_m(a: &[GeoPoint], b: &[GeoPoint]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let m = b.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+    for (i, pa) in a.iter().enumerate() {
+        for (j, pb) in b.iter().enumerate() {
+            let d = pa.haversine_m(pb);
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else if i == 0 {
+                curr[j - 1]
+            } else if j == 0 {
+                prev[j]
+            } else {
+                prev[j].min(prev[j - 1]).min(curr[j - 1])
+            };
+            curr[j] = d.max(best_prev);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("BLUE STAR", "BLUE STAR"), 0);
+        assert_eq!(levenshtein("BLUE STAR", "BLUE STAT"), 1);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn name_similarity_range_and_case() {
+        assert_eq!(name_similarity("", ""), 1.0);
+        assert_eq!(name_similarity("ABC", "abc"), 1.0);
+        assert!(name_similarity("BLUE STAR", "BLUE STAT") > 0.85);
+        assert!(name_similarity("BLUE STAR", "POSEIDON QUEEN") < 0.4);
+        let s = name_similarity("A", "XYZW");
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("BLUE STAR", "blue star"), 1.0);
+        assert_eq!(jaccard_tokens("BLUE STAR", "RED STAR"), 1.0 / 3.0);
+        assert_eq!(jaccard_tokens("A B", "C D"), 0.0);
+    }
+
+    fn line(n: usize, lat: f64) -> Vec<GeoPoint> {
+        (0..n).map(|i| GeoPoint::new(24.0 + 0.01 * i as f64, lat)).collect()
+    }
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let a = line(10, 37.0);
+        assert!(dtw_distance_m(&a, &a) < 1e-6);
+    }
+
+    #[test]
+    fn dtw_parallel_offset_tracks() {
+        let a = line(10, 37.0);
+        let b = line(10, 37.01); // ~1.1 km north
+        let d = dtw_distance_m(&a, &b);
+        assert!((d - 1_112.0).abs() < 30.0, "d = {d}");
+    }
+
+    #[test]
+    fn dtw_handles_different_sampling_rates() {
+        // The same geographic path sampled at 10 and 25 points.
+        let a: Vec<GeoPoint> = (0..10)
+            .map(|i| GeoPoint::new(24.0 + 0.09 * i as f64 / 9.0, 37.0))
+            .collect();
+        let b: Vec<GeoPoint> = (0..25)
+            .map(|i| GeoPoint::new(24.0 + 0.09 * i as f64 / 24.0, 37.0))
+            .collect();
+        let d = dtw_distance_m(&a, &b);
+        assert!(d < 400.0, "d = {d}");
+        assert_eq!(dtw_distance_m(&[], &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn frechet_identical_is_zero() {
+        let a = line(10, 37.0);
+        assert!(frechet_distance_m(&a, &a) < 1e-6);
+    }
+
+    #[test]
+    fn frechet_is_max_deviation() {
+        let a = line(10, 37.0);
+        let mut b = line(10, 37.0);
+        // Push a single vertex ~2.2 km north; Fréchet is a bottleneck
+        // measure, so the distance equals that excursion.
+        b[5] = GeoPoint::new(b[5].lon, 37.02);
+        let d = frechet_distance_m(&a, &b);
+        assert!((d - 2_224.0).abs() < 60.0, "d = {d}");
+        // DTW, an averaging measure, reports much less.
+        assert!(dtw_distance_m(&a, &b) < d / 2.0);
+    }
+
+    #[test]
+    fn frechet_symmetric() {
+        let a = line(8, 37.0);
+        let b = line(13, 37.05);
+        let d1 = frechet_distance_m(&a, &b);
+        let d2 = frechet_distance_m(&b, &a);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end link discovery on simulated registries (the E4 scenario).
+
+use datacron_geo::TimeMs;
+use datacron_link::{discover_links, evaluate_links, LinkRecord, LinkRule};
+use datacron_sim::{
+    generate_maritime, generate_registries, MaritimeConfig, NoiseModel, RegistryConfig,
+};
+
+fn scenario() -> (Vec<LinkRecord>, Vec<LinkRecord>, datacron_model::GroundTruth) {
+    let data = generate_maritime(&MaritimeConfig {
+        seed: 31,
+        n_vessels: 60,
+        duration_ms: TimeMs::from_hours(2).millis(),
+        report_interval_ms: 60_000,
+        noise: NoiseModel::none(),
+        frac_loitering: 0.0,
+        frac_gap: 0.0,
+        frac_drifting: 0.0,
+        n_rendezvous_pairs: 0,
+    });
+    let reg = generate_registries(&data, &RegistryConfig::default());
+    let a: Vec<LinkRecord> = reg.source_a.iter().map(LinkRecord::from).collect();
+    let b: Vec<LinkRecord> = reg.source_b.iter().map(LinkRecord::from).collect();
+    (a, b, reg.truth)
+}
+
+#[test]
+fn discovery_achieves_high_f1_on_registries() {
+    let (a, b, truth) = scenario();
+    let (links, stats) = discover_links(&a, &b, &LinkRule::default());
+    let scores = evaluate_links(&links, &truth);
+    assert!(
+        scores.f1 > 0.85,
+        "F1 = {:.3} (P {:.3} R {:.3}, {} truth links)",
+        scores.f1,
+        scores.precision,
+        scores.recall,
+        truth.links.len()
+    );
+    assert!(
+        stats.reduction > 0.5,
+        "blocking reduced only {:.1}%",
+        stats.reduction * 100.0
+    );
+}
+
+#[test]
+fn blocking_does_not_cost_recall_here() {
+    let (a, b, truth) = scenario();
+    let rule = LinkRule::default();
+    let (blocked, _) = discover_links(&a, &b, &rule);
+    let exhaustive = datacron_link::discover_links_exhaustive(&a, &b, &rule);
+    let s_blocked = evaluate_links(&blocked, &truth);
+    let s_exhaustive = evaluate_links(&exhaustive, &truth);
+    // Blocking may only lose pairs whose jitter crossed two tiles; with
+    // 400 m jitter and ~5 km tiles that never happens.
+    assert!(s_blocked.recall >= s_exhaustive.recall - 1e-9);
+}
+
+#[test]
+fn tighter_threshold_trades_recall_for_precision() {
+    let (a, b, truth) = scenario();
+    let loose = LinkRule {
+        threshold: 0.60,
+        ..LinkRule::default()
+    };
+    let tight = LinkRule {
+        threshold: 0.90,
+        ..LinkRule::default()
+    };
+    let (l_links, _) = discover_links(&a, &b, &loose);
+    let (t_links, _) = discover_links(&a, &b, &tight);
+    let ls = evaluate_links(&l_links, &truth);
+    let ts = evaluate_links(&t_links, &truth);
+    assert!(ts.precision >= ls.precision - 1e-9);
+    assert!(ls.recall >= ts.recall);
+}

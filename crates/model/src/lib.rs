@@ -1,0 +1,22 @@
+//! Common data model for the datAcron reproduction.
+//!
+//! The paper's *data transformation* component converts "data from disparate
+//! data sources … to a common representation". This crate is that common
+//! representation on the Rust side (the RDF mapping lives in
+//! `datacron-transform`): moving-object identities, position reports,
+//! trajectories, recognised events and ground-truth labels.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod ids;
+pub mod labels;
+pub mod report;
+pub mod trajectory;
+
+pub use event::{EventKind, EventRecord};
+pub use ids::{Domain, ObjectId, SourceId};
+pub use labels::{GroundTruth, LabeledEvent, LinkPair};
+pub use report::{FlightInfo, NavStatus, PositionReport, VesselInfo};
+pub use trajectory::{TrajPoint, Trajectory};

@@ -1,0 +1,253 @@
+//! Secondary indexes over typed literals: spatial (R-tree) and temporal
+//! (sorted runs). These power `FILTER st_within` / `t_between` pushdown.
+
+use crate::dict::TermId;
+use datacron_geo::{BoundingBox, GeoPoint, RTree, RTreeEntry, TimeInterval, TimeMs};
+use rustc_hash::FxHashSet;
+
+/// A spatial index over point literals.
+///
+/// New points buffer in a tail; queries lazily rebuild the R-tree when the
+/// tail grows past a threshold, otherwise they scan it linearly — the same
+/// amortised-bulk pattern as the triple indexes.
+#[derive(Debug, Default)]
+pub struct SpatialIndex {
+    tree: RTree<TermId>,
+    tail: Vec<(GeoPoint, TermId)>,
+}
+
+const SPATIAL_TAIL_LIMIT: usize = 8 * 1024;
+
+impl SpatialIndex {
+    /// Registers a point literal.
+    pub fn insert(&mut self, id: TermId, p: GeoPoint) {
+        self.tail.push((p, id));
+        if self.tail.len() >= SPATIAL_TAIL_LIMIT {
+            self.rebuild();
+        }
+    }
+
+    /// Number of indexed point literals.
+    pub fn len(&self) -> usize {
+        self.tree.len() + self.tail.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds the tail into the R-tree.
+    pub fn rebuild(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let mut entries: Vec<RTreeEntry<TermId>> = Vec::with_capacity(self.len());
+        // Drain existing tree entries via a full-space query.
+        if !self.tree.is_empty() {
+            self.tree
+                .for_each_in(&BoundingBox::new(-180.0, -90.0, 180.0, 90.0), |e| {
+                    entries.push(RTreeEntry {
+                        bbox: e.bbox,
+                        item: e.item,
+                    })
+                });
+        }
+        entries.extend(
+            self.tail
+                .drain(..)
+                .map(|(p, id)| RTreeEntry::point(p, id)),
+        );
+        self.tree = RTree::bulk_load(entries);
+    }
+
+    /// Ids of point literals inside `bbox`.
+    pub fn within(&self, bbox: &BoundingBox) -> FxHashSet<TermId> {
+        let mut out = FxHashSet::default();
+        self.tree.for_each_in(bbox, |e| {
+            out.insert(e.item);
+        });
+        for (p, id) in &self.tail {
+            if bbox.contains(p) {
+                out.insert(*id);
+            }
+        }
+        out
+    }
+
+    /// Ids of point literals within `radius_m` of `center`.
+    pub fn near(&self, center: &GeoPoint, radius_m: f64) -> FxHashSet<TermId> {
+        // Prefilter by bbox, refine by distance.
+        let margin_deg = radius_m / 111_000.0 * 1.5 + 1e-6;
+        let bbox = BoundingBox::from_point(*center).buffered(margin_deg);
+        let mut out = FxHashSet::default();
+        self.tree.for_each_in(&bbox, |e| {
+            if e.bbox.center().haversine_m(center) <= radius_m {
+                out.insert(e.item);
+            }
+        });
+        for (p, id) in &self.tail {
+            if p.haversine_m(center) <= radius_m {
+                out.insert(*id);
+            }
+        }
+        out
+    }
+}
+
+/// A temporal index over time literals: a sorted run plus an unsorted tail.
+#[derive(Debug, Default)]
+pub struct TemporalIndex {
+    sorted: Vec<(TimeMs, TermId)>,
+    tail: Vec<(TimeMs, TermId)>,
+}
+
+const TEMPORAL_TAIL_LIMIT: usize = 8 * 1024;
+
+impl TemporalIndex {
+    /// Registers a time literal.
+    pub fn insert(&mut self, id: TermId, t: TimeMs) {
+        self.tail.push((t, id));
+        if self.tail.len() >= TEMPORAL_TAIL_LIMIT {
+            self.rebuild();
+        }
+    }
+
+    /// Number of indexed time literals.
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.tail.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds the tail into the sorted run.
+    pub fn rebuild(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.sorted.append(&mut self.tail);
+        self.sorted.sort_unstable();
+    }
+
+    /// Ids of time literals inside the half-open `interval`.
+    pub fn between(&self, interval: &TimeInterval) -> FxHashSet<TermId> {
+        let mut out = FxHashSet::default();
+        let start = self
+            .sorted
+            .partition_point(|&(t, _)| t < interval.start);
+        for &(t, id) in &self.sorted[start..] {
+            if t >= interval.end {
+                break;
+            }
+            out.insert(id);
+        }
+        for &(t, id) in &self.tail {
+            if interval.contains(t) {
+                out.insert(id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_within_basic() {
+        let mut idx = SpatialIndex::default();
+        idx.insert(TermId(1), GeoPoint::new(23.0, 37.0));
+        idx.insert(TermId(2), GeoPoint::new(25.0, 38.0));
+        idx.insert(TermId(3), GeoPoint::new(40.0, 50.0));
+        let hits = idx.within(&BoundingBox::new(22.0, 36.0, 26.0, 39.0));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&TermId(1)) && hits.contains(&TermId(2)));
+    }
+
+    #[test]
+    fn spatial_within_after_rebuild() {
+        let mut idx = SpatialIndex::default();
+        for i in 0..100 {
+            idx.insert(TermId(i), GeoPoint::new(23.0 + 0.01 * i as f64, 37.0));
+        }
+        idx.rebuild();
+        // Mix of tree + fresh tail.
+        idx.insert(TermId(1000), GeoPoint::new(23.05, 37.0));
+        let hits = idx.within(&BoundingBox::new(23.0, 36.9, 23.1, 37.1));
+        assert!(hits.contains(&TermId(1000)));
+        assert!(hits.contains(&TermId(0)));
+        assert!(hits.contains(&TermId(10)));
+        assert!(!hits.contains(&TermId(50)));
+        assert_eq!(idx.len(), 101);
+    }
+
+    #[test]
+    fn spatial_near_refines_by_distance() {
+        let mut idx = SpatialIndex::default();
+        let c = GeoPoint::new(24.0, 37.0);
+        idx.insert(TermId(1), c.destination(90.0, 500.0));
+        idx.insert(TermId(2), c.destination(90.0, 2_000.0));
+        idx.insert(TermId(3), c.destination(0.0, 900.0));
+        let hits = idx.near(&c, 1_000.0);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&TermId(1)) && hits.contains(&TermId(3)));
+        // After rebuild, same answer via the tree path.
+        idx.rebuild();
+        assert_eq!(idx.near(&c, 1_000.0), hits);
+    }
+
+    #[test]
+    fn temporal_between_half_open() {
+        let mut idx = TemporalIndex::default();
+        for i in 0..10 {
+            idx.insert(TermId(i), TimeMs(i as i64 * 100));
+        }
+        idx.rebuild();
+        let hits = idx.between(&TimeInterval::new(TimeMs(200), TimeMs(500)));
+        // 200, 300, 400 — 500 excluded.
+        assert_eq!(hits.len(), 3);
+        assert!(hits.contains(&TermId(2)));
+        assert!(hits.contains(&TermId(4)));
+        assert!(!hits.contains(&TermId(5)));
+    }
+
+    #[test]
+    fn temporal_mixed_sorted_and_tail() {
+        let mut idx = TemporalIndex::default();
+        idx.insert(TermId(1), TimeMs(100));
+        idx.rebuild();
+        idx.insert(TermId(2), TimeMs(150));
+        let hits = idx.between(&TimeInterval::new(TimeMs(0), TimeMs(200)));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_indexes() {
+        let s = SpatialIndex::default();
+        assert!(s.is_empty());
+        assert!(s.within(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        let t = TemporalIndex::default();
+        assert!(t.is_empty());
+        assert!(t
+            .between(&TimeInterval::new(TimeMs(0), TimeMs(100)))
+            .is_empty());
+    }
+
+    #[test]
+    fn spatial_autorebuild_at_limit() {
+        let mut idx = SpatialIndex::default();
+        for i in 0..(super::SPATIAL_TAIL_LIMIT + 10) {
+            idx.insert(
+                TermId(i as u32),
+                GeoPoint::new(20.0 + (i % 100) as f64 * 0.01, 37.0),
+            );
+        }
+        assert_eq!(idx.len(), super::SPATIAL_TAIL_LIMIT + 10);
+        let hits = idx.within(&BoundingBox::new(19.0, 36.0, 22.0, 38.0));
+        assert_eq!(hits.len(), super::SPATIAL_TAIL_LIMIT + 10);
+    }
+}

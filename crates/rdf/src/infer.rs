@@ -1,0 +1,239 @@
+//! Lightweight inference over interlinked data: `owl:sameAs` saturation.
+//!
+//! Link discovery materialises `owl:sameAs` pairs between records from
+//! different sources; the paper's "integrated exploitation" of interlinked
+//! data means a query about one identifier must see the data attached to
+//! its aliases. [`saturate_same_as`] computes the sameAs equivalence
+//! classes (union–find over the symmetric/transitive closure) and copies
+//! every member's triples to every other member, so plain BGP queries see
+//! the merged view with no query-time rewriting.
+
+use crate::dict::TermId;
+use crate::store::{Graph, Triple};
+use crate::term::Term;
+use rustc_hash::FxHashMap;
+
+/// The well-known predicate.
+fn same_as_term() -> Term {
+    Term::iri("owl:sameAs")
+}
+
+struct UnionFind {
+    parent: FxHashMap<TermId, TermId>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        Self {
+            parent: FxHashMap::default(),
+        }
+    }
+
+    fn find(&mut self, x: TermId) -> TermId {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: TermId, b: TermId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Statistics of one saturation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaturationStats {
+    /// sameAs assertions found.
+    pub links: usize,
+    /// Equivalence classes with more than one member.
+    pub classes: usize,
+    /// Triples added by saturation.
+    pub added: usize,
+}
+
+/// Saturates the graph under `owl:sameAs`: for every equivalence class of
+/// identifiers, every member receives copies of every other member's
+/// triples (as subject and as object). sameAs triples themselves are
+/// completed to the full symmetric closure within each class.
+///
+/// Returns statistics. Idempotent: a second call adds nothing.
+pub fn saturate_same_as(graph: &mut Graph) -> SaturationStats {
+    let Some(same_as) = graph.dict().lookup(&same_as_term()) else {
+        return SaturationStats::default();
+    };
+    // 1. Collect links and build classes.
+    let links = graph.collect_pattern(None, Some(same_as), None);
+    if links.is_empty() {
+        return SaturationStats::default();
+    }
+    let mut uf = UnionFind::new();
+    for l in &links {
+        uf.union(l.s, l.o);
+    }
+    let mut classes: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    let members: Vec<TermId> = {
+        let mut v: Vec<TermId> = links.iter().flat_map(|l| [l.s, l.o]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for m in members {
+        let root = uf.find(m);
+        classes.entry(root).or_default().push(m);
+    }
+    classes.retain(|_, v| v.len() > 1);
+
+    // 2. For each class, copy triples across members.
+    let mut stats = SaturationStats {
+        links: links.len(),
+        classes: classes.len(),
+        added: 0,
+    };
+    let mut to_add: Vec<Triple> = Vec::new();
+    for members in classes.values() {
+        for &m in members {
+            // Triples with m as subject (excluding sameAs itself).
+            let as_subject = graph.collect_pattern(Some(m), None, None);
+            let as_object = graph.collect_pattern(None, None, Some(m));
+            for &other in members {
+                if other == m {
+                    continue;
+                }
+                for t in &as_subject {
+                    if t.p == same_as {
+                        continue;
+                    }
+                    to_add.push(Triple {
+                        s: other,
+                        p: t.p,
+                        o: t.o,
+                    });
+                }
+                for t in &as_object {
+                    if t.p == same_as {
+                        continue;
+                    }
+                    to_add.push(Triple {
+                        s: t.s,
+                        p: t.p,
+                        o: other,
+                    });
+                }
+                // Symmetric closure of sameAs within the class.
+                to_add.push(Triple {
+                    s: m,
+                    p: same_as,
+                    o: other,
+                });
+            }
+        }
+    }
+    let before = {
+        graph.commit();
+        graph.len()
+    };
+    for t in to_add {
+        graph.insert_encoded(t);
+    }
+    graph.commit();
+    stats.added = graph.len() - before;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute;
+    use crate::parser::parse_query;
+
+    fn linked_graph() -> Graph {
+        let mut g = Graph::new();
+        // Source A knows the name; source B knows the position.
+        g.insert(&Term::iri("a:v1"), &Term::iri("da:name"), &Term::string("BLUE STAR"));
+        g.insert(
+            &Term::iri("b:77"),
+            &Term::iri("da:pos"),
+            &Term::point(datacron_geo::GeoPoint::new(23.5, 37.9)),
+        );
+        g.insert(&Term::iri("a:v1"), &same_as_term(), &Term::iri("b:77"));
+        // An unrelated vessel.
+        g.insert(&Term::iri("a:v2"), &Term::iri("da:name"), &Term::string("OTHER"));
+        g.commit();
+        g
+    }
+
+    #[test]
+    fn saturation_merges_views() {
+        let mut g = linked_graph();
+        let stats = saturate_same_as(&mut g);
+        assert_eq!(stats.links, 1);
+        assert_eq!(stats.classes, 1);
+        assert!(stats.added >= 3, "added {}", stats.added);
+        // A query joining name and position now answers across sources.
+        let q = parse_query(
+            r#"SELECT ?x WHERE { ?x da:name "BLUE STAR" . ?x da:pos ?g }"#,
+        )
+        .unwrap();
+        let (b, _) = execute(&g, &q);
+        assert_eq!(b.len(), 2, "both aliases answer");
+    }
+
+    #[test]
+    fn same_as_becomes_symmetric() {
+        let mut g = linked_graph();
+        saturate_same_as(&mut g);
+        let q = parse_query("SELECT ?x WHERE { b:77 owl:sameAs ?x }").unwrap();
+        let (b, _) = execute(&g, &q);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut g = linked_graph();
+        saturate_same_as(&mut g);
+        let len = g.len();
+        let stats = saturate_same_as(&mut g);
+        assert_eq!(stats.added, 0);
+        assert_eq!(g.len(), len);
+    }
+
+    #[test]
+    fn unrelated_subjects_untouched() {
+        let mut g = linked_graph();
+        saturate_same_as(&mut g);
+        let q = parse_query(r#"SELECT ?x WHERE { ?x da:name "OTHER" }"#).unwrap();
+        let (b, _) = execute(&g, &q);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn transitive_chains_merge() {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("x"), &same_as_term(), &Term::iri("y"));
+        g.insert(&Term::iri("y"), &same_as_term(), &Term::iri("z"));
+        g.insert(&Term::iri("x"), &Term::iri("p"), &Term::integer(1));
+        g.commit();
+        let stats = saturate_same_as(&mut g);
+        assert_eq!(stats.classes, 1);
+        let q = parse_query("SELECT ?v WHERE { z p ?v }").unwrap();
+        let (b, _) = execute(&g, &q);
+        assert_eq!(b.len(), 1, "z inherits x's triple through the chain");
+    }
+
+    #[test]
+    fn no_links_no_op() {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        g.commit();
+        let stats = saturate_same_as(&mut g);
+        assert_eq!(stats, SaturationStats::default());
+    }
+}

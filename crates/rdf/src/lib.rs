@@ -1,0 +1,50 @@
+//! A spatiotemporal RDF store with partitioning and parallel querying.
+//!
+//! datAcron's query-answering component "provides parallel query processing
+//! techniques for spatio-temporal query languages over interlinked data
+//! stored in parallel RDF stores, using sophisticated RDF partitioning
+//! algorithms". This crate is that component, scaled to a multi-core
+//! machine:
+//!
+//! * [`term`] / [`dict`] — RDF terms (IRIs, plain/typed literals including
+//!   **point** and **time** literals) and dictionary encoding onto dense
+//!   `u32` ids;
+//! * [`store`] — a triple store with SPO/POS/OSP sorted indexes, bulk load
+//!   and incremental insert;
+//! * [`index`] — secondary **spatial** (R-tree) and **temporal** (sorted
+//!   run) indexes over typed literals, powering filter pushdown;
+//! * [`query`] / [`parser`] — a SPARQL-subset AST and text syntax:
+//!   `SELECT ?v … WHERE { basic graph pattern }` plus `FILTER` comparisons
+//!   and the spatiotemporal builtins `st_within`, `st_near`, `t_between`;
+//! * [`engine`] — greedy-ordered index-nested-loop BGP evaluation with
+//!   spatial/temporal pushdown;
+//! * [`partition`] — the partitioning algorithms under evaluation: hash by
+//!   subject, spatial grid by subject home location, temporal range;
+//! * [`parallel`] — a partitioned store executing queries across worker
+//!   threads and merging results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dict;
+pub mod engine;
+pub mod index;
+pub mod infer;
+pub mod ntriples;
+pub mod parallel;
+pub mod parser;
+pub mod partition;
+pub mod query;
+pub mod store;
+pub mod term;
+
+pub use dict::{Dictionary, TermId};
+pub use infer::{saturate_same_as, SaturationStats};
+pub use ntriples::{from_ntriples, to_ntriples};
+pub use engine::{execute, Bindings, QueryStats};
+pub use parallel::PartitionedStore;
+pub use parser::parse_query;
+pub use partition::{HashPartitioner, Partitioner, SpatialGridPartitioner, TemporalPartitioner};
+pub use query::{FilterExpr, PatternTerm, SelectQuery, TriplePattern};
+pub use store::{Graph, Triple};
+pub use term::{Literal, Term};

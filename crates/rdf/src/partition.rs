@@ -1,0 +1,350 @@
+//! RDF partitioning algorithms — the paper's "sophisticated RDF
+//! partitioning" under evaluation.
+//!
+//! All partitioners assign triples to partitions **by subject**, so every
+//! triple about one entity lands in one partition and subject-star queries
+//! evaluate partition-locally. They differ in how a subject's home is
+//! chosen:
+//!
+//! * [`HashPartitioner`] — uniform hash of the subject id (the baseline);
+//! * [`SpatialGridPartitioner`] — a subject's home follows its *location*
+//!   (the point literal it links to), so spatial range queries touch few
+//!   partitions;
+//! * [`TemporalPartitioner`] — the home follows the subject's timestamp
+//!   literal, so time-window queries touch few partitions.
+
+use crate::dict::TermId;
+use crate::store::{Graph, Triple};
+use datacron_geo::{BoundingBox, GeoPoint, Grid, TimeInterval, TimeMs};
+use rustc_hash::FxHashMap;
+
+/// Assigns each subject (and thus each triple) to a partition.
+pub trait Partitioner: Send + Sync {
+    /// Number of partitions produced.
+    fn partitions(&self) -> usize;
+
+    /// The partition a triple belongs to, given the source graph (used to
+    /// look at literal values).
+    fn assign(&self, triple: &Triple, source: &Graph) -> usize;
+
+    /// Hook called once before assignment so the partitioner can learn
+    /// subject homes (two-pass partitioning). Default: nothing.
+    fn prepare(&mut self, _source: &Graph) {}
+
+    /// Partitions a spatial query box: which partitions can hold matching
+    /// subjects. Default: all.
+    fn route_bbox(&self, _bbox: &BoundingBox) -> Vec<usize> {
+        (0..self.partitions()).collect()
+    }
+
+    /// Partitions a temporal query interval. Default: all.
+    fn route_interval(&self, _interval: &TimeInterval) -> Vec<usize> {
+        (0..self.partitions()).collect()
+    }
+}
+
+/// Uniform hash partitioning by subject id.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    n: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a hash partitioner over `n` partitions.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partitions(&self) -> usize {
+        self.n
+    }
+
+    fn assign(&self, triple: &Triple, _source: &Graph) -> usize {
+        // Fibonacci hashing of the dense id spreads sequential ids well.
+        let h = (triple.s.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (((h >> 32) * self.n as u64) >> 32) as usize
+    }
+}
+
+/// Spatial grid partitioning: subjects live where their geometry is.
+///
+/// `prepare` scans the graph for triples whose object is a point literal and
+/// records each subject's last seen location; `assign` then routes all of a
+/// subject's triples to the grid cell of that location (cells are folded
+/// onto `n` partitions round-robin). Subjects without geometry fall back to
+/// hash placement.
+#[derive(Debug)]
+pub struct SpatialGridPartitioner {
+    n: usize,
+    grid: Grid,
+    homes: FxHashMap<TermId, usize>,
+}
+
+impl SpatialGridPartitioner {
+    /// Creates a spatial partitioner with `n` partitions over `extent`
+    /// tiled at `cell_deg`.
+    pub fn new(n: usize, extent: BoundingBox, cell_deg: f64) -> Self {
+        assert!(n > 0);
+        Self {
+            n,
+            grid: Grid::new(extent, cell_deg).expect("valid grid"),
+            homes: FxHashMap::default(),
+        }
+    }
+
+    fn cell_to_partition(&self, cell: datacron_geo::CellId) -> usize {
+        // Row-major fold keeps neighbouring cells on mostly-distinct
+        // partitions while remaining deterministic.
+        (cell.pack() % self.n as u64) as usize
+    }
+
+    fn partition_of_point(&self, p: &GeoPoint) -> usize {
+        self.cell_to_partition(self.grid.cell_of_clamped(p))
+    }
+}
+
+impl Partitioner for SpatialGridPartitioner {
+    fn partitions(&self) -> usize {
+        self.n
+    }
+
+    fn prepare(&mut self, source: &Graph) {
+        for t in source.iter_triples() {
+            if let Some(term) = source.decode(t.o) {
+                if let Some(p) = term.as_point() {
+                    self.homes.insert(t.s, self.partition_of_point(&p));
+                }
+            }
+        }
+    }
+
+    fn assign(&self, triple: &Triple, _source: &Graph) -> usize {
+        match self.homes.get(&triple.s) {
+            Some(&part) => part,
+            None => {
+                let h = (triple.s.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (((h >> 32) * self.n as u64) >> 32) as usize
+            }
+        }
+    }
+
+    fn route_bbox(&self, bbox: &BoundingBox) -> Vec<usize> {
+        let mut parts: Vec<usize> = self
+            .grid
+            .cells_intersecting(bbox)
+            .into_iter()
+            .map(|c| self.cell_to_partition(c))
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
+        if parts.is_empty() {
+            // Query box outside the grid extent: nothing spatial can match,
+            // but hash-fallback subjects may still be anywhere.
+            (0..self.n).collect()
+        } else {
+            parts
+        }
+    }
+}
+
+/// Temporal range partitioning: subjects live in the time slice of their
+/// timestamp literal.
+#[derive(Debug)]
+pub struct TemporalPartitioner {
+    n: usize,
+    epoch: TimeMs,
+    slice_ms: i64,
+    homes: FxHashMap<TermId, usize>,
+}
+
+impl TemporalPartitioner {
+    /// Creates a temporal partitioner with `n` partitions of `slice_ms`
+    /// each, starting at `epoch` (wrapping round-robin after `n` slices).
+    pub fn new(n: usize, epoch: TimeMs, slice_ms: i64) -> Self {
+        assert!(n > 0 && slice_ms > 0);
+        Self {
+            n,
+            epoch,
+            slice_ms,
+            homes: FxHashMap::default(),
+        }
+    }
+
+    fn partition_of_time(&self, t: TimeMs) -> usize {
+        let slice = (t - self.epoch).div_euclid(self.slice_ms);
+        (slice.rem_euclid(self.n as i64)) as usize
+    }
+}
+
+impl Partitioner for TemporalPartitioner {
+    fn partitions(&self) -> usize {
+        self.n
+    }
+
+    fn prepare(&mut self, source: &Graph) {
+        for t in source.iter_triples() {
+            if let Some(term) = source.decode(t.o) {
+                if let Some(time) = term.as_time() {
+                    self.homes.insert(t.s, self.partition_of_time(time));
+                }
+            }
+        }
+    }
+
+    fn assign(&self, triple: &Triple, _source: &Graph) -> usize {
+        match self.homes.get(&triple.s) {
+            Some(&part) => part,
+            None => {
+                let h = (triple.s.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (((h >> 32) * self.n as u64) >> 32) as usize
+            }
+        }
+    }
+
+    fn route_interval(&self, interval: &TimeInterval) -> Vec<usize> {
+        let first = (interval.start - self.epoch).div_euclid(self.slice_ms);
+        let last = (interval.end - 1 - self.epoch).div_euclid(self.slice_ms);
+        if last - first + 1 >= self.n as i64 {
+            return (0..self.n).collect();
+        }
+        let mut parts: Vec<usize> = (first..=last)
+            .map(|s| (s.rem_euclid(self.n as i64)) as usize)
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn geo_graph() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..20 {
+            let s = Term::iri(format!("v{i}"));
+            g.insert(
+                &s,
+                &Term::iri("pos"),
+                &Term::point(GeoPoint::new(20.0 + i as f64 * 0.4, 36.0)),
+            );
+            g.insert(&s, &Term::iri("name"), &Term::string(format!("N{i}")));
+            g.insert(&s, &Term::iri("at"), &Term::time(TimeMs(i * 60_000)));
+        }
+        g.commit();
+        g
+    }
+
+    #[test]
+    fn hash_partitioner_covers_all_and_is_deterministic() {
+        let g = geo_graph();
+        let p = HashPartitioner::new(4);
+        let mut counts = vec![0usize; 4];
+        for t in g.iter_triples() {
+            let a = p.assign(&t, &g);
+            assert_eq!(a, p.assign(&t, &g));
+            counts[a] += 1;
+        }
+        // All partitions used; rough balance (each subject has 3 triples).
+        for &c in &counts {
+            assert!(c > 0, "unused partition: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn subject_locality_is_preserved_by_all_partitioners() {
+        let g = geo_graph();
+        let extent = BoundingBox::new(19.0, 35.0, 29.0, 42.0);
+        let mut spatial = SpatialGridPartitioner::new(4, extent, 1.0);
+        spatial.prepare(&g);
+        let mut temporal = TemporalPartitioner::new(4, TimeMs(0), 5 * 60_000);
+        temporal.prepare(&g);
+        let hash = HashPartitioner::new(4);
+        let parts: [&dyn Partitioner; 3] = [&hash, &spatial, &temporal];
+        for p in parts {
+            let mut homes: FxHashMap<TermId, usize> = FxHashMap::default();
+            for t in g.iter_triples() {
+                let a = p.assign(&t, &g);
+                if let Some(&prev) = homes.get(&t.s) {
+                    assert_eq!(prev, a, "subject split across partitions");
+                } else {
+                    homes.insert(t.s, a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_routing_narrows_partitions() {
+        let g = geo_graph();
+        let extent = BoundingBox::new(19.0, 35.0, 29.0, 42.0);
+        let mut p = SpatialGridPartitioner::new(8, extent, 1.0);
+        p.prepare(&g);
+        // A small box touches fewer partitions than the full region.
+        let narrow = p.route_bbox(&BoundingBox::new(20.0, 35.8, 20.9, 36.2));
+        let wide = p.route_bbox(&extent);
+        assert!(!narrow.is_empty());
+        assert!(narrow.len() < wide.len());
+        // Subjects inside the narrow box are homed on a routed partition.
+        for t in g.iter_triples() {
+            if let Some(pt) = g.decode(t.o).and_then(|term| term.as_point()) {
+                if BoundingBox::new(20.0, 35.8, 20.9, 36.2).contains(&pt) {
+                    assert!(narrow.contains(&p.assign(&t, &g)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_routing_narrows_partitions() {
+        let g = geo_graph();
+        let mut p = TemporalPartitioner::new(8, TimeMs(0), 5 * 60_000);
+        p.prepare(&g);
+        let narrow = p.route_interval(&TimeInterval::new(TimeMs(0), TimeMs(4 * 60_000)));
+        assert_eq!(narrow.len(), 1);
+        // A huge interval touches all partitions.
+        let all = p.route_interval(&TimeInterval::new(TimeMs(0), TimeMs(10_000 * 60_000)));
+        assert_eq!(all.len(), 8);
+        // Subjects in the narrow window are homed on the routed partition.
+        for t in g.iter_triples() {
+            if let Some(time) = g.decode(t.o).and_then(|term| term.as_time()) {
+                if time < TimeMs(4 * 60_000) {
+                    assert_eq!(vec![p.assign(&t, &g)], narrow);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subjects_without_hints_fall_back_to_hash() {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("x"), &Term::iri("p"), &Term::iri("y"));
+        g.commit();
+        let extent = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let mut sp = SpatialGridPartitioner::new(4, extent, 1.0);
+        sp.prepare(&g);
+        let t = g.iter_triples().next().unwrap();
+        let a = sp.assign(&t, &g);
+        assert!(a < 4);
+        // Deterministic fallback.
+        assert_eq!(a, sp.assign(&t, &g));
+    }
+
+    #[test]
+    fn default_routing_is_all_partitions() {
+        let p = HashPartitioner::new(5);
+        assert_eq!(
+            p.route_bbox(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(
+            p.route_interval(&TimeInterval::new(TimeMs(0), TimeMs(1))),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! The triple store: SPO/POS/OSP sorted indexes over dictionary-encoded ids.
+
+use crate::dict::{Dictionary, TermId};
+use crate::index::{SpatialIndex, TemporalIndex};
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+
+/// An encoded triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject id.
+    pub s: TermId,
+    /// Predicate id.
+    pub p: TermId,
+    /// Object id.
+    pub o: TermId,
+}
+
+/// Which component order an index is sorted in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IndexOrder {
+    Spo,
+    Pos,
+    Osp,
+}
+
+fn key_of(t: &Triple, order: IndexOrder) -> (u32, u32, u32) {
+    match order {
+        IndexOrder::Spo => (t.s.raw(), t.p.raw(), t.o.raw()),
+        IndexOrder::Pos => (t.p.raw(), t.o.raw(), t.s.raw()),
+        IndexOrder::Osp => (t.o.raw(), t.s.raw(), t.p.raw()),
+    }
+}
+
+/// A dictionary-encoded RDF graph with three sorted permutation indexes and
+/// secondary spatiotemporal literal indexes.
+///
+/// Writes go to an unsorted tail; [`Graph::commit`] merges the tail into the
+/// sorted runs (amortised bulk behaviour). Reads transparently search both,
+/// so interleaved insert/query is correct without explicit commits.
+#[derive(Debug, Default)]
+pub struct Graph {
+    dict: Dictionary,
+    spo: Vec<(u32, u32, u32)>,
+    pos: Vec<(u32, u32, u32)>,
+    osp: Vec<(u32, u32, u32)>,
+    /// Uncommitted triples (unsorted).
+    tail: Vec<Triple>,
+    spatial: SpatialIndex,
+    temporal: TemporalIndex,
+    len: usize,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term dictionary (read access).
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Encodes a term through this graph's dictionary.
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        let id = self.dict.encode(term);
+        // Typed literals feed the secondary indexes on first encounter.
+        if let Some(p) = term.as_point() {
+            self.spatial.insert(id, p);
+        }
+        if let Some(t) = term.as_time() {
+            self.temporal.insert(id, t);
+        }
+        id
+    }
+
+    /// Decodes an id.
+    pub fn decode(&self, id: TermId) -> Option<&Term> {
+        self.dict.decode(id)
+    }
+
+    /// Inserts a triple of terms. Duplicate triples are tolerated (deduped
+    /// on commit).
+    pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) {
+        let t = Triple {
+            s: self.encode(s),
+            p: self.encode(p),
+            o: self.encode(o),
+        };
+        self.insert_encoded(t);
+    }
+
+    /// Inserts an already-encoded triple (ids must come from this graph's
+    /// dictionary).
+    pub fn insert_encoded(&mut self, t: Triple) {
+        self.tail.push(t);
+        self.len += 1;
+        // Keep the unsorted tail bounded so reads stay fast.
+        if self.tail.len() >= 64 * 1024 {
+            self.commit();
+        }
+    }
+
+    /// Merges pending inserts into the sorted indexes and dedupes.
+    pub fn commit(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let tail = std::mem::take(&mut self.tail);
+        for order in [IndexOrder::Spo, IndexOrder::Pos, IndexOrder::Osp] {
+            let index = match order {
+                IndexOrder::Spo => &mut self.spo,
+                IndexOrder::Pos => &mut self.pos,
+                IndexOrder::Osp => &mut self.osp,
+            };
+            index.extend(tail.iter().map(|t| key_of(t, order)));
+            index.sort_unstable();
+            index.dedup();
+        }
+        self.len = self.spo.len();
+    }
+
+    /// Number of distinct triples (after pending-tail dedup this is exact;
+    /// with a non-empty tail it is an upper bound).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The spatial literal index.
+    pub fn spatial(&self) -> &SpatialIndex {
+        &self.spatial
+    }
+
+    /// The temporal literal index.
+    pub fn temporal(&self) -> &TemporalIndex {
+        &self.temporal
+    }
+
+    /// Matches a triple pattern (`None` = wildcard), invoking `visit` for
+    /// each matching triple. Chooses the best permutation index for the
+    /// bound components; scans the uncommitted tail as well.
+    pub fn match_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        visit: &mut dyn FnMut(Triple),
+    ) {
+        // Pick index + prefix by bound components.
+        let (index, order) = match (s, p, o) {
+            (Some(_), _, _) => (&self.spo, IndexOrder::Spo),
+            (None, Some(_), _) => (&self.pos, IndexOrder::Pos),
+            (None, None, Some(_)) => (&self.osp, IndexOrder::Osp),
+            (None, None, None) => (&self.spo, IndexOrder::Spo),
+        };
+        let lo = match order {
+            IndexOrder::Spo => (
+                s.map_or(0, |x| x.raw()),
+                p.map_or(0, |x| x.raw()),
+                o.map_or(0, |x| x.raw()),
+            ),
+            IndexOrder::Pos => (p.unwrap().raw(), o.map_or(0, |x| x.raw()), 0),
+            IndexOrder::Osp => (o.unwrap().raw(), 0, 0),
+        };
+        // Upper bound: prefix with last free component saturated.
+        let hi = match order {
+            IndexOrder::Spo => match (s, p, o) {
+                (Some(s), Some(p), Some(o)) => (s.raw(), p.raw(), o.raw()),
+                (Some(s), Some(p), None) => (s.raw(), p.raw(), u32::MAX),
+                (Some(s), None, _) => (s.raw(), u32::MAX, u32::MAX),
+                _ => (u32::MAX, u32::MAX, u32::MAX),
+            },
+            IndexOrder::Pos => match o {
+                Some(o) => (p.unwrap().raw(), o.raw(), u32::MAX),
+                None => (p.unwrap().raw(), u32::MAX, u32::MAX),
+            },
+            IndexOrder::Osp => (o.unwrap().raw(), u32::MAX, u32::MAX),
+        };
+        let start = index.partition_point(|&k| k < lo);
+        for &k in &index[start..] {
+            if k > hi {
+                break;
+            }
+            let t = match order {
+                IndexOrder::Spo => Triple {
+                    s: TermId(k.0),
+                    p: TermId(k.1),
+                    o: TermId(k.2),
+                },
+                IndexOrder::Pos => Triple {
+                    p: TermId(k.0),
+                    o: TermId(k.1),
+                    s: TermId(k.2),
+                },
+                IndexOrder::Osp => Triple {
+                    o: TermId(k.0),
+                    s: TermId(k.1),
+                    p: TermId(k.2),
+                },
+            };
+            // Bound components that are not a prefix of the index order
+            // (e.g. s and o bound with p free on the SPO index) are not
+            // captured by the range scan — verify the full pattern.
+            if s.is_none_or(|x| x == t.s)
+                && p.is_none_or(|x| x == t.p)
+                && o.is_none_or(|x| x == t.o)
+            {
+                visit(t);
+            }
+        }
+        // The uncommitted tail.
+        for t in &self.tail {
+            let ok = s.is_none_or(|x| x == t.s)
+                && p.is_none_or(|x| x == t.p)
+                && o.is_none_or(|x| x == t.o);
+            if ok {
+                visit(*t);
+            }
+        }
+    }
+
+    /// Counts matches for a pattern (used by the join-order planner).
+    pub fn count_pattern(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        let mut n = 0;
+        self.match_pattern(s, p, o, &mut |_| n += 1);
+        n
+    }
+
+    /// Collects matches into a `Vec`.
+    pub fn collect_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.match_pattern(s, p, o, &mut |t| out.push(t));
+        out
+    }
+
+    /// Iterates all committed + pending triples (order unspecified).
+    pub fn iter_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo
+            .iter()
+            .map(|&(s, p, o)| Triple {
+                s: TermId(s),
+                p: TermId(p),
+                o: TermId(o),
+            })
+            .chain(self.tail.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{GeoPoint, TimeMs};
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("v1"), &Term::iri("type"), &Term::iri("Vessel"));
+        g.insert(&Term::iri("v2"), &Term::iri("type"), &Term::iri("Vessel"));
+        g.insert(&Term::iri("f1"), &Term::iri("type"), &Term::iri("Flight"));
+        g.insert(&Term::iri("v1"), &Term::iri("name"), &Term::string("BLUE STAR"));
+        g.insert(
+            &Term::iri("v1"),
+            &Term::iri("pos"),
+            &Term::point(GeoPoint::new(23.5, 37.9)),
+        );
+        g.insert(
+            &Term::iri("v1"),
+            &Term::iri("at"),
+            &Term::time(TimeMs(1000)),
+        );
+        g
+    }
+
+    fn ids(g: &mut Graph, s: &str, p: &str) -> (TermId, TermId) {
+        (g.encode(&Term::iri(s)), g.encode(&Term::iri(p)))
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let g = sample_graph();
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn pattern_by_subject() {
+        let mut g = sample_graph();
+        let (v1, _) = ids(&mut g, "v1", "type");
+        let matches = g.collect_pattern(Some(v1), None, None);
+        assert_eq!(matches.len(), 4);
+        for t in matches {
+            assert_eq!(t.s, v1);
+        }
+    }
+
+    #[test]
+    fn pattern_by_predicate_object() {
+        let mut g = sample_graph();
+        let ty = g.encode(&Term::iri("type"));
+        let vessel = g.encode(&Term::iri("Vessel"));
+        let matches = g.collect_pattern(None, Some(ty), Some(vessel));
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn pattern_by_object_only() {
+        let mut g = sample_graph();
+        let vessel = g.encode(&Term::iri("Vessel"));
+        let matches = g.collect_pattern(None, None, Some(vessel));
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn full_scan_and_fully_bound() {
+        let mut g = sample_graph();
+        assert_eq!(g.collect_pattern(None, None, None).len(), 6);
+        let (v1, ty) = ids(&mut g, "v1", "type");
+        let vessel = g.encode(&Term::iri("Vessel"));
+        assert_eq!(g.collect_pattern(Some(v1), Some(ty), Some(vessel)).len(), 1);
+        let flight = g.encode(&Term::iri("Flight"));
+        assert!(g.collect_pattern(Some(v1), Some(ty), Some(flight)).is_empty());
+    }
+
+    #[test]
+    fn reads_see_uncommitted_tail() {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        // No commit yet.
+        let p = g.encode(&Term::iri("p"));
+        assert_eq!(g.collect_pattern(None, Some(p), None).len(), 1);
+        g.commit();
+        assert_eq!(g.collect_pattern(None, Some(p), None).len(), 1);
+    }
+
+    #[test]
+    fn commit_dedupes() {
+        let mut g = Graph::new();
+        for _ in 0..5 {
+            g.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        }
+        g.commit();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn spatiotemporal_literals_indexed() {
+        let g = sample_graph();
+        assert_eq!(g.spatial().len(), 1);
+        assert_eq!(g.temporal().len(), 1);
+    }
+
+    #[test]
+    fn count_matches_collect() {
+        let mut g = sample_graph();
+        let ty = g.encode(&Term::iri("type"));
+        assert_eq!(
+            g.count_pattern(None, Some(ty), None),
+            g.collect_pattern(None, Some(ty), None).len()
+        );
+    }
+
+    #[test]
+    fn iter_triples_covers_everything() {
+        let mut g = sample_graph();
+        g.commit();
+        g.insert(&Term::iri("x"), &Term::iri("p"), &Term::iri("y"));
+        assert_eq!(g.iter_triples().count(), 7);
+    }
+
+    #[test]
+    fn large_batch_autocommits() {
+        let mut g = Graph::new();
+        for i in 0..70_000 {
+            g.insert(
+                &Term::iri(format!("s{i}")),
+                &Term::iri("p"),
+                &Term::integer(i),
+            );
+        }
+        // The 64k auto-commit must have fired at least once.
+        let p = g.encode(&Term::iri("p"));
+        assert_eq!(g.count_pattern(None, Some(p), None), 70_000);
+    }
+}

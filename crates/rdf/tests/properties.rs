@@ -1,0 +1,199 @@
+//! Property-based tests for the RDF store.
+
+use datacron_geo::{BoundingBox, GeoPoint, TimeInterval, TimeMs};
+use datacron_rdf::{
+    execute, Graph, HashPartitioner, PartitionedStore, PatternTerm, SelectQuery,
+    SpatialGridPartitioner, Term, TriplePattern,
+};
+use proptest::prelude::*;
+
+/// Random triples over a small vocabulary, so joins actually happen.
+fn arb_triples() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..20, 0u8..5, 0u8..20), 0..120)
+}
+
+fn term_s(i: u8) -> Term {
+    Term::iri(format!("s{i}"))
+}
+fn term_p(i: u8) -> Term {
+    Term::iri(format!("p{i}"))
+}
+fn term_o(i: u8) -> Term {
+    Term::iri(format!("o{i}"))
+}
+
+fn build_graph(triples: &[(u8, u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for &(s, p, o) in triples {
+        g.insert(&term_s(s), &term_p(p), &term_o(o));
+    }
+    g.commit();
+    g
+}
+
+proptest! {
+    /// Every pattern shape must agree with a linear scan over the input.
+    #[test]
+    fn pattern_matching_equals_linear_scan(
+        triples in arb_triples(),
+        qs in 0u8..20, qp in 0u8..5, qo in 0u8..20,
+        shape in 0u8..8,
+    ) {
+        let g = build_graph(&triples);
+        let want_s = (shape & 1 != 0).then_some(qs);
+        let want_p = (shape & 2 != 0).then_some(qp);
+        let want_o = (shape & 4 != 0).then_some(qo);
+
+        let sid = want_s.and_then(|i| g.dict().lookup(&term_s(i)));
+        let pid = want_p.and_then(|i| g.dict().lookup(&term_p(i)));
+        let oid = want_o.and_then(|i| g.dict().lookup(&term_o(i)));
+        // If a requested constant isn't in the dictionary, the reference
+        // count is zero and we skip the index probe (the engine handles
+        // that case separately).
+        let missing = (want_s.is_some() && sid.is_none())
+            || (want_p.is_some() && pid.is_none())
+            || (want_o.is_some() && oid.is_none());
+
+        let mut expected: Vec<(u8, u8, u8)> = triples
+            .iter()
+            .filter(|&&(s, p, o)| {
+                want_s.is_none_or(|x| x == s)
+                    && want_p.is_none_or(|x| x == p)
+                    && want_o.is_none_or(|x| x == o)
+            })
+            .copied()
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+
+        if missing {
+            prop_assert!(expected.is_empty());
+            return Ok(());
+        }
+        let got = g.collect_pattern(sid, pid, oid);
+        prop_assert_eq!(got.len(), expected.len());
+        for t in got {
+            let s = g.decode(t.s).unwrap().to_string();
+            let p = g.decode(t.p).unwrap().to_string();
+            let o = g.decode(t.o).unwrap().to_string();
+            prop_assert!(expected.iter().any(|&(es, ep, eo)| {
+                s == format!("<s{es}>") && p == format!("<p{ep}>") && o == format!("<o{eo}>")
+            }), "unexpected triple {s} {p} {o}");
+        }
+    }
+
+    /// Star queries return identical answers on the single graph and on any
+    /// partitioned store.
+    #[test]
+    fn partitioned_star_query_matches_single_graph(
+        triples in arb_triples(),
+        qp in 0u8..5,
+        n_parts in 1usize..6,
+    ) {
+        let g = build_graph(&triples);
+        let q = SelectQuery::new(vec![TriplePattern::new(
+            PatternTerm::var("s"),
+            term_p(qp),
+            PatternTerm::var("o"),
+        )]);
+        let (single, _) = execute(&g, &q);
+        let store = PartitionedStore::build(&g, Box::new(HashPartitioner::new(n_parts)));
+        let (parted, stats) = store.execute(&q);
+        prop_assert_eq!(single.len(), parted.rows.len());
+        prop_assert_eq!(stats.partitions_total, n_parts);
+    }
+
+    /// Spatial pushdown agrees with post-filtering.
+    #[test]
+    fn spatial_pushdown_equals_post_filter(
+        points in prop::collection::vec((20.0f64..28.0, 34.0f64..41.0), 1..80),
+        q_lon in 20.0f64..27.0, q_lat in 34.0f64..40.0,
+        w in 0.1f64..4.0, h in 0.1f64..4.0,
+    ) {
+        let mut g = Graph::new();
+        for (i, &(lon, lat)) in points.iter().enumerate() {
+            let s = Term::iri(format!("v{i}"));
+            g.insert(&s, &Term::iri("pos"), &Term::point(GeoPoint::new(lon, lat)));
+        }
+        g.commit();
+        let bbox = BoundingBox::new(q_lon, q_lat, q_lon + w, q_lat + h);
+        let q = SelectQuery::new(vec![TriplePattern::new(
+            PatternTerm::var("v"),
+            Term::iri("pos"),
+            PatternTerm::var("g"),
+        )])
+        .select(&["v"])
+        .filter(datacron_rdf::FilterExpr::SpatialWithin {
+            var: "g".into(),
+            bbox,
+        });
+        let (b, _) = execute(&g, &q);
+        let expected = points.iter().filter(|&&(lon, lat)| {
+            bbox.contains(&GeoPoint::new(lon, lat))
+        }).count();
+        prop_assert_eq!(b.len(), expected);
+    }
+
+    /// Temporal pushdown agrees with interval membership.
+    #[test]
+    fn temporal_pushdown_equals_post_filter(
+        times in prop::collection::vec(0i64..100_000, 1..80),
+        start in 0i64..90_000,
+        dur in 1i64..50_000,
+    ) {
+        let mut g = Graph::new();
+        for (i, &t) in times.iter().enumerate() {
+            let s = Term::iri(format!("e{i}"));
+            g.insert(&s, &Term::iri("at"), &Term::time(TimeMs(t)));
+        }
+        g.commit();
+        let interval = TimeInterval::new(TimeMs(start), TimeMs(start + dur));
+        let q = SelectQuery::new(vec![TriplePattern::new(
+            PatternTerm::var("e"),
+            Term::iri("at"),
+            PatternTerm::var("t"),
+        )])
+        .select(&["e"])
+        .filter(datacron_rdf::FilterExpr::TimeBetween {
+            var: "t".into(),
+            interval,
+        });
+        let (b, _) = execute(&g, &q);
+        let expected = times.iter().filter(|&&t| interval.contains(TimeMs(t))).count();
+        prop_assert_eq!(b.len(), expected);
+    }
+
+    /// Spatial partitioning never loses or duplicates star-query rows, and
+    /// pruning never drops answers.
+    #[test]
+    fn spatial_partitioning_sound_under_pruning(
+        points in prop::collection::vec((20.0f64..28.0, 34.0f64..41.0), 1..60),
+        q_lon in 20.0f64..27.0, q_lat in 34.0f64..40.0,
+    ) {
+        let mut g = Graph::new();
+        for (i, &(lon, lat)) in points.iter().enumerate() {
+            let s = Term::iri(format!("v{i}"));
+            g.insert(&s, &Term::iri("pos"), &Term::point(GeoPoint::new(lon, lat)));
+            g.insert(&s, &Term::iri("kind"), &Term::iri("V"));
+        }
+        g.commit();
+        let bbox = BoundingBox::new(q_lon, q_lat, q_lon + 1.5, q_lat + 1.5);
+        let q = SelectQuery::new(vec![
+            TriplePattern::new(PatternTerm::var("v"), Term::iri("kind"), Term::iri("V")),
+            TriplePattern::new(PatternTerm::var("v"), Term::iri("pos"), PatternTerm::var("g")),
+        ])
+        .select(&["v"])
+        .filter(datacron_rdf::FilterExpr::SpatialWithin { var: "g".into(), bbox });
+        let (single, _) = execute(&g, &q);
+        let store = PartitionedStore::build(
+            &g,
+            Box::new(SpatialGridPartitioner::new(
+                5,
+                BoundingBox::new(19.0, 33.0, 29.0, 42.0),
+                1.0,
+            )),
+        );
+        let (parted, _) = store.execute(&q);
+        prop_assert_eq!(single.len(), parted.rows.len());
+    }
+}

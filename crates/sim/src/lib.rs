@@ -1,0 +1,38 @@
+//! Synthetic surveillance worlds for the datAcron reproduction.
+//!
+//! The datAcron project evaluated on operational AIS and ATM surveillance
+//! feeds that cannot be redistributed. This crate substitutes them with
+//! deterministic synthetic worlds that exercise the same code paths:
+//!
+//! * a **maritime world** ([`MaritimeConfig`] / [`generate_maritime`]) —
+//!   vessels sailing shipping lanes between ports, with scripted anomalous
+//!   behaviours (loitering, rendezvous, AIS gaps, drifting) planted as
+//!   ground truth;
+//! * an **aviation world** ([`AviationConfig`] / [`generate_aviation`]) —
+//!   flights between airports with climb/cruise/descent profiles and
+//!   scripted holding patterns;
+//! * a **measurement model** ([`NoiseModel`]) — position jitter, kinematic
+//!   noise, dropouts, outliers and out-of-order delivery;
+//! * **registries** ([`registry`]) — two overlapping, independently noisy
+//!   vessel registries with true identity links, feeding link discovery;
+//! * a **weather grid** ([`weather`]) — a smooth synthetic wind field used
+//!   as the archival enrichment source.
+//!
+//! Everything is seeded; the same config always yields identical data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aviation;
+pub mod maritime;
+pub mod noise;
+pub mod registry;
+pub mod weather;
+pub mod world;
+
+pub use aviation::{generate_aviation, AviationConfig, AviationData};
+pub use maritime::{generate_maritime, MaritimeConfig, MaritimeData};
+pub use noise::NoiseModel;
+pub use registry::{generate_registries, RegistryConfig, RegistryData};
+pub use weather::WeatherGrid;
+pub use world::{aegean_world, european_airspace, Airport, AviationWorld, MaritimeWorld, Port};

@@ -1,0 +1,238 @@
+//! Throughput and latency instrumentation.
+//!
+//! The paper's headline operational requirement is millisecond latency;
+//! these types produce the measurements the latency experiments (E8, E11)
+//! report.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A thread-safe event counter with elapsed-time rate reporting.
+#[derive(Debug)]
+pub struct Throughput {
+    started: Instant,
+    count: AtomicU64,
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Throughput {
+    /// Starts counting now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `n` events.
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total events recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Events per second since construction.
+    pub fn rate_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count() as f64 / secs
+        }
+    }
+}
+
+/// Number of logarithmic latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds, bucket 0 covers `[0, 2)` µs.
+const BUCKETS: usize = 40;
+
+/// A thread-safe log-scale latency histogram in microseconds.
+///
+/// Log buckets give ≤ 2× relative quantile error across nine decades, which
+/// is ample for distinguishing "microseconds" from "milliseconds" from
+/// "seconds" — the distinction the paper's latency requirement draws.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    inner: Mutex<Hist>,
+}
+
+#[derive(Debug, Clone)]
+struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Hist {
+                buckets: [0; BUCKETS],
+                count: 0,
+                sum_us: 0,
+                max_us: 0,
+            }),
+        }
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - u64::leading_zeros(us.max(1)) as usize - 1).min(BUCKETS - 1);
+        let mut h = self.inner.lock();
+        h.buckets[bucket] += 1;
+        h.count += 1;
+        h.sum_us += us;
+        h.max_us = h.max_us.max(us);
+    }
+
+    /// Records a latency sample given a start instant.
+    pub fn record_since(&self, start: Instant) {
+        self.record_us(start.elapsed().as_micros() as u64);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        let h = self.inner.lock();
+        if h.count == 0 {
+            0.0
+        } else {
+            h.sum_us as f64 / h.count as f64
+        }
+    }
+
+    /// Maximum recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.inner.lock().max_us
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) in microseconds: the upper edge
+    /// of the bucket containing the q-th sample.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let h = self.inner.lock();
+        if h.count == 0 {
+            return 0;
+        }
+        let target = ((h.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        h.max_us
+    }
+
+    /// `(p50, p99, max)` in microseconds — the tuple the reports print.
+    pub fn summary_us(&self) -> (u64, u64, u64) {
+        (self.quantile_us(0.5), self.quantile_us(0.99), self.max_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_counts() {
+        let t = Throughput::new();
+        t.add(10);
+        t.add(5);
+        assert_eq!(t.count(), 15);
+        assert!(t.rate_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_us(), 10_000);
+        // p50 bucket upper edge must be >= 100 (the median sample) and
+        // within 2x of it.
+        let p50 = h.quantile_us(0.5);
+        assert!((100..=256).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 10_000, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.summary_us(), (0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = LatencyHistogram::new();
+        h.record_us(100);
+        h.record_us(300);
+        assert_eq!(h.mean_us(), 200.0);
+    }
+
+    #[test]
+    fn histogram_zero_sample_goes_to_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(1.0) <= 2);
+    }
+
+    #[test]
+    fn histogram_concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record_us(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_us(i);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile_us(q);
+            assert!(v >= last, "quantile not monotone at q={q}");
+            last = v;
+        }
+    }
+}

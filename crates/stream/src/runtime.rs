@@ -1,0 +1,373 @@
+//! Threaded execution: operator stages, key sharding and shard merging.
+//!
+//! Stages are OS threads connected by *bounded* crossbeam channels, so a slow
+//! stage backpressures its producers exactly like a distributed streaming
+//! system's bounded network buffers would.
+
+use crate::message::Message;
+use crate::operator::Operator;
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use datacron_geo::TimeMs;
+use std::hash::{Hash, Hasher};
+use std::thread::JoinHandle;
+
+/// Default channel capacity between stages.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Handle to a spawned stage thread.
+pub struct StageHandle {
+    join: JoinHandle<()>,
+}
+
+impl StageHandle {
+    /// Waits for the stage to finish (it finishes when its input ends).
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Spawns a thread that feeds `source` into a bounded channel.
+pub fn run_source<T, I>(source: I, capacity: usize) -> (Receiver<Message<T>>, StageHandle)
+where
+    T: Send + 'static,
+    I: IntoIterator<Item = Message<T>> + Send + 'static,
+{
+    let (tx, rx) = bounded(capacity.max(1));
+    let join = std::thread::spawn(move || {
+        for msg in source {
+            let end = msg.is_end();
+            if tx.send(msg).is_err() {
+                return;
+            }
+            if end {
+                return;
+            }
+        }
+        // Iterator exhausted without an End marker: close the stream.
+        let _ = tx.send(Message::End);
+    });
+    (rx, StageHandle { join })
+}
+
+/// Spawns an operator stage reading `input` and writing to a new channel.
+pub fn spawn_operator<I, O, Op>(
+    input: Receiver<Message<I>>,
+    mut op: Op,
+    capacity: usize,
+) -> (Receiver<Message<O>>, StageHandle)
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    Op: Operator<I, O> + 'static,
+{
+    let (tx, rx) = bounded(capacity.max(1));
+    let join = std::thread::spawn(move || {
+        for msg in input.iter() {
+            match msg {
+                Message::Record(rec) => {
+                    let tx_ref = &tx;
+                    op.on_record(rec, &mut |r| {
+                        let _ = tx_ref.send(Message::Record(r));
+                    });
+                }
+                Message::Watermark(wm) => {
+                    let tx_ref = &tx;
+                    op.on_watermark(wm, &mut |r| {
+                        let _ = tx_ref.send(Message::Record(r));
+                    });
+                    if tx.send(Message::Watermark(wm)).is_err() {
+                        return;
+                    }
+                }
+                Message::End => {
+                    let tx_ref = &tx;
+                    op.on_end(&mut |r| {
+                        let _ = tx_ref.send(Message::Record(r));
+                    });
+                    let _ = tx.send(Message::End);
+                    return;
+                }
+            }
+        }
+        // Input hung up without End.
+        let _ = tx.send(Message::End);
+    });
+    (rx, StageHandle { join })
+}
+
+fn hash_key<K: Hash>(key: &K) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Splits a stream into `n` keyed shards. Records route by key hash;
+/// watermarks and `End` are broadcast to every shard.
+pub fn shard_by_key<T, K, KF>(
+    input: Receiver<Message<T>>,
+    n: usize,
+    mut key_fn: KF,
+    capacity: usize,
+) -> (Vec<Receiver<Message<T>>>, StageHandle)
+where
+    T: Send + 'static,
+    K: Hash,
+    KF: FnMut(&T) -> K + Send + 'static,
+{
+    assert!(n > 0, "need at least one shard");
+    let mut senders: Vec<Sender<Message<T>>> = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded(capacity.max(1));
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let join = std::thread::spawn(move || {
+        for msg in input.iter() {
+            match msg {
+                Message::Record(rec) => {
+                    let shard = (hash_key(&key_fn(&rec.payload)) % n as u64) as usize;
+                    let _ = senders[shard].send(Message::Record(rec));
+                }
+                Message::Watermark(wm) => {
+                    for tx in &senders {
+                        let _ = tx.send(Message::Watermark(wm));
+                    }
+                }
+                Message::End => {
+                    for tx in &senders {
+                        let _ = tx.send(Message::End);
+                    }
+                    return;
+                }
+            }
+        }
+        for tx in &senders {
+            let _ = tx.send(Message::End);
+        }
+    });
+    (receivers, StageHandle { join })
+}
+
+/// Merges keyed shards back into one stream.
+///
+/// The merged watermark is the minimum of the per-shard watermarks (the
+/// standard alignment rule), so downstream event-time logic stays correct.
+pub fn merge_shards<T>(
+    shards: Vec<Receiver<Message<T>>>,
+    capacity: usize,
+) -> (Receiver<Message<T>>, StageHandle)
+where
+    T: Send + 'static,
+{
+    assert!(!shards.is_empty(), "need at least one shard");
+    let (tx, rx) = bounded(capacity.max(1));
+    let join = std::thread::spawn(move || {
+        let n = shards.len();
+        let mut wms = vec![TimeMs::MIN; n];
+        let mut ended = vec![false; n];
+        let mut merged_wm = TimeMs::MIN;
+        let mut live = n;
+        let mut sel = Select::new();
+        for rx in &shards {
+            sel.recv(rx);
+        }
+        while live > 0 {
+            let op = sel.select();
+            let idx = op.index();
+            match op.recv(&shards[idx]) {
+                Ok(Message::Record(rec)) => {
+                    let _ = tx.send(Message::Record(rec));
+                }
+                Ok(Message::Watermark(wm)) => {
+                    wms[idx] = wms[idx].max(wm);
+                    let min_wm = wms
+                        .iter()
+                        .zip(&ended)
+                        .filter(|(_, e)| !**e)
+                        .map(|(w, _)| *w)
+                        .min()
+                        .unwrap_or(wm);
+                    if min_wm > merged_wm {
+                        merged_wm = min_wm;
+                        let _ = tx.send(Message::Watermark(merged_wm));
+                    }
+                }
+                Ok(Message::End) | Err(_) => {
+                    if !ended[idx] {
+                        ended[idx] = true;
+                        live -= 1;
+                        sel.remove(idx);
+                    }
+                }
+            }
+        }
+        let _ = tx.send(Message::End);
+    });
+    (rx, StageHandle { join })
+}
+
+/// Drains a channel into a `Vec` (test/sink helper). Returns all messages
+/// up to and including `End`.
+pub fn collect_messages<T>(rx: Receiver<Message<T>>) -> Vec<Message<T>> {
+    let mut out = Vec::new();
+    for msg in rx.iter() {
+        let end = msg.is_end();
+        out.push(msg);
+        if end {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Record;
+    use crate::operator::{FilterOp, MapOp};
+    use crate::watermark::{with_watermarks, BoundedOutOfOrderness};
+
+    fn source_msgs(n: i64) -> Vec<Message<i64>> {
+        let src: Vec<(TimeMs, i64)> = (0..n).map(|i| (TimeMs(i * 10), i)).collect();
+        with_watermarks(src, BoundedOutOfOrderness::new(0, 10)).collect()
+    }
+
+    #[test]
+    fn source_to_operator_to_sink() {
+        let (rx, h1) = run_source(source_msgs(100), 16);
+        let (rx, h2) = spawn_operator(rx, MapOp(|x: i64| x * 2), 16);
+        let out = collect_messages(rx);
+        h1.join();
+        h2.join();
+        let values: Vec<i64> = out
+            .iter()
+            .filter_map(|m| m.as_record().map(|r| r.payload))
+            .collect();
+        assert_eq!(values, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(out.last().unwrap().is_end());
+    }
+
+    #[test]
+    fn source_without_end_marker_gets_closed() {
+        let msgs = vec![Message::record(TimeMs(1), 5u32)];
+        let (rx, h) = run_source(msgs, 4);
+        let out = collect_messages(rx);
+        h.join();
+        assert_eq!(out.len(), 2);
+        assert!(out[1].is_end());
+    }
+
+    #[test]
+    fn shard_and_merge_preserves_all_records() {
+        let (rx, h0) = run_source(source_msgs(1000), 64);
+        let (shards, h1) = shard_by_key(rx, 4, |x: &i64| *x, 64);
+        // A per-shard identity stage, then merge.
+        let mut handles = vec![h0, h1];
+        let mut staged = Vec::new();
+        for shard in shards {
+            let (rx, h) = spawn_operator(shard, FilterOp(|_: &i64| true), 64);
+            staged.push(rx);
+            handles.push(h);
+        }
+        let (rx, hm) = merge_shards(staged, 64);
+        handles.push(hm);
+        let out = collect_messages(rx);
+        for h in handles {
+            h.join();
+        }
+        let mut values: Vec<i64> = out
+            .iter()
+            .filter_map(|m| m.as_record().map(|r| r.payload))
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..1000).collect::<Vec<_>>());
+        assert!(out.last().unwrap().is_end());
+    }
+
+    #[test]
+    fn merged_watermarks_are_min_aligned_and_monotone() {
+        let (rx, h0) = run_source(source_msgs(500), 64);
+        let (shards, h1) = shard_by_key(rx, 3, |x: &i64| *x, 64);
+        let (rx, hm) = merge_shards(shards, 64);
+        let out = collect_messages(rx);
+        h0.join();
+        h1.join();
+        hm.join();
+        let wms: Vec<TimeMs> = out
+            .iter()
+            .filter_map(|m| match m {
+                Message::Watermark(w) => Some(*w),
+                _ => None,
+            })
+            .collect();
+        assert!(!wms.is_empty());
+        for pair in wms.windows(2) {
+            assert!(pair[0] < pair[1], "watermark regression {pair:?}");
+        }
+    }
+
+    #[test]
+    fn same_key_routes_to_same_shard() {
+        let msgs: Vec<Message<u32>> = (0..100)
+            .map(|i| Message::record(TimeMs(i), (i % 7) as u32))
+            .chain(std::iter::once(Message::End))
+            .collect();
+        let (rx, h0) = run_source(msgs, 16);
+        // Capacity must cover the whole input because the shards are
+        // drained sequentially below (the router must never block).
+        let (shards, h1) = shard_by_key(rx, 4, |x: &u32| *x, 256);
+        let outs: Vec<Vec<Message<u32>>> = shards.into_iter().map(collect_messages).collect();
+        h0.join();
+        h1.join();
+        // Each key appears on exactly one shard.
+        for key in 0..7u32 {
+            let shards_with_key = outs
+                .iter()
+                .filter(|o| {
+                    o.iter()
+                        .any(|m| m.as_record().map(|r| r.payload) == Some(key))
+                })
+                .count();
+            assert_eq!(shards_with_key, 1, "key {key} split across shards");
+        }
+    }
+
+    #[test]
+    fn backpressure_does_not_deadlock() {
+        // Tiny capacity forces the producer to block on the consumer.
+        let (rx, h0) = run_source(source_msgs(10_000), 2);
+        let (rx, h1) = spawn_operator(rx, MapOp(|x: i64| x + 1), 2);
+        let out = collect_messages(rx);
+        h0.join();
+        h1.join();
+        let n = out
+            .iter()
+            .filter(|m| m.as_record().is_some())
+            .count();
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn operator_emitting_on_end_flushes() {
+        struct FlushOnEnd(Vec<i64>);
+        impl Operator<i64, i64> for FlushOnEnd {
+            fn on_record(&mut self, rec: Record<i64>, _out: &mut dyn FnMut(Record<i64>)) {
+                self.0.push(rec.payload);
+            }
+            fn on_end(&mut self, out: &mut dyn FnMut(Record<i64>)) {
+                out(Record::new(TimeMs(0), self.0.iter().sum()));
+            }
+        }
+        let (rx, h0) = run_source(source_msgs(10), 8);
+        let (rx, h1) = spawn_operator(rx, FlushOnEnd(Vec::new()), 8);
+        let out = collect_messages(rx);
+        h0.join();
+        h1.join();
+        let values: Vec<i64> = out
+            .iter()
+            .filter_map(|m| m.as_record().map(|r| r.payload))
+            .collect();
+        assert_eq!(values, vec![45]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Watermark generation for out-of-order sources.
+
+use crate::message::{Message, Record};
+use datacron_geo::TimeMs;
+
+/// The standard bounded-out-of-orderness watermark strategy: the watermark
+/// trails the maximum seen event time by a fixed delay, and is (re)emitted
+/// every `emit_every` records.
+#[derive(Debug, Clone)]
+pub struct BoundedOutOfOrderness {
+    delay_ms: i64,
+    emit_every: usize,
+    max_event_time: TimeMs,
+    since_emit: usize,
+    last_emitted: TimeMs,
+}
+
+impl BoundedOutOfOrderness {
+    /// Creates a strategy allowing `delay_ms` of disorder, emitting a
+    /// watermark every `emit_every` records (min 1).
+    pub fn new(delay_ms: i64, emit_every: usize) -> Self {
+        Self {
+            delay_ms: delay_ms.max(0),
+            emit_every: emit_every.max(1),
+            max_event_time: TimeMs::MIN,
+            since_emit: 0,
+            last_emitted: TimeMs::MIN,
+        }
+    }
+
+    /// Observes a record's event time; returns a watermark to emit after the
+    /// record, when due.
+    pub fn observe(&mut self, event_time: TimeMs) -> Option<TimeMs> {
+        if event_time > self.max_event_time {
+            self.max_event_time = event_time;
+        }
+        self.since_emit += 1;
+        if self.since_emit >= self.emit_every {
+            self.since_emit = 0;
+            let wm = TimeMs(self.max_event_time.millis().saturating_sub(self.delay_ms));
+            if wm > self.last_emitted {
+                self.last_emitted = wm;
+                return Some(wm);
+            }
+        }
+        None
+    }
+
+    /// The watermark value that would close the stream (max event time, so
+    /// every window fires at end-of-input).
+    pub fn final_watermark(&self) -> TimeMs {
+        self.max_event_time
+    }
+}
+
+/// Wraps an iterator of `(event_time, payload)` into a message stream with
+/// periodic watermarks and a final watermark + `End`.
+pub fn with_watermarks<T, I>(
+    source: I,
+    mut strategy: BoundedOutOfOrderness,
+) -> impl Iterator<Item = Message<T>>
+where
+    I: IntoIterator<Item = (TimeMs, T)>,
+{
+    let mut iter = source.into_iter();
+    let mut pending: std::collections::VecDeque<Message<T>> =
+        std::collections::VecDeque::with_capacity(2);
+    let mut finished = false;
+    std::iter::from_fn(move || {
+        if let Some(m) = pending.pop_front() {
+            return Some(m);
+        }
+        if finished {
+            return None;
+        }
+        match iter.next() {
+            Some((t, payload)) => {
+                // Record first, then the watermark it triggered.
+                pending.push_back(Message::Record(Record::new(t, payload)));
+                if let Some(wm) = strategy.observe(t) {
+                    pending.push_back(Message::Watermark(wm));
+                }
+                pending.pop_front()
+            }
+            None => {
+                finished = true;
+                if strategy.final_watermark() > TimeMs::MIN {
+                    pending.push_back(Message::Watermark(strategy.final_watermark()));
+                }
+                pending.push_back(Message::End);
+                pending.pop_front()
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_trails_max_by_delay() {
+        let mut s = BoundedOutOfOrderness::new(100, 1);
+        assert_eq!(s.observe(TimeMs(1000)), Some(TimeMs(900)));
+        assert_eq!(s.observe(TimeMs(1500)), Some(TimeMs(1400)));
+        // Out-of-order record does not regress the watermark.
+        assert_eq!(s.observe(TimeMs(1200)), None);
+        assert_eq!(s.observe(TimeMs(1600)), Some(TimeMs(1500)));
+    }
+
+    #[test]
+    fn emit_every_batches() {
+        let mut s = BoundedOutOfOrderness::new(0, 3);
+        assert_eq!(s.observe(TimeMs(1)), None);
+        assert_eq!(s.observe(TimeMs(2)), None);
+        assert_eq!(s.observe(TimeMs(3)), Some(TimeMs(3)));
+        assert_eq!(s.observe(TimeMs(4)), None);
+    }
+
+    #[test]
+    fn watermarks_never_regress() {
+        let mut s = BoundedOutOfOrderness::new(50, 1);
+        let times = [1000, 400, 300, 1001, 200, 1002];
+        let mut last = TimeMs::MIN;
+        for t in times {
+            if let Some(wm) = s.observe(TimeMs(t)) {
+                assert!(wm > last);
+                last = wm;
+            }
+        }
+        assert_eq!(last, TimeMs(952));
+    }
+
+    #[test]
+    fn with_watermarks_stream_shape() {
+        let src = vec![(TimeMs(10), 'a'), (TimeMs(30), 'b'), (TimeMs(20), 'c')];
+        let msgs: Vec<Message<char>> =
+            with_watermarks(src, BoundedOutOfOrderness::new(5, 2)).collect();
+        // Records in order, watermark after the 2nd record, final watermark
+        // (= max event time 30) then End.
+        assert_eq!(
+            msgs,
+            vec![
+                Message::record(TimeMs(10), 'a'),
+                Message::record(TimeMs(30), 'b'),
+                Message::Watermark(TimeMs(25)),
+                Message::record(TimeMs(20), 'c'),
+                Message::Watermark(TimeMs(30)),
+                Message::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_source_just_ends() {
+        let msgs: Vec<Message<u8>> =
+            with_watermarks(Vec::new(), BoundedOutOfOrderness::new(5, 2)).collect();
+        assert_eq!(msgs, vec![Message::End]);
+    }
+}

@@ -1,0 +1,401 @@
+//! Event-time windows: tumbling and sliding, keyed, watermark-driven.
+
+use crate::message::Record;
+use crate::operator::Operator;
+use datacron_geo::{TimeInterval, TimeMs};
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// A window shape: `size_ms` wide, advancing by `slide_ms`.
+/// `slide_ms == size_ms` gives tumbling windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length in milliseconds.
+    pub size_ms: i64,
+    /// Hop between consecutive window starts, in milliseconds.
+    pub slide_ms: i64,
+}
+
+impl WindowSpec {
+    /// A tumbling window of `size_ms`.
+    pub fn tumbling(size_ms: i64) -> Self {
+        Self {
+            size_ms,
+            slide_ms: size_ms,
+        }
+    }
+
+    /// A sliding window.
+    ///
+    /// `slide_ms` must be positive and no larger than `size_ms`.
+    pub fn sliding(size_ms: i64, slide_ms: i64) -> Self {
+        assert!(slide_ms > 0 && slide_ms <= size_ms, "invalid window spec");
+        Self { size_ms, slide_ms }
+    }
+
+    /// The start timestamps of every window containing `t`.
+    pub fn assign(&self, t: TimeMs) -> Vec<TimeMs> {
+        let ts = t.millis();
+        // Last window start ≤ ts, aligned to the slide.
+        let last_start = ts - ts.rem_euclid(self.slide_ms);
+        let mut starts = Vec::with_capacity((self.size_ms / self.slide_ms) as usize);
+        let mut start = last_start;
+        while start > ts - self.size_ms {
+            starts.push(TimeMs(start));
+            start -= self.slide_ms;
+        }
+        starts
+    }
+
+    /// The interval of the window starting at `start`.
+    pub fn window_at(&self, start: TimeMs) -> TimeInterval {
+        TimeInterval::new(start, start + self.size_ms)
+    }
+}
+
+/// Incremental aggregation of window contents.
+pub trait Aggregator: Default + Send {
+    /// Input element type.
+    type In;
+    /// Aggregate result type.
+    type Out;
+    /// Folds one element into the aggregate.
+    fn add(&mut self, value: &Self::In);
+    /// Produces the result when the window fires.
+    fn finish(self) -> Self::Out;
+}
+
+/// Output of a fired window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutput<K, A> {
+    /// The key.
+    pub key: K,
+    /// The window interval.
+    pub window: TimeInterval,
+    /// The aggregate.
+    pub value: A,
+}
+
+/// A keyed event-time window operator.
+///
+/// Records are assigned to windows by event time; a window `[s, e)` fires
+/// when a watermark `≥ e` arrives, emitting one [`WindowOutput`] record
+/// stamped `e - 1` (the last instant inside the window, so downstream
+/// watermarks remain correct). Records older than the watermark are *late*
+/// and dropped (counted in [`KeyedWindowOp::late_count`]).
+pub struct KeyedWindowOp<K, A, KF>
+where
+    A: Aggregator,
+{
+    spec: WindowSpec,
+    key_fn: KF,
+    /// Open windows: (window start) → (key → aggregate).
+    panes: std::collections::BTreeMap<TimeMs, FxHashMap<K, A>>,
+    watermark: TimeMs,
+    late: u64,
+}
+
+impl<K, A, KF> KeyedWindowOp<K, A, KF>
+where
+    A: Aggregator,
+{
+    /// Creates the operator.
+    pub fn new(spec: WindowSpec, key_fn: KF) -> Self {
+        Self {
+            spec,
+            key_fn,
+            panes: std::collections::BTreeMap::new(),
+            watermark: TimeMs::MIN,
+            late: 0,
+        }
+    }
+
+    /// Number of records dropped as late so far.
+    pub fn late_count(&self) -> u64 {
+        self.late
+    }
+
+    /// Number of currently open window panes (across keys).
+    pub fn open_panes(&self) -> usize {
+        self.panes.len()
+    }
+}
+
+impl<I, K, A, KF> Operator<I, WindowOutput<K, A::Out>> for KeyedWindowOp<K, A, KF>
+where
+    K: Eq + Hash + Clone + Send,
+    A: Aggregator<In = I> + Send,
+    A::Out: Send,
+    KF: FnMut(&I) -> K + Send,
+{
+    fn on_record(
+        &mut self,
+        rec: Record<I>,
+        _out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>),
+    ) {
+        if rec.event_time < self.watermark {
+            self.late += 1;
+            return;
+        }
+        let key = (self.key_fn)(&rec.payload);
+        for start in self.spec.assign(rec.event_time) {
+            // A window that would already have fired cannot accept data.
+            if start + self.spec.size_ms <= self.watermark {
+                continue;
+            }
+            let pane = self.panes.entry(start).or_default();
+            pane.entry(key.clone()).or_default().add(&rec.payload);
+        }
+    }
+
+    fn on_watermark(
+        &mut self,
+        wm: TimeMs,
+        out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>),
+    ) {
+        self.watermark = self.watermark.max(wm);
+        while let Some((&start, _)) = self.panes.first_key_value() {
+            let window = self.spec.window_at(start);
+            if window.end > wm {
+                break;
+            }
+            let pane = self.panes.remove(&start).expect("pane exists");
+            for (key, agg) in pane {
+                out(Record::new(
+                    window.end - 1,
+                    WindowOutput {
+                        key,
+                        window,
+                        value: agg.finish(),
+                    },
+                ));
+            }
+        }
+    }
+
+    fn on_end(&mut self, out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>)) {
+        // Flush every open window as if time advanced past it.
+        self.on_watermark(TimeMs::MAX, out);
+    }
+}
+
+/// Counting aggregator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountAgg(pub u64);
+
+impl Aggregator for CountAgg {
+    type In = ();
+    type Out = u64;
+    fn add(&mut self, _: &()) {
+        self.0 += 1;
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Generic counting aggregator over any element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountAny<T> {
+    count: u64,
+    _t: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Default for CountAny<T> {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            _t: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> Aggregator for CountAny<T> {
+    type In = T;
+    type Out = u64;
+    fn add(&mut self, _: &T) {
+        self.count += 1;
+    }
+    fn finish(self) -> u64 {
+        self.count
+    }
+}
+
+/// Collects window elements into a `Vec` (used where the firing logic needs
+/// the raw contents, e.g. trajectory segments per window).
+#[derive(Debug, Clone)]
+pub struct CollectAgg<T>(pub Vec<T>);
+
+impl<T> Default for CollectAgg<T> {
+    fn default() -> Self {
+        Self(Vec::new())
+    }
+}
+
+impl<T: Clone + Send> Aggregator for CollectAgg<T> {
+    type In = T;
+    type Out = Vec<T>;
+    fn add(&mut self, value: &T) {
+        self.0.push(value.clone());
+    }
+    fn finish(self) -> Vec<T> {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn tumbling_assignment() {
+        let spec = WindowSpec::tumbling(100);
+        assert_eq!(spec.assign(TimeMs(0)), vec![TimeMs(0)]);
+        assert_eq!(spec.assign(TimeMs(99)), vec![TimeMs(0)]);
+        assert_eq!(spec.assign(TimeMs(100)), vec![TimeMs(100)]);
+        assert_eq!(spec.assign(TimeMs(250)), vec![TimeMs(200)]);
+    }
+
+    #[test]
+    fn sliding_assignment() {
+        let spec = WindowSpec::sliding(100, 25);
+        let starts = spec.assign(TimeMs(110));
+        assert_eq!(
+            starts,
+            vec![TimeMs(100), TimeMs(75), TimeMs(50), TimeMs(25)]
+        );
+        // Each assigned window actually contains t.
+        for s in starts {
+            assert!(spec.window_at(s).contains(TimeMs(110)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window spec")]
+    fn sliding_rejects_bad_slide() {
+        WindowSpec::sliding(100, 200);
+    }
+
+    #[test]
+    fn negative_times_assign_correctly() {
+        let spec = WindowSpec::tumbling(100);
+        assert_eq!(spec.assign(TimeMs(-1)), vec![TimeMs(-100)]);
+        assert!(spec.window_at(TimeMs(-100)).contains(TimeMs(-1)));
+    }
+
+    fn run_count_windows(
+        events: &[(i64, u32)],
+        wms: &[(usize, i64)],
+        spec: WindowSpec,
+    ) -> Vec<(u32, i64, u64)> {
+        // Interleave watermarks at positions given by wms (index, value).
+        let mut input: Vec<Message<u32>> = Vec::new();
+        let mut wm_iter = wms.iter().peekable();
+        for (i, &(t, k)) in events.iter().enumerate() {
+            input.push(Message::record(TimeMs(t), k));
+            while let Some(&&(pos, wm)) = wm_iter.peek() {
+                if pos == i {
+                    input.push(Message::Watermark(TimeMs(wm)));
+                    wm_iter.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        input.push(Message::End);
+        let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
+            KeyedWindowOp::new(spec, |k: &u32| *k);
+        let out = op.run(input);
+        out.iter()
+            .filter_map(|m| m.as_record())
+            .map(|r| (r.payload.key, r.payload.window.start.millis(), r.payload.value))
+            .collect()
+    }
+
+    #[test]
+    fn tumbling_count_fires_on_watermark() {
+        let out = run_count_windows(
+            &[(10, 1), (20, 1), (30, 2), (110, 1)],
+            &[(3, 100)],
+            WindowSpec::tumbling(100),
+        );
+        // Window [0,100) fires at watermark 100 with counts 2 (key 1) and 1
+        // (key 2); window [100,200) fires at End with count 1.
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(1, 0, 2), (1, 100, 1), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn late_records_dropped_and_counted() {
+        let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
+            KeyedWindowOp::new(WindowSpec::tumbling(100), |k: &u32| *k);
+        let input = vec![
+            Message::record(TimeMs(10), 1),
+            Message::Watermark(TimeMs(150)),
+            // Late: event time 50 < watermark 150.
+            Message::record(TimeMs(50), 1),
+            Message::End,
+        ];
+        let out = op.run(input);
+        let fired: Vec<u64> = out
+            .iter()
+            .filter_map(|m| m.as_record())
+            .map(|r| r.payload.value)
+            .collect();
+        assert_eq!(fired, vec![1]);
+        assert_eq!(op.late_count(), 1);
+    }
+
+    #[test]
+    fn sliding_windows_overlapping_counts() {
+        let out = run_count_windows(
+            &[(10, 1), (60, 1)],
+            &[],
+            WindowSpec::sliding(100, 50),
+        );
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        // t=10 → windows starting -50, 0; t=60 → windows 0, 50.
+        assert_eq!(sorted, vec![(1, -50, 1), (1, 0, 2), (1, 50, 1)]);
+    }
+
+    #[test]
+    fn window_output_timestamp_inside_window() {
+        let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
+            KeyedWindowOp::new(WindowSpec::tumbling(100), |k: &u32| *k);
+        let input = vec![
+            Message::record(TimeMs(10), 1),
+            Message::Watermark(TimeMs(100)),
+            Message::End,
+        ];
+        let out = op.run(input);
+        let rec = out.iter().find_map(|m| m.as_record()).unwrap();
+        assert_eq!(rec.event_time, TimeMs(99));
+        assert!(rec.payload.window.contains(rec.event_time));
+    }
+
+    #[test]
+    fn end_flushes_open_windows() {
+        let out = run_count_windows(&[(10, 7)], &[], WindowSpec::tumbling(100));
+        assert_eq!(out, vec![(7, 0, 1)]);
+    }
+
+    #[test]
+    fn collect_agg_preserves_order() {
+        let mut agg = CollectAgg::<i32>::default();
+        agg.add(&3);
+        agg.add(&1);
+        agg.add(&2);
+        assert_eq!(agg.finish(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn count_agg_unit() {
+        let mut agg = CountAgg::default();
+        agg.add(&());
+        agg.add(&());
+        assert_eq!(agg.finish(), 2);
+    }
+}

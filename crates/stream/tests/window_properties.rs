@@ -1,0 +1,90 @@
+//! Property tests: windowing agrees with brute-force grouping, and
+//! watermark-driven firing never loses on-time data.
+
+use datacron_geo::TimeMs;
+use datacron_stream::{
+    with_watermarks, BoundedOutOfOrderness, CountAny, KeyedWindowOp, Message, Operator,
+    WindowSpec,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A disordered stream: events with bounded timestamp jitter.
+fn arb_stream() -> impl Strategy<Value = Vec<(i64, u8)>> {
+    prop::collection::vec((0i64..5_000, 0u8..4), 0..200)
+}
+
+proptest! {
+    /// With watermark slack ≥ the maximum disorder, every record is
+    /// assigned and the per-(key, window) counts equal brute force.
+    #[test]
+    fn window_counts_match_brute_force(
+        mut events in arb_stream(),
+        size in 50i64..500,
+    ) {
+        // Bounded disorder: sort, then jitter each timestamp by < slack.
+        events.sort_by_key(|&(t, _)| t);
+        let slack = 1_000i64;
+
+        // Brute force per (key, window start).
+        let mut expected: BTreeMap<(u8, i64), u64> = BTreeMap::new();
+        for &(t, k) in &events {
+            let start = t - t.rem_euclid(size);
+            *expected.entry((k, start)).or_insert(0) += 1;
+        }
+
+        let src: Vec<(TimeMs, u8)> = events.iter().map(|&(t, k)| (TimeMs(t), k)).collect();
+        let msgs: Vec<Message<u8>> =
+            with_watermarks(src, BoundedOutOfOrderness::new(slack, 7)).collect();
+        let mut op: KeyedWindowOp<u8, CountAny<u8>, _> =
+            KeyedWindowOp::new(WindowSpec::tumbling(size), |k: &u8| *k);
+        let out = op.run(msgs);
+
+        let mut got: BTreeMap<(u8, i64), u64> = BTreeMap::new();
+        for m in &out {
+            if let Some(r) = m.as_record() {
+                let prev = got.insert(
+                    (r.payload.key, r.payload.window.start.millis()),
+                    r.payload.value,
+                );
+                prop_assert!(prev.is_none(), "window fired twice");
+            }
+        }
+        prop_assert_eq!(op.late_count(), 0, "no record may be late at this slack");
+        prop_assert_eq!(got, expected);
+    }
+
+    /// With zero watermark slack on a disordered stream, records may drop
+    /// as late — but fired counts plus late drops always account for every
+    /// record, and no record is ever double-counted.
+    #[test]
+    fn conservation_under_late_drops(events in arb_stream(), size in 50i64..500) {
+        let src: Vec<(TimeMs, u8)> = events.iter().map(|&(t, k)| (TimeMs(t), k)).collect();
+        let msgs: Vec<Message<u8>> =
+            with_watermarks(src, BoundedOutOfOrderness::new(0, 3)).collect();
+        let mut op: KeyedWindowOp<u8, CountAny<u8>, _> =
+            KeyedWindowOp::new(WindowSpec::tumbling(size), |k: &u8| *k);
+        let out = op.run(msgs);
+        let fired: u64 = out
+            .iter()
+            .filter_map(|m| m.as_record())
+            .map(|r| r.payload.value)
+            .sum();
+        prop_assert_eq!(fired + op.late_count(), events.len() as u64);
+    }
+
+    /// Sliding windows: each record lands in exactly size/slide windows.
+    #[test]
+    fn sliding_assignment_count(
+        t in 0i64..1_000_000,
+        factor in 1i64..6,
+        slide in 10i64..200,
+    ) {
+        let spec = WindowSpec::sliding(slide * factor, slide);
+        let starts = spec.assign(TimeMs(t));
+        prop_assert_eq!(starts.len() as i64, factor);
+        for s in starts {
+            prop_assert!(spec.window_at(s).contains(TimeMs(t)));
+        }
+    }
+}

