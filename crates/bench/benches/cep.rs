@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datacron_bench::{maritime_small, reports_of};
-use datacron_cep::{CpaDetector, LoiteringDetector, Pattern, PatternElem, RendezvousDetector, Runs};
+use datacron_cep::{
+    CpaDetector, LoiteringDetector, Pattern, PatternElem, RendezvousDetector, Runs,
+};
 use datacron_geo::TimeMs;
 use std::hint::black_box;
 

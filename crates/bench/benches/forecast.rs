@@ -1,9 +1,7 @@
 //! E6 timing: forecasting model training and prediction cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use datacron_forecast::{
-    DeadReckoningPredictor, MarkovGridModel, Predictor, RouteModel,
-};
+use datacron_forecast::{DeadReckoningPredictor, MarkovGridModel, Predictor, RouteModel};
 use datacron_geo::{Grid, TimeMs};
 use std::hint::black_box;
 

@@ -27,11 +27,9 @@ fn bench_stream(c: &mut Criterion) {
     group.bench_function("watermark_generation", |b| {
         let src: Vec<(TimeMs, i64)> = (0..n).map(|i| (TimeMs(i), i)).collect();
         b.iter(|| {
-            let count = with_watermarks(
-                black_box(src.clone()),
-                BoundedOutOfOrderness::new(100, 64),
-            )
-            .count();
+            let count =
+                with_watermarks(black_box(src.clone()), BoundedOutOfOrderness::new(100, 64))
+                    .count();
             black_box(count)
         })
     });
@@ -41,7 +39,8 @@ fn bench_stream(c: &mut Criterion) {
             BenchmarkId::new("tumbling_window", keys),
             &keys,
             |b, &keys| {
-                let src: Vec<(TimeMs, u32)> = (0..n).map(|i| (TimeMs(i), i as u32 % keys)).collect();
+                let src: Vec<(TimeMs, u32)> =
+                    (0..n).map(|i| (TimeMs(i), i as u32 % keys)).collect();
                 let msgs: Vec<Message<u32>> =
                     with_watermarks(src, BoundedOutOfOrderness::new(100, 64)).collect();
                 b.iter(|| {

@@ -19,8 +19,7 @@ fn bench_viz(c: &mut Criterion) {
             &cell_deg,
             |b, &cell_deg| {
                 b.iter(|| {
-                    let mut d =
-                        DensityGrid::new(Grid::new(data.world.region, cell_deg).unwrap());
+                    let mut d = DensityGrid::new(Grid::new(data.world.region, cell_deg).unwrap());
                     for p in &points {
                         d.add(black_box(p));
                     }

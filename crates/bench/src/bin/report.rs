@@ -20,14 +20,20 @@ use datacron_forecast::{
     MarkovGridModel, Predictor, RouteModel, VerticalProfilePredictor,
 };
 use datacron_geo::{Grid, TimeMs};
-use datacron_link::{discover_links, discover_links_exhaustive, evaluate_links, LinkRecord, LinkRule};
+use datacron_link::{
+    discover_links, discover_links_exhaustive, evaluate_links, LinkRecord, LinkRule,
+};
 use datacron_model::{labels::prf1, EventKind, PositionReport};
 use datacron_rdf::{
     execute, parse_query, Graph, HashPartitioner, PartitionedStore, SpatialGridPartitioner,
     TemporalPartitioner,
 };
-use datacron_sim::{generate_maritime, generate_registries, MaritimeConfig, NoiseModel, RegistryConfig};
-use datacron_synopses::{sed_error, Cleanser, CriticalPointDetector, DeadReckoningCompressor, SynopsisConfig};
+use datacron_sim::{
+    generate_maritime, generate_registries, MaritimeConfig, NoiseModel, RegistryConfig,
+};
+use datacron_synopses::{
+    sed_error, Cleanser, CriticalPointDetector, DeadReckoningCompressor, SynopsisConfig,
+};
 use datacron_transform::{parse_ais_csv, report_to_ais_csv, RdfMapper};
 use datacron_viz::{DensityGrid, FlowMatrix};
 use std::time::Instant;
@@ -86,7 +92,14 @@ fn e1() {
     println!(
         "{}",
         table(
-            &["threshold (m)", "kept", "ratio (%)", "SED mean (m)", "SED max (m)", "krep/s"],
+            &[
+                "threshold (m)",
+                "kept",
+                "ratio (%)",
+                "SED mean (m)",
+                "SED max (m)",
+                "krep/s"
+            ],
             &rows
         )
     );
@@ -125,7 +138,14 @@ fn e1() {
     println!(
         "A1 ablation — offline Douglas–Peucker baseline (batch, whole-trajectory):\n{}",
         table(
-            &["epsilon (m)", "kept", "ratio (%)", "SED mean (m)", "SED max (m)", "krep/s"],
+            &[
+                "epsilon (m)",
+                "kept",
+                "ratio (%)",
+                "SED mean (m)",
+                "SED max (m)",
+                "krep/s"
+            ],
             &rows
         )
     );
@@ -172,16 +192,16 @@ fn e2() {
             (clean.clone(), "raw".to_string(), 0.0)
         } else {
             let mut c = DeadReckoningCompressor::new(threshold);
-            let kept: Vec<PositionReport> =
-                clean.iter().filter(|r| c.check(r)).copied().collect();
+            let kept: Vec<PositionReport> = clean.iter().filter(|r| c.check(r)).copied().collect();
             (kept, fmt(threshold, 0), c.ratio())
         };
         let (loiters, darks) = run_detectors(&stream);
-        let score = |kind, det: &Vec<(Vec<datacron_model::ObjectId>, datacron_geo::TimeInterval)>| {
-            let (tp, _fp, fn_) = data.truth.score_events(kind, det, 15 * 60_000);
-            let (_, r, _) = prf1(tp, 0, fn_);
-            r
-        };
+        let score =
+            |kind, det: &Vec<(Vec<datacron_model::ObjectId>, datacron_geo::TimeInterval)>| {
+                let (tp, _fp, fn_) = data.truth.score_events(kind, det, 15 * 60_000);
+                let (_, r, _) = prf1(tp, 0, fn_);
+                r
+            };
         rows.push(vec![
             label,
             fmt(ratio * 100.0, 1),
@@ -244,7 +264,10 @@ fn e3() {
     ];
     println!(
         "{}",
-        table(&["stage", "output", "krec/s", "notes (triples/report)"], &rows)
+        table(
+            &["stage", "output", "krec/s", "notes (triples/report)"],
+            &rows
+        )
     );
 }
 
@@ -314,7 +337,15 @@ fn e4() {
     println!(
         "{}",
         table(
-            &["variant", "pairs scored", "reduction (%)", "P", "R", "F1", "ms"],
+            &[
+                "variant",
+                "pairs scored",
+                "reduction (%)",
+                "P",
+                "R",
+                "F1",
+                "ms"
+            ],
             &rows
         )
     );
@@ -428,7 +459,9 @@ fn e5() {
         let b = *base.get_or_insert(best);
         rows.push(vec![format!("{n}"), fmt(best, 2), fmt(b / best, 2)]);
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "parallel filter-query scaling (hash partitioning; host exposes {cores} core(s) — wall-clock speedup is bounded by that, so on a 1-core host the partitioning benefit shows as pruning, not speedup):\n{}",
         table(&["partitions/threads", "ms", "speedup"], &rows)
@@ -463,7 +496,12 @@ fn e6() {
     let mut route = RouteModel::new(Grid::new(region, 0.02).unwrap());
     route.train_all(&history);
 
-    let models: Vec<&dyn Predictor> = vec![&DeadReckoningPredictor, &ConstantTurnPredictor, &markov, &route];
+    let models: Vec<&dyn Predictor> = vec![
+        &DeadReckoningPredictor,
+        &ConstantTurnPredictor,
+        &markov,
+        &route,
+    ];
     let horizons = [5i64, 10, 20, 30, 60];
     let mut rows = Vec::new();
     let mut all_reports = Vec::new();
@@ -517,7 +555,13 @@ fn e7() {
 
     let horizons = [2i64, 5, 10, 15];
     let mut rows = Vec::new();
-    let dr = evaluate_horizons(&DeadReckoningPredictor, &test, &horizons, 10 * 60_000, 5 * 60_000);
+    let dr = evaluate_horizons(
+        &DeadReckoningPredictor,
+        &test,
+        &horizons,
+        10 * 60_000,
+        5 * 60_000,
+    );
     for r in &dr {
         // Vertical error via the profile predictor on the same anchors.
         let vp = VerticalProfilePredictor::default();
@@ -542,7 +586,10 @@ fn e7() {
             }
         }
         v_errors.sort_by(|a, b| a.total_cmp(b));
-        let v_med = v_errors.get(v_errors.len() / 2).copied().unwrap_or(f64::NAN);
+        let v_med = v_errors
+            .get(v_errors.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN);
         rows.push(vec![
             format!("{}", r.horizon_min),
             format!("{}", r.stats.predicted),
@@ -554,7 +601,13 @@ fn e7() {
     println!(
         "{}",
         table(
-            &["horizon (min)", "cases", "horiz median (km)", "horiz p90 (km)", "vert median (m)"],
+            &[
+                "horizon (min)",
+                "cases",
+                "horiz median (km)",
+                "horiz p90 (km)",
+                "vert median (m)"
+            ],
             &rows
         )
     );
@@ -562,7 +615,10 @@ fn e7() {
 
 /// E8 — CEP latency & throughput.
 fn e8() {
-    header("E8", "event recognition latency & throughput (claims C6, C8)");
+    header(
+        "E8",
+        "event recognition latency & throughput (claims C6, C8)",
+    );
     let data = maritime_workload(1);
     let reports = reports_of(&data);
 
@@ -595,7 +651,14 @@ fn e8() {
     println!(
         "maritime detector suite (loitering + rendezvous + CPA):\n{}",
         table(
-            &["reports", "events", "kreports/s", "p50 (µs)", "p99 (µs)", "max (µs)"],
+            &[
+                "reports",
+                "events",
+                "kreports/s",
+                "p50 (µs)",
+                "p99 (µs)",
+                "max (µs)"
+            ],
             &rows
         )
     );
@@ -693,7 +756,10 @@ fn e9() {
         })
         .count();
     lead_times.sort_by(|a, b| a.total_cmp(b));
-    let med_lead = lead_times.get(lead_times.len() / 2).copied().unwrap_or(f64::NAN);
+    let med_lead = lead_times
+        .get(lead_times.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
     let rows = vec![vec![
         format!("{}", alerts.len()),
         fmt(confirmed as f64 / alerts.len().max(1) as f64, 2),
@@ -754,7 +820,12 @@ fn e9() {
         "pattern-Markov-chain completion probabilities (trained on {} objects):\n{}",
         per_object.len(),
         table(
-            &["event budget", "P(stop completes)", "P(gap closes)", "P(slow→stop→resume)"],
+            &[
+                "event budget",
+                "P(stop completes)",
+                "P(gap closes)",
+                "P(slow→stop→resume)"
+            ],
             &rows
         )
     );
@@ -790,7 +861,13 @@ fn e10() {
     println!(
         "density grids:\n{}",
         table(
-            &["cell (deg)", "occupied cells", "Mreports/s", "top-10 (µs)", "max cell weight"],
+            &[
+                "cell (deg)",
+                "occupied cells",
+                "Mreports/s",
+                "top-10 (µs)",
+                "max cell weight"
+            ],
             &rows
         )
     );
@@ -878,7 +955,14 @@ fn e11() {
     println!(
         "{}",
         table(
-            &["configuration", "kreports/s", "p50 (µs)", "p99 (µs)", "max (µs)", "compression (%)"],
+            &[
+                "configuration",
+                "kreports/s",
+                "p50 (µs)",
+                "p99 (µs)",
+                "max (µs)",
+                "compression (%)"
+            ],
             &rows
         )
     );
@@ -905,7 +989,10 @@ fn e11() {
 
 /// E12 — stream-engine scaling.
 fn e12() {
-    header("E12", "stream engine throughput & shard scaling (substrate)");
+    header(
+        "E12",
+        "stream engine throughput & shard scaling (substrate)",
+    );
     use datacron_stream::*;
 
     // Operator throughput, single thread.
@@ -928,7 +1015,9 @@ fn e12() {
     let work = |x: i64| {
         let mut acc = x as u64 | 1;
         for _ in 0..40_000 {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         acc as i64
     };
@@ -968,7 +1057,9 @@ fn e12() {
             fmt(b / secs, 2),
         ]);
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "shard scaling (CPU-bound keyed stage, 20k records × ~10 µs; host exposes {cores} core(s), which bounds achievable speedup):\n{}",
         table(&["shards", "krec/s", "speedup"], &rows)

@@ -74,9 +74,15 @@ pub fn row(cells: &[String]) -> String {
 /// Renders a markdown-style table from headers and rows.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&row(&headers
+        .iter()
+        .map(|h| h.to_string())
+        .collect::<Vec<_>>()));
     out.push('\n');
-    out.push_str(&row(&headers.iter().map(|_| "---".to_string()).collect::<Vec<_>>()));
+    out.push_str(&row(&headers
+        .iter()
+        .map(|_| "---".to_string())
+        .collect::<Vec<_>>()));
     out.push('\n');
     for r in rows {
         out.push_str(&row(r));

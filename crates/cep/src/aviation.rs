@@ -71,9 +71,9 @@ impl HoldingDetector {
                 let start = buf.front().map(|&(t, ..)| t).unwrap_or(r.time);
                 // Centre of the hold: centroid of buffered positions.
                 let n = buf.len() as f64;
-                let (sx, sy) = buf
-                    .iter()
-                    .fold((0.0, 0.0), |(sx, sy), &(_, _, _, p)| (sx + p.lon, sy + p.lat));
+                let (sx, sy) = buf.iter().fold((0.0, 0.0), |(sx, sy), &(_, _, _, p)| {
+                    (sx + p.lon, sy + p.lat)
+                });
                 return Some(
                     EventRecord::durative(
                         EventKind::HoldingPattern,
@@ -108,7 +108,9 @@ impl SectorHotspotDetector {
         Self {
             sectors,
             bucket_ms: bucket_ms.max(1),
-            occupancy: (0..n).map(|_| (TimeMs::MIN, FxHashMap::default())).collect(),
+            occupancy: (0..n)
+                .map(|_| (TimeMs::MIN, FxHashMap::default()))
+                .collect(),
             alerted_bucket: vec![TimeMs::MIN; n],
         }
     }
@@ -233,8 +235,7 @@ impl SeparationRiskDetector {
             }
         }
         for e in &out {
-            self.last_alert
-                .insert((e.objects[0], e.objects[1]), r.time);
+            self.last_alert.insert((e.objects[0], e.objects[1]), r.time);
         }
         out
     }
@@ -246,7 +247,15 @@ mod tests {
     use datacron_geo::{BoundingBox, GeoPoint3};
     use datacron_model::SourceId;
 
-    fn rep3(obj: u64, t_min: f64, pos: GeoPoint, alt: f64, speed: f64, heading: f64, vrate: f64) -> PositionReport {
+    fn rep3(
+        obj: u64,
+        t_min: f64,
+        pos: GeoPoint,
+        alt: f64,
+        speed: f64,
+        heading: f64,
+        vrate: f64,
+    ) -> PositionReport {
         PositionReport::aviation(
             ObjectId(obj),
             TimeMs((t_min * 60_000.0) as i64),
@@ -270,7 +279,9 @@ mod tests {
             let bearing = (i * 36 % 360) as f64;
             let pos = center.destination(bearing, 7_000.0);
             let heading = datacron_geo::units::normalize_deg(bearing + 90.0);
-            if d.update(&rep3(1, i as f64, pos, 5_000.0, 150.0, heading, 0.0)).is_some() {
+            if d.update(&rep3(1, i as f64, pos, 5_000.0, 150.0, heading, 0.0))
+                .is_some()
+            {
                 fired = true;
                 break;
             }
@@ -323,8 +334,12 @@ mod tests {
     fn hotspot_when_capacity_exceeded() {
         let mut d = one_sector(2);
         let inside = GeoPoint::new(10.0, 45.0);
-        assert!(d.update(&rep3(1, 0.0, inside, 10_000.0, 220.0, 90.0, 0.0)).is_empty());
-        assert!(d.update(&rep3(2, 1.0, inside, 10_500.0, 220.0, 90.0, 0.0)).is_empty());
+        assert!(d
+            .update(&rep3(1, 0.0, inside, 10_000.0, 220.0, 90.0, 0.0))
+            .is_empty());
+        assert!(d
+            .update(&rep3(2, 1.0, inside, 10_500.0, 220.0, 90.0, 0.0))
+            .is_empty());
         let evs = d.update(&rep3(3, 2.0, inside, 11_000.0, 220.0, 90.0, 0.0));
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].kind, EventKind::SectorHotspot);
@@ -332,7 +347,9 @@ mod tests {
         assert_eq!(evs[0].attr("occupancy"), Some("3"));
         assert_eq!(evs[0].objects.len(), 3);
         // Fourth aircraft in the same bucket: suppressed.
-        assert!(d.update(&rep3(4, 3.0, inside, 9_000.0, 220.0, 90.0, 0.0)).is_empty());
+        assert!(d
+            .update(&rep3(4, 3.0, inside, 9_000.0, 220.0, 90.0, 0.0))
+            .is_empty());
         assert_eq!(d.occupancy("S1"), 4);
     }
 
@@ -353,14 +370,18 @@ mod tests {
     fn ground_traffic_ignored() {
         let mut d = one_sector(0);
         let inside = GeoPoint::new(10.0, 45.0);
-        assert!(d.update(&rep3(1, 0.0, inside, 50.0, 10.0, 90.0, 0.0)).is_empty());
+        assert!(d
+            .update(&rep3(1, 0.0, inside, 50.0, 10.0, 90.0, 0.0))
+            .is_empty());
     }
 
     #[test]
     fn outside_sector_ignored() {
         let mut d = one_sector(0);
         let outside = GeoPoint::new(20.0, 50.0);
-        assert!(d.update(&rep3(1, 0.0, outside, 10_000.0, 220.0, 90.0, 0.0)).is_empty());
+        assert!(d
+            .update(&rep3(1, 0.0, outside, 10_000.0, 220.0, 90.0, 0.0))
+            .is_empty());
     }
 
     // --- separation risk ---

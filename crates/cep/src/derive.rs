@@ -73,8 +73,7 @@ impl ZoneTracker {
                         EventKind::ZoneExit
                     };
                     out.push(
-                        EventRecord::instant(kind, r.object, r.time, pos)
-                            .with_attr("zone", name),
+                        EventRecord::instant(kind, r.object, r.time, pos).with_attr("zone", name),
                     );
                 }
             }

@@ -124,7 +124,15 @@ mod tests {
     /// A deterministic world: Stop → Turn → SpeedChange → Stop → …
     fn cyclic_chain() -> PatternMarkovChain {
         let mut m = PatternMarkovChain::new();
-        let seq = [StopStart, TurningPoint, SpeedChange, StopStart, TurningPoint, SpeedChange, StopStart];
+        let seq = [
+            StopStart,
+            TurningPoint,
+            SpeedChange,
+            StopStart,
+            TurningPoint,
+            SpeedChange,
+            StopStart,
+        ];
         m.train(&seq);
         m
     }
@@ -163,8 +171,16 @@ mod tests {
         let mut m = PatternMarkovChain::new();
         // A noisy chain: stop sometimes leads to gap, sometimes turn.
         m.train(&[
-            StopStart, GapStart, GapEnd, StopStart, TurningPoint, StopStart, GapStart, GapEnd,
-            TurningPoint, SpeedChange,
+            StopStart,
+            GapStart,
+            GapEnd,
+            StopStart,
+            TurningPoint,
+            StopStart,
+            GapStart,
+            GapEnd,
+            TurningPoint,
+            SpeedChange,
         ]);
         let suffix = [TurningPoint];
         let mut last = 0.0;
@@ -203,7 +219,13 @@ mod tests {
         // stop → (noise turn)* → gap; the suffix [GapStart] needs budget to
         // skip the turns.
         m.train(&[
-            StopStart, TurningPoint, TurningPoint, GapStart, StopStart, TurningPoint, GapStart,
+            StopStart,
+            TurningPoint,
+            TurningPoint,
+            GapStart,
+            StopStart,
+            TurningPoint,
+            GapStart,
         ]);
         let p1 = m.completion_probability(StopStart, &[GapStart], 1);
         let p3 = m.completion_probability(StopStart, &[GapStart], 3);

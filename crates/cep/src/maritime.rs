@@ -312,15 +312,17 @@ impl RendezvousDetector {
     }
 
     fn excluded(&self, p: &GeoPoint) -> bool {
-        self.exclusion
-            .iter()
-            .any(|(c, r)| p.haversine_m(c) <= *r)
+        self.exclusion.iter().any(|(c, r)| p.haversine_m(c) <= *r)
     }
 
     /// Processes one report; may emit rendezvous events.
     pub fn update(&mut self, r: &PositionReport) -> Vec<EventRecord> {
         let pos = r.position();
-        let speed = if r.speed_mps.is_finite() { r.speed_mps } else { 99.0 };
+        let speed = if r.speed_mps.is_finite() {
+            r.speed_mps
+        } else {
+            99.0
+        };
         self.latest.insert(r.object, (r.time, pos, speed));
         let mut out = Vec::new();
         if self.grid.cell_of(&pos).is_none() {
@@ -416,7 +418,11 @@ pub fn cpa(a: &PositionReport, b: &PositionReport) -> (f64, f64) {
         )
     };
     let vel = |r: &PositionReport| {
-        let s = if r.speed_mps.is_finite() { r.speed_mps } else { 0.0 };
+        let s = if r.speed_mps.is_finite() {
+            r.speed_mps
+        } else {
+            0.0
+        };
         let h = if r.heading_deg.is_finite() {
             r.heading_deg.to_radians()
         } else {
@@ -475,10 +481,7 @@ impl CpaDetector {
                 continue;
             }
             let (t_s, d_m) = cpa(r, o);
-            if t_s > 0.0
-                && (t_s * 1000.0) as i64 <= self.cpa_time_ms
-                && d_m <= self.cpa_dist_m
-            {
+            if t_s > 0.0 && (t_s * 1000.0) as i64 <= self.cpa_time_ms && d_m <= self.cpa_dist_m {
                 let key = if r.object < *other {
                     (r.object, *other)
                 } else {
@@ -487,16 +490,12 @@ impl CpaDetector {
                 let since = self.last_alert.get(&key).copied();
                 if since.is_none_or(|t| r.time - t >= self.cooldown_ms) {
                     // Confidence decays with time-to-CPA.
-                    let conf =
-                        (1.0 - t_s * 1000.0 / self.cpa_time_ms as f64).clamp(0.05, 0.99);
+                    let conf = (1.0 - t_s * 1000.0 / self.cpa_time_ms as f64).clamp(0.05, 0.99);
                     out.push(
                         EventRecord::durative(
                             EventKind::CollisionRisk,
                             vec![key.0, key.1],
-                            TimeInterval::new(
-                                r.time,
-                                r.time + (t_s * 1000.0) as i64,
-                            ),
+                            TimeInterval::new(r.time, r.time + (t_s * 1000.0) as i64),
                             pos.midpoint(&o.position()),
                         )
                         .as_forecast(conf)
@@ -656,7 +655,12 @@ mod tests {
     fn short_gap_not_dark() {
         let mut d = DarkActivityDetector::new(15 * 60_000);
         let pos = GeoPoint::new(24.0, 37.0);
-        d.update(&EventRecord::instant(EventKind::GapStart, ObjectId(1), TimeMs(0), pos));
+        d.update(&EventRecord::instant(
+            EventKind::GapStart,
+            ObjectId(1),
+            TimeMs(0),
+            pos,
+        ));
         let end = EventRecord::instant(EventKind::GapEnd, ObjectId(1), TimeMs(5 * 60_000), pos);
         assert!(d.update(&end).is_none());
     }
@@ -717,8 +721,12 @@ mod tests {
         d.exclude(port, 5_000.0);
         for i in 0..20 {
             let t = i as f64;
-            assert!(d.update(&rep(1, t, port.destination(0.0, 30.0), 0.3, 0.0)).is_empty());
-            assert!(d.update(&rep(2, t, port.destination(90.0, 30.0), 0.3, 0.0)).is_empty());
+            assert!(d
+                .update(&rep(1, t, port.destination(0.0, 30.0), 0.3, 0.0))
+                .is_empty());
+            assert!(d
+                .update(&rep(2, t, port.destination(90.0, 30.0), 0.3, 0.0))
+                .is_empty());
         }
     }
 
@@ -733,8 +741,20 @@ mod tests {
         }
         // …then far apart…
         for i in 6..10 {
-            d.update(&rep(1, i as f64, meet.destination(270.0, 5_000.0), 5.0, 270.0));
-            d.update(&rep(2, i as f64, meet.destination(90.0, 5_000.0), 5.0, 90.0));
+            d.update(&rep(
+                1,
+                i as f64,
+                meet.destination(270.0, 5_000.0),
+                5.0,
+                270.0,
+            ));
+            d.update(&rep(
+                2,
+                i as f64,
+                meet.destination(90.0, 5_000.0),
+                5.0,
+                90.0,
+            ));
         }
         // …then close again for 6 minutes: still below min duration since
         // the episode restarted.
@@ -754,7 +774,13 @@ mod tests {
     fn cpa_head_on_collision_course() {
         // Two vessels 10 km apart, head-on, 5 m/s each → CPA 0 m in 1000 s.
         let a = rep(1, 0.0, GeoPoint::new(24.0, 37.0), 5.0, 90.0);
-        let b = rep(2, 0.0, GeoPoint::new(24.0, 37.0).destination(90.0, 10_000.0), 5.0, 270.0);
+        let b = rep(
+            2,
+            0.0,
+            GeoPoint::new(24.0, 37.0).destination(90.0, 10_000.0),
+            5.0,
+            270.0,
+        );
         let (t_s, d_m) = cpa(&a, &b);
         assert!((t_s - 1000.0).abs() < 20.0, "t = {t_s}");
         assert!(d_m < 50.0, "d = {d_m}");
@@ -812,7 +838,13 @@ mod tests {
         let mut total = 0;
         for i in 0..5 {
             let t = i as f64;
-            let a = rep(1, t, base.destination(90.0, 5.0 * 60.0 * i as f64), 5.0, 90.0);
+            let a = rep(
+                1,
+                t,
+                base.destination(90.0, 5.0 * 60.0 * i as f64),
+                5.0,
+                90.0,
+            );
             let b = rep(
                 2,
                 t,

@@ -52,9 +52,7 @@ impl<E> Pattern<E> {
     /// Creates a pattern.
     pub fn new(name: impl Into<String>, elems: Vec<PatternElem<E>>, within_ms: i64) -> Self {
         assert!(
-            elems
-                .iter()
-                .any(|e| !matches!(e, PatternElem::Not(_))),
+            elems.iter().any(|e| !matches!(e, PatternElem::Not(_))),
             "pattern needs at least one positive element"
         );
         assert!(

@@ -123,7 +123,12 @@ mod tests {
     use datacron_geo::{GeoPoint, TimeMs};
 
     fn ev(kind: EventKind, obj: u64, t_min: i64) -> EventRecord {
-        EventRecord::instant(kind, ObjectId(obj), TimeMs(t_min * 60_000), GeoPoint::new(24.0, 37.0))
+        EventRecord::instant(
+            kind,
+            ObjectId(obj),
+            TimeMs(t_min * 60_000),
+            GeoPoint::new(24.0, 37.0),
+        )
     }
 
     fn runtime() -> KeyedPatterns {
@@ -182,7 +187,10 @@ mod tests {
         for e in &seq {
             matches.extend(kp.on_event(e));
         }
-        let suspicious: Vec<_> = matches.iter().filter(|(n, _)| n == "suspicious-stop").collect();
+        let suspicious: Vec<_> = matches
+            .iter()
+            .filter(|(n, _)| n == "suspicious-stop")
+            .collect();
         assert_eq!(suspicious.len(), 1);
     }
 

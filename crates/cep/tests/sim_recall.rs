@@ -140,9 +140,9 @@ fn holding_patterns_found_in_aviation_scenario() {
     }
     let planted = data.truth.events_of(EventKind::HoldingPattern).count();
     assert!(planted >= 3, "scenario plants holding patterns");
-    let (tp, _fp, fn_) = data
-        .truth
-        .score_events(EventKind::HoldingPattern, &detections, 10 * 60_000);
+    let (tp, _fp, fn_) =
+        data.truth
+            .score_events(EventKind::HoldingPattern, &detections, 10 * 60_000);
     let (_, r, _) = prf1(tp, 0, fn_);
     assert!(r >= 0.6, "holding recall {r:.2}");
 }

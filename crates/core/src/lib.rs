@@ -23,5 +23,7 @@
 pub mod pipeline;
 pub mod threaded;
 
-pub use pipeline::{Pipeline, PipelineConfig, PipelineMetrics, PolygonSpec, StageLatency};
+pub use pipeline::{
+    IngestOutcome, Pipeline, PipelineConfig, PipelineMetrics, PolygonSpec, StageLatency,
+};
 pub use threaded::run_threaded;

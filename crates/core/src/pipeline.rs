@@ -137,6 +137,22 @@ impl PipelineMetrics {
     }
 }
 
+/// Counters for one [`Pipeline::ingest_batch`] call, plus the events it
+/// recognised. The counters are per-batch deltas, not lifetime totals.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOutcome {
+    /// Reports fed in (batch size).
+    pub accepted: u64,
+    /// Reports surviving the cleanser.
+    pub clean: u64,
+    /// Reports kept by the compressor.
+    pub kept: u64,
+    /// Triples added to the RDF store.
+    pub triples: u64,
+    /// Events recognised while processing the batch.
+    pub events: Vec<EventRecord>,
+}
+
 /// The single-process pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
@@ -284,6 +300,35 @@ impl Pipeline {
         out
     }
 
+    /// Incremental ingest for long-lived deployments (the serving path):
+    /// processes the batch through every stage with all detector state
+    /// retained, commits the RDF store, and returns per-batch counters
+    /// alongside the recognised events. After this returns, [`Pipeline::graph`]
+    /// sees every triple the batch produced — no further commit call needed.
+    pub fn ingest_batch(&mut self, reports: &[PositionReport]) -> IngestOutcome {
+        let clean_before = self.metrics.reports_clean;
+        let kept_before = self.metrics.reports_kept;
+        let triples_before = self.metrics.triples;
+        let events = self.process_batch(reports);
+        self.graph.commit();
+        IngestOutcome {
+            accepted: reports.len() as u64,
+            clean: self.metrics.reports_clean - clean_before,
+            kept: self.metrics.reports_kept - kept_before,
+            triples: self.metrics.triples - triples_before,
+            events,
+        }
+    }
+
+    /// Read-only view of the RDF store as of the last commit (every
+    /// [`Pipeline::ingest_batch`] commits; interleaved raw [`Pipeline::process`]
+    /// calls may leave a small uncommitted tail pending until the next
+    /// commit). Cheap: no work is done here, so concurrent readers behind a
+    /// read lock can query while no ingest is applying.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
     /// Commits and exposes the RDF store for querying.
     pub fn graph_mut(&mut self) -> &mut Graph {
         self.graph.commit();
@@ -353,12 +398,7 @@ mod tests {
 
     #[test]
     fn zone_events_emitted() {
-        let zone = PolygonSpec(vec![
-            (24.5, 36.5),
-            (25.5, 36.5),
-            (25.5, 37.5),
-            (24.5, 37.5),
-        ]);
+        let zone = PolygonSpec(vec![(24.5, 36.5), (25.5, 36.5), (25.5, 37.5), (24.5, 37.5)]);
         let mut p = Pipeline::new(PipelineConfig {
             zones: vec![("test-zone".into(), zone)],
             ..PipelineConfig::default()
@@ -393,6 +433,44 @@ mod tests {
         let q = parse_query("SELECT ?n WHERE { ?n da:ofMovingObject da:obj/5 }").unwrap();
         let (b, _) = execute(g, &q);
         assert!(!b.is_empty(), "semantic nodes must be queryable");
+    }
+
+    #[test]
+    fn ingest_batch_commits_and_reports_deltas() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let mk = |i: i64| {
+            // Zig-zag so reports survive compression and produce triples.
+            let lat = if i % 2 == 0 { 37.0 } else { 37.02 };
+            PositionReport::maritime(
+                ObjectId(9),
+                TimeMs(i * 60_000),
+                GeoPoint::new(24.0 + 0.01 * i as f64, lat),
+                6.0,
+                if i % 2 == 0 { 45.0 } else { 135.0 },
+                SourceId::AIS_TERRESTRIAL,
+                NavStatus::UnderWay,
+            )
+        };
+        let batch1: Vec<_> = (0..10).map(mk).collect();
+        let batch2: Vec<_> = (10..20).map(mk).collect();
+        let out1 = p.ingest_batch(&batch1);
+        assert_eq!(out1.accepted, 10);
+        assert_eq!(out1.clean, 10);
+        assert!(out1.kept >= 1);
+        assert!(out1.triples > 0);
+        // The read-only accessor sees the committed triples without any
+        // further commit call.
+        let len_after_1 = p.graph().len();
+        assert!(len_after_1 > 0);
+        let q = parse_query("SELECT ?n WHERE { ?n da:ofMovingObject da:obj/9 }").unwrap();
+        let (b, _) = execute(p.graph(), &q);
+        assert!(!b.is_empty(), "graph() must serve queries after ingest");
+
+        let out2 = p.ingest_batch(&batch2);
+        assert_eq!(out2.accepted, 10, "deltas are per batch, not cumulative");
+        assert!(p.graph().len() >= len_after_1);
+        // Lifetime metrics keep accumulating across batches.
+        assert_eq!(p.metrics().reports_in, 20);
     }
 
     #[test]

@@ -16,11 +16,7 @@ use datacron_stream::{
 struct PipelineOp(Pipeline);
 
 impl Operator<PositionReport, EventRecord> for PipelineOp {
-    fn on_record(
-        &mut self,
-        rec: Record<PositionReport>,
-        out: &mut dyn FnMut(Record<EventRecord>),
-    ) {
+    fn on_record(&mut self, rec: Record<PositionReport>, out: &mut dyn FnMut(Record<EventRecord>)) {
         for e in self.0.process(&rec.payload) {
             out(Record::new(rec.event_time, e));
         }

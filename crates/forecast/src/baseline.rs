@@ -125,7 +125,12 @@ mod tests {
         let mut heading = 0.0;
         let mut out = Vec::new();
         for i in 0..n {
-            out.push(TrajPoint::new2(TimeMs(i as i64 * 10_000), pos, 6.0, heading));
+            out.push(TrajPoint::new2(
+                TimeMs(i as i64 * 10_000),
+                pos,
+                6.0,
+                heading,
+            ));
             heading = datacron_geo::units::normalize_deg(heading + 5.0);
             pos = pos.destination(heading, 60.0);
         }
@@ -150,7 +155,9 @@ mod tests {
             10.0,
             0.0,
         )];
-        let p = DeadReckoningPredictor.predict(&track, TimeMs(60_000)).unwrap();
+        let p = DeadReckoningPredictor
+            .predict(&track, TimeMs(60_000))
+            .unwrap();
         let want = GeoPoint::new(24.0, 37.0).destination(0.0, 600.0);
         assert!(p.haversine_m(&want) < 1.0);
     }
@@ -159,7 +166,9 @@ mod tests {
     fn dead_reckoning_needs_kinematics_or_two_points() {
         let mut p0 = TrajPoint::new2(TimeMs(0), GeoPoint::new(24.0, 37.0), f64::NAN, f64::NAN);
         p0.speed_mps = f64::NAN;
-        assert!(DeadReckoningPredictor.predict(&[p0], TimeMs(1000)).is_none());
+        assert!(DeadReckoningPredictor
+            .predict(&[p0], TimeMs(1000))
+            .is_none());
         assert!(DeadReckoningPredictor.predict(&[], TimeMs(1000)).is_none());
     }
 
@@ -195,10 +204,7 @@ mod tests {
 
     #[test]
     fn names_differ() {
-        assert_ne!(
-            DeadReckoningPredictor.name(),
-            ConstantTurnPredictor.name()
-        );
+        assert_ne!(DeadReckoningPredictor.name(), ConstantTurnPredictor.name());
     }
 
     #[test]

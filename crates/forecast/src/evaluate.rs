@@ -171,13 +171,7 @@ mod tests {
     #[test]
     fn short_trajectories_produce_no_cases() {
         let trajs = vec![straight(2)];
-        let reports = evaluate_horizons(
-            &DeadReckoningPredictor,
-            &trajs,
-            &[60],
-            60_000,
-            60_000,
-        );
+        let reports = evaluate_horizons(&DeadReckoningPredictor, &trajs, &[60], 60_000, 60_000);
         assert_eq!(reports[0].stats.cases, 0);
         assert!(reports[0].stats.median_m.is_nan());
     }

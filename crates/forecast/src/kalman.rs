@@ -162,7 +162,11 @@ impl KalmanSmoother {
     }
 
     /// Smooths a whole track.
-    pub fn smooth_track(points: &[TrajPoint], meas_sigma_m: f64, accel_sigma: f64) -> Vec<TrajPoint> {
+    pub fn smooth_track(
+        points: &[TrajPoint],
+        meas_sigma_m: f64,
+        accel_sigma: f64,
+    ) -> Vec<TrajPoint> {
         let mut kf = KalmanSmoother::new(meas_sigma_m, accel_sigma);
         points.iter().filter_map(|p| kf.update(p)).collect()
     }
@@ -187,12 +191,7 @@ mod tests {
             let bearing: f64 = rng.gen_range(0.0..360.0);
             let d: f64 = rng.gen_range(0.0..2.0 * sigma_m);
             let obs = true_pos.destination(bearing, d);
-            noisy.push(TrajPoint::new2(
-                TimeMs(i as i64 * 10_000),
-                obs,
-                speed,
-                90.0,
-            ));
+            noisy.push(TrajPoint::new2(TimeMs(i as i64 * 10_000), obs, speed, 90.0));
         }
         (noisy, truth)
     }

@@ -166,7 +166,11 @@ mod tests {
         let truth = hist.position_at(TimeMs(30 * 60_000)).unwrap();
         let p = m.predict(prefix, TimeMs(30 * 60_000)).unwrap();
         // Within ~1.5 cells of truth.
-        assert!(p.haversine_m(&truth) < 9_000.0, "err {}", p.haversine_m(&truth));
+        assert!(
+            p.haversine_m(&truth) < 9_000.0,
+            "err {}",
+            p.haversine_m(&truth)
+        );
     }
 
     #[test]

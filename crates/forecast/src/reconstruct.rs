@@ -9,7 +9,10 @@ use rustc_hash::FxHashMap;
 pub fn reconstruct_tracks(reports: &[PositionReport], gap_ms: i64) -> Vec<Trajectory> {
     let mut per_object: FxHashMap<ObjectId, Vec<TrajPoint>> = FxHashMap::default();
     for r in reports {
-        per_object.entry(r.object).or_default().push(TrajPoint::from(r));
+        per_object
+            .entry(r.object)
+            .or_default()
+            .push(TrajPoint::from(r));
     }
     let mut out = Vec::new();
     let mut objects: Vec<ObjectId> = per_object.keys().copied().collect();
@@ -31,7 +34,10 @@ pub fn segment_on_gaps(object: ObjectId, points: &[TrajPoint], gap_ms: i64) -> V
     for p in points {
         if let Some(last) = current.last() {
             if p.time - last.time > gap_ms {
-                out.push(Trajectory::from_points(object, std::mem::take(&mut current)));
+                out.push(Trajectory::from_points(
+                    object,
+                    std::mem::take(&mut current),
+                ));
             }
         }
         current.push(*p);
@@ -105,7 +111,12 @@ mod tests {
 
     #[test]
     fn groups_by_object_and_sorts() {
-        let reports = vec![rep(2, 10, 24.1), rep(1, 20, 24.2), rep(1, 10, 24.0), rep(2, 20, 24.3)];
+        let reports = vec![
+            rep(2, 10, 24.1),
+            rep(1, 20, 24.2),
+            rep(1, 10, 24.0),
+            rep(2, 20, 24.3),
+        ];
         let tracks = reconstruct_tracks(&reports, 600_000);
         assert_eq!(tracks.len(), 2);
         assert_eq!(tracks[0].object, ObjectId(1));
@@ -115,7 +126,12 @@ mod tests {
 
     #[test]
     fn splits_on_gap() {
-        let reports = vec![rep(1, 0, 24.0), rep(1, 60, 24.01), rep(1, 2000, 24.5), rep(1, 2060, 24.51)];
+        let reports = vec![
+            rep(1, 0, 24.0),
+            rep(1, 60, 24.01),
+            rep(1, 2000, 24.5),
+            rep(1, 2060, 24.51),
+        ];
         let tracks = reconstruct_tracks(&reports, 10 * 60_000);
         assert_eq!(tracks.len(), 2);
         assert_eq!(tracks[0].len(), 2);
@@ -124,7 +140,9 @@ mod tests {
 
     #[test]
     fn no_gap_single_track() {
-        let reports: Vec<_> = (0..10).map(|i| rep(1, i * 60, 24.0 + 0.01 * i as f64)).collect();
+        let reports: Vec<_> = (0..10)
+            .map(|i| rep(1, i * 60, 24.0 + 0.01 * i as f64))
+            .collect();
         let tracks = reconstruct_tracks(&reports, 10 * 60_000);
         assert_eq!(tracks.len(), 1);
         assert_eq!(tracks[0].len(), 10);
@@ -139,7 +157,9 @@ mod tests {
 
     #[test]
     fn resample_uniform_spacing() {
-        let reports: Vec<_> = (0..5).map(|i| rep(1, i * 100, 24.0 + 0.1 * i as f64)).collect();
+        let reports: Vec<_> = (0..5)
+            .map(|i| rep(1, i * 100, 24.0 + 0.1 * i as f64))
+            .collect();
         let tracks = reconstruct_tracks(&reports, 600_000);
         let rs = resample(&tracks[0], 25_000);
         // 0..=400 s at 25 s: 17 samples.

@@ -205,8 +205,8 @@ impl Predictor for RouteModel {
         if remaining > 0.0 {
             // Ran off the end of the route (training voyages are finite);
             // continue on the route's final bearing.
-            let bearing = route.path[route.path.len() - 2]
-                .bearing_deg(&route.path[route.path.len() - 1]);
+            let bearing =
+                route.path[route.path.len() - 2].bearing_deg(&route.path[route.path.len() - 1]);
             current = current.destination(bearing, remaining);
         }
         Some(current)
@@ -312,7 +312,12 @@ mod tests {
         let mut model = RouteModel::new(grid());
         let tiny = Trajectory::from_points(
             ObjectId(2),
-            vec![TrajPoint::new2(TimeMs(0), GeoPoint::new(24.0, 37.0), 5.0, 0.0)],
+            vec![TrajPoint::new2(
+                TimeMs(0),
+                GeoPoint::new(24.0, 37.0),
+                5.0,
+                0.0,
+            )],
         );
         model.train(&tiny);
         assert_eq!(model.route_count(), 0);

@@ -90,7 +90,10 @@ impl BoundingBox {
 
     /// True when `p` lies inside or on the boundary.
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 
     /// True when the two boxes share any point (boundaries included).
@@ -207,9 +210,15 @@ mod tests {
     fn intersects_cases() {
         let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
         assert!(a.intersects(&BoundingBox::new(5.0, 5.0, 15.0, 15.0)));
-        assert!(a.intersects(&BoundingBox::new(10.0, 10.0, 20.0, 20.0)), "touching corners intersect");
+        assert!(
+            a.intersects(&BoundingBox::new(10.0, 10.0, 20.0, 20.0)),
+            "touching corners intersect"
+        );
         assert!(!a.intersects(&BoundingBox::new(10.01, 0.0, 20.0, 10.0)));
-        assert!(a.intersects(&BoundingBox::new(2.0, 2.0, 3.0, 3.0)), "containment is intersection");
+        assert!(
+            a.intersects(&BoundingBox::new(2.0, 2.0, 3.0, 3.0)),
+            "containment is intersection"
+        );
     }
 
     #[test]

@@ -216,8 +216,16 @@ mod tests {
     #[test]
     fn bearing_cardinal_directions() {
         let origin = GeoPoint::new(0.0, 0.0);
-        assert!(close(origin.bearing_deg(&GeoPoint::new(0.0, 1.0)), 0.0, 1e-9));
-        assert!(close(origin.bearing_deg(&GeoPoint::new(1.0, 0.0)), 90.0, 1e-9));
+        assert!(close(
+            origin.bearing_deg(&GeoPoint::new(0.0, 1.0)),
+            0.0,
+            1e-9
+        ));
+        assert!(close(
+            origin.bearing_deg(&GeoPoint::new(1.0, 0.0)),
+            90.0,
+            1e-9
+        ));
         assert!(close(
             origin.bearing_deg(&GeoPoint::new(0.0, -1.0)),
             180.0,

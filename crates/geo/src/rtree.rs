@@ -91,11 +91,7 @@ impl<T> RTree<T> {
                 (c.lon, c.lat)
             })
             .collect();
-        order.sort_by(|&a, &b| {
-            centers[a as usize]
-                .0
-                .total_cmp(&centers[b as usize].0)
-        });
+        order.sort_by(|&a, &b| centers[a as usize].0.total_cmp(&centers[b as usize].0));
 
         let n = order.len();
         let leaf_count = n.div_ceil(NODE_CAPACITY);
@@ -104,11 +100,7 @@ impl<T> RTree<T> {
 
         let mut leaves: Vec<u32> = Vec::with_capacity(leaf_count);
         for strip in order.chunks_mut(strip_size.max(1)) {
-            strip.sort_by(|&a, &b| {
-                centers[a as usize]
-                    .1
-                    .total_cmp(&centers[b as usize].1)
-            });
+            strip.sort_by(|&a, &b| centers[a as usize].1.total_cmp(&centers[b as usize].1));
             for run in strip.chunks(NODE_CAPACITY) {
                 let mut bbox = BoundingBox::EMPTY;
                 for &idx in run {
@@ -166,7 +158,11 @@ impl<T> RTree<T> {
     }
 
     /// Visits every entry intersecting `query` without allocating results.
-    pub fn for_each_in<'a>(&'a self, query: &BoundingBox, mut visit: impl FnMut(&'a RTreeEntry<T>)) {
+    pub fn for_each_in<'a>(
+        &'a self,
+        query: &BoundingBox,
+        mut visit: impl FnMut(&'a RTreeEntry<T>),
+    ) {
         let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(node_idx) = stack.pop() {
@@ -325,17 +321,19 @@ mod tests {
     #[test]
     fn nearest_matches_linear_scan() {
         let entries = grid_points(15);
-        let pts: Vec<(GeoPoint, usize)> = entries
-            .iter()
-            .map(|e| (e.bbox.center(), e.item))
-            .collect();
+        let pts: Vec<(GeoPoint, usize)> =
+            entries.iter().map(|e| (e.bbox.center(), e.item)).collect();
         let tree = RTree::bulk_load(entries);
         for probe in [
             GeoPoint::new(0.73, 0.41),
             GeoPoint::new(-0.5, -0.5),
             GeoPoint::new(3.0, 3.0),
         ] {
-            let got: Vec<usize> = tree.nearest(&probe, 5).iter().map(|(e, _)| e.item).collect();
+            let got: Vec<usize> = tree
+                .nearest(&probe, 5)
+                .iter()
+                .map(|(e, _)| e.item)
+                .collect();
             let mut want: Vec<(f64, usize)> = pts
                 .iter()
                 .map(|&(p, i)| (probe.fast_dist2_m2(&p).sqrt(), i))

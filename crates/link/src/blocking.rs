@@ -110,7 +110,9 @@ mod tests {
     #[test]
     fn reduction_grows_with_spread() {
         // 20 A and 20 B records spread over a wide area: few candidates.
-        let a: Vec<_> = (0..20).map(|i| rec(i, 20.0 + 0.4 * i as f64, 36.0)).collect();
+        let a: Vec<_> = (0..20)
+            .map(|i| rec(i, 20.0 + 0.4 * i as f64, 36.0))
+            .collect();
         let b: Vec<_> = (0..20)
             .map(|i| rec(100 + i as u64, 20.0 + 0.4 * i as f64 + 0.001, 36.0))
             .collect();
@@ -133,8 +135,12 @@ mod tests {
 
     #[test]
     fn coarse_tiles_return_everything() {
-        let a: Vec<_> = (0..5).map(|i| rec(i, 24.0 + 0.01 * i as f64, 37.0)).collect();
-        let b: Vec<_> = (0..5).map(|i| rec(10 + i as u64, 24.0 + 0.01 * i as f64, 37.0)).collect();
+        let a: Vec<_> = (0..5)
+            .map(|i| rec(i, 24.0 + 0.01 * i as f64, 37.0))
+            .collect();
+        let b: Vec<_> = (0..5)
+            .map(|i| rec(10 + i as u64, 24.0 + 0.01 * i as f64, 37.0))
+            .collect();
         let (pairs, stats) = block_candidates(&a, &b, 10.0);
         assert_eq!(pairs.len(), 25);
         assert_eq!(stats.reduction, 0.0);

@@ -26,4 +26,6 @@ pub mod similarity;
 pub use blocking::{block_candidates, BlockingStats};
 pub use evaluate::{evaluate_links, LinkScores};
 pub use matcher::{discover_links, discover_links_exhaustive, LinkRecord, LinkRule, ScoredLink};
-pub use similarity::{dtw_distance_m, frechet_distance_m, jaccard_tokens, levenshtein, name_similarity};
+pub use similarity::{
+    dtw_distance_m, frechet_distance_m, jaccard_tokens, levenshtein, name_similarity,
+};

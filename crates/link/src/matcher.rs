@@ -224,7 +224,14 @@ mod tests {
     fn blocking_and_exhaustive_agree_on_easy_data() {
         let rule = LinkRule::default();
         let a: Vec<_> = (0..10)
-            .map(|i| rec(i, &format!("VESSEL NUMBER {i}"), 20.0 + 0.5 * i as f64, 36.0))
+            .map(|i| {
+                rec(
+                    i,
+                    &format!("VESSEL NUMBER {i}"),
+                    20.0 + 0.5 * i as f64,
+                    36.0,
+                )
+            })
             .collect();
         let b: Vec<_> = (0..10)
             .map(|i| {

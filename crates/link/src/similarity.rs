@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn levenshtein_symmetric() {
-        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
     }
 
     #[test]
@@ -140,7 +143,9 @@ mod tests {
     }
 
     fn line(n: usize, lat: f64) -> Vec<GeoPoint> {
-        (0..n).map(|i| GeoPoint::new(24.0 + 0.01 * i as f64, lat)).collect()
+        (0..n)
+            .map(|i| GeoPoint::new(24.0 + 0.01 * i as f64, lat))
+            .collect()
     }
 
     #[test]

@@ -6,7 +6,11 @@ use datacron_sim::{
     generate_maritime, generate_registries, MaritimeConfig, NoiseModel, RegistryConfig,
 };
 
-fn scenario() -> (Vec<LinkRecord>, Vec<LinkRecord>, datacron_model::GroundTruth) {
+fn scenario() -> (
+    Vec<LinkRecord>,
+    Vec<LinkRecord>,
+    datacron_model::GroundTruth,
+) {
     let data = generate_maritime(&MaritimeConfig {
         seed: 31,
         n_vessels: 60,

@@ -86,10 +86,7 @@ impl GroundTruth {
         let mut tp = 0usize;
         let mut fp = 0usize;
         for (objs, interval) in detections {
-            let padded = TimeInterval::new(
-                interval.start - slack_ms,
-                interval.end + slack_ms,
-            );
+            let padded = TimeInterval::new(interval.start - slack_ms, interval.end + slack_ms);
             let hit = truths.iter().enumerate().find(|(i, t)| {
                 !truth_matched[*i]
                     && t.interval.overlaps(&padded)

@@ -224,7 +224,12 @@ mod tests {
     fn from_points_sorts_and_dedups() {
         let t = Trajectory::from_points(
             ObjectId(1),
-            vec![pt(2000, 0.2, 0.0), pt(0, 0.0, 0.0), pt(1000, 0.1, 0.0), pt(1000, 9.9, 9.9)],
+            vec![
+                pt(2000, 0.2, 0.0),
+                pt(0, 0.0, 0.0),
+                pt(1000, 0.1, 0.0),
+                pt(1000, 9.9, 9.9),
+            ],
         );
         assert_eq!(t.len(), 3);
         let times: Vec<i64> = t.points().iter().map(|p| p.time.millis()).collect();
@@ -259,13 +264,19 @@ mod tests {
         let p = t.position_at(TimeMs(500)).unwrap();
         assert!((p.lon - 0.05).abs() < 1e-4, "lon = {}", p.lon);
         // Exact fix times return the fix.
-        assert_eq!(t.position_at(TimeMs(1000)).unwrap(), GeoPoint::new(0.1, 0.0));
+        assert_eq!(
+            t.position_at(TimeMs(1000)).unwrap(),
+            GeoPoint::new(0.1, 0.0)
+        );
         // Outside the span.
         assert!(t.position_at(TimeMs(-1)).is_none());
         assert!(t.position_at(TimeMs(2001)).is_none());
         // Boundary fixes.
         assert_eq!(t.position_at(TimeMs(0)).unwrap(), GeoPoint::new(0.0, 0.0));
-        assert_eq!(t.position_at(TimeMs(2000)).unwrap(), GeoPoint::new(0.2, 0.0));
+        assert_eq!(
+            t.position_at(TimeMs(2000)).unwrap(),
+            GeoPoint::new(0.2, 0.0)
+        );
     }
 
     #[test]

@@ -91,9 +91,7 @@ mod tests {
     #[test]
     fn ids_are_dense_and_stable() {
         let mut d = Dictionary::new();
-        let ids: Vec<TermId> = (0..10)
-            .map(|i| d.encode(&Term::integer(i)))
-            .collect();
+        let ids: Vec<TermId> = (0..10).map(|i| d.encode(&Term::integer(i))).collect();
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(id.raw(), i as u32);
         }
@@ -132,10 +130,8 @@ mod tests {
         let mut d = Dictionary::new();
         d.encode(&Term::iri("a"));
         d.encode(&Term::iri("b"));
-        let collected: Vec<(u32, String)> = d
-            .iter()
-            .map(|(id, t)| (id.raw(), t.to_string()))
-            .collect();
+        let collected: Vec<(u32, String)> =
+            d.iter().map(|(id, t)| (id.raw(), t.to_string())).collect();
         assert_eq!(collected, vec![(0, "<a>".into()), (1, "<b>".into())]);
     }
 }

@@ -304,7 +304,11 @@ mod tests {
         for i in 0..10 {
             let v = Term::iri(format!("da:v{i}"));
             g.insert(&v, &ty, &vessel);
-            g.insert(&v, &Term::iri("da:name"), &Term::string(format!("SHIP {i}")));
+            g.insert(
+                &v,
+                &Term::iri("da:name"),
+                &Term::string(format!("SHIP {i}")),
+            );
             g.insert(&v, &Term::iri("da:speed"), &Term::double(i as f64));
             g.insert(
                 &v,

@@ -53,11 +53,7 @@ impl SpatialIndex {
                     })
                 });
         }
-        entries.extend(
-            self.tail
-                .drain(..)
-                .map(|(p, id)| RTreeEntry::point(p, id)),
-        );
+        entries.extend(self.tail.drain(..).map(|(p, id)| RTreeEntry::point(p, id)));
         self.tree = RTree::bulk_load(entries);
     }
 
@@ -135,9 +131,7 @@ impl TemporalIndex {
     /// Ids of time literals inside the half-open `interval`.
     pub fn between(&self, interval: &TimeInterval) -> FxHashSet<TermId> {
         let mut out = FxHashSet::default();
-        let start = self
-            .sorted
-            .partition_point(|&(t, _)| t < interval.start);
+        let start = self.sorted.partition_point(|&(t, _)| t < interval.start);
         for &(t, id) in &self.sorted[start..] {
             if t >= interval.end {
                 break;

@@ -157,7 +157,11 @@ mod tests {
     fn linked_graph() -> Graph {
         let mut g = Graph::new();
         // Source A knows the name; source B knows the position.
-        g.insert(&Term::iri("a:v1"), &Term::iri("da:name"), &Term::string("BLUE STAR"));
+        g.insert(
+            &Term::iri("a:v1"),
+            &Term::iri("da:name"),
+            &Term::string("BLUE STAR"),
+        );
         g.insert(
             &Term::iri("b:77"),
             &Term::iri("da:pos"),
@@ -165,7 +169,11 @@ mod tests {
         );
         g.insert(&Term::iri("a:v1"), &same_as_term(), &Term::iri("b:77"));
         // An unrelated vessel.
-        g.insert(&Term::iri("a:v2"), &Term::iri("da:name"), &Term::string("OTHER"));
+        g.insert(
+            &Term::iri("a:v2"),
+            &Term::iri("da:name"),
+            &Term::string("OTHER"),
+        );
         g.commit();
         g
     }
@@ -178,10 +186,8 @@ mod tests {
         assert_eq!(stats.classes, 1);
         assert!(stats.added >= 3, "added {}", stats.added);
         // A query joining name and position now answers across sources.
-        let q = parse_query(
-            r#"SELECT ?x WHERE { ?x da:name "BLUE STAR" . ?x da:pos ?g }"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"SELECT ?x WHERE { ?x da:name "BLUE STAR" . ?x da:pos ?g }"#).unwrap();
         let (b, _) = execute(&g, &q);
         assert_eq!(b.len(), 2, "both aliases answer");
     }

@@ -39,9 +39,9 @@ pub mod store;
 pub mod term;
 
 pub use dict::{Dictionary, TermId};
+pub use engine::{execute, Bindings, QueryStats};
 pub use infer::{saturate_same_as, SaturationStats};
 pub use ntriples::{from_ntriples, to_ntriples};
-pub use engine::{execute, Bindings, QueryStats};
 pub use parallel::PartitionedStore;
 pub use parser::parse_query;
 pub use partition::{HashPartitioner, Partitioner, SpatialGridPartitioner, TemporalPartitioner};

@@ -187,7 +187,11 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(&Term::iri("da:v1"), &Term::iri("rdf:type"), &Term::iri("da:Vessel"));
+        g.insert(
+            &Term::iri("da:v1"),
+            &Term::iri("rdf:type"),
+            &Term::iri("da:Vessel"),
+        );
         g.insert(
             &Term::iri("da:v1"),
             &Term::iri("da:name"),
@@ -198,10 +202,26 @@ mod tests {
             &Term::iri("da:pos"),
             &Term::point(GeoPoint::new(23.5, 37.9)),
         );
-        g.insert(&Term::iri("da:v1"), &Term::iri("da:at"), &Term::time(TimeMs(1234)));
-        g.insert(&Term::iri("da:v1"), &Term::iri("da:speed"), &Term::double(7.25));
-        g.insert(&Term::iri("da:v1"), &Term::iri("da:count"), &Term::integer(42));
-        g.insert(&Term::iri("da:v1"), &Term::iri("da:active"), &Term::boolean(true));
+        g.insert(
+            &Term::iri("da:v1"),
+            &Term::iri("da:at"),
+            &Term::time(TimeMs(1234)),
+        );
+        g.insert(
+            &Term::iri("da:v1"),
+            &Term::iri("da:speed"),
+            &Term::double(7.25),
+        );
+        g.insert(
+            &Term::iri("da:v1"),
+            &Term::iri("da:count"),
+            &Term::integer(42),
+        );
+        g.insert(
+            &Term::iri("da:v1"),
+            &Term::iri("da:active"),
+            &Term::boolean(true),
+        );
         g.insert(
             &Term::iri("http://abs/iri"),
             &Term::iri("da:p"),

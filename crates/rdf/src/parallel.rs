@@ -208,7 +208,10 @@ mod tests {
             g.insert(
                 &s,
                 &Term::iri("pos"),
-                &Term::point(GeoPoint::new(20.0 + (i % 10) as f64, 36.0 + (i / 10) as f64 * 0.5)),
+                &Term::point(GeoPoint::new(
+                    20.0 + (i % 10) as f64,
+                    36.0 + (i / 10) as f64 * 0.5,
+                )),
             );
             g.insert(&s, &Term::iri("at"), &Term::time(TimeMs(i * 60_000)));
             g.insert(&s, &Term::iri("speed"), &Term::double(i as f64 / 4.0));
@@ -247,10 +250,9 @@ mod tests {
 
     #[test]
     fn star_query_same_answer_on_every_partitioning() {
-        let q = parse_query(
-            "SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . FILTER (?s >= 5.0) }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . FILTER (?s >= 5.0) }")
+                .unwrap();
         let mut counts = Vec::new();
         for store in stores() {
             let (b, _) = store.execute(&q);
@@ -296,10 +298,8 @@ mod tests {
             &g,
             Box::new(TemporalPartitioner::new(4, TimeMs(0), 10 * 60_000)),
         );
-        let q = parse_query(
-            "SELECT ?v WHERE { ?v at ?t . FILTER t_between(?t, 0, 600000) }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?v WHERE { ?v at ?t . FILTER t_between(?t, 0, 600000) }").unwrap();
         let (b, stats) = store.execute(&q);
         assert_eq!(b.rows.len(), 10); // first 10 minutes → v0..v9
         assert_eq!(stats.partitions_touched, 1);

@@ -47,13 +47,13 @@ struct Lexer<'a> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Word(String),       // bare identifiers, keywords, prefixed names
-    Var(String),        // ?name
-    Iri(String),        // <...>
-    Str(String),        // "..."
-    Num(f64, bool),     // value, is_integer
-    Punct(char),        // { } ( ) . , *
-    Op(String),         // = != < <= > >=
+    Word(String),   // bare identifiers, keywords, prefixed names
+    Var(String),    // ?name
+    Iri(String),    // <...>
+    Str(String),    // "..."
+    Num(f64, bool), // value, is_integer
+    Punct(char),    // { } ( ) . , *
+    Op(String),     // = != < <= > >=
     Eof,
 }
 
@@ -124,7 +124,9 @@ impl<'a> Lexer<'a> {
                 // must close with '>' before any whitespace.
                 let start = self.pos + 1;
                 let mut i = start;
-                while i < self.src.len() && self.src[i] != b'>' && !self.src[i].is_ascii_whitespace()
+                while i < self.src.len()
+                    && self.src[i] != b'>'
+                    && !self.src[i].is_ascii_whitespace()
                 {
                     i += 1;
                 }
@@ -333,7 +335,9 @@ impl<'a> Parser<'a> {
                         ">=" => CmpOp::Ge,
                         _ => return Err(self.lex.err(format!("bad operator '{o}'"))),
                     },
-                    other => return Err(self.lex.err(format!("expected operator, found {other:?}"))),
+                    other => {
+                        return Err(self.lex.err(format!("expected operator, found {other:?}")))
+                    }
                 };
                 let value = self.literal_value()?;
                 self.expect_punct(')')?;
@@ -399,7 +403,9 @@ impl<'a> Parser<'a> {
                         // The lexer folds "name:" into one word.
                         Tok::Word(n) => n.trim_end_matches(':').to_string(),
                         other => {
-                            return Err(self.lex.err(format!("expected prefix name, found {other:?}")))
+                            return Err(self
+                                .lex
+                                .err(format!("expected prefix name, found {other:?}")))
                         }
                     };
                     let iri = match self.lex.next()? {
@@ -554,7 +560,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.patterns.len(), 6);
-        assert_eq!(q.patterns[0].o, PatternTerm::Term(Term::string("BLUE STAR")));
+        assert_eq!(
+            q.patterns[0].o,
+            PatternTerm::Term(Term::string("BLUE STAR"))
+        );
         assert_eq!(q.patterns[1].o, PatternTerm::Term(Term::double(7.5)));
         assert_eq!(q.patterns[2].o, PatternTerm::Term(Term::integer(42)));
         assert_eq!(q.patterns[3].o, PatternTerm::Term(Term::boolean(true)));
@@ -562,10 +571,7 @@ mod tests {
             q.patterns[4].o,
             PatternTerm::Term(Term::point(GeoPoint::new(23.5, 37.9)))
         );
-        assert_eq!(
-            q.patterns[5].o,
-            PatternTerm::Term(Term::time(TimeMs(1000)))
-        );
+        assert_eq!(q.patterns[5].o, PatternTerm::Term(Term::time(TimeMs(1000))));
     }
 
     #[test]
@@ -631,10 +637,7 @@ mod tests {
 
     #[test]
     fn comments_ignored() {
-        let q = parse_query(
-            "# a comment\nSELECT ?x WHERE { # inline\n ?x p:a ?y . }",
-        )
-        .unwrap();
+        let q = parse_query("# a comment\nSELECT ?x WHERE { # inline\n ?x p:a ?y . }").unwrap();
         assert_eq!(q.patterns.len(), 1);
     }
 

@@ -267,7 +267,11 @@ mod tests {
         g.insert(&Term::iri("v1"), &Term::iri("type"), &Term::iri("Vessel"));
         g.insert(&Term::iri("v2"), &Term::iri("type"), &Term::iri("Vessel"));
         g.insert(&Term::iri("f1"), &Term::iri("type"), &Term::iri("Flight"));
-        g.insert(&Term::iri("v1"), &Term::iri("name"), &Term::string("BLUE STAR"));
+        g.insert(
+            &Term::iri("v1"),
+            &Term::iri("name"),
+            &Term::string("BLUE STAR"),
+        );
         g.insert(
             &Term::iri("v1"),
             &Term::iri("pos"),
@@ -328,7 +332,9 @@ mod tests {
         let vessel = g.encode(&Term::iri("Vessel"));
         assert_eq!(g.collect_pattern(Some(v1), Some(ty), Some(vessel)).len(), 1);
         let flight = g.encode(&Term::iri("Flight"));
-        assert!(g.collect_pattern(Some(v1), Some(ty), Some(flight)).is_empty());
+        assert!(g
+            .collect_pattern(Some(v1), Some(ty), Some(flight))
+            .is_empty());
     }
 
     #[test]

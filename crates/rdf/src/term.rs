@@ -215,7 +215,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(Term::iri("http://a/b").to_string(), "<http://a/b>");
         assert_eq!(Term::iri("da:vessel1").to_string(), "da:vessel1");
-        assert_eq!(Term::string("hi \"there\"").to_string(), "\"hi \\\"there\\\"\"");
+        assert_eq!(
+            Term::string("hi \"there\"").to_string(),
+            "\"hi \\\"there\\\"\""
+        );
         assert_eq!(Term::integer(-4).to_string(), "-4");
         assert_eq!(Term::boolean(true).to_string(), "true");
         assert_eq!(

@@ -1,0 +1,304 @@
+//! Open-loop load generator for datacron-server (experiment E13).
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7878] [--rps 200] [--duration-s 10] [--conns 4]
+//!         [--batch 32] [--sweep 50,100,200,400,800]
+//! ```
+//!
+//! Open-loop means send times follow the target schedule regardless of
+//! response times, so queueing delay shows up as latency instead of being
+//! hidden by coordinated omission. Each connection runs a writer thread
+//! (paced sends, id-stamped) and a reader thread (matches ids back to
+//! send timestamps); per-request latency lands in a shared histogram.
+//! With `--sweep`, one line per target rate prints the requests/s vs
+//! p50/p99 curve.
+
+use datacron_server::json::Json;
+use datacron_stream::LatencyHistogram;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Tiny deterministic generator (xorshift64*), so loadgen needs no RNG dep.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The per-run accumulators shared by all connections.
+struct RunStats {
+    latency: LatencyHistogram,
+    sent: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+}
+
+fn build_request(seq: u64, id: u64, batch: usize, rng: &mut XorShift) -> Json {
+    // 2 ingests : 3 sparql : 1 heatmap : 1 flows : 1 events per 8 requests.
+    match seq % 8 {
+        0 | 4 => {
+            let object = 1 + rng.next() % 50;
+            let reports: Vec<Json> = (0..batch)
+                .map(|i| {
+                    Json::obj()
+                        .field("object", object)
+                        .field("t_ms", (seq as i64) * 10_000 + (i as i64) * 100)
+                        .field("lon", 20.0 + rng.unit() * 8.0)
+                        .field("lat", 34.0 + rng.unit() * 6.0)
+                        .field("speed_mps", 2.0 + rng.unit() * 10.0)
+                        .field("heading_deg", rng.unit() * 360.0)
+                        .build()
+                })
+                .collect();
+            Json::obj()
+                .field("id", id)
+                .field("type", "ingest")
+                .field("reports", Json::Arr(reports))
+                .build()
+        }
+        1 | 3 | 5 => {
+            let object = 1 + rng.next() % 50;
+            Json::obj()
+                .field("id", id)
+                .field("type", "sparql")
+                .field(
+                    "query",
+                    format!("SELECT ?n WHERE {{ ?n da:ofMovingObject da:obj/{object} }}"),
+                )
+                .field("limit", 20u64)
+                .build()
+        }
+        2 => Json::obj()
+            .field("id", id)
+            .field("type", "heatmap")
+            .field("top_k", 10u64)
+            .build(),
+        6 => Json::obj()
+            .field("id", id)
+            .field("type", "flows")
+            .field("top_k", 10u64)
+            .build(),
+        _ => Json::obj()
+            .field("id", id)
+            .field("type", "events")
+            .field("limit", 20u64)
+            .build(),
+    }
+}
+
+/// One connection's open-loop writer (this thread) + reader (spawned).
+fn run_connection(
+    addr: SocketAddr,
+    conn_idx: usize,
+    rps: f64,
+    duration: Duration,
+    batch: usize,
+    stats: Arc<RunStats>,
+) -> std::io::Result<()> {
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let inflight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Reader: match response ids back to send timestamps until the writer
+    // is done AND every in-flight request is answered (or the drain
+    // deadline inside the loop passes).
+    let reader_inflight = Arc::clone(&inflight);
+    let reader_stats = Arc::clone(&stats);
+    let reader_stop = Arc::clone(&stop);
+    let reader = thread::spawn(move || {
+        use std::io::BufRead;
+        let mut lines = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match lines.read_line(&mut line) {
+                Ok(0) => break, // server closed
+                Ok(_) => {
+                    let Ok(resp) = Json::parse(line.trim_end()) else {
+                        reader_stats.errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    let id = resp.get("id").and_then(Json::as_u64);
+                    if let Some(start) =
+                        id.and_then(|id| reader_inflight.lock().unwrap().remove(&id))
+                    {
+                        reader_stats.latency.record_since(start);
+                    }
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        reader_stats.ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        reader_stats.errors.fetch_add(1, Ordering::Relaxed);
+                        if resp.get("code").and_then(Json::as_str) == Some("busy") {
+                            reader_stats.busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Read timeout: check whether we are finished.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if reader_stop.load(Ordering::SeqCst)
+                        && reader_inflight.lock().unwrap().is_empty()
+                    {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    // Writer: paced open-loop sends. Falling behind schedule bursts to
+    // catch up instead of silently lowering the offered rate.
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15 ^ (conn_idx as u64 + 1));
+    let interval = Duration::from_secs_f64(1.0 / rps.max(0.001));
+    let started = Instant::now();
+    let mut next_send = started;
+    let mut seq: u64 = 0;
+    while started.elapsed() < duration {
+        let now = Instant::now();
+        if now < next_send {
+            thread::sleep(next_send - now);
+        }
+        next_send += interval;
+        let id = seq;
+        let req = build_request(seq, id, batch, &mut rng);
+        let mut line = String::new();
+        req.write(&mut line);
+        line.push('\n');
+        inflight.lock().unwrap().insert(id, Instant::now());
+        if std::io::Write::write_all(&mut writer, line.as_bytes()).is_err() {
+            inflight.lock().unwrap().remove(&id);
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        stats.sent.fetch_add(1, Ordering::Relaxed);
+        seq += 1;
+    }
+    // Give stragglers up to 2 s, then let the reader exit on its timeout.
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < drain_deadline && !inflight.lock().unwrap().is_empty() {
+        thread::sleep(Duration::from_millis(5));
+    }
+    inflight.lock().unwrap().clear();
+    stop.store(true, Ordering::SeqCst);
+    let _ = reader.join();
+    Ok(())
+}
+
+fn run_step(addr: SocketAddr, rps: f64, duration: Duration, conns: usize, batch: usize) {
+    let stats = Arc::new(RunStats {
+        latency: LatencyHistogram::new(),
+        sent: AtomicU64::new(0),
+        ok: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+    });
+    let per_conn_rps = rps / conns as f64;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|i| {
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || run_connection(addr, i, per_conn_rps, duration, batch, stats))
+        })
+        .collect();
+    let mut conn_errors = 0;
+    for h in handles {
+        if !matches!(h.join(), Ok(Ok(()))) {
+            conn_errors += 1;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let sent = stats.sent.load(Ordering::Relaxed);
+    let ok = stats.ok.load(Ordering::Relaxed);
+    let errors = stats.errors.load(Ordering::Relaxed);
+    let busy = stats.busy.load(Ordering::Relaxed);
+    println!(
+        "{:>8.0} {:>9.1} {:>8} {:>8} {:>6} {:>9} {:>9} {:>9} {:>5}",
+        rps,
+        ok as f64 / elapsed,
+        ok,
+        errors,
+        busy,
+        stats.latency.percentile(50.0),
+        stats.latency.percentile(99.0),
+        stats.latency.max_us(),
+        conn_errors,
+    );
+    if sent == 0 {
+        eprintln!("warning: no requests sent — is the server reachable at {addr}?");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: loadgen [--addr HOST:PORT] [--rps N] [--duration-s N] \
+             [--conns N] [--batch N] [--sweep R1,R2,...]"
+        );
+        return;
+    }
+    let addr: SocketAddr = match arg(&args, "--addr", "127.0.0.1:7878".to_string()).parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --addr: {e}");
+            std::process::exit(1);
+        }
+    };
+    let duration = Duration::from_secs_f64(arg(&args, "--duration-s", 10.0_f64).max(0.1));
+    let conns = arg(&args, "--conns", 4usize).max(1);
+    let batch = arg(&args, "--batch", 32usize).max(1);
+    let sweep = args
+        .iter()
+        .position(|a| a == "--sweep")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .filter_map(|s| s.trim().parse::<f64>().ok())
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default();
+    let rates = if sweep.is_empty() {
+        vec![arg(&args, "--rps", 200.0_f64)]
+    } else {
+        sweep
+    };
+    println!(
+        "{:>8} {:>9} {:>8} {:>8} {:>6} {:>9} {:>9} {:>9} {:>5}",
+        "target", "ach_rps", "ok", "err", "busy", "p50_us", "p99_us", "max_us", "cerr"
+    );
+    for rps in rates {
+        run_step(addr, rps, duration, conns, batch);
+    }
+}

@@ -1,0 +1,66 @@
+//! Standalone datacron-server binary.
+//!
+//! ```text
+//! datacron-serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
+//! ```
+//!
+//! Serves the newline-delimited JSON protocol until killed. The pipeline
+//! is configured for the Aegean region used across the experiments, with
+//! two zones of interest so `flows` has something to aggregate.
+
+use datacron_core::{PipelineConfig, PolygonSpec};
+use datacron_geo::BoundingBox;
+use datacron_server::{start, ServerConfig};
+use std::time::Duration;
+
+fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn rect(lon0: f64, lat0: f64, lon1: f64, lat1: f64) -> PolygonSpec {
+    PolygonSpec(vec![(lon0, lat0), (lon1, lat0), (lon1, lat1), (lon0, lat1)])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N]");
+        return;
+    }
+    let cfg = ServerConfig {
+        addr: arg(&args, "--addr", "127.0.0.1:7878".to_string()),
+        workers: arg(&args, "--workers", 4usize),
+        queue_capacity: arg(&args, "--queue", 64usize),
+        pipeline: PipelineConfig {
+            region: BoundingBox::new(19.0, 33.0, 30.0, 41.0),
+            zones: vec![
+                ("piraeus".to_string(), rect(23.4, 37.8, 23.8, 38.1)),
+                ("heraklion".to_string(), rect(24.9, 35.2, 25.4, 35.5)),
+            ],
+            ..PipelineConfig::default()
+        },
+        heat_cell_deg: 0.1,
+        ..ServerConfig::default()
+    };
+    let workers = cfg.workers;
+    let queue = cfg.queue_capacity;
+    match start(cfg) {
+        Ok(handle) => {
+            println!(
+                "datacron-server listening on {} ({} workers, queue {})",
+                handle.local_addr, workers, queue
+            );
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            std::process::exit(1);
+        }
+    }
+}

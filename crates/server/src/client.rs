@@ -1,0 +1,84 @@
+//! A minimal blocking client for the line protocol, used by the
+//! integration tests, the example, and the load generator.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One connection speaking the newline-delimited JSON protocol.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connects with a read timeout (responses slower than `timeout` fail
+    /// with `WouldBlock`/`TimedOut`).
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let c = Self::connect(addr)?;
+        c.reader.get_ref().set_read_timeout(Some(timeout))?;
+        Ok(c)
+    }
+
+    /// Sends one request line without waiting for the response.
+    pub fn send(&mut self, request: &Json) -> io::Result<()> {
+        let mut line = String::new();
+        request.write(&mut line);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends a raw request line (may be intentionally malformed, in tests).
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line and parses it.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request and waits for its response.
+    pub fn call(&mut self, request: &Json) -> io::Result<Json> {
+        self.send(request)?;
+        self.recv()
+    }
+}
+
+/// True when a response object carries `"ok": true`.
+pub fn is_ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+/// The error code of a failed response, if any.
+pub fn error_code(response: &Json) -> Option<&str> {
+    response.get("code").and_then(Json::as_str)
+}

@@ -1,0 +1,42 @@
+//! datAcron reproduction: a network-facing query & ingest server over the
+//! pipeline.
+//!
+//! The datAcron architecture (EDBT 2017, §6) exposes the integrated
+//! processing chain — in-situ trajectory compression, complex event
+//! recognition, and the RDF knowledge graph — to downstream consumers.
+//! This crate is that serving layer for the reproduction: a dependency-light
+//! multi-threaded TCP server (std::net + crossbeam, no async runtime)
+//! speaking newline-delimited JSON.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction; see [`protocol`] for the
+//! request grammar. Supported types: `ingest`, `sparql`, `heatmap`,
+//! `flows`, `hotspots`, `events`, `stats`, and the diagnostic `sleep`.
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──TCP──▶ acceptor ──bounded queue──▶ worker pool ──▶ RwLock<AnalyticsState>
+//!                     │ queue full?                                │write: ingest
+//!                     └──▶ immediate "busy" response               │read : queries
+//! ```
+//!
+//! Admission control is explicit: a full queue produces an immediate
+//! `busy` error (the HTTP-429 analogue) rather than unbounded queueing,
+//! so p99 latency stays bounded under overload — measured end to end by
+//! the companion `loadgen` binary (experiment E13).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::Client;
+pub use json::Json;
+pub use protocol::{Envelope, ErrorCode, ProtocolError, Request};
+pub use server::{start, ServerConfig, ServerHandle, ServerMetrics};
+pub use state::AnalyticsState;

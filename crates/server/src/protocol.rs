@@ -1,0 +1,464 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request object per line, one response object per line, over a plain
+//! TCP stream. Every request may carry an `"id"` (number or string) that is
+//! echoed verbatim in the response so pipelined clients can match
+//! responses to in-flight requests. Error responses always have
+//! `"ok": false`, a machine-readable `"code"`, and a human-readable
+//! `"error"` message; the `busy` code is the 429-style backpressure signal.
+//!
+//! ```text
+//! → {"id":1,"type":"ingest","reports":[{"object":9,"t_ms":0,"lon":24.0,"lat":37.0,"speed_mps":6.0,"heading_deg":90.0}]}
+//! ← {"id":1,"ok":true,"accepted":1,"clean":1,"kept":1,"events":0,"triples":7}
+//! → {"id":2,"type":"sparql","query":"SELECT ?n WHERE { ?n da:ofMovingObject da:obj/9 }"}
+//! ← {"id":2,"ok":true,"vars":["n"],"rows":[["da:node/…"]],"row_count":1}
+//! ```
+
+use crate::json::Json;
+use datacron_geo::{GeoPoint, TimeMs};
+use datacron_model::{NavStatus, ObjectId, PositionReport, SourceId};
+use std::fmt;
+
+/// Largest accepted ingest batch; larger batches must be split by the
+/// client (bounds worst-case write-lock hold time per request).
+pub const MAX_BATCH: usize = 10_000;
+
+/// Largest `top_k` / `limit` honoured by query requests.
+pub const MAX_TOP_K: usize = 1_000;
+
+/// Longest `sleep` a client may request, milliseconds (diagnostics only).
+pub const MAX_SLEEP_MS: u64 = 5_000;
+
+/// A machine-readable error category, the protocol's status-code analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control rejected the connection or request (HTTP 429
+    /// analogue): the work queue is full. Retry later, ideally with backoff.
+    Busy,
+    /// The request line was not valid JSON or not a valid request object.
+    BadRequest,
+    /// The request was well-formed but the query inside it failed.
+    QueryError,
+    /// The request exceeded a protocol bound (line length, batch size).
+    TooLarge,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::QueryError => "query_error",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A parsed request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Push a batch of position reports through the pipeline (write path).
+    Ingest {
+        /// The reports, in delivery order.
+        reports: Vec<PositionReport>,
+    },
+    /// Evaluate a SPARQL-subset query against the RDF store (read path).
+    Sparql {
+        /// Query text, e.g. `SELECT ?n WHERE { ?n da:ofMovingObject da:obj/9 }`.
+        query: String,
+        /// Maximum rows returned (defaults to [`MAX_TOP_K`]).
+        limit: usize,
+    },
+    /// Density-grid summary plus the `top_k` heaviest cells.
+    Heatmap {
+        /// Number of cells to return.
+        top_k: usize,
+    },
+    /// The `top_k` largest origin–destination zone flows.
+    Flows {
+        /// Number of flows to return.
+        top_k: usize,
+    },
+    /// The `top_k` hotspot cells (centres + weights only).
+    Hotspots {
+        /// Number of hotspots to return.
+        top_k: usize,
+    },
+    /// The most recent CEP detections, newest first.
+    Events {
+        /// Maximum events returned.
+        limit: usize,
+        /// Only events of this kind tag, when set (e.g. `"loitering"`).
+        kind: Option<String>,
+    },
+    /// Server + pipeline statistics (latency percentiles, counters, queue).
+    Stats,
+    /// Hold a worker for `ms` milliseconds (load/backpressure diagnostics).
+    Sleep {
+        /// Sleep duration, capped at [`MAX_SLEEP_MS`].
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// Stable per-variant tag, used for routing and per-type latency
+    /// metrics. Must match the `"type"` field on the wire.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::Sparql { .. } => "sparql",
+            Request::Heatmap { .. } => "heatmap",
+            Request::Flows { .. } => "flows",
+            Request::Hotspots { .. } => "hotspots",
+            Request::Events { .. } => "events",
+            Request::Stats => "stats",
+            Request::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// All request tags, in metric-index order (see `request_index`).
+    pub const TAGS: [&'static str; 8] = [
+        "ingest", "sparql", "heatmap", "flows", "hotspots", "events", "stats", "sleep",
+    ];
+
+    /// Index of this request's tag within [`Request::TAGS`].
+    pub fn index(&self) -> usize {
+        Self::TAGS.iter().position(|t| *t == self.tag()).unwrap()
+    }
+}
+
+/// A request envelope: the optional client-chosen id plus the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Echoed verbatim in the response (`Json::Null` when absent).
+    pub id: Json,
+    /// The request body.
+    pub req: Request,
+}
+
+/// A protocol-level failure: what to report and under which code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The machine-readable category.
+    pub code: ErrorCode,
+    /// The human-readable detail.
+    pub msg: String,
+}
+
+impl ProtocolError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, msg: impl Into<String>) -> Self {
+        Self {
+            code,
+            msg: msg.into(),
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError::new(ErrorCode::BadRequest, msg)
+}
+
+/// Parses one request line into an envelope.
+pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
+    let v = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    let id = match v.get("id") {
+        None => Json::Null,
+        Some(id @ (Json::Null | Json::Num(_) | Json::Str(_))) => id.clone(),
+        Some(_) => return Err(bad("\"id\" must be a number or string")),
+    };
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"type\" field"))?;
+    let req = match ty {
+        "ingest" => {
+            let reports = v
+                .get("reports")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("ingest needs a \"reports\" array"))?;
+            if reports.len() > MAX_BATCH {
+                return Err(ProtocolError::new(
+                    ErrorCode::TooLarge,
+                    format!("batch of {} exceeds max {}", reports.len(), MAX_BATCH),
+                ));
+            }
+            let reports = reports
+                .iter()
+                .enumerate()
+                .map(|(i, r)| parse_report(r).map_err(|msg| bad(format!("reports[{i}]: {msg}"))))
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Ingest { reports }
+        }
+        "sparql" => Request::Sparql {
+            query: v
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("sparql needs a \"query\" string"))?
+                .to_string(),
+            limit: parse_k(&v, "limit", MAX_TOP_K)?,
+        },
+        "heatmap" => Request::Heatmap {
+            top_k: parse_k(&v, "top_k", 10)?,
+        },
+        "flows" => Request::Flows {
+            top_k: parse_k(&v, "top_k", 10)?,
+        },
+        "hotspots" => Request::Hotspots {
+            top_k: parse_k(&v, "top_k", 10)?,
+        },
+        "events" => Request::Events {
+            limit: parse_k(&v, "limit", 100)?,
+            kind: match v.get("kind") {
+                None | Some(Json::Null) => None,
+                Some(k) => Some(
+                    k.as_str()
+                        .ok_or_else(|| bad("\"kind\" must be a string"))?
+                        .to_string(),
+                ),
+            },
+        },
+        "stats" => Request::Stats,
+        "sleep" => {
+            let ms = v
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("sleep needs integer \"ms\""))?;
+            if ms > MAX_SLEEP_MS {
+                return Err(ProtocolError::new(
+                    ErrorCode::TooLarge,
+                    format!("sleep of {ms} ms exceeds max {MAX_SLEEP_MS}"),
+                ));
+            }
+            Request::Sleep { ms }
+        }
+        other => return Err(bad(format!("unknown request type {other:?}"))),
+    };
+    Ok(Envelope { id, req })
+}
+
+fn parse_k(v: &Json, field: &str, default: usize) -> Result<usize, ProtocolError> {
+    match v.get(field) {
+        None | Some(Json::Null) => Ok(default),
+        Some(k) => {
+            let k = k
+                .as_u64()
+                .ok_or_else(|| bad(format!("\"{field}\" must be a non-negative integer")))?;
+            Ok((k as usize).min(MAX_TOP_K))
+        }
+    }
+}
+
+fn parse_report(r: &Json) -> Result<PositionReport, String> {
+    let object = r
+        .get("object")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer \"object\"")?;
+    let t_ms = r
+        .get("t_ms")
+        .and_then(Json::as_i64)
+        .ok_or("missing integer \"t_ms\"")?;
+    let lon = r
+        .get("lon")
+        .and_then(Json::as_f64)
+        .ok_or("missing \"lon\"")?;
+    let lat = r
+        .get("lat")
+        .and_then(Json::as_f64)
+        .ok_or("missing \"lat\"")?;
+    // Out-of-range coordinates are accepted on purpose: cleansing dirty
+    // fixes is the pipeline's job, not the wire layer's.
+    let speed_mps = r
+        .get("speed_mps")
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN);
+    let heading_deg = r
+        .get("heading_deg")
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN);
+    let nav_status = match r.get("nav_status").and_then(Json::as_str) {
+        None => NavStatus::UnderWay,
+        Some("under_way") => NavStatus::UnderWay,
+        Some("at_anchor") => NavStatus::AtAnchor,
+        Some("moored") => NavStatus::Moored,
+        Some("fishing") => NavStatus::Fishing,
+        Some("restricted") => NavStatus::Restricted,
+        Some("unknown") => NavStatus::Unknown,
+        Some(other) => return Err(format!("unknown nav_status {other:?}")),
+    };
+    Ok(PositionReport::maritime(
+        ObjectId(object),
+        TimeMs(t_ms),
+        GeoPoint::new(lon, lat),
+        speed_mps,
+        heading_deg,
+        SourceId::AIS_TERRESTRIAL,
+        nav_status,
+    ))
+}
+
+/// Serialises a report the way `parse_report` reads it (loadgen + tests).
+pub fn report_to_json(r: &PositionReport) -> Json {
+    Json::obj()
+        .field("object", r.object.raw())
+        .field("t_ms", r.time.millis())
+        .field("lon", r.lon)
+        .field("lat", r.lat)
+        .field("speed_mps", r.speed_mps)
+        .field("heading_deg", r.heading_deg)
+        .build()
+}
+
+/// Builds a success response: `{"id":…,"ok":true, …fields}`.
+pub fn ok_response(id: &Json, fields: Vec<(String, Json)>) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(true)),
+    ];
+    pairs.extend(fields);
+    let mut out = String::new();
+    Json::Obj(pairs).write(&mut out);
+    out
+}
+
+/// Builds an error response: `{"id":…,"ok":false,"code":…,"error":…}`.
+pub fn error_response(id: &Json, code: ErrorCode, msg: &str) -> String {
+    let mut out = String::new();
+    Json::obj()
+        .field("id", id.clone())
+        .field("ok", false)
+        .field("code", code.tag())
+        .field("error", msg)
+        .build()
+        .write(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_type() {
+        let cases = [
+            (
+                r#"{"type":"ingest","reports":[{"object":1,"t_ms":0,"lon":24.0,"lat":37.0}]}"#,
+                "ingest",
+            ),
+            (
+                r#"{"type":"sparql","query":"SELECT ?s WHERE { ?s ?p ?o }"}"#,
+                "sparql",
+            ),
+            (r#"{"type":"heatmap","top_k":5}"#, "heatmap"),
+            (r#"{"type":"flows"}"#, "flows"),
+            (r#"{"type":"hotspots","top_k":3}"#, "hotspots"),
+            (
+                r#"{"type":"events","limit":10,"kind":"loitering"}"#,
+                "events",
+            ),
+            (r#"{"type":"stats"}"#, "stats"),
+            (r#"{"type":"sleep","ms":10}"#, "sleep"),
+        ];
+        for (line, tag) in cases {
+            let env = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+            assert_eq!(env.req.tag(), tag);
+            assert_eq!(env.id, Json::Null);
+        }
+    }
+
+    #[test]
+    fn id_is_preserved() {
+        let env = parse_request(r#"{"id":42,"type":"stats"}"#).unwrap();
+        assert_eq!(env.id, Json::Num(42.0));
+        let env = parse_request(r#"{"id":"abc","type":"stats"}"#).unwrap();
+        assert_eq!(env.id, Json::Str("abc".into()));
+        assert!(parse_request(r#"{"id":[1],"type":"stats"}"#).is_err());
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = PositionReport::maritime(
+            ObjectId(7),
+            TimeMs(123_000),
+            GeoPoint::new(24.5, 37.25),
+            6.5,
+            91.0,
+            SourceId::AIS_TERRESTRIAL,
+            NavStatus::UnderWay,
+        );
+        let mut line = String::new();
+        Json::obj()
+            .field("type", "ingest")
+            .field("reports", Json::Arr(vec![report_to_json(&r)]))
+            .build()
+            .write(&mut line);
+        let env = parse_request(&line).unwrap();
+        match env.req {
+            Request::Ingest { reports } => {
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].object, ObjectId(7));
+                assert_eq!(reports[0].time, TimeMs(123_000));
+                assert!((reports[0].lon - 24.5).abs() < 1e-12);
+                assert!((reports[0].speed_mps - 6.5).abs() < 1e-12);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_bad_requests() {
+        for line in [
+            r#"{"reports":[]}"#,
+            r#"{"type":"ingest"}"#,
+            r#"{"type":"ingest","reports":[{"object":1}]}"#,
+            r#"{"type":"sparql"}"#,
+            r#"{"type":"sleep"}"#,
+            r#"{"type":"nonsense"}"#,
+            r#"not json"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn oversize_limits_are_too_large() {
+        let err =
+            parse_request(&format!(r#"{{"type":"sleep","ms":{}}}"#, MAX_SLEEP_MS + 1)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::TooLarge);
+    }
+
+    #[test]
+    fn top_k_defaults_and_caps() {
+        match parse_request(r#"{"type":"hotspots"}"#).unwrap().req {
+            Request::Hotspots { top_k } => assert_eq!(top_k, 10),
+            _ => unreachable!(),
+        }
+        match parse_request(r#"{"type":"hotspots","top_k":999999}"#)
+            .unwrap()
+            .req
+        {
+            Request::Hotspots { top_k } => assert_eq!(top_k, MAX_TOP_K),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let line = error_response(&Json::Num(3.0), ErrorCode::Busy, "queue full");
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("busy"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+    }
+}

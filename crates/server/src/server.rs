@@ -1,0 +1,435 @@
+//! The TCP server: one acceptor thread feeding a bounded work queue of
+//! connections, drained by a fixed worker pool.
+//!
+//! Admission control happens at the queue: when it is full the acceptor
+//! immediately writes a `busy` error line and closes the connection
+//! instead of letting it wait — callers get backpressure, not latency.
+//! Workers serve a connection's requests serially; ingest takes the state
+//! write lock, every query takes a read lock, so queries proceed
+//! concurrently with each other and only serialise behind ingest.
+
+use crate::json::Json;
+use crate::protocol::{
+    self, error_response, ok_response, parse_request, Envelope, ErrorCode, ProtocolError, Request,
+};
+use crate::state::AnalyticsState;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use datacron_core::PipelineConfig;
+use datacron_geo::BoundingBox;
+use datacron_stream::LatencyHistogram;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick one.
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; beyond it, `busy` rejections.
+    pub queue_capacity: usize,
+    /// Largest accepted request line, bytes.
+    pub max_line_bytes: usize,
+    /// Poll interval for idle connections (bounds shutdown latency).
+    pub poll_interval: Duration,
+    /// Pipeline configuration for the owned analytics state.
+    pub pipeline: PipelineConfig,
+    /// Density-grid cell size for the heatmap aggregate, degrees.
+    pub heat_cell_deg: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_line_bytes: 1 << 20,
+            poll_interval: Duration::from_millis(100),
+            pipeline: PipelineConfig {
+                region: BoundingBox::new(-180.0, -90.0, 180.0, 90.0),
+                ..PipelineConfig::default()
+            },
+            heat_cell_deg: 0.25,
+        }
+    }
+}
+
+/// Atomic counters plus per-request-type latency histograms.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Connections handed to the worker pool.
+    pub connections_accepted: AtomicU64,
+    /// Connections rejected with `busy` (queue full).
+    pub connections_rejected: AtomicU64,
+    /// Requests answered with `"ok": true`.
+    pub requests_ok: AtomicU64,
+    /// Requests answered with an error response.
+    pub requests_err: AtomicU64,
+    /// Per-type request latency, indexed like [`Request::TAGS`].
+    pub latency: Vec<LatencyHistogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        Self {
+            connections_accepted: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_err: AtomicU64::new(0),
+            latency: Request::TAGS
+                .iter()
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+        }
+    }
+
+    /// Renders the server-side counters and latency percentiles.
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, workers: usize) -> Json {
+        let per_type: Vec<(String, Json)> = Request::TAGS
+            .iter()
+            .zip(self.latency.iter())
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(tag, h)| {
+                (
+                    tag.to_string(),
+                    Json::obj()
+                        .field("count", h.count())
+                        .field("p50_us", h.percentile(50.0))
+                        .field("p99_us", h.percentile(99.0))
+                        .field("max_us", h.max_us())
+                        .build(),
+                )
+            })
+            .collect();
+        Json::obj()
+            .field(
+                "connections_accepted",
+                self.connections_accepted.load(Ordering::Relaxed),
+            )
+            .field(
+                "connections_rejected",
+                self.connections_rejected.load(Ordering::Relaxed),
+            )
+            .field("requests_ok", self.requests_ok.load(Ordering::Relaxed))
+            .field("requests_err", self.requests_err.load(Ordering::Relaxed))
+            .field("queue_depth", queue_depth as u64)
+            .field("queue_capacity", queue_capacity as u64)
+            .field("workers", workers as u64)
+            .field("request_latency", Json::Obj(per_type))
+            .build()
+    }
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    /// The bound address (resolves port 0).
+    pub local_addr: SocketAddr,
+    /// Server-side counters and latency histograms.
+    pub metrics: Arc<ServerMetrics>,
+    /// The shared analytics state (exposed for in-process embedding).
+    pub state: Arc<RwLock<AnalyticsState>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signals every thread to stop, wakes the blocked acceptor, and joins
+    /// the acceptor plus all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a throwaway connection wakes it.
+        let _ = TcpStream::connect(self.local_addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+struct Shared {
+    state: Arc<RwLock<AnalyticsState>>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    queue: Receiver<TcpStream>,
+    cfg: ServerConfig,
+}
+
+/// Binds, spawns the acceptor and worker pool, and returns immediately.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let local_addr = listener.local_addr()?;
+    let state = Arc::new(RwLock::new(AnalyticsState::new(
+        cfg.pipeline.clone(),
+        cfg.heat_cell_deg,
+    )));
+    let metrics = Arc::new(ServerMetrics::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_capacity.max(1));
+
+    let shared = Arc::new(Shared {
+        state: Arc::clone(&state),
+        metrics: Arc::clone(&metrics),
+        shutdown: Arc::clone(&shutdown),
+        queue: rx,
+        cfg,
+    });
+
+    let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+    for i in 0..shared.cfg.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("datacron-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("datacron-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &tx, &shared))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        local_addr,
+        metrics,
+        state,
+        shutdown,
+        threads,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shared: &Shared) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client) during shutdown.
+            let _ = reject(conn, ErrorCode::ShuttingDown, "server is shutting down");
+            return; // drops tx, disconnecting the workers' queue
+        }
+        match tx.try_send(conn) {
+            Ok(()) => {
+                shared
+                    .metrics
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(conn)) => {
+                shared
+                    .metrics
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = reject(conn, ErrorCode::Busy, "connection queue full, retry later");
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn reject(mut conn: TcpStream, code: ErrorCode, msg: &str) -> io::Result<()> {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(500)));
+    let line = error_response(&Json::Null, code, msg);
+    conn.write_all(line.as_bytes())?;
+    conn.write_all(b"\n")
+}
+
+fn worker_loop(shared: &Shared) {
+    // recv() errors only when the acceptor exits and drops the sender; at
+    // that point queued connections are still drained (channel semantics),
+    // so none hang unanswered across a shutdown.
+    while let Ok(conn) = shared.queue.recv() {
+        let _ = serve_connection(conn, shared);
+    }
+}
+
+enum Line {
+    /// A complete request line (without the trailing newline).
+    Full(String),
+    /// The line exceeded `max_line_bytes`; the rest was discarded.
+    TooLong,
+    /// Peer closed the connection, or the server is shutting down.
+    Closed,
+}
+
+/// Reads one newline-terminated line, bounding memory at `max` bytes and
+/// polling the shutdown flag on read timeouts so workers stay joinable.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> io::Result<Line> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(Line::Closed);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(Line::Closed); // EOF
+        }
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (&available[..i], true),
+            None => (available, false),
+        };
+        if !overflowed {
+            if buf.len() + chunk.len() > max {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            if overflowed {
+                return Ok(Line::TooLong);
+            }
+            return match String::from_utf8(buf) {
+                Ok(s) => Ok(Line::Full(s)),
+                Err(_) => Ok(Line::TooLong), // treat invalid UTF-8 as protocol abuse
+            };
+        }
+    }
+}
+
+fn serve_connection(conn: TcpStream, shared: &Shared) -> io::Result<()> {
+    conn.set_read_timeout(Some(shared.cfg.poll_interval))?;
+    conn.set_nodelay(true).ok();
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    loop {
+        let line =
+            match read_line_bounded(&mut reader, shared.cfg.max_line_bytes, &shared.shutdown)? {
+                Line::Closed => return Ok(()),
+                Line::TooLong => {
+                    shared.metrics.requests_err.fetch_add(1, Ordering::Relaxed);
+                    let resp = error_response(
+                        &Json::Null,
+                        ErrorCode::TooLarge,
+                        &format!("line exceeds {} bytes", shared.cfg.max_line_bytes),
+                    );
+                    writer.write_all(resp.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    continue;
+                }
+                Line::Full(line) => line,
+            };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, shared);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let start = Instant::now();
+    match parse_request(line) {
+        Ok(env) => {
+            let idx = env.req.index();
+            let (resp, ok) = dispatch(&env, shared);
+            shared.metrics.latency[idx].record_since(start);
+            let counter = if ok {
+                &shared.metrics.requests_ok
+            } else {
+                &shared.metrics.requests_err
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            resp
+        }
+        Err(e) => {
+            shared.metrics.requests_err.fetch_add(1, Ordering::Relaxed);
+            // Best-effort id echo even when the body failed to parse.
+            let id = Json::parse(line)
+                .ok()
+                .and_then(|v| v.get("id").cloned())
+                .unwrap_or(Json::Null);
+            error_response(&id, e.code, &e.msg)
+        }
+    }
+}
+
+fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
+    let id = &env.id;
+    let result: Result<Vec<(String, Json)>, ProtocolError> = match &env.req {
+        Request::Ingest { reports } => {
+            let mut state = shared.state.write().expect("state lock");
+            let out = state.ingest(reports);
+            Ok(vec![
+                ("accepted".into(), Json::from(out.accepted)),
+                ("clean".into(), Json::from(out.clean)),
+                ("kept".into(), Json::from(out.kept)),
+                ("events".into(), Json::from(out.events.len() as u64)),
+                ("triples".into(), Json::from(out.triples)),
+            ])
+        }
+        Request::Sparql { query, limit } => shared
+            .state
+            .read()
+            .expect("state lock")
+            .sparql(query, *limit)
+            .map(|j| vec![("result".into(), j)]),
+        Request::Heatmap { top_k } => Ok(vec![(
+            "result".into(),
+            shared.state.read().expect("state lock").heatmap(*top_k),
+        )]),
+        Request::Flows { top_k } => Ok(vec![(
+            "result".into(),
+            shared.state.read().expect("state lock").flows(*top_k),
+        )]),
+        Request::Hotspots { top_k } => Ok(vec![(
+            "result".into(),
+            shared.state.read().expect("state lock").hotspots(*top_k),
+        )]),
+        Request::Events { limit, kind } => Ok(vec![(
+            "result".into(),
+            shared
+                .state
+                .read()
+                .expect("state lock")
+                .events(*limit, kind.as_deref()),
+        )]),
+        Request::Stats => {
+            let pipeline = shared.state.read().expect("state lock").pipeline_stats();
+            let server = shared.metrics.to_json(
+                shared.queue.len(),
+                shared.cfg.queue_capacity,
+                shared.cfg.workers,
+            );
+            Ok(vec![
+                ("server".into(), server),
+                ("pipeline".into(), pipeline),
+            ])
+        }
+        Request::Sleep { ms } => {
+            thread::sleep(Duration::from_millis((*ms).min(protocol::MAX_SLEEP_MS)));
+            Ok(vec![("slept_ms".into(), Json::from(*ms))])
+        }
+    };
+    match result {
+        Ok(fields) => (ok_response(id, fields), true),
+        Err(e) => (error_response(id, e.code, &e.msg), false),
+    }
+}

@@ -1,0 +1,363 @@
+//! The server's shared analytics state: the pipeline plus the derived
+//! visualisation aggregates, wrapped by the server in an `RwLock` so
+//! queries (read) proceed concurrently while ingest (write) applies.
+
+use crate::json::Json;
+use crate::protocol::{ErrorCode, ProtocolError};
+use datacron_core::{IngestOutcome, Pipeline, PipelineConfig};
+use datacron_geo::Grid;
+use datacron_model::{EventKind, EventRecord, ObjectId, PositionReport};
+use datacron_rdf::{execute, parse_query};
+use datacron_viz::{DensityGrid, FlowMatrix};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Upper bound on the in-memory recent-events ring.
+const MAX_RECENT_EVENTS: usize = 10_000;
+
+/// The pipeline plus everything the query handlers read.
+///
+/// Writes go through [`AnalyticsState::ingest`]; every other method takes
+/// `&self` so the server can hold a read lock while answering queries.
+pub struct AnalyticsState {
+    pipeline: Pipeline,
+    heat: DensityGrid,
+    flows: FlowMatrix,
+    /// Zone the object most recently *exited* — the pending flow origin.
+    last_exit: FxHashMap<ObjectId, String>,
+    /// Newest-last ring of CEP detections.
+    recent: VecDeque<EventRecord>,
+    /// Detections evicted from the ring (so `events` can report loss).
+    evicted: u64,
+}
+
+impl AnalyticsState {
+    /// Builds the state. `heat_cell_deg` sizes the density-grid cells over
+    /// the pipeline's region of interest.
+    pub fn new(cfg: PipelineConfig, heat_cell_deg: f64) -> Self {
+        let grid = Grid::new(cfg.region, heat_cell_deg)
+            .or_else(|| {
+                Grid::new(
+                    datacron_geo::BoundingBox::new(-180.0, -90.0, 180.0, 90.0),
+                    1.0,
+                )
+            })
+            .expect("global fallback grid is valid");
+        Self {
+            pipeline: Pipeline::new(cfg),
+            heat: DensityGrid::new(grid),
+            flows: FlowMatrix::new(),
+            last_exit: FxHashMap::default(),
+            recent: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Runs a batch through the pipeline and folds the outcome into the
+    /// server-side aggregates (heatmap, OD flows, recent events).
+    pub fn ingest(&mut self, reports: &[PositionReport]) -> IngestOutcome {
+        let outcome = self.pipeline.ingest_batch(reports);
+        for r in reports {
+            self.heat.add(&r.position());
+        }
+        for ev in &outcome.events {
+            self.fold_event(ev);
+            if self.recent.len() == MAX_RECENT_EVENTS {
+                self.recent.pop_front();
+                self.evicted += 1;
+            }
+            self.recent.push_back(ev.clone());
+        }
+        outcome
+    }
+
+    /// Updates the origin–destination flow matrix from zone transitions:
+    /// an exit remembers the origin, the next entry (into a different
+    /// zone) records one `origin → destination` flow.
+    fn fold_event(&mut self, ev: &EventRecord) {
+        let zone = ev
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "zone")
+            .map(|(_, v)| v.clone());
+        let (Some(zone), Some(&object)) = (zone, ev.objects.first()) else {
+            return;
+        };
+        match ev.kind {
+            EventKind::ZoneExit => {
+                self.last_exit.insert(object, zone);
+            }
+            EventKind::ZoneEntry => {
+                if let Some(from) = self.last_exit.remove(&object) {
+                    if from != zone {
+                        self.flows.record(&from, &zone);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluates a SPARQL-subset query and renders rows as strings.
+    pub fn sparql(&self, query: &str, limit: usize) -> Result<Json, ProtocolError> {
+        let q = parse_query(query)
+            .map_err(|e| ProtocolError::new(ErrorCode::QueryError, format!("parse: {e}")))?;
+        let (bindings, stats) = execute(self.pipeline.graph(), &q);
+        let total = bindings.len();
+        let rows: Vec<Json> = bindings
+            .rows
+            .iter()
+            .take(limit)
+            .map(|row| {
+                Json::Arr(
+                    bindings
+                        .decode_row(self.pipeline.graph(), row)
+                        .iter()
+                        .map(|t| Json::Str(t.to_string()))
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(Json::obj()
+            .field(
+                "vars",
+                Json::Arr(bindings.vars.iter().map(|v| Json::Str(v.clone())).collect()),
+            )
+            .field("rows", Json::Arr(rows))
+            .field("row_count", total)
+            .field("truncated", total > limit)
+            .field("probes", stats.probes as u64)
+            .field("intermediate", stats.intermediate as u64)
+            .build())
+    }
+
+    /// Density-grid summary plus the `top_k` heaviest cells.
+    pub fn heatmap(&self, top_k: usize) -> Json {
+        let cells: Vec<Json> = self
+            .heat
+            .top_k(top_k)
+            .iter()
+            .map(|h| {
+                Json::obj()
+                    .field("lon", h.center.lon)
+                    .field("lat", h.center.lat)
+                    .field("weight", h.weight)
+                    .build()
+            })
+            .collect();
+        Json::obj()
+            .field("total_weight", self.heat.total())
+            .field("occupied_cells", self.heat.occupied_cells() as u64)
+            .field("dropped_outside", self.heat.dropped_outside())
+            .field("cells", Json::Arr(cells))
+            .build()
+    }
+
+    /// The `top_k` largest origin–destination flows.
+    pub fn flows(&self, top_k: usize) -> Json {
+        let top: Vec<Json> = self
+            .flows
+            .top_k(top_k)
+            .iter()
+            .map(|(from, to, n)| {
+                Json::obj()
+                    .field("from", *from)
+                    .field("to", *to)
+                    .field("count", *n)
+                    .build()
+            })
+            .collect();
+        Json::obj()
+            .field("total", self.flows.total())
+            .field("places", self.flows.place_count() as u64)
+            .field("flows", Json::Arr(top))
+            .build()
+    }
+
+    /// Hotspot centres and weights only (lighter than `heatmap`).
+    pub fn hotspots(&self, top_k: usize) -> Json {
+        let spots: Vec<Json> = self
+            .heat
+            .top_k(top_k)
+            .iter()
+            .map(|h| {
+                Json::Arr(vec![
+                    Json::Num(h.center.lon),
+                    Json::Num(h.center.lat),
+                    Json::Num(h.weight),
+                ])
+            })
+            .collect();
+        Json::obj()
+            .field("max_weight", self.heat.max_weight())
+            .field("hotspots", Json::Arr(spots))
+            .build()
+    }
+
+    /// The most recent detections, newest first, optionally filtered by
+    /// [`EventKind::tag`].
+    pub fn events(&self, limit: usize, kind: Option<&str>) -> Json {
+        let mut out = Vec::new();
+        for ev in self.recent.iter().rev() {
+            if let Some(k) = kind {
+                if ev.kind.tag() != k {
+                    continue;
+                }
+            }
+            if out.len() == limit {
+                break;
+            }
+            out.push(event_json(ev));
+        }
+        Json::obj()
+            .field("events", Json::Arr(out))
+            .field("retained", self.recent.len() as u64)
+            .field("evicted", self.evicted)
+            .build()
+    }
+
+    /// Pipeline counters plus per-stage latency percentiles.
+    pub fn pipeline_stats(&self) -> Json {
+        let m = self.pipeline.metrics();
+        let stages: Vec<(String, Json)> = m
+            .latency_table()
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.to_string(),
+                    Json::obj()
+                        .field("p50_us", s.p50_us)
+                        .field("p99_us", s.p99_us)
+                        .field("max_us", s.max_us)
+                        .build(),
+                )
+            })
+            .collect();
+        Json::obj()
+            .field("reports_in", m.reports_in)
+            .field("reports_clean", m.reports_clean)
+            .field("reports_kept", m.reports_kept)
+            .field("events", m.events)
+            .field("triples", m.triples)
+            .field("graph_len", self.pipeline.graph().len() as u64)
+            .field("stage_latency", Json::Obj(stages))
+            .build()
+    }
+}
+
+fn event_json(ev: &EventRecord) -> Json {
+    let attrs = ev
+        .attrs
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    Json::obj()
+        .field("kind", ev.kind.tag())
+        .field(
+            "objects",
+            Json::Arr(ev.objects.iter().map(|o| Json::from(o.raw())).collect()),
+        )
+        .field("t_start_ms", ev.interval.start.millis())
+        .field("t_end_ms", ev.interval.end.millis())
+        .field("lon", ev.location.lon)
+        .field("lat", ev.location.lat)
+        .field("confidence", ev.confidence)
+        .field("attrs", Json::Obj(attrs))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{BoundingBox, GeoPoint, TimeMs};
+    use datacron_model::{NavStatus, SourceId};
+
+    fn state() -> AnalyticsState {
+        let cfg = PipelineConfig {
+            region: BoundingBox::new(20.0, 34.0, 28.0, 40.0),
+            ..PipelineConfig::default()
+        };
+        AnalyticsState::new(cfg, 0.25)
+    }
+
+    fn report(obj: u64, t_s: i64, lon: f64, lat: f64) -> PositionReport {
+        PositionReport::maritime(
+            ObjectId(obj),
+            TimeMs(t_s * 1000),
+            GeoPoint::new(lon, lat),
+            6.0,
+            90.0,
+            SourceId::AIS_TERRESTRIAL,
+            NavStatus::UnderWay,
+        )
+    }
+
+    #[test]
+    fn ingest_populates_heatmap_and_graph() {
+        let mut s = state();
+        let reports: Vec<_> = (0..20)
+            .map(|i| report(1, i * 10, 24.0 + i as f64 * 0.01, 37.0))
+            .collect();
+        let out = s.ingest(&reports);
+        assert_eq!(out.accepted, 20);
+        assert!(out.triples > 0);
+        let heat = s.heatmap(5);
+        assert!(heat.get("total_weight").and_then(Json::as_f64).unwrap() > 0.0);
+        let stats = s.pipeline_stats();
+        assert_eq!(stats.get("reports_in").and_then(Json::as_u64), Some(20));
+        assert!(stats.get("graph_len").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn sparql_reads_committed_triples() {
+        let mut s = state();
+        let reports: Vec<_> = (0..10)
+            .map(|i| report(9, i * 10, 24.0 + i as f64 * 0.02, 37.0))
+            .collect();
+        s.ingest(&reports);
+        let res = s
+            .sparql("SELECT ?n WHERE { ?n da:ofMovingObject da:obj/9 }", 100)
+            .unwrap();
+        assert!(res.get("row_count").and_then(Json::as_u64).unwrap() > 0);
+        let err = s.sparql("SELECT nonsense", 100).unwrap_err();
+        assert_eq!(err.code, ErrorCode::QueryError);
+    }
+
+    #[test]
+    fn zone_exit_then_entry_records_flow() {
+        let mut s = state();
+        let mk = |kind, zone: &str, t: i64| {
+            let mut ev =
+                EventRecord::instant(kind, ObjectId(5), TimeMs(t), GeoPoint::new(24.0, 37.0));
+            ev.attrs.push(("zone".to_string(), zone.to_string()));
+            ev
+        };
+        s.fold_event(&mk(EventKind::ZoneExit, "piraeus", 0));
+        s.fold_event(&mk(EventKind::ZoneEntry, "heraklion", 1000));
+        let flows = s.flows(10);
+        assert_eq!(flows.get("total").and_then(Json::as_u64), Some(1));
+        // Re-entering the same zone is not a flow.
+        s.fold_event(&mk(EventKind::ZoneExit, "heraklion", 2000));
+        s.fold_event(&mk(EventKind::ZoneEntry, "heraklion", 3000));
+        let flows = s.flows(10);
+        assert_eq!(flows.get("total").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn events_filter_and_limit() {
+        let mut s = state();
+        for i in 0..5 {
+            let ev = EventRecord::instant(
+                EventKind::TurningPoint,
+                ObjectId(i),
+                TimeMs(i as i64 * 1000),
+                GeoPoint::new(24.0, 37.0),
+            );
+            s.recent.push_back(ev);
+        }
+        let res = s.events(3, None);
+        assert_eq!(res.get("events").and_then(Json::as_array).unwrap().len(), 3);
+        let res = s.events(10, Some("zone_entry"));
+        assert_eq!(res.get("events").and_then(Json::as_array).unwrap().len(), 0);
+    }
+}

@@ -162,8 +162,7 @@ pub fn generate_aviation(config: &AviationConfig) -> AviationData {
     }
 
     let mut truth = GroundTruth::default();
-    let mut trajectories: Vec<Trajectory> =
-        states.iter().map(|s| Trajectory::new(s.id)).collect();
+    let mut trajectories: Vec<Trajectory> = states.iter().map(|s| Trajectory::new(s.id)).collect();
     let mut reports: Vec<ObservedReport> = Vec::new();
 
     for step in 0..n_ticks {
@@ -310,11 +309,7 @@ mod tests {
             if tr.is_empty() {
                 continue;
             }
-            let max_alt = tr
-                .points()
-                .iter()
-                .map(|p| p.alt_m)
-                .fold(f64::MIN, f64::max);
+            let max_alt = tr.points().iter().map(|p| p.alt_m).fold(f64::MIN, f64::max);
             let first_alt = tr.first().unwrap().alt_m;
             let last_alt = tr.last().unwrap().alt_m;
             assert!(max_alt <= 12_000.0, "altitude ceiling violated: {max_alt}");

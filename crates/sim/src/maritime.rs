@@ -10,8 +10,8 @@ use crate::noise::{gaussian, NoiseModel};
 use crate::world::{aegean_world, MaritimeWorld};
 use datacron_geo::{GeoPoint, TimeInterval, TimeMs};
 use datacron_model::{
-    EventKind, GroundTruth, LabeledEvent, NavStatus, ObjectId, PositionReport, SourceId,
-    TrajPoint, Trajectory, VesselInfo,
+    EventKind, GroundTruth, LabeledEvent, NavStatus, ObjectId, PositionReport, SourceId, TrajPoint,
+    Trajectory, VesselInfo,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,8 +136,22 @@ struct VesselState {
 /// Draws a plausible two-word ship name.
 pub fn random_ship_name(rng: &mut StdRng) -> String {
     const A: &[&str] = &[
-        "AGIOS", "NISSOS", "BLUE", "AEGEAN", "POSEIDON", "KYMA", "ASTERIA", "THALASSA", "IONIAN",
-        "OLYMPIC", "MYKONOS", "KRITI", "DELOS", "NAXOS", "PELAGOS", "ELEFTHERIA",
+        "AGIOS",
+        "NISSOS",
+        "BLUE",
+        "AEGEAN",
+        "POSEIDON",
+        "KYMA",
+        "ASTERIA",
+        "THALASSA",
+        "IONIAN",
+        "OLYMPIC",
+        "MYKONOS",
+        "KRITI",
+        "DELOS",
+        "NAXOS",
+        "PELAGOS",
+        "ELEFTHERIA",
     ];
     const B: &[&str] = &[
         "STAR", "WAVE", "EXPRESS", "GLORY", "SPIRIT", "TRADER", "CARRIER", "PEARL", "QUEEN",
@@ -330,16 +344,9 @@ pub fn generate_maritime(config: &MaritimeConfig) -> MaritimeData {
         // t_meet + dwell, then sails off on a fresh bearing.
         let _ = dwell_ms;
     }
-    let rendezvous_dwell_until: Vec<TimeMs> = truth
-        .events
-        .iter()
-        .map(|e| e.interval.end)
-        .collect();
+    let rendezvous_dwell_until: Vec<TimeMs> = truth.events.iter().map(|e| e.interval.end).collect();
 
-    let mut trajectories: Vec<Trajectory> = states
-        .iter()
-        .map(|s| Trajectory::new(s.id))
-        .collect();
+    let mut trajectories: Vec<Trajectory> = states.iter().map(|s| Trajectory::new(s.id)).collect();
     let mut reports: Vec<ObservedReport> = Vec::new();
     let speed_phase: Vec<f64> = (0..total_vessels)
         .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
@@ -619,10 +626,7 @@ mod tests {
         for gap in data.truth.events_of(EventKind::DarkActivity) {
             let obj = gap.objects[0];
             // Strictly inside the gap (one tick of slack at each edge).
-            let inner = TimeInterval::new(
-                gap.interval.start + 30_000,
-                gap.interval.end - 30_000,
-            );
+            let inner = TimeInterval::new(gap.interval.start + 30_000, gap.interval.end - 30_000);
             let count = data
                 .reports
                 .iter()

@@ -84,8 +84,9 @@ impl NoiseModel {
             obs.speed_mps = (obs.speed_mps + gaussian(rng) * self.speed_sigma_mps).max(0.0);
         }
         if obs.heading_deg.is_finite() && self.heading_sigma_deg > 0.0 {
-            obs.heading_deg =
-                datacron_geo::units::normalize_deg(obs.heading_deg + gaussian(rng) * self.heading_sigma_deg);
+            obs.heading_deg = datacron_geo::units::normalize_deg(
+                obs.heading_deg + gaussian(rng) * self.heading_sigma_deg,
+            );
         }
         let delay = if self.max_delay_ms > 0 {
             rng.gen_range(0..=self.max_delay_ms)

@@ -157,8 +157,7 @@ pub fn generate_registries(data: &MaritimeData, config: &RegistryConfig) -> Regi
                 mmsi: 0,
                 name,
                 ship_type: v.ship_type,
-                length_m: v.length_m
-                    + (gaussian(&mut rng) * 2.0) as f32,
+                length_m: v.length_m + (gaussian(&mut rng) * 2.0) as f32,
                 flag: v.flag.clone(),
             },
             last_pos: pos,

@@ -98,7 +98,10 @@ mod tests {
         let a = field();
         let b = field();
         let p = GeoPoint::new(24.3, 37.1);
-        assert_eq!(a.wind_at(&p, TimeMs(3_600_000)), b.wind_at(&p, TimeMs(3_600_000)));
+        assert_eq!(
+            a.wind_at(&p, TimeMs(3_600_000)),
+            b.wind_at(&p, TimeMs(3_600_000))
+        );
     }
 
     #[test]

@@ -225,11 +225,7 @@ pub fn european_airspace() -> AviationWorld {
                 lon0 + dlon * (sx + 1) as f64,
                 lat0 + dlat * (sy + 1) as f64,
             );
-            sectors.push((
-                format!("SECT-{sx}{sy}"),
-                Polygon::rectangle(&b),
-                12usize,
-            ));
+            sectors.push((format!("SECT-{sx}{sy}"), Polygon::rectangle(&b), 12usize));
         }
     }
     AviationWorld {
@@ -248,7 +244,11 @@ mod tests {
         let w = aegean_world();
         assert!(w.ports.len() >= 4);
         for port in &w.ports {
-            assert!(w.region.contains(&port.location), "{} outside region", port.name);
+            assert!(
+                w.region.contains(&port.location),
+                "{} outside region",
+                port.name
+            );
         }
         for lane in &w.lanes {
             assert!(lane.from < w.ports.len());
@@ -277,11 +277,19 @@ mod tests {
         let w = european_airspace();
         assert_eq!(w.sectors.len(), 6);
         for ap in &w.airports {
-            assert!(w.region.contains(&ap.location), "{} outside region", ap.icao);
+            assert!(
+                w.region.contains(&ap.location),
+                "{} outside region",
+                ap.icao
+            );
         }
         // Sector polygons are disjoint rectangles (tile the core area).
         let p = GeoPoint::new(5.0, 44.0);
-        let containing = w.sectors.iter().filter(|(_, poly, _)| poly.contains(&p)).count();
+        let containing = w
+            .sectors
+            .iter()
+            .filter(|(_, poly, _)| poly.contains(&p))
+            .count();
         assert_eq!(containing, 1);
     }
 

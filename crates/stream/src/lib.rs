@@ -30,6 +30,10 @@ pub mod window;
 pub use message::{Message, Record};
 pub use metrics::{LatencyHistogram, Throughput};
 pub use operator::{Chain, FilterOp, FlatMapOp, KeyedProcessOp, MapOp, Operator};
-pub use runtime::{collect_messages, merge_shards, run_source, shard_by_key, spawn_operator, StageHandle};
+pub use runtime::{
+    collect_messages, merge_shards, run_source, shard_by_key, spawn_operator, StageHandle,
+};
 pub use watermark::{with_watermarks, BoundedOutOfOrderness};
-pub use window::{Aggregator, CollectAgg, CountAgg, CountAny, KeyedWindowOp, WindowOutput, WindowSpec};
+pub use window::{
+    Aggregator, CollectAgg, CountAgg, CountAny, KeyedWindowOp, WindowOutput, WindowSpec,
+};

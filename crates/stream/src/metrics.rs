@@ -79,6 +79,15 @@ impl Default for LatencyHistogram {
     }
 }
 
+impl Clone for LatencyHistogram {
+    /// Snapshots the histogram; the clone records independently afterwards.
+    fn clone(&self) -> Self {
+        Self {
+            inner: Mutex::new(self.inner.lock().clone()),
+        }
+    }
+}
+
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
@@ -148,6 +157,30 @@ impl LatencyHistogram {
     /// `(p50, p99, max)` in microseconds — the tuple the reports print.
     pub fn summary_us(&self) -> (u64, u64, u64) {
         (self.quantile_us(0.5), self.quantile_us(0.99), self.max_us())
+    }
+
+    /// Alias for [`LatencyHistogram::quantile_us`] with `q` expressed as a
+    /// percentile in `[0, 100]` — `percentile(99.0)` is the p99 in µs.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile_us(p / 100.0)
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition); used to
+    /// aggregate per-worker histograms into one server-wide distribution.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        // Snapshot `other` before locking `self` so the two locks are never
+        // held together; self-merge would double counts, so reject it.
+        if std::ptr::eq(self, other) {
+            return;
+        }
+        let o = other.inner.lock().clone();
+        let mut h = self.inner.lock();
+        for (b, ob) in h.buckets.iter_mut().zip(o.buckets.iter()) {
+            *b += ob;
+        }
+        h.count += o.count;
+        h.sum_us += o.sum_us;
+        h.max_us = h.max_us.max(o.max_us);
     }
 }
 
@@ -220,6 +253,57 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn clone_snapshots_and_diverges() {
+        let h = LatencyHistogram::new();
+        h.record_us(100);
+        let c = h.clone();
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.max_us(), 100);
+        h.record_us(9_000);
+        assert_eq!(c.count(), 1, "clone must not share state");
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for us in [10u64, 20, 30] {
+            a.record_us(us);
+        }
+        for us in [1_000u64, 50_000] {
+            b.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max_us(), 50_000);
+        assert_eq!(a.mean_us(), (10.0 + 20.0 + 30.0 + 1_000.0 + 50_000.0) / 5.0);
+        // b is untouched.
+        assert_eq!(b.count(), 2);
+        // Merged quantiles bracket the combined samples.
+        assert!(a.quantile_us(1.0) >= 50_000);
+    }
+
+    #[test]
+    fn merge_with_self_is_noop() {
+        let a = LatencyHistogram::new();
+        a.record_us(42);
+        a.merge(&a);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record_us(i * 10);
+        }
+        assert_eq!(h.percentile(50.0), h.quantile_us(0.5));
+        assert_eq!(h.percentile(99.0), h.quantile_us(0.99));
+        assert_eq!(h.percentile(100.0), h.quantile_us(1.0));
     }
 
     #[test]

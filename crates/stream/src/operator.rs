@@ -238,16 +238,16 @@ mod tests {
         // Running count per key parity.
         let mut op = KeyedProcessOp::new(
             |x: &i32| x % 2,
-            |_k: &i32, count: &mut i32, rec: Record<i32>, out: &mut dyn FnMut(Record<(i32, i32)>)| {
+            |_k: &i32,
+             count: &mut i32,
+             rec: Record<i32>,
+             out: &mut dyn FnMut(Record<(i32, i32)>)| {
                 *count += 1;
                 out(Record::new(rec.event_time, (rec.payload, *count)));
             },
         );
         let out = op.run(msgs(&[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]));
-        assert_eq!(
-            records(&out),
-            vec![(1, 1), (2, 1), (3, 2), (4, 2), (5, 3)]
-        );
+        assert_eq!(records(&out), vec![(1, 1), (2, 1), (3, 2), (4, 2), (5, 3)]);
         assert_eq!(op.key_count(), 2);
     }
 

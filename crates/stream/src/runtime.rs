@@ -341,10 +341,7 @@ mod tests {
         let out = collect_messages(rx);
         h0.join();
         h1.join();
-        let n = out
-            .iter()
-            .filter(|m| m.as_record().is_some())
-            .count();
+        let n = out.iter().filter(|m| m.as_record().is_some()).count();
         assert_eq!(n, 10_000);
     }
 

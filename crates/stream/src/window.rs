@@ -128,11 +128,7 @@ where
     A::Out: Send,
     KF: FnMut(&I) -> K + Send,
 {
-    fn on_record(
-        &mut self,
-        rec: Record<I>,
-        _out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>),
-    ) {
+    fn on_record(&mut self, rec: Record<I>, _out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>)) {
         if rec.event_time < self.watermark {
             self.late += 1;
             return;
@@ -148,11 +144,7 @@ where
         }
     }
 
-    fn on_watermark(
-        &mut self,
-        wm: TimeMs,
-        out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>),
-    ) {
+    fn on_watermark(&mut self, wm: TimeMs, out: &mut dyn FnMut(Record<WindowOutput<K, A::Out>>)) {
         self.watermark = self.watermark.max(wm);
         while let Some((&start, _)) = self.panes.first_key_value() {
             let window = self.spec.window_at(start);
@@ -304,12 +296,17 @@ mod tests {
             }
         }
         input.push(Message::End);
-        let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
-            KeyedWindowOp::new(spec, |k: &u32| *k);
+        let mut op: KeyedWindowOp<u32, CountAny<u32>, _> = KeyedWindowOp::new(spec, |k: &u32| *k);
         let out = op.run(input);
         out.iter()
             .filter_map(|m| m.as_record())
-            .map(|r| (r.payload.key, r.payload.window.start.millis(), r.payload.value))
+            .map(|r| {
+                (
+                    r.payload.key,
+                    r.payload.window.start.millis(),
+                    r.payload.value,
+                )
+            })
             .collect()
     }
 
@@ -350,11 +347,7 @@ mod tests {
 
     #[test]
     fn sliding_windows_overlapping_counts() {
-        let out = run_count_windows(
-            &[(10, 1), (60, 1)],
-            &[],
-            WindowSpec::sliding(100, 50),
-        );
+        let out = run_count_windows(&[(10, 1), (60, 1)], &[], WindowSpec::sliding(100, 50));
         let mut sorted = out.clone();
         sorted.sort_unstable();
         // t=10 → windows starting -50, 0; t=60 → windows 0, 50.

@@ -3,8 +3,7 @@
 
 use datacron_geo::TimeMs;
 use datacron_stream::{
-    with_watermarks, BoundedOutOfOrderness, CountAny, KeyedWindowOp, Message, Operator,
-    WindowSpec,
+    with_watermarks, BoundedOutOfOrderness, CountAny, KeyedWindowOp, Message, Operator, WindowSpec,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;

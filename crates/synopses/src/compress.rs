@@ -253,14 +253,18 @@ mod tests {
 
     #[test]
     fn dp_straight_line_keeps_endpoints() {
-        let pts: Vec<_> = (0..10).map(|i| tp(i, 24.0 + 0.01 * i as f64, 37.0)).collect();
+        let pts: Vec<_> = (0..10)
+            .map(|i| tp(i, 24.0 + 0.01 * i as f64, 37.0))
+            .collect();
         let kept = douglas_peucker(&pts, 10.0);
         assert_eq!(kept, vec![0, 9]);
     }
 
     #[test]
     fn dp_keeps_corner() {
-        let mut pts: Vec<_> = (0..5).map(|i| tp(i, 24.0 + 0.01 * i as f64, 37.0)).collect();
+        let mut pts: Vec<_> = (0..5)
+            .map(|i| tp(i, 24.0 + 0.01 * i as f64, 37.0))
+            .collect();
         pts.extend((1..5).map(|i| tp(4 + i, 24.04, 37.0 + 0.01 * i as f64)));
         let kept = douglas_peucker(&pts, 10.0);
         assert!(kept.contains(&4), "corner dropped: {kept:?}");
@@ -274,7 +278,11 @@ mod tests {
         let pts: Vec<_> = (0..50)
             .map(|i| {
                 let x = i as f64 / 49.0;
-                tp(i, 24.0 + 0.1 * x, 37.0 + 0.02 * (x * std::f64::consts::PI).sin())
+                tp(
+                    i,
+                    24.0 + 0.1 * x,
+                    37.0 + 0.02 * (x * std::f64::consts::PI).sin(),
+                )
             })
             .collect();
         let coarse = douglas_peucker(&pts, 2000.0);

@@ -193,14 +193,13 @@ impl CriticalPointDetector {
                 let slow = r.speed_mps.is_finite() && r.speed_mps < cfg.stop_speed_mps;
                 match (slow, st.stop_since, st.stop_open) {
                     (true, None, _) => st.stop_since = Some(r.time),
-                    (true, Some(since), false)
-                        if r.time - since >= cfg.min_stop_ms => {
-                            out.push(CriticalPoint {
-                                kind: CriticalKind::StopStart,
-                                report: *r,
-                            });
-                            st.stop_open = true;
-                        }
+                    (true, Some(since), false) if r.time - since >= cfg.min_stop_ms => {
+                        out.push(CriticalPoint {
+                            kind: CriticalKind::StopStart,
+                            report: *r,
+                        });
+                        st.stop_open = true;
+                    }
                     (false, Some(_), true) => {
                         out.push(CriticalPoint {
                             kind: CriticalKind::StopEnd,
@@ -324,7 +323,9 @@ mod tests {
     #[test]
     fn steady_cruise_emits_nothing_after_start() {
         let mut d = CriticalPointDetector::new(SynopsisConfig::default());
-        let reports: Vec<_> = (0..60).map(|i| rep(i, 24.0 + 0.005 * i as f64, 5.0, 90.0)).collect();
+        let reports: Vec<_> = (0..60)
+            .map(|i| rep(i, 24.0 + 0.005 * i as f64, 5.0, 90.0))
+            .collect();
         let pts = d.detect_batch(&reports);
         assert_eq!(pts.len(), 1, "got {:?}", kinds(&pts));
         assert!(d.ratio() > 0.9);
@@ -345,7 +346,10 @@ mod tests {
         assert!(ks.contains(&CriticalKind::StopStart), "{ks:?}");
         assert!(ks.contains(&CriticalKind::StopEnd), "{ks:?}");
         // Exactly one stop episode.
-        assert_eq!(ks.iter().filter(|k| **k == CriticalKind::StopStart).count(), 1);
+        assert_eq!(
+            ks.iter().filter(|k| **k == CriticalKind::StopStart).count(),
+            1
+        );
     }
 
     #[test]
@@ -413,7 +417,10 @@ mod tests {
         let ks = kinds(&pts);
         assert!(ks.contains(&CriticalKind::GapStart));
         assert!(ks.contains(&CriticalKind::GapEnd));
-        let gap_start = pts.iter().find(|p| p.kind == CriticalKind::GapStart).unwrap();
+        let gap_start = pts
+            .iter()
+            .find(|p| p.kind == CriticalKind::GapStart)
+            .unwrap();
         assert_eq!(gap_start.report.time, TimeMs(60_000), "stamped at last fix");
         let gap_end = pts.iter().find(|p| p.kind == CriticalKind::GapEnd).unwrap();
         assert_eq!(gap_end.report.time, TimeMs(30 * 60_000));
@@ -435,12 +442,12 @@ mod tests {
         };
         let reports = vec![
             mk(0, 50.0, 0.0),
-            mk(1, 500.0, 10.0),   // takeoff
+            mk(1, 500.0, 10.0), // takeoff
             mk(2, 5_000.0, 10.0),
             mk(3, 10_000.0, 0.0), // level-off
             mk(4, 10_000.0, 0.0),
             mk(5, 5_000.0, -10.0),
-            mk(6, 50.0, -5.0),    // landing
+            mk(6, 50.0, -5.0), // landing
         ];
         let pts = d.detect_batch(&reports);
         let ks = kinds(&pts);
@@ -463,7 +470,9 @@ mod tests {
     #[test]
     fn counters_and_ratio() {
         let mut d = CriticalPointDetector::new(SynopsisConfig::default());
-        let reports: Vec<_> = (0..100).map(|i| rep(i, 24.0 + 0.003 * i as f64, 5.0, 90.0)).collect();
+        let reports: Vec<_> = (0..100)
+            .map(|i| rep(i, 24.0 + 0.003 * i as f64, 5.0, 90.0))
+            .collect();
         let pts = d.detect_batch(&reports);
         assert_eq!(d.seen(), 100);
         assert_eq!(d.emitted(), pts.len() as u64);

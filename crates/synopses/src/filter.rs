@@ -202,7 +202,7 @@ mod tests {
         let mut c = Cleanser::default();
         let batch = vec![
             report(1, 0, 24.0, 37.0),
-            report(1, 0, 24.0, 37.0),    // dup
+            report(1, 0, 24.0, 37.0),      // dup
             report(1, 60_000, 24.5, 37.0), // jump
             report(1, 120_000, 24.001, 37.0),
         ];

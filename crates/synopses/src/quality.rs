@@ -84,7 +84,9 @@ mod tests {
 
     #[test]
     fn identical_trajectories_have_zero_error() {
-        let pts: Vec<_> = (0..10).map(|i| tp(i, 24.0 + 0.01 * i as f64, 37.0)).collect();
+        let pts: Vec<_> = (0..10)
+            .map(|i| tp(i, 24.0 + 0.01 * i as f64, 37.0))
+            .collect();
         let s = sed_error(&pts, &pts);
         assert_eq!(s.n, 10);
         assert!(s.mean_m < 1e-6);
@@ -94,7 +96,9 @@ mod tests {
     #[test]
     fn straight_line_endpoints_reconstruct_exactly() {
         // Uniform motion: keeping only the endpoints loses nothing.
-        let pts: Vec<_> = (0..11).map(|i| tp(i * 10, 24.0, 37.0 + 0.001 * i as f64)).collect();
+        let pts: Vec<_> = (0..11)
+            .map(|i| tp(i * 10, 24.0, 37.0 + 0.001 * i as f64))
+            .collect();
         let compressed = vec![pts[0], pts[10]];
         let s = sed_error(&pts, &compressed);
         assert!(s.max_m < 2.0, "max = {}", s.max_m);
@@ -102,7 +106,9 @@ mod tests {
 
     #[test]
     fn detour_shows_up_as_error() {
-        let mut pts: Vec<_> = (0..11).map(|i| tp(i * 10, 24.0 + 0.001 * i as f64, 37.0)).collect();
+        let mut pts: Vec<_> = (0..11)
+            .map(|i| tp(i * 10, 24.0 + 0.001 * i as f64, 37.0))
+            .collect();
         // A ~1.1 km northward detour in the middle.
         pts[5] = tp(50, 24.005, 37.01);
         let compressed = vec![pts[0], pts[10]];

@@ -3,8 +3,8 @@
 use datacron_geo::{GeoPoint, TimeMs};
 use datacron_model::{NavStatus, ObjectId, PositionReport, TrajPoint};
 use datacron_synopses::{
-    compression_ratio, douglas_peucker, sed_error, CriticalPointDetector,
-    DeadReckoningCompressor, SynopsisConfig,
+    compression_ratio, douglas_peucker, sed_error, CriticalPointDetector, DeadReckoningCompressor,
+    SynopsisConfig,
 };
 use proptest::prelude::*;
 

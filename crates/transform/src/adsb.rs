@@ -53,8 +53,20 @@ pub fn parse_adsb_line(line: &str, line_no: usize) -> Result<PositionReport, Tra
     let report = PositionReport::aviation(
         ObjectId(u64::from(icao)),
         TimeMs(t as i64),
-        GeoPoint3::new(lon, lat, if alt_ft.is_nan() { 0.0 } else { ft_to_m(alt_ft) }),
-        if gs.is_nan() { f64::NAN } else { knots_to_mps(gs) },
+        GeoPoint3::new(
+            lon,
+            lat,
+            if alt_ft.is_nan() {
+                0.0
+            } else {
+                ft_to_m(alt_ft)
+            },
+        ),
+        if gs.is_nan() {
+            f64::NAN
+        } else {
+            knots_to_mps(gs)
+        },
         track,
         if vrate_fpm.is_nan() {
             0.0

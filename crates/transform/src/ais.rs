@@ -121,7 +121,11 @@ pub fn parse_ais_line(line: &str, line_no: usize) -> Result<PositionReport, Tran
         ObjectId(mmsi as u64),
         TimeMs(t as i64),
         GeoPoint::new(lon, lat),
-        if sog.is_nan() { f64::NAN } else { knots_to_mps(sog) },
+        if sog.is_nan() {
+            f64::NAN
+        } else {
+            knots_to_mps(sog)
+        },
         cog,
         SourceId::AIS_TERRESTRIAL,
         nav_status_from_code(if status.is_nan() { 15 } else { status as u8 }),

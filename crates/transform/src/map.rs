@@ -152,8 +152,16 @@ impl RdfMapper {
 
     /// Maps a discovered identity link (`owl:sameAs`, symmetric pair).
     pub fn map_same_as(&mut self, g: &mut Graph, a: ObjectId, b: ObjectId) {
-        g.insert(&onto::iri_object(a), &onto::p_same_as(), &onto::iri_object(b));
-        g.insert(&onto::iri_object(b), &onto::p_same_as(), &onto::iri_object(a));
+        g.insert(
+            &onto::iri_object(a),
+            &onto::p_same_as(),
+            &onto::iri_object(b),
+        );
+        g.insert(
+            &onto::iri_object(b),
+            &onto::p_same_as(),
+            &onto::iri_object(a),
+        );
         self.triples_emitted += 2;
     }
 }
@@ -185,10 +193,8 @@ mod tests {
         m.map_report(&mut g, &sample_report(1, 2000), Some("turn"));
         g.commit();
 
-        let q = parse_query(
-            "SELECT ?n WHERE { ?n da:ofMovingObject ?o . ?o rdf:type da:Vessel }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?n WHERE { ?n da:ofMovingObject ?o . ?o rdf:type da:Vessel }")
+            .unwrap();
         let (b, _) = execute(&g, &q);
         assert_eq!(b.len(), 2);
 
@@ -226,8 +232,8 @@ mod tests {
         );
         m.map_report(&mut g, &r, None);
         g.commit();
-        let q = parse_query("SELECT ?n WHERE { ?n da:altitude ?a . FILTER (?a > 9000.0) }")
-            .unwrap();
+        let q =
+            parse_query("SELECT ?n WHERE { ?n da:altitude ?a . FILTER (?a > 9000.0) }").unwrap();
         let (b, _) = execute(&g, &q);
         assert_eq!(b.len(), 1);
         let q = parse_query("SELECT ?o WHERE { ?o rdf:type da:Flight }").unwrap();
@@ -265,8 +271,8 @@ mod tests {
             },
         );
         g.commit();
-        let q = parse_query(r#"SELECT ?o WHERE { ?o da:name "BLUE STAR" . ?o da:flag "GR" }"#)
-            .unwrap();
+        let q =
+            parse_query(r#"SELECT ?o WHERE { ?o da:name "BLUE STAR" . ?o da:flag "GR" }"#).unwrap();
         let (b, _) = execute(&g, &q);
         assert_eq!(b.len(), 1);
     }

@@ -146,10 +146,7 @@ mod tests {
     fn iri_builders_are_deterministic_and_distinct() {
         assert_eq!(iri_object(ObjectId(5)), iri_object(ObjectId(5)));
         assert_ne!(iri_object(ObjectId(5)), iri_object(ObjectId(6)));
-        assert_ne!(
-            iri_node(ObjectId(5), 1000),
-            iri_node(ObjectId(5), 2000)
-        );
+        assert_ne!(iri_node(ObjectId(5), 1000), iri_node(ObjectId(5), 2000));
         assert_ne!(
             iri_event(EventKind::Rendezvous, 1),
             iri_event(EventKind::Loitering, 1)

@@ -115,8 +115,7 @@ impl DensityGrid {
     /// The `k` heaviest cells, heaviest first (ties broken by cell id for
     /// determinism).
     pub fn top_k(&self, k: usize) -> Vec<Hotspot> {
-        let mut entries: Vec<(u64, f64)> =
-            self.cells.iter().map(|(&c, &w)| (c, w)).collect();
+        let mut entries: Vec<(u64, f64)> = self.cells.iter().map(|(&c, &w)| (c, w)).collect();
         entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         entries
             .into_iter()
@@ -239,9 +238,7 @@ mod tests {
     #[should_panic(expected = "incompatible")]
     fn merge_rejects_different_grids() {
         let mut a = DensityGrid::new(grid());
-        let b = DensityGrid::new(
-            Grid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 2.0).unwrap(),
-        );
+        let b = DensityGrid::new(Grid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 2.0).unwrap());
         a.merge(&b);
     }
 

@@ -17,8 +17,7 @@ pub fn render_ascii(grid: &DensityGrid) -> String {
                 0
             } else {
                 // sqrt compresses the dynamic range so light traffic shows.
-                (((w / max).sqrt() * (RAMP.len() - 1) as f64).round() as usize)
-                    .min(RAMP.len() - 1)
+                (((w / max).sqrt() * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
             };
             out.push(RAMP[idx]);
         }

@@ -49,9 +49,7 @@ impl TimeSeries {
 
     /// Total count of a category.
     pub fn total(&self, category: &str) -> u64 {
-        self.series
-            .get(category)
-            .map_or(0, |s| s.values().sum())
+        self.series.get(category).map_or(0, |s| s.values().sum())
     }
 
     /// Known category labels, sorted.
@@ -63,11 +61,7 @@ impl TimeSeries {
 
     /// The series of `(bucket interval, count)` for a category within
     /// `range`, in time order, including empty buckets.
-    pub fn series_in(
-        &self,
-        category: &str,
-        range: &TimeInterval,
-    ) -> Vec<(TimeInterval, u64)> {
+    pub fn series_in(&self, category: &str, range: &TimeInterval) -> Vec<(TimeInterval, u64)> {
         let mut out = Vec::new();
         let Some(s) = self.series.get(category) else {
             return out;

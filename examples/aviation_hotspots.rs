@@ -96,7 +96,16 @@ fn main() {
     }
 
     println!("\n== event timeline (30-minute buckets) ==");
-    let range = TimeInterval::new(TimeMs(0), TimeMs(scenario.reports.last().map_or(0, |o| o.report.time.millis()) + 1));
+    let range = TimeInterval::new(
+        TimeMs(0),
+        TimeMs(
+            scenario
+                .reports
+                .last()
+                .map_or(0, |o| o.report.time.millis())
+                + 1,
+        ),
+    );
     for cat in rollup.categories() {
         let series = rollup.series_in(cat, &range);
         let bars: String = series

@@ -47,7 +47,11 @@ fn main() {
     //    it plus both registries into one graph.
     let feed = std::fs::read_to_string(&csv_path).expect("read CSV");
     let (reports, errors) = parse_ais_csv(&feed);
-    println!("parsed {} reports back ({} errors)", reports.len(), errors.len());
+    println!(
+        "parsed {} reports back ({} errors)",
+        reports.len(),
+        errors.len()
+    );
 
     let registries = generate_registries(&fleet, &RegistryConfig::default());
     let mut graph = Graph::new();

@@ -118,7 +118,10 @@ fn main() {
     for obs in &scenario.reports {
         density.add(&obs.report.position());
     }
-    println!("\n== Aegean traffic density ({} reports) ==", scenario.reports.len());
+    println!(
+        "\n== Aegean traffic density ({} reports) ==",
+        scenario.reports.len()
+    );
     print!("{}", render_ascii(&density));
     println!("\ntop hotspot cells:");
     for h in density.top_k(5) {

@@ -69,10 +69,8 @@ fn main() {
 
     // 4. Query the store like a datAcron component would.
     let graph = pipeline.graph_mut();
-    let q = datacron_rdf::parse_query(
-        "SELECT ?v WHERE { ?v rdf:type da:Vessel } LIMIT 5",
-    )
-    .expect("valid query");
+    let q = datacron_rdf::parse_query("SELECT ?v WHERE { ?v rdf:type da:Vessel } LIMIT 5")
+        .expect("valid query");
     let (bindings, _) = datacron_rdf::execute(graph, &q);
     println!("\n== sample SPARQL over the store ==");
     for row in &bindings.rows {

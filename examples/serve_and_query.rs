@@ -1,0 +1,167 @@
+//! Serve and query: start an in-process datacron-server, stream a
+//! simulated Aegean scenario to it over loopback TCP, then exercise one
+//! of every request type and print the stats the server reports.
+//!
+//! ```sh
+//! cargo run --release --example serve_and_query
+//! ```
+
+use datacron_core::{PipelineConfig, PolygonSpec};
+use datacron_geo::TimeMs;
+use datacron_server::client::is_ok;
+use datacron_server::{start, Client, Json, ServerConfig};
+use datacron_sim::{generate_maritime, MaritimeConfig, NoiseModel};
+use std::time::Duration;
+
+fn main() {
+    // 1. Simulate two hours of maritime traffic with scripted anomalies.
+    let scenario = generate_maritime(&MaritimeConfig {
+        seed: 7,
+        n_vessels: 40,
+        duration_ms: TimeMs::from_hours(2).millis(),
+        report_interval_ms: 30_000,
+        noise: NoiseModel::default(),
+        frac_loitering: 0.15,
+        frac_gap: 0.1,
+        frac_drifting: 0.05,
+        n_rendezvous_pairs: 2,
+    });
+
+    // 2. Start the server over the scenario's world.
+    let mut pipeline_cfg = PipelineConfig {
+        region: scenario.world.region,
+        ..PipelineConfig::default()
+    };
+    for (name, poly) in &scenario.world.zones {
+        pipeline_cfg.zones.push((
+            name.clone(),
+            PolygonSpec(poly.ring().iter().map(|p| (p.lon, p.lat)).collect()),
+        ));
+    }
+    for port in &scenario.world.ports {
+        pipeline_cfg
+            .exclusions
+            .push((port.location.lon, port.location.lat, 4_000.0));
+    }
+    let handle = start(ServerConfig {
+        workers: 4,
+        pipeline: pipeline_cfg,
+        heat_cell_deg: 0.1,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    println!("server listening on {}", handle.local_addr);
+
+    // 3. Stream the scenario through the ingest endpoint in batches.
+    let mut client =
+        Client::connect_timeout(handle.local_addr, Duration::from_secs(30)).expect("connect");
+    let mut ingested = 0u64;
+    let mut events = 0u64;
+    for chunk in scenario.reports.chunks(500) {
+        let reports: Vec<Json> = chunk
+            .iter()
+            .map(|obs| {
+                let r = &obs.report;
+                Json::obj()
+                    .field("object", r.object.raw())
+                    .field("t_ms", r.time.millis())
+                    .field("lon", r.lon)
+                    .field("lat", r.lat)
+                    .field("speed_mps", r.speed_mps)
+                    .field("heading_deg", r.heading_deg)
+                    .build()
+            })
+            .collect();
+        let resp = client
+            .call(
+                &Json::obj()
+                    .field("type", "ingest")
+                    .field("reports", Json::Arr(reports))
+                    .build(),
+            )
+            .expect("ingest");
+        assert!(is_ok(&resp), "ingest failed: {resp}");
+        ingested += resp.get("accepted").and_then(Json::as_u64).unwrap_or(0);
+        events += resp.get("events").and_then(Json::as_u64).unwrap_or(0);
+    }
+    println!("ingested {ingested} reports, {events} detections\n");
+
+    // 4. One of each query type.
+    let queries = [
+        (
+            "sparql",
+            Json::obj()
+                .field("type", "sparql")
+                .field("query", "SELECT ?n WHERE { ?n da:ofMovingObject da:obj/1 }")
+                .field("limit", 3u64)
+                .build(),
+        ),
+        (
+            "heatmap",
+            Json::obj()
+                .field("type", "heatmap")
+                .field("top_k", 3u64)
+                .build(),
+        ),
+        (
+            "flows",
+            Json::obj()
+                .field("type", "flows")
+                .field("top_k", 5u64)
+                .build(),
+        ),
+        (
+            "hotspots",
+            Json::obj()
+                .field("type", "hotspots")
+                .field("top_k", 3u64)
+                .build(),
+        ),
+        (
+            "events",
+            Json::obj()
+                .field("type", "events")
+                .field("limit", 3u64)
+                .field("kind", "loitering")
+                .build(),
+        ),
+    ];
+    for (name, req) in &queries {
+        let resp = client.call(req).expect(name);
+        assert!(is_ok(&resp), "{name} failed: {resp}");
+        let mut rendered = String::new();
+        resp.get("result").unwrap().write(&mut rendered);
+        let preview: String = rendered.chars().take(240).collect();
+        let ellipsis = if rendered.len() > 240 { "…" } else { "" };
+        println!("== {name} ==\n{preview}{ellipsis}\n");
+    }
+
+    // 5. Server + pipeline statistics.
+    let resp = client
+        .call(&Json::obj().field("type", "stats").build())
+        .expect("stats");
+    assert!(is_ok(&resp), "stats failed: {resp}");
+    println!("== stats ==");
+    let server = resp.get("server").unwrap();
+    for key in ["connections_accepted", "requests_ok", "requests_err"] {
+        println!("{key:>22}: {}", server.get(key).unwrap());
+    }
+    if let Some(lat) = server.get("request_latency") {
+        let mut rendered = String::new();
+        lat.write(&mut rendered);
+        println!("{:>22}: {rendered}", "request_latency");
+    }
+    let pipeline = resp.get("pipeline").unwrap();
+    for key in [
+        "reports_in",
+        "reports_kept",
+        "events",
+        "triples",
+        "graph_len",
+    ] {
+        println!("{key:>22}: {}", pipeline.get(key).unwrap());
+    }
+
+    handle.shutdown();
+    println!("\nserver shut down cleanly");
+}

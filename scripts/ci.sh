@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, release build, tests.
+#
+# Usage: scripts/ci.sh [--offline]
+#
+# Pass --offline (or set CARGO_NET_OFFLINE=true) on machines without
+# registry access; cargo then resolves from the local cache only.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+run cargo build "${CARGO_FLAGS[@]}" --release --workspace
+run cargo test "${CARGO_FLAGS[@]}" -q --workspace
+
+echo "==> CI green"

@@ -9,7 +9,10 @@ use datacron_geo::{Grid, TimeMs};
 use datacron_model::PositionReport;
 use datacron_sim::{generate_maritime, MaritimeConfig, NoiseModel};
 
-fn history_and_test() -> (Vec<datacron_model::Trajectory>, Vec<datacron_model::Trajectory>) {
+fn history_and_test() -> (
+    Vec<datacron_model::Trajectory>,
+    Vec<datacron_model::Trajectory>,
+) {
     let make = |seed| {
         let data = generate_maritime(&MaritimeConfig {
             seed,

@@ -63,7 +63,8 @@ fn mapped_store_answers_equivalently_under_all_partitioners() {
         "SELECT ?v ?s WHERE { ?n da:ofMovingObject ?v . ?n da:speed ?s . FILTER (?s > 9.0) }",
     ];
     let region = data.world.region;
-    let stores = [PartitionedStore::build(&graph, Box::new(HashPartitioner::new(4))),
+    let stores = [
+        PartitionedStore::build(&graph, Box::new(HashPartitioner::new(4))),
         PartitionedStore::build(
             &graph,
             Box::new(SpatialGridPartitioner::new(4, region, 0.5)),
@@ -71,7 +72,8 @@ fn mapped_store_answers_equivalently_under_all_partitioners() {
         PartitionedStore::build(
             &graph,
             Box::new(TemporalPartitioner::new(4, TimeMs(0), 30 * 60_000)),
-        )];
+        ),
+    ];
     for q_text in queries {
         let q = parse_query(q_text).unwrap();
         let (single, _) = execute(&graph, &q);
