@@ -6,7 +6,7 @@ use datacron_cep::{
 };
 use datacron_geo::{BoundingBox, GeoPoint, Polygon};
 use datacron_model::{EventRecord, PositionReport};
-use datacron_rdf::Graph;
+use datacron_rdf::{Graph, Triple};
 use datacron_stream::LatencyHistogram;
 use datacron_synopses::{Cleanser, CriticalPointDetector, DeadReckoningCompressor, SynopsisConfig};
 use datacron_transform::RdfMapper;
@@ -151,6 +151,11 @@ pub struct IngestOutcome {
     pub triples: u64,
     /// Events recognised while processing the batch.
     pub events: Vec<EventRecord>,
+    /// The encoded triples this batch committed, in commit order. Empty
+    /// unless [`Pipeline::track_new_triples`] is on; consumers mirror these
+    /// into secondary stores (e.g. a partitioned query mirror) without
+    /// re-scanning the graph.
+    pub new_triples: Vec<Triple>,
 }
 
 /// The single-process pipeline.
@@ -317,7 +322,16 @@ impl Pipeline {
             kept: self.metrics.reports_kept - kept_before,
             triples: self.metrics.triples - triples_before,
             events,
+            new_triples: self.graph.take_new_triples(),
         }
+    }
+
+    /// Turns the commit log on or off. While on, every commit appends the
+    /// newly merged triples to a log that the next [`Pipeline::ingest_batch`]
+    /// drains into [`IngestOutcome::new_triples`]. Off by default so batch
+    /// (non-serving) uses pay nothing.
+    pub fn track_new_triples(&mut self, on: bool) {
+        self.graph.track_new_triples(on);
     }
 
     /// Read-only view of the RDF store as of the last commit (every

@@ -7,6 +7,7 @@ use crate::store::Graph;
 use crate::term::{Literal, Term};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::cmp::Ordering;
+use std::time::{Duration, Instant};
 
 /// One result row: the projected terms in projection order.
 pub type Row = Vec<TermId>;
@@ -39,7 +40,8 @@ impl Bindings {
     }
 }
 
-/// Execution statistics, used by the partitioning experiments.
+/// Execution statistics, used by the partitioning experiments and exposed
+/// per query through the server's `sparql` response.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Intermediate bindings materialised across join steps.
@@ -48,6 +50,10 @@ pub struct QueryStats {
     pub pushdown_candidates: usize,
     /// Triple-pattern index probes.
     pub probes: usize,
+    /// Join-order planning time, microseconds.
+    pub planning_us: u64,
+    /// Everything-else time (probes, filters, projection), microseconds.
+    pub exec_us: u64,
 }
 
 /// Numeric/lexicographic comparison of two terms; `None` when incomparable.
@@ -97,10 +103,16 @@ fn resolve(
     }
 }
 
-/// Executes a query against a single graph.
-pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
-    let mut stats = QueryStats::default();
+/// The shared query prologue: variable table, projection, pushdown
+/// candidate sets. `Err` carries the (empty) early-exit result.
+struct Prologue {
+    all_vars: Vec<String>,
+    var_idx: FxHashMap<String, usize>,
+    projected: Vec<String>,
+    candidates: FxHashMap<usize, FxHashSet<TermId>>,
+}
 
+fn prologue(graph: &Graph, q: &SelectQuery, stats: &mut QueryStats) -> Result<Prologue, Bindings> {
     // Variable table.
     let all_vars = q.all_vars();
     let var_idx: FxHashMap<String, usize> = all_vars
@@ -123,13 +135,13 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
     // Filters over variables that never occur in the BGP can never bind.
     for f in &q.filters {
         if !var_idx.contains_key(f.var()) {
-            return (empty(&projected), stats);
+            return Err(empty(&projected));
         }
     }
     // Projected variables must occur in the BGP.
     for v in &projected {
         if !var_idx.contains_key(v) {
-            return (empty(&projected), stats);
+            return Err(empty(&projected));
         }
     }
 
@@ -154,6 +166,270 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
         }
     }
 
+    Ok(Prologue {
+        all_vars,
+        var_idx,
+        projected,
+        candidates,
+    })
+}
+
+/// True when `row` survives every residual (non-pushdown) filter.
+fn residual_ok(
+    graph: &Graph,
+    q: &SelectQuery,
+    var_idx: &FxHashMap<String, usize>,
+    row: &[Option<TermId>],
+) -> bool {
+    q.filters.iter().all(|f| {
+        let FilterExpr::Compare { var, op, value } = f else {
+            return true; // pushdown filters already applied
+        };
+        let Some(Some(id)) = var_idx.get(var).map(|&i| row[i]) else {
+            return false;
+        };
+        let term = graph.decode(id).expect("id from this graph");
+        cmp_satisfies(*op, cmp_terms(term, value))
+    })
+}
+
+/// Executes a query against a single graph on the fast path: O(log n)
+/// join-order planning via [`Graph::estimate_pattern`] + predicate
+/// statistics, slice scans over the committed indexes (no per-triple
+/// callback), tail scans skipped when the tail is empty, and flat binding
+/// buffers reused across join steps (no per-row allocation).
+pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
+    let t_total = Instant::now();
+    let mut stats = QueryStats::default();
+    let pro = match prologue(graph, q, &mut stats) {
+        Ok(p) => p,
+        Err(b) => return (b, stats),
+    };
+    let Prologue {
+        all_vars,
+        var_idx,
+        projected,
+        candidates,
+    } = pro;
+    let width = all_vars.len();
+
+    // Greedy join order: repeatedly take the cheapest remaining pattern.
+    let mut remaining: Vec<&TriplePattern> = q.patterns.iter().collect();
+    let mut bound: FxHashSet<usize> = FxHashSet::default();
+    // Flat binding storage: rows are `width`-sized chunks; `cur`/`next`
+    // swap between join steps so no per-row Vec is ever allocated.
+    let mut cur: Vec<Option<TermId>> = vec![None; width];
+    let mut cur_rows: usize = 1;
+    let mut next: Vec<Option<TermId>> = Vec::new();
+    let mut scratch: Vec<Option<TermId>> = vec![None; width];
+    let empty_row = vec![None; width];
+    let mut planning = Duration::ZERO;
+
+    while !remaining.is_empty() {
+        // Plan: cost from the O(log n) range estimate, refined by
+        // predicate statistics for variables an earlier step has bound (a
+        // bound var acts as a constant at probe time, so the predicate's
+        // average degree predicts the per-probe fan-out).
+        let t_plan = Instant::now();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, pat) in remaining.iter().enumerate() {
+            let consts = |pt: &PatternTerm| resolve(pt, graph, &var_idx, &empty_row);
+            let (s, p, o) = match (consts(&pat.s), consts(&pat.p), consts(&pat.o)) {
+                (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+                _ => {
+                    // Unknown constant: zero matches — this pattern kills
+                    // the query, pick it immediately.
+                    best = Some((i, -1.0));
+                    break;
+                }
+            };
+            let mut cost = graph.estimate_pattern(s, p, o) as f64;
+            let pstats = p.and_then(|pid| graph.predicate_stats(pid));
+            for (pt, degree) in [
+                (
+                    &pat.s,
+                    pstats.map(|st| st.triples as f64 / st.distinct_subjects.max(1) as f64),
+                ),
+                (&pat.p, None),
+                (
+                    &pat.o,
+                    pstats.map(|st| st.triples as f64 / st.distinct_objects.max(1) as f64),
+                ),
+            ] {
+                let PatternTerm::Var(v) = pt else { continue };
+                let vi = var_idx[v];
+                if bound.contains(&vi) {
+                    cost = match degree {
+                        Some(d) => cost.min(d),
+                        None => cost / 16.0,
+                    };
+                }
+                if candidates.contains_key(&vi) {
+                    cost /= 4.0;
+                }
+            }
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+        }
+        let (chosen_idx, _) = best.expect("remaining non-empty");
+        let pat = remaining.remove(chosen_idx);
+        planning += t_plan.elapsed();
+
+        // Constants and variable slots resolve once per pattern, not per
+        // probe.
+        let slot = |pt: &PatternTerm| -> Result<Result<Option<TermId>, usize>, ()> {
+            match pt {
+                PatternTerm::Term(t) => graph.dict().lookup(t).map(|id| Ok(Some(id))).ok_or(()),
+                PatternTerm::Var(v) => Ok(Err(var_idx[v])),
+            }
+        };
+        let (ss, ps, os) = match (slot(&pat.s), slot(&pat.p), slot(&pat.o)) {
+            (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+            _ => {
+                // A constant term absent from the graph: no row can match.
+                cur_rows = 0;
+                break;
+            }
+        };
+        // Variable positions to bind, in S/P/O order (a var may repeat).
+        let mut binds: Vec<(u8, usize)> = Vec::with_capacity(3);
+        if let Err(vi) = ss {
+            binds.push((0, vi));
+        }
+        if let Err(vi) = ps {
+            binds.push((1, vi));
+        }
+        if let Err(vi) = os {
+            binds.push((2, vi));
+        }
+
+        next.clear();
+        let mut next_rows = 0usize;
+        let tail = graph.tail_triples();
+        for r in 0..cur_rows {
+            let row = &cur[r * width..(r + 1) * width];
+            let rs = match ss {
+                Ok(c) => c,
+                Err(vi) => row[vi],
+            };
+            let rp = match ps {
+                Ok(c) => c,
+                Err(vi) => row[vi],
+            };
+            let ro = match os {
+                Ok(c) => c,
+                Err(vi) => row[vi],
+            };
+            stats.probes += 1;
+            let mut try_bind = |t: crate::store::Triple| {
+                scratch.copy_from_slice(row);
+                for &(pos, vi) in &binds {
+                    let id = match pos {
+                        0 => t.s,
+                        1 => t.p,
+                        _ => t.o,
+                    };
+                    match scratch[vi] {
+                        Some(existing) if existing != id => return,
+                        Some(_) => {}
+                        None => {
+                            if let Some(cand) = candidates.get(&vi) {
+                                if !cand.contains(&id) {
+                                    return;
+                                }
+                            }
+                            scratch[vi] = Some(id);
+                        }
+                    }
+                }
+                next.extend_from_slice(&scratch);
+                next_rows += 1;
+            };
+            // Committed triples come out as an exact slice — no per-triple
+            // callback, no post-filtering.
+            for t in graph.pattern_slice(rs, rp, ro).iter() {
+                try_bind(t);
+            }
+            // The serving path always commits, so the tail scan is skipped
+            // entirely in the common case.
+            if !tail.is_empty() {
+                for t in tail {
+                    if rs.is_none_or(|x| x == t.s)
+                        && rp.is_none_or(|x| x == t.p)
+                        && ro.is_none_or(|x| x == t.o)
+                    {
+                        try_bind(*t);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        cur_rows = next_rows;
+        for v in pat.vars() {
+            bound.insert(var_idx[v]);
+        }
+        stats.intermediate += cur_rows;
+        if cur_rows == 0 {
+            break;
+        }
+    }
+
+    // Residual comparison filters + projection + limit + dedup, straight
+    // off the flat buffer.
+    let proj_idx: Vec<usize> = projected.iter().map(|v| var_idx[v]).collect();
+    let mut out_rows: Vec<Row> = Vec::with_capacity(cur_rows.min(q.limit.unwrap_or(usize::MAX)));
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    'rows: for r in 0..cur_rows {
+        let row = &cur[r * width..(r + 1) * width];
+        if !residual_ok(graph, q, &var_idx, row) {
+            continue;
+        }
+        let maybe_out: Option<Row> = proj_idx.iter().map(|&i| row[i]).collect();
+        let Some(out) = maybe_out else {
+            continue; // a projected var ended up unbound (empty BGP)
+        };
+        if seen.insert(out.clone()) {
+            out_rows.push(out);
+            if let Some(limit) = q.limit {
+                if out_rows.len() >= limit {
+                    break 'rows;
+                }
+            }
+        }
+    }
+
+    stats.planning_us = planning.as_micros() as u64;
+    stats.exec_us = t_total.elapsed().saturating_sub(planning).as_micros() as u64;
+    (
+        Bindings {
+            vars: projected,
+            rows: out_rows,
+        },
+        stats,
+    )
+}
+
+/// Executes a query on the **reference path**: the original O(matches)
+/// `count_pattern` planner and per-triple callback probes with per-row
+/// allocation. Retained verbatim so the fast path can be validated for
+/// bit-identical results and benchmarked for planning cost — do not
+/// "optimise" this function.
+pub fn execute_reference(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
+    let t_total = Instant::now();
+    let mut stats = QueryStats::default();
+    let pro = match prologue(graph, q, &mut stats) {
+        Ok(p) => p,
+        Err(b) => return (b, stats),
+    };
+    let Prologue {
+        all_vars,
+        var_idx,
+        projected,
+        candidates,
+    } = pro;
+    let mut planning = Duration::ZERO;
+
     // Greedy join order: repeatedly take the cheapest remaining pattern.
     let mut remaining: Vec<&TriplePattern> = q.patterns.iter().collect();
     let mut bound: FxHashSet<usize> = FxHashSet::default();
@@ -163,6 +439,7 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
         // Cost estimate: matches with constants only, discounted per
         // already-bound variable (a bound var acts as a constant at probe
         // time) and per candidate-restricted variable.
+        let t_plan = Instant::now();
         let empty_row = vec![None; all_vars.len()];
         let mut best: Option<(usize, f64)> = None;
         for (i, pat) in remaining.iter().enumerate() {
@@ -195,6 +472,7 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
         }
         let (chosen_idx, _) = best.expect("remaining non-empty");
         let pat = remaining.remove(chosen_idx);
+        planning += t_plan.elapsed();
 
         let mut next_rows: Vec<Vec<Option<TermId>>> = Vec::new();
         for row in &rows {
@@ -282,6 +560,8 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
         }
     }
 
+    stats.planning_us = planning.as_micros() as u64;
+    stats.exec_us = t_total.elapsed().saturating_sub(planning).as_micros() as u64;
     (
         Bindings {
             vars: projected,

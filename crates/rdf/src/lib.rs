@@ -39,12 +39,12 @@ pub mod store;
 pub mod term;
 
 pub use dict::{Dictionary, TermId};
-pub use engine::{execute, Bindings, QueryStats};
+pub use engine::{execute, execute_reference, Bindings, QueryStats};
 pub use infer::{saturate_same_as, SaturationStats};
 pub use ntriples::{from_ntriples, to_ntriples};
-pub use parallel::PartitionedStore;
+pub use parallel::{DecodedBindings, PartitionedStats, PartitionedStore};
 pub use parser::parse_query;
 pub use partition::{HashPartitioner, Partitioner, SpatialGridPartitioner, TemporalPartitioner};
 pub use query::{FilterExpr, PatternTerm, SelectQuery, TriplePattern};
-pub use store::{Graph, Triple};
+pub use store::{Graph, PatternSlice, PredicateStats, Triple};
 pub use term::{Literal, Term};

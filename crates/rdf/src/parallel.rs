@@ -16,7 +16,7 @@
 use crate::engine::{execute, QueryStats};
 use crate::partition::Partitioner;
 use crate::query::{FilterExpr, SelectQuery};
-use crate::store::Graph;
+use crate::store::{Graph, Triple};
 use crate::term::Term;
 use datacron_geo::BoundingBox;
 use rustc_hash::FxHashSet;
@@ -28,7 +28,12 @@ pub struct PartitionedStats {
     pub partitions_touched: usize,
     /// Partitions that existed.
     pub partitions_total: usize,
-    /// Sum of per-partition engine statistics.
+    /// Partitions whose engine actually issued index probes (the
+    /// partition-parallelism proof: > 1 means the query really fanned out).
+    pub partitions_probed: usize,
+    /// Merged per-partition engine statistics: counters are summed;
+    /// `planning_us`/`exec_us` take the per-partition maximum (the
+    /// critical path, since partitions run on concurrent workers).
     pub engine: QueryStats,
 }
 
@@ -67,6 +72,40 @@ impl PartitionedStore {
             g.commit();
         }
         Self { parts, partitioner }
+    }
+
+    /// An empty store ready for incremental [`PartitionedStore::ingest`].
+    /// Intended for partitioners whose `assign` needs no `prepare` pass
+    /// (hash by subject — the serving path's choice); location/time-homed
+    /// partitioners would route every subject through the hash fallback.
+    pub fn empty(partitioner: Box<dyn Partitioner>) -> Self {
+        let parts = (0..partitioner.partitions())
+            .map(|_| Graph::new())
+            .collect();
+        Self { parts, partitioner }
+    }
+
+    /// Applies newly committed triples of `source` to the partition
+    /// mirrors and commits the touched partitions. `new` must be the
+    /// post-dedup commit delta (see [`Graph::take_new_triples`]); ids are
+    /// decoded through `source`'s dictionary and re-encoded per partition.
+    pub fn ingest(&mut self, source: &Graph, new: &[Triple]) {
+        let mut touched = vec![false; self.parts.len()];
+        for t in new {
+            let idx = self.partitioner.assign(t, source);
+            let (s, p, o) = (
+                source.decode(t.s).expect("id from source"),
+                source.decode(t.p).expect("id from source"),
+                source.decode(t.o).expect("id from source"),
+            );
+            self.parts[idx].insert(s, p, o);
+            touched[idx] = true;
+        }
+        for (g, touched) in self.parts.iter_mut().zip(touched) {
+            if touched {
+                g.commit();
+            }
+        }
     }
 
     /// Number of partitions.
@@ -132,6 +171,7 @@ impl PartitionedStore {
         let mut stats = PartitionedStats {
             partitions_touched: routed.len(),
             partitions_total: self.parts.len(),
+            partitions_probed: 0,
             engine: QueryStats::default(),
         };
 
@@ -171,6 +211,11 @@ impl PartitionedStore {
             stats.engine.intermediate += s.intermediate;
             stats.engine.pushdown_candidates += s.pushdown_candidates;
             stats.engine.probes += s.probes;
+            stats.engine.planning_us = stats.engine.planning_us.max(s.planning_us);
+            stats.engine.exec_us = stats.engine.exec_us.max(s.exec_us);
+            if s.probes > 0 {
+                stats.partitions_probed += 1;
+            }
             for row in rows {
                 // Dedup across partitions via a rendered key (terms have no
                 // global ids).

@@ -3,6 +3,7 @@
 use crate::dict::{Dictionary, TermId};
 use crate::index::{SpatialIndex, TemporalIndex};
 use crate::term::Term;
+use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
 /// An encoded triple.
@@ -32,6 +33,71 @@ fn key_of(t: &Triple, order: IndexOrder) -> (u32, u32, u32) {
     }
 }
 
+/// A planned committed-index scan: the chosen index, its component order,
+/// and the inclusive `lo..=hi` key bounds of the bound-component prefix.
+type PlannedRange<'a> = (
+    &'a Vec<(u32, u32, u32)>,
+    IndexOrder,
+    (u32, u32, u32),
+    (u32, u32, u32),
+);
+
+fn triple_of(k: (u32, u32, u32), order: IndexOrder) -> Triple {
+    let (s, p, o) = match order {
+        IndexOrder::Spo => (k.0, k.1, k.2),
+        IndexOrder::Pos => (k.2, k.0, k.1),
+        IndexOrder::Osp => (k.1, k.2, k.0),
+    };
+    Triple {
+        s: TermId(s),
+        p: TermId(p),
+        o: TermId(o),
+    }
+}
+
+/// Per-predicate statistics over the **committed** indexes, maintained
+/// incrementally at [`Graph::commit`] time. The query planner uses these to
+/// estimate per-probe fan-out (`triples / distinct_subjects` is the average
+/// out-degree of the predicate) without touching the indexes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Distinct committed triples with this predicate.
+    pub triples: usize,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: usize,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: usize,
+}
+
+/// A contiguous run of one committed permutation index holding **exactly**
+/// the committed triples matching a pattern (every bound-component
+/// combination is a prefix of one of the three index orders, so no
+/// post-filtering is needed). Obtained from [`Graph::pattern_slice`];
+/// pending tail triples are *not* included — see [`Graph::tail_triples`].
+#[derive(Debug, Clone, Copy)]
+pub struct PatternSlice<'a> {
+    keys: &'a [(u32, u32, u32)],
+    order: IndexOrder,
+}
+
+impl PatternSlice<'_> {
+    /// Number of matching committed triples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no committed triple matches.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates the matches as [`Triple`]s.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        let order = self.order;
+        self.keys.iter().map(move |&k| triple_of(k, order))
+    }
+}
+
 /// A dictionary-encoded RDF graph with three sorted permutation indexes and
 /// secondary spatiotemporal literal indexes.
 ///
@@ -44,8 +110,17 @@ pub struct Graph {
     spo: Vec<(u32, u32, u32)>,
     pos: Vec<(u32, u32, u32)>,
     osp: Vec<(u32, u32, u32)>,
-    /// Uncommitted triples (unsorted).
+    /// Uncommitted triples (unsorted). Disjoint from the committed indexes
+    /// and duplicate-free (enforced at insert), so `len` stays exact.
     tail: Vec<Triple>,
+    /// Membership set for the tail (insert-time dedup).
+    tail_set: FxHashSet<Triple>,
+    /// Per-predicate statistics over the committed indexes.
+    pred_stats: FxHashMap<u32, PredicateStats>,
+    /// When true, commits append newly added triples to `new_log`.
+    track_new: bool,
+    /// Committed-but-not-yet-drained new triples (partition-mirror sync).
+    new_log: Vec<Triple>,
     spatial: SpatialIndex,
     temporal: TemporalIndex,
     len: usize,
@@ -92,8 +167,14 @@ impl Graph {
     }
 
     /// Inserts an already-encoded triple (ids must come from this graph's
-    /// dictionary).
+    /// dictionary). Duplicates of committed or pending triples are dropped
+    /// here, so the tail only ever holds genuinely new triples and
+    /// [`Graph::len`] is exact at all times.
     pub fn insert_encoded(&mut self, t: Triple) {
+        if self.spo.binary_search(&key_of(&t, IndexOrder::Spo)).is_ok() || !self.tail_set.insert(t)
+        {
+            return;
+        }
         self.tail.push(t);
         self.len += 1;
         // Keep the unsorted tail bounded so reads stay fast.
@@ -102,12 +183,41 @@ impl Graph {
         }
     }
 
-    /// Merges pending inserts into the sorted indexes and dedupes.
+    /// Merges pending inserts into the sorted indexes and updates the
+    /// per-predicate statistics from the delta.
     pub fn commit(&mut self) {
         if self.tail.is_empty() {
             return;
         }
         let tail = std::mem::take(&mut self.tail);
+        self.tail_set.clear();
+
+        // Statistics delta: the tail holds exactly the new distinct triples
+        // (insert-time dedup), so counting is O(t log t + t log n).
+        for t in &tail {
+            self.pred_stats.entry(t.p.raw()).or_default().triples += 1;
+        }
+        let mut pairs: Vec<(u32, u32, u32)> = tail
+            .iter()
+            .map(|t| (t.s.raw(), t.p.raw(), u32::MAX))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &(s, p, _) in &pairs {
+            if !Self::prefix2_present(&self.spo, s, p) {
+                self.pred_stats.entry(p).or_default().distinct_subjects += 1;
+            }
+        }
+        pairs.clear();
+        pairs.extend(tail.iter().map(|t| (t.p.raw(), t.o.raw(), u32::MAX)));
+        pairs.sort_unstable();
+        pairs.dedup();
+        for &(p, o, _) in &pairs {
+            if !Self::prefix2_present(&self.pos, p, o) {
+                self.pred_stats.entry(p).or_default().distinct_objects += 1;
+            }
+        }
+
         for order in [IndexOrder::Spo, IndexOrder::Pos, IndexOrder::Osp] {
             let index = match order {
                 IndexOrder::Spo => &mut self.spo,
@@ -119,12 +229,49 @@ impl Graph {
             index.dedup();
         }
         self.len = self.spo.len();
+        if self.track_new {
+            self.new_log.extend_from_slice(&tail);
+        }
     }
 
-    /// Number of distinct triples (after pending-tail dedup this is exact;
-    /// with a non-empty tail it is an upper bound).
+    /// True when `index` holds any key starting with `(a, b)`.
+    fn prefix2_present(index: &[(u32, u32, u32)], a: u32, b: u32) -> bool {
+        let i = index.partition_point(|&k| k < (a, b, 0));
+        matches!(index.get(i), Some(&(x, y, _)) if x == a && y == b)
+    }
+
+    /// Enables (or disables) the commit log: while enabled, every commit
+    /// appends the newly added triples to an internal log drained by
+    /// [`Graph::take_new_triples`]. The serving path uses this to keep
+    /// partition mirrors in sync without rescanning the graph.
+    pub fn track_new_triples(&mut self, on: bool) {
+        self.track_new = on;
+        if !on {
+            self.new_log.clear();
+        }
+    }
+
+    /// Drains the commit log (empty unless [`Graph::track_new_triples`] is
+    /// enabled).
+    pub fn take_new_triples(&mut self) -> Vec<Triple> {
+        std::mem::take(&mut self.new_log)
+    }
+
+    /// Number of distinct triples. Exact at all times: inserts dedup
+    /// against both the committed indexes and the pending tail.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Number of pending (uncommitted) triples.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// The pending (uncommitted) triples, unordered. Duplicate-free and
+    /// disjoint from the committed indexes.
+    pub fn tail_triples(&self) -> &[Triple] {
+        &self.tail
     }
 
     /// True when the graph holds no triples.
@@ -142,9 +289,105 @@ impl Graph {
         &self.temporal
     }
 
+    /// Chooses the permutation index whose sort order makes the bound
+    /// components a *prefix*, plus the inclusive key range of that prefix.
+    /// Every bound-component combination is a prefix of one of SPO/POS/OSP
+    /// (notably `(s, ·, o)` is the `(o, s)` prefix of OSP), so the range
+    /// always contains exactly the matching committed triples.
+    fn plan_range(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> PlannedRange<'_> {
+        let bound = |x: Option<TermId>| x.map(|id| id.raw());
+        let (index, order, prefix) = match (bound(s), bound(p), bound(o)) {
+            (Some(s), Some(p), Some(o)) => {
+                (&self.spo, IndexOrder::Spo, [Some(s), Some(p), Some(o)])
+            }
+            (Some(s), Some(p), None) => (&self.spo, IndexOrder::Spo, [Some(s), Some(p), None]),
+            (Some(s), None, None) => (&self.spo, IndexOrder::Spo, [Some(s), None, None]),
+            // s and o bound, p free: the (o, s) prefix of OSP — a tight
+            // range, unlike the (s) prefix of SPO plus a post-filter.
+            (Some(s), None, Some(o)) => (&self.osp, IndexOrder::Osp, [Some(o), Some(s), None]),
+            (None, Some(p), Some(o)) => (&self.pos, IndexOrder::Pos, [Some(p), Some(o), None]),
+            (None, Some(p), None) => (&self.pos, IndexOrder::Pos, [Some(p), None, None]),
+            (None, None, Some(o)) => (&self.osp, IndexOrder::Osp, [Some(o), None, None]),
+            (None, None, None) => (&self.spo, IndexOrder::Spo, [None, None, None]),
+        };
+        let lo = (
+            prefix[0].unwrap_or(0),
+            prefix[1].unwrap_or(0),
+            prefix[2].unwrap_or(0),
+        );
+        let hi = (
+            prefix[0].unwrap_or(u32::MAX),
+            prefix[1].unwrap_or(u32::MAX),
+            prefix[2].unwrap_or(u32::MAX),
+        );
+        (index, order, lo, hi)
+    }
+
+    /// The committed-index range matching a pattern, found with two binary
+    /// searches (O(log n), no visiting).
+    fn committed_range(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> (&[(u32, u32, u32)], IndexOrder) {
+        let (index, order, lo, hi) = self.plan_range(s, p, o);
+        let a = index.partition_point(|&k| k < lo);
+        let b = index.partition_point(|&k| k <= hi);
+        (&index[a..b], order)
+    }
+
+    /// The committed triples matching a pattern, as a contiguous slice of
+    /// the chosen permutation index. Pending tail triples are not included
+    /// — callers on the fast path check [`Graph::tail_len`] and scan
+    /// [`Graph::tail_triples`] when non-empty (the serving path always
+    /// commits, so the tail is empty in the common case).
+    pub fn pattern_slice(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> PatternSlice<'_> {
+        let (keys, order) = self.committed_range(s, p, o);
+        PatternSlice { keys, order }
+    }
+
+    /// O(log n) cardinality estimate for a pattern: the exact committed
+    /// match count (range width via two `partition_point` calls) plus the
+    /// pending-tail size as an upper bound on tail matches. Never visits
+    /// triples — this is what makes planning cheap.
+    pub fn estimate_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> usize {
+        self.committed_range(s, p, o).0.len() + self.tail.len()
+    }
+
+    /// Number of committed index keys a scan of this pattern will visit.
+    /// Because index selection always makes the bound components a prefix,
+    /// this equals the exact committed match count — regression tests use
+    /// it to pin index-selection decisions.
+    pub fn probe_width(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.committed_range(s, p, o).0.len()
+    }
+
+    /// Statistics for a predicate over the committed indexes; `None` when
+    /// no committed triple uses it. Pending tail triples are not counted
+    /// until the next commit.
+    pub fn predicate_stats(&self, p: TermId) -> Option<PredicateStats> {
+        self.pred_stats.get(&p.raw()).copied()
+    }
+
     /// Matches a triple pattern (`None` = wildcard), invoking `visit` for
-    /// each matching triple. Chooses the best permutation index for the
-    /// bound components; scans the uncommitted tail as well.
+    /// each matching triple. Chooses the permutation index that makes the
+    /// bound components a prefix; scans the uncommitted tail as well.
     pub fn match_pattern(
         &self,
         s: Option<TermId>,
@@ -152,67 +395,16 @@ impl Graph {
         o: Option<TermId>,
         visit: &mut dyn FnMut(Triple),
     ) {
-        // Pick index + prefix by bound components.
-        let (index, order) = match (s, p, o) {
-            (Some(_), _, _) => (&self.spo, IndexOrder::Spo),
-            (None, Some(_), _) => (&self.pos, IndexOrder::Pos),
-            (None, None, Some(_)) => (&self.osp, IndexOrder::Osp),
-            (None, None, None) => (&self.spo, IndexOrder::Spo),
-        };
-        let lo = match order {
-            IndexOrder::Spo => (
-                s.map_or(0, |x| x.raw()),
-                p.map_or(0, |x| x.raw()),
-                o.map_or(0, |x| x.raw()),
-            ),
-            IndexOrder::Pos => (p.unwrap().raw(), o.map_or(0, |x| x.raw()), 0),
-            IndexOrder::Osp => (o.unwrap().raw(), 0, 0),
-        };
-        // Upper bound: prefix with last free component saturated.
-        let hi = match order {
-            IndexOrder::Spo => match (s, p, o) {
-                (Some(s), Some(p), Some(o)) => (s.raw(), p.raw(), o.raw()),
-                (Some(s), Some(p), None) => (s.raw(), p.raw(), u32::MAX),
-                (Some(s), None, _) => (s.raw(), u32::MAX, u32::MAX),
-                _ => (u32::MAX, u32::MAX, u32::MAX),
-            },
-            IndexOrder::Pos => match o {
-                Some(o) => (p.unwrap().raw(), o.raw(), u32::MAX),
-                None => (p.unwrap().raw(), u32::MAX, u32::MAX),
-            },
-            IndexOrder::Osp => (o.unwrap().raw(), u32::MAX, u32::MAX),
-        };
-        let start = index.partition_point(|&k| k < lo);
-        for &k in &index[start..] {
-            if k > hi {
-                break;
-            }
-            let t = match order {
-                IndexOrder::Spo => Triple {
-                    s: TermId(k.0),
-                    p: TermId(k.1),
-                    o: TermId(k.2),
-                },
-                IndexOrder::Pos => Triple {
-                    p: TermId(k.0),
-                    o: TermId(k.1),
-                    s: TermId(k.2),
-                },
-                IndexOrder::Osp => Triple {
-                    o: TermId(k.0),
-                    s: TermId(k.1),
-                    p: TermId(k.2),
-                },
-            };
-            // Bound components that are not a prefix of the index order
-            // (e.g. s and o bound with p free on the SPO index) are not
-            // captured by the range scan — verify the full pattern.
-            if s.is_none_or(|x| x == t.s)
-                && p.is_none_or(|x| x == t.p)
-                && o.is_none_or(|x| x == t.o)
-            {
-                visit(t);
-            }
+        let (keys, order) = self.committed_range(s, p, o);
+        for &k in keys {
+            let t = triple_of(k, order);
+            debug_assert!(
+                s.is_none_or(|x| x == t.s)
+                    && p.is_none_or(|x| x == t.p)
+                    && o.is_none_or(|x| x == t.o),
+                "prefix range must be exact"
+            );
+            visit(t);
         }
         // The uncommitted tail.
         for t in &self.tail {
@@ -225,7 +417,9 @@ impl Graph {
         }
     }
 
-    /// Counts matches for a pattern (used by the join-order planner).
+    /// Counts matches for a pattern by visiting them (O(matches) — the
+    /// *reference* planner uses this; the fast planner uses
+    /// [`Graph::estimate_pattern`]).
     pub fn count_pattern(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         let mut n = 0;
         self.match_pattern(s, p, o, &mut |_| n += 1);

@@ -1,0 +1,304 @@
+//! Fast-path regression suite: the slice-scan/O(log n)-planning engine
+//! must agree bit-for-bit (same rows, any order) with the retained
+//! reference engine, predicate statistics must stay exact under
+//! interleaved insert/commit cycles, and index selection must stay pinned
+//! to the tightest permutation index.
+
+use datacron_rdf::{
+    execute, execute_reference, parse_query, Graph, HashPartitioner, PartitionedStore, Term,
+    TermId, Triple,
+};
+
+/// Deterministic xorshift64* — the suite must not depend on ambient
+/// randomness, so failures reproduce from the seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A randomized entity graph: `s{i} type Vessel|Buoy`, `s{i} speed <f>`,
+/// and random `link` edges. Every query shape below is answerable on it.
+fn random_graph(rng: &mut Rng, entities: u64, links: u64) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..entities {
+        let s = Term::iri(format!("s{i}"));
+        let class = if rng.below(3) == 0 { "Buoy" } else { "Vessel" };
+        g.insert(&s, &Term::iri("type"), &Term::iri(class));
+        g.insert(
+            &s,
+            &Term::iri("speed"),
+            &Term::double(rng.below(20) as f64 / 2.0),
+        );
+    }
+    for _ in 0..links {
+        let a = Term::iri(format!("s{}", rng.below(entities)));
+        let b = Term::iri(format!("s{}", rng.below(entities)));
+        g.insert(&a, &Term::iri("link"), &b);
+    }
+    g
+}
+
+const QUERY_SHAPES: &[&str] = &[
+    "SELECT ?v WHERE { ?v type Vessel }",
+    "SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s }",
+    "SELECT ?a ?b WHERE { ?a link ?b . ?b type Buoy }",
+    "SELECT ?a ?s WHERE { ?a link ?b . ?b speed ?s . ?a type Vessel }",
+    "SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . FILTER (?s >= 4.0) }",
+    "SELECT ?t WHERE { ?v type ?t }",
+];
+
+fn sorted_rows(mut rows: Vec<Vec<TermId>>) -> Vec<Vec<TermId>> {
+    rows.sort();
+    rows
+}
+
+/// The acceptance property: fast and reference engines return the same
+/// row set (order-independent; no LIMIT, which legitimately picks
+/// different subsets) on randomized graphs.
+#[test]
+fn fast_engine_matches_reference_on_random_graphs() {
+    let mut rng = Rng(0x5EED_0001);
+    for round in 0..8 {
+        let entities = 5 + rng.below(60);
+        let mut g = random_graph(&mut rng, entities, entities * 2);
+        g.commit();
+        for shape in QUERY_SHAPES {
+            let q = parse_query(shape).unwrap();
+            let (fast, fast_stats) = execute(&g, &q);
+            let (reference, _) = execute_reference(&g, &q);
+            assert_eq!(fast.vars, reference.vars, "round {round}: {shape}");
+            assert_eq!(
+                sorted_rows(fast.rows),
+                sorted_rows(reference.rows),
+                "round {round}: {shape}"
+            );
+            assert!(
+                fast_stats.planning_us <= 1_000_000,
+                "planning must not dominate: {fast_stats:?}"
+            );
+        }
+    }
+}
+
+/// Same property with a non-empty uncommitted tail: the fast path's
+/// separate tail scan must not lose or duplicate matches.
+#[test]
+fn fast_engine_matches_reference_with_pending_tail() {
+    let mut rng = Rng(0x5EED_0002);
+    for round in 0..8 {
+        let entities = 5 + rng.below(40);
+        let mut g = random_graph(&mut rng, entities, entities);
+        g.commit();
+        // Extra links + one new entity stay in the tail.
+        let x = Term::iri("extra");
+        g.insert(&x, &Term::iri("type"), &Term::iri("Vessel"));
+        g.insert(&x, &Term::iri("speed"), &Term::double(3.5));
+        for _ in 0..entities {
+            let a = Term::iri(format!("s{}", rng.below(entities)));
+            g.insert(&a, &Term::iri("link"), &x);
+        }
+        assert!(g.tail_len() > 0, "the tail must actually be non-empty");
+        for shape in QUERY_SHAPES {
+            let q = parse_query(shape).unwrap();
+            let (fast, _) = execute(&g, &q);
+            let (reference, _) = execute_reference(&g, &q);
+            assert_eq!(
+                sorted_rows(fast.rows),
+                sorted_rows(reference.rows),
+                "round {round}: {shape}"
+            );
+        }
+    }
+}
+
+/// Predicate statistics stay exact across interleaved insert/commit
+/// cycles, duplicate inserts included — checked against a brute-force
+/// recount of the final graph.
+#[test]
+fn predicate_stats_exact_under_interleaved_commits() {
+    let mut rng = Rng(0x5EED_0003);
+    let mut g = Graph::new();
+    for cycle in 0..6 {
+        for _ in 0..50 {
+            let s = Term::iri(format!("s{}", rng.below(20)));
+            let p = Term::iri(format!("p{}", rng.below(4)));
+            let o = Term::iri(format!("o{}", rng.below(15)));
+            g.insert(&s, &p, &o);
+        }
+        // Re-insert triples that are already committed (duplicates must
+        // not inflate any counter).
+        if cycle > 0 {
+            let dups: Vec<Triple> = g.iter_triples().take(10).collect();
+            for t in dups {
+                g.insert_encoded(t);
+            }
+        }
+        g.commit();
+    }
+    for pid in 0..4 {
+        let p = g.encode(&Term::iri(format!("p{pid}")));
+        let matches: Vec<Triple> = g.collect_pattern(None, Some(p), None);
+        let mut subjects: Vec<TermId> = matches.iter().map(|t| t.s).collect();
+        let mut objects: Vec<TermId> = matches.iter().map(|t| t.o).collect();
+        subjects.sort();
+        subjects.dedup();
+        objects.sort();
+        objects.dedup();
+        let st = g.predicate_stats(p).expect("predicate has triples");
+        assert_eq!(st.triples, matches.len(), "p{pid} triple count");
+        assert_eq!(st.distinct_subjects, subjects.len(), "p{pid} subjects");
+        assert_eq!(st.distinct_objects, objects.len(), "p{pid} objects");
+    }
+}
+
+/// Index selection regression: a pattern binding subject *and* object
+/// must use the OSP index with prefix `(o, s)` — the probe width (keys
+/// the scan visits) equals the true match count, not the subject's or
+/// object's full degree.
+#[test]
+fn s_and_o_bound_pattern_scans_tight_osp_range() {
+    let mut g = Graph::new();
+    let hub = Term::iri("hub");
+    let target = Term::iri("target");
+    // Three parallel edges hub→target under distinct predicates...
+    for p in ["p0", "p1", "p2"] {
+        g.insert(&hub, &Term::iri(p), &target);
+    }
+    // ...plus 50 other edges out of `hub` and 50 into `target`.
+    for i in 0..50 {
+        g.insert(&hub, &Term::iri("out"), &Term::iri(format!("o{i}")));
+        g.insert(&Term::iri(format!("s{i}")), &Term::iri("in"), &target);
+    }
+    g.commit();
+    let s = g.encode(&hub);
+    let o = g.encode(&target);
+    assert_eq!(g.collect_pattern(Some(s), None, Some(o)).len(), 3);
+    assert_eq!(
+        g.probe_width(Some(s), None, Some(o)),
+        3,
+        "(s,?,o) must prefix-scan OSP, not post-filter a one-key prefix"
+    );
+    // The same tightness property holds for every bound combination: the
+    // chosen index always makes the bound components a prefix.
+    let mut rng = Rng(0x5EED_0004);
+    let mut rg = random_graph(&mut rng, 30, 60);
+    rg.commit();
+    let triples: Vec<Triple> = rg.iter_triples().collect();
+    for i in 0..triples.len().min(40) {
+        let t = triples[i * 7919 % triples.len()];
+        for mask in 0..8u32 {
+            let s = (mask & 1 != 0).then_some(t.s);
+            let p = (mask & 2 != 0).then_some(t.p);
+            let o = (mask & 4 != 0).then_some(t.o);
+            assert_eq!(
+                rg.probe_width(s, p, o),
+                rg.count_pattern(s, p, o),
+                "mask {mask:#b} of {t:?}"
+            );
+        }
+    }
+}
+
+/// Slice scans see exactly what the callback path sees, committed and
+/// pending alike.
+#[test]
+fn pattern_slice_plus_tail_equals_callback_path() {
+    let mut rng = Rng(0x5EED_0005);
+    let mut g = random_graph(&mut rng, 40, 80);
+    g.commit();
+    g.insert(&Term::iri("late"), &Term::iri("type"), &Term::iri("Vessel"));
+    let ty = g.encode(&Term::iri("type"));
+    let vessel = g.encode(&Term::iri("Vessel"));
+    for (s, p, o) in [
+        (None, Some(ty), None),
+        (None, Some(ty), Some(vessel)),
+        (None, None, None),
+    ] {
+        let mut via_slice: Vec<Triple> = g.pattern_slice(s, p, o).iter().collect();
+        via_slice.extend(g.tail_triples().iter().filter(|t| {
+            s.is_none_or(|x| x == t.s) && p.is_none_or(|x| x == t.p) && o.is_none_or(|x| x == t.o)
+        }));
+        let mut via_callback = g.collect_pattern(s, p, o);
+        via_slice.sort();
+        via_callback.sort();
+        assert_eq!(via_slice, via_callback);
+    }
+}
+
+/// `len()` stays exact at every point — duplicates against committed
+/// data and within the tail are both rejected at insert time.
+#[test]
+fn len_is_exact_with_duplicate_inserts() {
+    let mut g = Graph::new();
+    let t = (Term::iri("a"), Term::iri("b"), Term::iri("c"));
+    g.insert(&t.0, &t.1, &t.2);
+    g.insert(&t.0, &t.1, &t.2); // duplicate within the tail
+    assert_eq!(g.len(), 1);
+    g.commit();
+    assert_eq!(g.len(), 1);
+    g.insert(&t.0, &t.1, &t.2); // duplicate against committed data
+    assert_eq!(g.len(), 1);
+    assert_eq!(g.tail_len(), 0);
+    g.insert(&t.0, &t.1, &Term::iri("d"));
+    assert_eq!(g.len(), 2);
+    g.commit();
+    assert_eq!(g.iter_triples().count(), 2);
+}
+
+/// The commit log hands every committed triple to the partition mirror
+/// exactly once: an incrementally synced mirror answers queries
+/// identically to one bulk-built from the final graph.
+#[test]
+fn incremental_partition_mirror_matches_bulk_build() {
+    let mut rng = Rng(0x5EED_0006);
+    let mut source = Graph::new();
+    source.track_new_triples(true);
+    let mut mirror = PartitionedStore::empty(Box::new(HashPartitioner::new(4)));
+    for _ in 0..5 {
+        for _ in 0..40 {
+            let s = Term::iri(format!("s{}", rng.below(25)));
+            let p = Term::iri(format!("p{}", rng.below(3)));
+            let o = Term::iri(format!("o{}", rng.below(12)));
+            source.insert(&s, &p, &o);
+        }
+        source.commit();
+        let delta = source.take_new_triples();
+        mirror.ingest(&source, &delta);
+    }
+    assert_eq!(mirror.len(), source.len(), "no triple lost or duplicated");
+    let bulk = PartitionedStore::build(&source, Box::new(HashPartitioner::new(4)));
+    assert_eq!(mirror.partition_sizes(), bulk.partition_sizes());
+    let q = parse_query("SELECT ?s ?o WHERE { ?s p0 ?o }").unwrap();
+    let (inc, inc_stats) = mirror.execute(&q);
+    let (blk, _) = bulk.execute(&q);
+    let render = |rows: &[Vec<Term>]| {
+        let mut v: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(render(&inc.rows), render(&blk.rows));
+    assert!(
+        inc_stats.partitions_probed > 1,
+        "hash partitioning must spread this workload: {inc_stats:?}"
+    );
+}

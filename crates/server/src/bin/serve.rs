@@ -28,7 +28,10 @@ fn rect(lon0: f64, lat0: f64, lon1: f64, lat1: f64) -> PolygonSpec {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N]");
+        eprintln!(
+            "usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+             [--sparql-partitions N] [--partition-min-triples N]"
+        );
         return;
     }
     let cfg = ServerConfig {
@@ -44,6 +47,8 @@ fn main() {
             ..PipelineConfig::default()
         },
         heat_cell_deg: 0.1,
+        sparql_partitions: arg(&args, "--sparql-partitions", 4usize),
+        partition_min_triples: arg(&args, "--partition-min-triples", 10_000usize),
         ..ServerConfig::default()
     };
     let workers = cfg.workers;

@@ -27,6 +27,12 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object, as ordered key/value pairs.
     Obj(Vec<(String, Json)>),
+    /// A pre-rendered JSON fragment, emitted verbatim by [`Json::write`].
+    /// Response builders use this to serialise hot sub-objects straight from
+    /// borrowed data (no per-field `String` clones). The parser never
+    /// produces this variant, and the producer is responsible for the
+    /// fragment being valid JSON.
+    Raw(String),
 }
 
 /// A parse error with byte offset, for actionable client feedback.
@@ -158,6 +164,7 @@ impl Json {
                 }
                 out.push('}');
             }
+            Json::Raw(s) => out.push_str(s),
         }
     }
 }
@@ -246,7 +253,7 @@ fn write_num(n: f64, out: &mut String) {
     }
 }
 
-fn write_str(s: &str, out: &mut String) {
+pub(crate) fn write_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

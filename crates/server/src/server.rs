@@ -41,6 +41,12 @@ pub struct ServerConfig {
     pub pipeline: PipelineConfig,
     /// Density-grid cell size for the heatmap aggregate, degrees.
     pub heat_cell_deg: f64,
+    /// Hash partitions for partition-parallel SPARQL; `<= 1` disables the
+    /// partition mirror entirely.
+    pub sparql_partitions: usize,
+    /// Minimum graph size (triples) before SPARQL fans out to the
+    /// partitions; smaller graphs answer on the single-graph path.
+    pub partition_min_triples: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +62,8 @@ impl Default for ServerConfig {
                 ..PipelineConfig::default()
             },
             heat_cell_deg: 0.25,
+            sparql_partitions: 4,
+            partition_min_triples: 10_000,
         }
     }
 }
@@ -164,9 +172,11 @@ struct Shared {
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
-    let state = Arc::new(RwLock::new(AnalyticsState::new(
+    let state = Arc::new(RwLock::new(AnalyticsState::with_sparql_partitions(
         cfg.pipeline.clone(),
         cfg.heat_cell_deg,
+        cfg.sparql_partitions,
+        cfg.partition_min_triples,
     )));
     let metrics = Arc::new(ServerMetrics::new());
     let shutdown = Arc::new(AtomicBool::new(false));

@@ -7,7 +7,7 @@ use crate::protocol::{ErrorCode, ProtocolError};
 use datacron_core::{IngestOutcome, Pipeline, PipelineConfig};
 use datacron_geo::Grid;
 use datacron_model::{EventKind, EventRecord, ObjectId, PositionReport};
-use datacron_rdf::{execute, parse_query};
+use datacron_rdf::{execute, parse_query, HashPartitioner, PartitionedStore};
 use datacron_viz::{DensityGrid, FlowMatrix};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
@@ -29,12 +29,33 @@ pub struct AnalyticsState {
     recent: VecDeque<EventRecord>,
     /// Detections evicted from the ring (so `events` can report loss).
     evicted: u64,
+    /// Hash-by-subject partition mirror of the pipeline's graph, kept in
+    /// sync at ingest-commit time; `None` when partitioning is disabled.
+    mirror: Option<PartitionedStore>,
+    /// Below this graph size, SPARQL stays on the single-graph path even
+    /// when a mirror exists (fan-out overhead beats tiny scans).
+    partition_min_triples: usize,
 }
 
 impl AnalyticsState {
     /// Builds the state. `heat_cell_deg` sizes the density-grid cells over
-    /// the pipeline's region of interest.
+    /// the pipeline's region of interest. SPARQL partitioning is off; see
+    /// [`AnalyticsState::with_sparql_partitions`].
     pub fn new(cfg: PipelineConfig, heat_cell_deg: f64) -> Self {
+        Self::with_sparql_partitions(cfg, heat_cell_deg, 1, usize::MAX)
+    }
+
+    /// Like [`AnalyticsState::new`], but when `partitions > 1` also
+    /// maintains a hash-by-subject [`PartitionedStore`] mirror, synced
+    /// incrementally from each ingest's commit delta. SPARQL queries run
+    /// partition-parallel once the graph holds at least `min_triples`
+    /// triples, and on the single graph below that.
+    pub fn with_sparql_partitions(
+        cfg: PipelineConfig,
+        heat_cell_deg: f64,
+        partitions: usize,
+        min_triples: usize,
+    ) -> Self {
         let grid = Grid::new(cfg.region, heat_cell_deg)
             .or_else(|| {
                 Grid::new(
@@ -43,20 +64,31 @@ impl AnalyticsState {
                 )
             })
             .expect("global fallback grid is valid");
+        let mut pipeline = Pipeline::new(cfg);
+        let mirror = (partitions > 1).then(|| {
+            pipeline.track_new_triples(true);
+            PartitionedStore::empty(Box::new(HashPartitioner::new(partitions)))
+        });
         Self {
-            pipeline: Pipeline::new(cfg),
+            pipeline,
             heat: DensityGrid::new(grid),
             flows: FlowMatrix::new(),
             last_exit: FxHashMap::default(),
             recent: VecDeque::new(),
             evicted: 0,
+            mirror,
+            partition_min_triples: min_triples,
         }
     }
 
     /// Runs a batch through the pipeline and folds the outcome into the
-    /// server-side aggregates (heatmap, OD flows, recent events).
+    /// server-side aggregates (heatmap, OD flows, recent events, partition
+    /// mirror).
     pub fn ingest(&mut self, reports: &[PositionReport]) -> IngestOutcome {
         let outcome = self.pipeline.ingest_batch(reports);
+        if let Some(m) = self.mirror.as_mut() {
+            m.ingest(self.pipeline.graph(), &outcome.new_triples);
+        }
         for r in reports {
             self.heat.add(&r.position());
         }
@@ -99,9 +131,43 @@ impl AnalyticsState {
     }
 
     /// Evaluates a SPARQL-subset query and renders rows as strings.
+    ///
+    /// Routes to the partition-parallel mirror when one exists and the
+    /// graph has reached `partition_min_triples`; otherwise the single
+    /// graph answers. Either way the response carries per-query engine
+    /// statistics (probes, intermediate rows, planning/exec µs) and says
+    /// which path ran.
     pub fn sparql(&self, query: &str, limit: usize) -> Result<Json, ProtocolError> {
         let q = parse_query(query)
             .map_err(|e| ProtocolError::new(ErrorCode::QueryError, format!("parse: {e}")))?;
+        if let Some(m) = &self.mirror {
+            if self.pipeline.graph().len() >= self.partition_min_triples {
+                let (b, stats) = m.execute(&q);
+                let total = b.rows.len();
+                let rows: Vec<Json> = b
+                    .rows
+                    .iter()
+                    .take(limit)
+                    .map(|row| Json::Arr(row.iter().map(|t| Json::Str(t.to_string())).collect()))
+                    .collect();
+                return Ok(Json::obj()
+                    .field(
+                        "vars",
+                        Json::Arr(b.vars.iter().map(|v| Json::Str(v.clone())).collect()),
+                    )
+                    .field("rows", Json::Arr(rows))
+                    .field("row_count", total)
+                    .field("truncated", total > limit)
+                    .field("probes", stats.engine.probes as u64)
+                    .field("intermediate", stats.engine.intermediate as u64)
+                    .field("planning_us", stats.engine.planning_us)
+                    .field("exec_us", stats.engine.exec_us)
+                    .field("parallel", true)
+                    .field("partitions", stats.partitions_total)
+                    .field("partitions_probed", stats.partitions_probed)
+                    .build());
+            }
+        }
         let (bindings, stats) = execute(self.pipeline.graph(), &q);
         let total = bindings.len();
         let rows: Vec<Json> = bindings
@@ -128,6 +194,9 @@ impl AnalyticsState {
             .field("truncated", total > limit)
             .field("probes", stats.probes as u64)
             .field("intermediate", stats.intermediate as u64)
+            .field("planning_us", stats.planning_us)
+            .field("exec_us", stats.exec_us)
+            .field("parallel", false)
             .build())
     }
 
@@ -199,13 +268,15 @@ impl AnalyticsState {
     pub fn events(&self, limit: usize, kind: Option<&str>) -> Json {
         let mut out = Vec::new();
         for ev in self.recent.iter().rev() {
+            // Limit check first: once full, stop scanning the ring instead
+            // of tag-matching every remaining event.
+            if out.len() == limit {
+                break;
+            }
             if let Some(k) = kind {
                 if ev.kind.tag() != k {
                     continue;
                 }
-            }
-            if out.len() == limit {
-                break;
             }
             out.push(event_json(ev));
         }
@@ -246,11 +317,20 @@ impl AnalyticsState {
 }
 
 fn event_json(ev: &EventRecord) -> Json {
-    let attrs = ev
-        .attrs
-        .iter()
-        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
-        .collect();
+    // Render attrs straight from the borrowed keys/values into one
+    // pre-escaped fragment — this is the hottest response path, and the
+    // old `Json::Obj` built here cloned two `String`s per attribute.
+    let mut attrs = String::with_capacity(2 + 16 * ev.attrs.len());
+    attrs.push('{');
+    for (i, (k, v)) in ev.attrs.iter().enumerate() {
+        if i > 0 {
+            attrs.push(',');
+        }
+        crate::json::write_str(k, &mut attrs);
+        attrs.push(':');
+        crate::json::write_str(v, &mut attrs);
+    }
+    attrs.push('}');
     Json::obj()
         .field("kind", ev.kind.tag())
         .field(
@@ -262,7 +342,7 @@ fn event_json(ev: &EventRecord) -> Json {
         .field("lon", ev.location.lon)
         .field("lat", ev.location.lat)
         .field("confidence", ev.confidence)
-        .field("attrs", Json::Obj(attrs))
+        .field("attrs", Json::Raw(attrs))
         .build()
 }
 
@@ -321,6 +401,54 @@ mod tests {
         assert!(res.get("row_count").and_then(Json::as_u64).unwrap() > 0);
         let err = s.sparql("SELECT nonsense", 100).unwrap_err();
         assert_eq!(err.code, ErrorCode::QueryError);
+    }
+
+    #[test]
+    fn sparql_fans_out_across_partitions_above_threshold() {
+        let cfg = PipelineConfig {
+            region: BoundingBox::new(20.0, 34.0, 28.0, 40.0),
+            ..PipelineConfig::default()
+        };
+        // 4 partitions, threshold 1 triple → the mirror serves immediately.
+        let mut s = AnalyticsState::with_sparql_partitions(cfg, 0.25, 4, 1);
+        // Many objects on zig-zag tracks so subjects spread over partitions.
+        let mut reports = Vec::new();
+        for obj in 1..=16u64 {
+            for i in 0..10i64 {
+                let lat = if i % 2 == 0 { 37.0 } else { 37.02 };
+                reports.push(report(obj, i * 60, 24.0 + 0.01 * i as f64, lat));
+            }
+        }
+        s.ingest(&reports);
+        let query = "SELECT ?n ?o WHERE { ?n da:ofMovingObject ?o }";
+        let res = s.sparql(query, 10_000).unwrap();
+        assert_eq!(res.get("parallel").and_then(Json::as_bool), Some(true));
+        assert_eq!(res.get("partitions").and_then(Json::as_u64), Some(4));
+        assert!(
+            res.get("partitions_probed").and_then(Json::as_u64).unwrap() > 1,
+            "query must fan out to more than one partition: {res}"
+        );
+        assert!(res.get("planning_us").and_then(Json::as_u64).is_some());
+        assert!(res.get("exec_us").and_then(Json::as_u64).is_some());
+        // Same answer as the single-graph path.
+        let single = execute(s.pipeline.graph(), &parse_query(query).unwrap())
+            .0
+            .len() as u64;
+        assert_eq!(res.get("row_count").and_then(Json::as_u64), Some(single));
+
+        // Below the threshold the mirror is bypassed.
+        let cfg = PipelineConfig {
+            region: BoundingBox::new(20.0, 34.0, 28.0, 40.0),
+            ..PipelineConfig::default()
+        };
+        let mut s = AnalyticsState::with_sparql_partitions(cfg, 0.25, 4, usize::MAX);
+        s.ingest(
+            &(0..10)
+                .map(|i| report(1, i * 10, 24.0 + 0.02 * i as f64, 37.0))
+                .collect::<Vec<_>>(),
+        );
+        let res = s.sparql(query, 100).unwrap();
+        assert_eq!(res.get("parallel").and_then(Json::as_bool), Some(false));
     }
 
     #[test]

@@ -26,5 +26,6 @@ run cargo fmt --all -- --check
 run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 run cargo build "${CARGO_FLAGS[@]}" --release --workspace
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
+run cargo bench "${CARGO_FLAGS[@]}" --workspace --no-run
 
 echo "==> CI green"
