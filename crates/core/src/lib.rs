@@ -23,7 +23,9 @@
 pub mod pipeline;
 pub mod threaded;
 
+pub use datacron_transform::MapperState;
 pub use pipeline::{
-    IngestOutcome, Pipeline, PipelineConfig, PipelineMetrics, PolygonSpec, StageLatency,
+    IngestOutcome, Pipeline, PipelineConfig, PipelineMetrics, PipelineState, PolygonSpec,
+    StageLatency,
 };
 pub use threaded::run_threaded;

@@ -21,11 +21,15 @@
 //! * [`partition`] — the partitioning algorithms under evaluation: hash by
 //!   subject, spatial grid by subject home location, temporal range;
 //! * [`parallel`] — a partitioned store executing queries across worker
-//!   threads and merging results.
+//!   threads and merging results;
+//! * [`ntriples`] / [`binary`] — text and compact binary serialization of
+//!   a whole graph (dictionary included), the formats the storage layer
+//!   snapshots and the durability tests round-trip.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod binary;
 pub mod dict;
 pub mod engine;
 pub mod index;
@@ -38,6 +42,7 @@ pub mod query;
 pub mod store;
 pub mod term;
 
+pub use binary::{from_binary, to_binary};
 pub use dict::{Dictionary, TermId};
 pub use engine::{execute, execute_reference, Bindings, QueryStats};
 pub use infer::{saturate_same_as, SaturationStats};

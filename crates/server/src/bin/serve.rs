@@ -2,15 +2,25 @@
 //!
 //! ```text
 //! datacron-serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
+//!                [--data-dir DIR] [--fsync always|never|every=N]
+//!                [--snapshot-every N] [--segment-bytes N]
 //! ```
 //!
 //! Serves the newline-delimited JSON protocol until killed. The pipeline
 //! is configured for the Aegean region used across the experiments, with
 //! two zones of interest so `flows` has something to aggregate.
+//!
+//! With `--data-dir`, every ingest batch is write-ahead logged before it
+//! is acknowledged and state is snapshotted on the configured threshold;
+//! restarting on the same directory recovers the pre-crash state. SIGINT
+//! and SIGTERM trigger a graceful shutdown: the WAL is fsynced and a
+//! final clean snapshot installed before the process exits.
 
 use datacron_core::{PipelineConfig, PolygonSpec};
 use datacron_geo::BoundingBox;
 use datacron_server::{start, ServerConfig};
+use datacron_storage::{FsyncPolicy, StorageConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -25,15 +35,44 @@ fn rect(lon0: f64, lat0: f64, lon1: f64, lat1: f64) -> PolygonSpec {
     PolygonSpec(vec![(lon0, lat0), (lon1, lat0), (lon1, lat1), (lon0, lat1)])
 }
 
+/// Set by the signal handler; polled by the main loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: flip the flag, nothing else.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM via the libc `signal`
+/// symbol std already links — no signal-handling crate in the tree.
+fn install_signal_handlers() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-             [--sparql-partitions N] [--partition-min-triples N]"
+             [--sparql-partitions N] [--partition-min-triples N] \
+             [--data-dir DIR] [--fsync always|never|every=N] \
+             [--snapshot-every N] [--segment-bytes N]"
         );
         return;
     }
+    let fsync_arg = arg(&args, "--fsync", "always".to_string());
+    let Some(fsync) = FsyncPolicy::parse(&fsync_arg) else {
+        eprintln!("invalid --fsync {fsync_arg:?}: expected always, never, or every=N");
+        std::process::exit(2);
+    };
     let cfg = ServerConfig {
         addr: arg(&args, "--addr", "127.0.0.1:7878".to_string()),
         workers: arg(&args, "--workers", 4usize),
@@ -49,19 +88,43 @@ fn main() {
         heat_cell_deg: 0.1,
         sparql_partitions: arg(&args, "--sparql-partitions", 4usize),
         partition_min_triples: arg(&args, "--partition-min-triples", 10_000usize),
+        data_dir: args
+            .iter()
+            .position(|a| a == "--data-dir")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from),
+        storage: StorageConfig {
+            segment_bytes: arg(&args, "--segment-bytes", 8 * 1024 * 1024u64),
+            fsync,
+            snapshot_every_records: arg(&args, "--snapshot-every", 1024u64),
+        },
         ..ServerConfig::default()
     };
     let workers = cfg.workers;
     let queue = cfg.queue_capacity;
+    let durable = cfg.data_dir.clone();
     match start(cfg) {
         Ok(handle) => {
-            println!(
-                "datacron-server listening on {} ({} workers, queue {})",
-                handle.local_addr, workers, queue
-            );
-            loop {
-                std::thread::sleep(Duration::from_secs(3600));
+            match &durable {
+                Some(dir) => println!(
+                    "datacron-server listening on {} ({} workers, queue {}, data dir {})",
+                    handle.local_addr,
+                    workers,
+                    queue,
+                    dir.display()
+                ),
+                None => println!(
+                    "datacron-server listening on {} ({} workers, queue {}, in-memory)",
+                    handle.local_addr, workers, queue
+                ),
             }
+            install_signal_handlers();
+            while !STOP.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            println!("datacron-server: signal received, shutting down");
+            handle.shutdown();
+            println!("datacron-server: clean shutdown complete");
         }
         Err(e) => {
             eprintln!("failed to start server: {e}");

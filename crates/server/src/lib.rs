@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod json;
 pub mod protocol;
 pub mod server;

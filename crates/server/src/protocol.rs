@@ -43,6 +43,9 @@ pub enum ErrorCode {
     TooLarge,
     /// The server is shutting down.
     ShuttingDown,
+    /// The durable log rejected the write; the batch was NOT applied and
+    /// the client should retry (possibly against a recovered server).
+    StorageError,
 }
 
 impl ErrorCode {
@@ -54,6 +57,7 @@ impl ErrorCode {
             ErrorCode::QueryError => "query_error",
             ErrorCode::TooLarge => "too_large",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::StorageError => "storage_error",
         }
     }
 }

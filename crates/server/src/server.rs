@@ -8,6 +8,7 @@
 //! write lock, every query takes a read lock, so queries proceed
 //! concurrently with each other and only serialise behind ingest.
 
+use crate::codec;
 use crate::json::Json;
 use crate::protocol::{
     self, error_response, ok_response, parse_request, Envelope, ErrorCode, ProtocolError, Request,
@@ -16,11 +17,13 @@ use crate::state::AnalyticsState;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use datacron_core::PipelineConfig;
 use datacron_geo::BoundingBox;
+use datacron_storage::{Storage, StorageConfig};
 use datacron_stream::LatencyHistogram;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -47,6 +50,14 @@ pub struct ServerConfig {
     /// Minimum graph size (triples) before SPARQL fans out to the
     /// partitions; smaller graphs answer on the single-graph path.
     pub partition_min_triples: usize,
+    /// Durable-storage directory. `Some(dir)` makes ingest write-ahead
+    /// log every batch before acknowledging it, snapshots state on the
+    /// configured threshold, and recovers the pre-crash state on start.
+    /// `None` keeps the server purely in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// Storage tuning (segment size, fsync policy, snapshot threshold);
+    /// ignored unless `data_dir` is set.
+    pub storage: StorageConfig,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +75,8 @@ impl Default for ServerConfig {
             heat_cell_deg: 0.25,
             sparql_partitions: 4,
             partition_min_triples: 10_000,
+            data_dir: None,
+            storage: StorageConfig::default(),
         }
     }
 }
@@ -145,12 +158,37 @@ pub struct ServerHandle {
     pub state: Arc<RwLock<AnalyticsState>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    storage: Option<Arc<Mutex<Storage>>>,
 }
 
 impl ServerHandle {
-    /// Signals every thread to stop, wakes the blocked acceptor, and joins
-    /// the acceptor plus all workers.
+    /// Graceful stop: signals every thread, joins them, then — when the
+    /// server is durable — flushes and fsyncs the WAL and installs a
+    /// final clean snapshot, so the next start recovers instantly with no
+    /// tail to replay.
     pub fn shutdown(mut self) {
+        self.stop_threads();
+        if let Some(storage) = &self.storage {
+            let state = self.state.read().expect("state lock");
+            let mut storage = storage.lock().expect("storage lock");
+            if let Err(e) = storage.sync() {
+                eprintln!("datacron-server: shutdown WAL sync failed: {e}");
+            }
+            if let Err(e) = storage.install_snapshot(&state.to_snapshot_bytes()) {
+                eprintln!("datacron-server: shutdown snapshot failed: {e}");
+            }
+        }
+    }
+
+    /// Unclean stop for crash-recovery tests: threads are joined so the
+    /// process can proceed, but the WAL gets no final fsync and no
+    /// shutdown snapshot is taken — exactly what a `kill -9` after the
+    /// last append would leave on disk.
+    pub fn abort(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The acceptor blocks in accept(); a throwaway connection wakes it.
         let _ = TcpStream::connect(self.local_addr);
@@ -166,18 +204,32 @@ struct Shared {
     shutdown: Arc<AtomicBool>,
     queue: Receiver<TcpStream>,
     cfg: ServerConfig,
+    /// Lock order: state write lock first, then storage — both ingest
+    /// and shutdown follow it, so they can never deadlock.
+    storage: Option<Arc<Mutex<Storage>>>,
+    started: Instant,
 }
 
 /// Binds, spawns the acceptor and worker pool, and returns immediately.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
-    let state = Arc::new(RwLock::new(AnalyticsState::with_sparql_partitions(
-        cfg.pipeline.clone(),
-        cfg.heat_cell_deg,
-        cfg.sparql_partitions,
-        cfg.partition_min_triples,
-    )));
+    let (storage, recovered) = match &cfg.data_dir {
+        Some(dir) => {
+            let (storage, state) = recover(dir, &cfg)?;
+            (Some(Arc::new(Mutex::new(storage))), state)
+        }
+        None => (
+            None,
+            AnalyticsState::with_sparql_partitions(
+                cfg.pipeline.clone(),
+                cfg.heat_cell_deg,
+                cfg.sparql_partitions,
+                cfg.partition_min_triples,
+            ),
+        ),
+    };
+    let state = Arc::new(RwLock::new(recovered));
     let metrics = Arc::new(ServerMetrics::new());
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_capacity.max(1));
@@ -188,6 +240,8 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         shutdown: Arc::clone(&shutdown),
         queue: rx,
         cfg,
+        storage: storage.clone(),
+        started: Instant::now(),
     });
 
     let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
@@ -214,7 +268,60 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         state,
         shutdown,
         threads,
+        storage,
     })
+}
+
+/// Opens the data directory and rebuilds the analytics state from the
+/// newest valid snapshot plus the verified WAL tail after it. A snapshot
+/// whose payload fails to decode aborts startup (it passed its CRC, so
+/// this is a format mismatch, not disk corruption); a WAL record that
+/// fails to decode stops the replay at the last good record, mirroring
+/// the storage layer's stop-at-first-bad-record contract.
+fn recover(dir: &PathBuf, cfg: &ServerConfig) -> io::Result<(Storage, AnalyticsState)> {
+    let (storage, recovery) = Storage::open(dir, cfg.storage.clone())?;
+    let mut state = match &recovery.snapshot {
+        Some((wal_seq, payload)) => AnalyticsState::from_snapshot_bytes(
+            cfg.pipeline.clone(),
+            cfg.heat_cell_deg,
+            cfg.sparql_partitions,
+            cfg.partition_min_triples,
+            payload,
+        )
+        .map_err(|e| {
+            io::Error::new(
+                ErrorKind::InvalidData,
+                format!("snapshot at wal seq {wal_seq}: {e}"),
+            )
+        })?,
+        None => AnalyticsState::with_sparql_partitions(
+            cfg.pipeline.clone(),
+            cfg.heat_cell_deg,
+            cfg.sparql_partitions,
+            cfg.partition_min_triples,
+        ),
+    };
+    let mut replayed = 0usize;
+    for (seq, payload) in &recovery.wal_tail {
+        match codec::decode_batch(payload) {
+            Ok(batch) => {
+                state.ingest(&batch);
+                replayed += 1;
+            }
+            Err(e) => {
+                eprintln!(
+                    "datacron-server: WAL replay stopped at seq {seq}: {e} \
+                     ({replayed} of {} records applied)",
+                    recovery.wal_tail.len()
+                );
+                break;
+            }
+        }
+    }
+    if let Some(note) = &recovery.truncation {
+        eprintln!("datacron-server: WAL tail dropped during recovery: {note}");
+    }
+    Ok((storage, state))
 }
 
 fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shared: &Shared) {
@@ -386,14 +493,15 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
     let result: Result<Vec<(String, Json)>, ProtocolError> = match &env.req {
         Request::Ingest { reports } => {
             let mut state = shared.state.write().expect("state lock");
-            let out = state.ingest(reports);
-            Ok(vec![
-                ("accepted".into(), Json::from(out.accepted)),
-                ("clean".into(), Json::from(out.clean)),
-                ("kept".into(), Json::from(out.kept)),
-                ("events".into(), Json::from(out.events.len() as u64)),
-                ("triples".into(), Json::from(out.triples)),
-            ])
+            ingest_durable(&mut state, reports, shared).map(|out| {
+                vec![
+                    ("accepted".into(), Json::from(out.accepted)),
+                    ("clean".into(), Json::from(out.clean)),
+                    ("kept".into(), Json::from(out.kept)),
+                    ("events".into(), Json::from(out.events.len() as u64)),
+                    ("triples".into(), Json::from(out.triples)),
+                ]
+            })
         }
         Request::Sparql { query, limit } => shared
             .state
@@ -428,10 +536,30 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
                 shared.cfg.queue_capacity,
                 shared.cfg.workers,
             );
-            Ok(vec![
-                ("server".into(), server),
-                ("pipeline".into(), pipeline),
-            ])
+            let mut fields = vec![
+                (
+                    "uptime_ms".to_string(),
+                    Json::from(shared.started.elapsed().as_millis() as u64),
+                ),
+                ("server".to_string(), server),
+                ("pipeline".to_string(), pipeline),
+            ];
+            if let Some(storage) = &shared.storage {
+                let s = storage.lock().expect("storage lock").stats();
+                fields.push((
+                    "storage".to_string(),
+                    Json::obj()
+                        .field("wal_bytes", s.wal_bytes)
+                        .field("segments", s.segments as u64)
+                        .field("records_since_snapshot", s.records_since_snapshot)
+                        .field("next_seq", s.next_seq)
+                        .field("last_snapshot_seq", s.last_snapshot_seq)
+                        .field("fsync_p99_us", s.fsync_p99_us)
+                        .field("fsyncs", s.fsyncs)
+                        .build(),
+                ));
+            }
+            Ok(fields)
         }
         Request::Sleep { ms } => {
             thread::sleep(Duration::from_millis((*ms).min(protocol::MAX_SLEEP_MS)));
@@ -442,4 +570,34 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
         Ok(fields) => (ok_response(id, fields), true),
         Err(e) => (error_response(id, e.code, &e.msg), false),
     }
+}
+
+/// Write-ahead order: the batch is appended to the WAL (and fsynced per
+/// policy) *before* it touches the in-memory state, so an acknowledged
+/// batch is always recoverable; an append failure rejects the batch
+/// without applying it. After applying, the snapshot threshold is checked
+/// under the same state write lock, so the serialized snapshot can never
+/// miss a batch whose WAL position it claims to cover.
+fn ingest_durable(
+    state: &mut AnalyticsState,
+    reports: &[datacron_model::PositionReport],
+    shared: &Shared,
+) -> Result<datacron_core::IngestOutcome, ProtocolError> {
+    let Some(storage) = &shared.storage else {
+        return Ok(state.ingest(reports));
+    };
+    let payload = codec::encode_batch(reports);
+    let mut storage = storage.lock().expect("storage lock");
+    storage
+        .append(&payload)
+        .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?;
+    let out = state.ingest(reports);
+    if storage.should_snapshot() {
+        if let Err(e) = storage.install_snapshot(&state.to_snapshot_bytes()) {
+            // Durability is unharmed (the WAL has everything); the next
+            // threshold crossing retries.
+            eprintln!("datacron-server: snapshot failed: {e}");
+        }
+    }
+    Ok(out)
 }

@@ -2,18 +2,36 @@
 //! visualisation aggregates, wrapped by the server in an `RwLock` so
 //! queries (read) proceed concurrently while ingest (write) applies.
 
+use crate::codec::{read_event, write_event};
 use crate::json::Json;
 use crate::protocol::{ErrorCode, ProtocolError};
-use datacron_core::{IngestOutcome, Pipeline, PipelineConfig};
+use datacron_core::{IngestOutcome, MapperState, Pipeline, PipelineConfig, PipelineState};
 use datacron_geo::Grid;
 use datacron_model::{EventKind, EventRecord, ObjectId, PositionReport};
 use datacron_rdf::{execute, parse_query, HashPartitioner, PartitionedStore};
+use datacron_storage::binser::{BinError, Reader, Writer};
 use datacron_viz::{DensityGrid, FlowMatrix};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 
 /// Upper bound on the in-memory recent-events ring.
 const MAX_RECENT_EVENTS: usize = 10_000;
+
+/// Snapshot payload format version, bumped on any wire change.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// The heat grid over the pipeline region, falling back to a 1° global
+/// grid when the region is degenerate.
+fn heat_grid(cfg: &PipelineConfig, heat_cell_deg: f64) -> Grid {
+    Grid::new(cfg.region, heat_cell_deg)
+        .or_else(|| {
+            Grid::new(
+                datacron_geo::BoundingBox::new(-180.0, -90.0, 180.0, 90.0),
+                1.0,
+            )
+        })
+        .expect("global fallback grid is valid")
+}
 
 /// The pipeline plus everything the query handlers read.
 ///
@@ -56,14 +74,7 @@ impl AnalyticsState {
         partitions: usize,
         min_triples: usize,
     ) -> Self {
-        let grid = Grid::new(cfg.region, heat_cell_deg)
-            .or_else(|| {
-                Grid::new(
-                    datacron_geo::BoundingBox::new(-180.0, -90.0, 180.0, 90.0),
-                    1.0,
-                )
-            })
-            .expect("global fallback grid is valid");
+        let grid = heat_grid(&cfg, heat_cell_deg);
         let mut pipeline = Pipeline::new(cfg);
         let mirror = (partitions > 1).then(|| {
             pipeline.track_new_triples(true);
@@ -287,6 +298,175 @@ impl AnalyticsState {
             .build()
     }
 
+    /// Serializes everything a restarted server needs to answer queries
+    /// identically: the pipeline state (graph + mapper + counters), the
+    /// visual-analytics aggregates, the pending flow origins, and the
+    /// recent-events ring. Detector state and latency histograms are
+    /// deliberately *not* captured — detectors restart cold and
+    /// histograms describe the old process.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let ps = self.pipeline.export_state();
+        let mut w = Writer::with_capacity(64 + ps.graph.len());
+        w.u32(SNAPSHOT_VERSION);
+        // Pipeline counters + mapper + graph.
+        w.u64(ps.reports_in);
+        w.u64(ps.reports_clean);
+        w.u64(ps.reports_kept);
+        w.u64(ps.critical_points);
+        w.u64(ps.events);
+        w.u64(ps.triples);
+        w.seq_len(ps.mapper.typed_objects.len());
+        for o in &ps.mapper.typed_objects {
+            w.u64(o.0);
+        }
+        w.u64(ps.mapper.event_seq);
+        w.u64(ps.mapper.triples_emitted);
+        w.bytes(&ps.graph);
+        // Heatmap cells.
+        let (cells, dropped) = self.heat.export_state();
+        w.seq_len(cells.len());
+        for (cell, weight) in &cells {
+            w.u64(*cell);
+            w.f64(*weight);
+        }
+        w.u64(dropped);
+        // OD flows.
+        let (places, flows) = self.flows.export_state();
+        w.seq_len(places.len());
+        for p in &places {
+            w.str(p);
+        }
+        w.seq_len(flows.len());
+        for (from, to, n) in &flows {
+            w.usize(*from);
+            w.usize(*to);
+            w.u64(*n);
+        }
+        // Pending flow origins, sorted for a deterministic payload.
+        let mut exits: Vec<(u64, &str)> = self
+            .last_exit
+            .iter()
+            .map(|(o, z)| (o.0, z.as_str()))
+            .collect();
+        exits.sort_unstable();
+        w.seq_len(exits.len());
+        for (o, zone) in exits {
+            w.u64(o);
+            w.str(zone);
+        }
+        // Recent-events ring, oldest first.
+        w.seq_len(self.recent.len());
+        for ev in &self.recent {
+            write_event(&mut w, ev);
+        }
+        w.u64(self.evicted);
+        w.into_bytes()
+    }
+
+    /// Rebuilds the state from [`AnalyticsState::to_snapshot_bytes`]
+    /// output. The runtime configuration (`cfg`, grid resolution,
+    /// partitioning) comes from the caller, exactly as on a fresh start;
+    /// only the data travels in the snapshot. The partition mirror is
+    /// rebuilt from the restored graph, so queries fan out exactly as
+    /// they would have without the restart.
+    pub fn from_snapshot_bytes(
+        cfg: PipelineConfig,
+        heat_cell_deg: f64,
+        partitions: usize,
+        min_triples: usize,
+        bytes: &[u8],
+    ) -> Result<Self, BinError> {
+        let mut r = Reader::new(bytes);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(BinError::msg(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let reports_in = r.u64()?;
+        let reports_clean = r.u64()?;
+        let reports_kept = r.u64()?;
+        let critical_points = r.u64()?;
+        let events = r.u64()?;
+        let triples = r.u64()?;
+        let n_typed = r.seq_len()?;
+        let mut typed_objects = Vec::with_capacity(n_typed);
+        for _ in 0..n_typed {
+            typed_objects.push(ObjectId(r.u64()?));
+        }
+        let event_seq = r.u64()?;
+        let triples_emitted = r.u64()?;
+        let graph = r.bytes()?.to_vec();
+        let n_cells = r.seq_len()?;
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let cell = r.u64()?;
+            let weight = r.f64()?;
+            cells.push((cell, weight));
+        }
+        let dropped = r.u64()?;
+        let n_places = r.seq_len()?;
+        let mut places = Vec::with_capacity(n_places);
+        for _ in 0..n_places {
+            places.push(r.string()?);
+        }
+        let n_flows = r.seq_len()?;
+        let mut flows = Vec::with_capacity(n_flows);
+        for _ in 0..n_flows {
+            let from = r.usize()?;
+            let to = r.usize()?;
+            let n = r.u64()?;
+            flows.push((from, to, n));
+        }
+        let n_exits = r.seq_len()?;
+        let mut last_exit = FxHashMap::default();
+        for _ in 0..n_exits {
+            let o = ObjectId(r.u64()?);
+            let zone = r.string()?;
+            last_exit.insert(o, zone);
+        }
+        let n_recent = r.seq_len()?;
+        let mut recent = VecDeque::with_capacity(n_recent.min(MAX_RECENT_EVENTS));
+        for _ in 0..n_recent {
+            recent.push_back(read_event(&mut r)?);
+        }
+        let evicted = r.u64()?;
+        r.finish()?;
+
+        let grid = heat_grid(&cfg, heat_cell_deg);
+        let mut pipeline = Pipeline::from_state(
+            cfg,
+            PipelineState {
+                reports_in,
+                reports_clean,
+                reports_kept,
+                critical_points,
+                events,
+                triples,
+                mapper: MapperState {
+                    typed_objects,
+                    event_seq,
+                    triples_emitted,
+                },
+                graph,
+            },
+        )?;
+        let mirror = (partitions > 1).then(|| {
+            pipeline.track_new_triples(true);
+            PartitionedStore::build(pipeline.graph(), Box::new(HashPartitioner::new(partitions)))
+        });
+        Ok(Self {
+            pipeline,
+            heat: DensityGrid::from_state(grid, cells, dropped),
+            flows: FlowMatrix::from_state(places, flows),
+            last_exit,
+            recent,
+            evicted,
+            mirror,
+            partition_min_triples: min_triples,
+        })
+    }
+
     /// Pipeline counters plus per-stage latency percentiles.
     pub fn pipeline_stats(&self) -> Json {
         let m = self.pipeline.metrics();
@@ -469,6 +649,91 @@ mod tests {
         s.fold_event(&mk(EventKind::ZoneEntry, "heraklion", 3000));
         let flows = s.flows(10);
         assert_eq!(flows.get("total").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_query_visible_state() {
+        let cfg = PipelineConfig {
+            region: BoundingBox::new(20.0, 34.0, 28.0, 40.0),
+            ..PipelineConfig::default()
+        };
+        let mut s = AnalyticsState::with_sparql_partitions(cfg, 0.25, 4, 1);
+        let mut reports = Vec::new();
+        for obj in 1..=8u64 {
+            for i in 0..12i64 {
+                let lat = if i % 2 == 0 { 37.0 } else { 37.02 };
+                reports.push(report(obj, i * 60, 24.0 + 0.01 * i as f64, lat));
+            }
+        }
+        s.ingest(&reports);
+        let mk = |kind, zone: &str, t: i64| {
+            let mut ev =
+                EventRecord::instant(kind, ObjectId(5), TimeMs(t), GeoPoint::new(24.0, 37.0));
+            ev.attrs.push(("zone".to_string(), zone.to_string()));
+            ev
+        };
+        s.fold_event(&mk(EventKind::ZoneExit, "piraeus", 0));
+        s.fold_event(&mk(EventKind::ZoneEntry, "heraklion", 1000));
+        s.fold_event(&mk(EventKind::ZoneExit, "heraklion", 2000));
+
+        let bytes = s.to_snapshot_bytes();
+        let cfg = PipelineConfig {
+            region: BoundingBox::new(20.0, 34.0, 28.0, 40.0),
+            ..PipelineConfig::default()
+        };
+        let s2 = AnalyticsState::from_snapshot_bytes(cfg, 0.25, 4, 1, &bytes).unwrap();
+
+        let q = "SELECT ?n ?o WHERE { ?n da:ofMovingObject ?o }";
+        // Timing fields differ run to run; compare the answer itself.
+        let answer = |res: &Json| {
+            let mut rows: Vec<String> = res
+                .get("rows")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|r| r.to_string())
+                .collect();
+            rows.sort_unstable();
+            (
+                res.get("vars").unwrap().to_string(),
+                res.get("row_count").and_then(Json::as_u64),
+                res.get("parallel").and_then(Json::as_bool),
+                rows,
+            )
+        };
+        assert_eq!(
+            answer(&s.sparql(q, 10_000).unwrap()),
+            answer(&s2.sparql(q, 10_000).unwrap())
+        );
+        assert_eq!(s.heatmap(16), s2.heatmap(16));
+        assert_eq!(s.flows(16), s2.flows(16));
+        assert_eq!(s.events(100, None), s2.events(100, None));
+        assert_eq!(s.last_exit, s2.last_exit);
+        // Counters survive (latency histograms intentionally don't).
+        let a = s.pipeline_stats();
+        let b = s2.pipeline_stats();
+        for key in [
+            "reports_in",
+            "reports_kept",
+            "events",
+            "triples",
+            "graph_len",
+        ] {
+            assert_eq!(
+                a.get(key).and_then(Json::as_u64),
+                b.get(key).and_then(Json::as_u64),
+                "{key}"
+            );
+        }
+
+        // Truncated snapshots error, never panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            let cfg = PipelineConfig {
+                region: BoundingBox::new(20.0, 34.0, 28.0, 40.0),
+                ..PipelineConfig::default()
+            };
+            assert!(AnalyticsState::from_snapshot_bytes(cfg, 0.25, 1, 1, &bytes[..cut]).is_err());
+        }
     }
 
     #[test]

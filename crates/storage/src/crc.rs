@@ -1,0 +1,104 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), table-driven.
+//!
+//! Every WAL record and snapshot payload carries one of these checksums so
+//! recovery can distinguish "the process died mid-write" (torn tail) and
+//! "the disk flipped a bit" (corrupt record) from valid data. Implemented
+//! in-crate: the repository rule is no new external dependencies.
+
+/// Precomputed per-byte update table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 state; feed chunks with [`Crc32::update`], read the
+/// digest with [`Crc32::finalize`].
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final digest.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"segmented write-ahead log";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..]);
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn bit_flip_changes_digest() {
+        let mut data = vec![0x55u8; 64];
+        let clean = crc32(&data);
+        data[40] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

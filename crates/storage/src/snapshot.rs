@@ -1,0 +1,216 @@
+//! Point-in-time snapshot files with atomic installation and corruption
+//! fallback.
+//!
+//! A snapshot is the serialized query-visible state of the pipeline as of
+//! a WAL position. Files are named `snap-<wal_seq:016x>.snap`, where
+//! `wal_seq` is the sequence number of the first WAL record **not**
+//! included — recovery loads the newest valid snapshot and replays the
+//! log from exactly that seq. Format:
+//!
+//! ```text
+//! [magic "DSNP"][version: u32 LE][wal_seq: u64 LE][len: u64 LE][crc: u32 LE][payload]
+//! ```
+//!
+//! Installation is atomic: write to a temp file, fsync it, rename into
+//! place, fsync the directory. A crash mid-snapshot therefore leaves the
+//! previous snapshot intact; a bit-flipped snapshot fails its CRC at load
+//! and the store silently falls back to the next-newest one.
+
+use crate::crc::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"DSNP";
+const VERSION: u32 = 1;
+/// Snapshots kept after a successful save (newest plus one fallback).
+const KEEP: usize = 2;
+
+/// A directory of snapshot files.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snap_path(dir: &Path, wal_seq: u64) -> PathBuf {
+    dir.join(format!("snap-{wal_seq:016x}.snap"))
+}
+
+fn parse_snap_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// All snapshot positions on disk, newest first.
+    pub fn list(&self) -> io::Result<Vec<u64>> {
+        let mut seqs: Vec<u64> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_snap_name(e.file_name().to_str()?))
+            .collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(seqs)
+    }
+
+    /// Atomically installs a snapshot taken at WAL position `wal_seq`,
+    /// then prunes all but the newest [`KEEP`] snapshots.
+    pub fn save(&self, wal_seq: u64, payload: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("snap-{wal_seq:016x}.tmp"));
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&VERSION.to_le_bytes())?;
+            f.write_all(&wal_seq.to_le_bytes())?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&crc32(payload).to_le_bytes())?;
+            f.write_all(payload)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, snap_path(&self.dir, wal_seq))?;
+        // fsync the directory so the rename itself is durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(())
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        for seq in self.list()?.into_iter().skip(KEEP) {
+            let _ = fs::remove_file(snap_path(&self.dir, seq));
+        }
+        Ok(())
+    }
+
+    /// Loads one snapshot, verifying magic, version, declared length, and
+    /// checksum. `Err` here means "this file is unusable", not "abort".
+    fn load(&self, wal_seq: u64) -> io::Result<Vec<u8>> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut f = File::open(snap_path(&self.dir, wal_seq))?;
+        let mut header = [0u8; 4 + 4 + 8 + 8 + 4];
+        f.read_exact(&mut header)
+            .map_err(|e| bad(format!("short snapshot header: {e}")))?;
+        if &header[0..4] != MAGIC {
+            return Err(bad("bad snapshot magic".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(bad(format!("unsupported snapshot version {version}")));
+        }
+        let stored_seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        if stored_seq != wal_seq {
+            return Err(bad(format!(
+                "snapshot seq mismatch: file says {stored_seq}, name says {wal_seq}"
+            )));
+        }
+        let len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        let mut payload = Vec::new();
+        f.read_to_end(&mut payload)?;
+        if payload.len() as u64 != len {
+            return Err(bad(format!(
+                "snapshot length mismatch: declared {len}, found {}",
+                payload.len()
+            )));
+        }
+        if crc32(&payload) != crc {
+            return Err(bad("snapshot checksum mismatch".into()));
+        }
+        Ok(payload)
+    }
+
+    /// The newest snapshot that verifies, as `(wal_seq, payload)`; corrupt
+    /// or torn snapshot files are skipped (never a panic), and `None`
+    /// means recovery must replay the WAL from its start.
+    pub fn load_latest(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        for seq in self.list()? {
+            match self.load(seq) {
+                Ok(payload) => return Ok(Some((seq, payload))),
+                Err(_) => continue, // fall back to the next-newest
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = TempDir::new("snap-roundtrip");
+        let s = SnapshotStore::open(dir.path()).unwrap();
+        assert_eq!(s.load_latest().unwrap(), None);
+        s.save(42, b"state-at-42").unwrap();
+        let (seq, payload) = s.load_latest().unwrap().expect("snapshot");
+        assert_eq!(seq, 42);
+        assert_eq!(payload, b"state-at-42");
+    }
+
+    #[test]
+    fn newest_wins_and_pruning_bounds_disk() {
+        let dir = TempDir::new("snap-prune");
+        let s = SnapshotStore::open(dir.path()).unwrap();
+        for seq in [10u64, 20, 30, 40] {
+            s.save(seq, format!("state-{seq}").as_bytes()).unwrap();
+        }
+        let (seq, payload) = s.load_latest().unwrap().unwrap();
+        assert_eq!(seq, 40);
+        assert_eq!(payload, b"state-40");
+        assert_eq!(s.list().unwrap(), vec![40, 30], "older snapshots pruned");
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = TempDir::new("snap-fallback");
+        let s = SnapshotStore::open(dir.path()).unwrap();
+        s.save(10, b"good-old").unwrap();
+        s.save(20, b"good-new").unwrap();
+        // Flip a payload bit in the newest.
+        let path = snap_path(dir.path(), 20);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let (seq, payload) = s.load_latest().unwrap().expect("fallback");
+        assert_eq!(seq, 10);
+        assert_eq!(payload, b"good-old");
+    }
+
+    #[test]
+    fn truncated_snapshot_is_skipped() {
+        let dir = TempDir::new("snap-truncated");
+        let s = SnapshotStore::open(dir.path()).unwrap();
+        s.save(5, b"intact").unwrap();
+        s.save(9, &vec![7u8; 256]).unwrap();
+        let path = snap_path(dir.path(), 9);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (seq, _) = s.load_latest().unwrap().expect("older survives");
+        assert_eq!(seq, 5);
+    }
+
+    #[test]
+    fn garbage_magic_is_skipped() {
+        let dir = TempDir::new("snap-magic");
+        let s = SnapshotStore::open(dir.path()).unwrap();
+        fs::write(snap_path(dir.path(), 99), b"not a snapshot at all").unwrap();
+        assert_eq!(s.load_latest().unwrap(), None);
+        s.save(100, b"real").unwrap();
+        assert_eq!(s.load_latest().unwrap().unwrap().0, 100);
+    }
+}

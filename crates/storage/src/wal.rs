@@ -1,0 +1,651 @@
+//! The segmented append-only write-ahead log.
+//!
+//! # On-disk format
+//!
+//! A log is a directory of segment files named `wal-<first_seq:016x>.log`,
+//! where `first_seq` is the sequence number of the segment's first record.
+//! Each record is:
+//!
+//! ```text
+//! [len: u32 LE][crc: u32 LE][seq: u64 LE][payload: len bytes]
+//! ```
+//!
+//! `crc` is the CRC-32 of `seq` (LE bytes) followed by the payload, so a
+//! record whose header survived but whose body was torn or bit-flipped is
+//! detected. Sequence numbers are global across segments and strictly
+//! increasing, which replay verifies — a record whose checksum passes but
+//! whose seq is out of order is treated as corruption, not data.
+//!
+//! # Durability policy
+//!
+//! [`FsyncPolicy`] picks the ack-vs-loss trade: `Always` fsyncs after
+//! every append (no acknowledged record is ever lost), `EveryN(n)` group-
+//! commits every `n` records (bounded loss window of at most `n - 1`
+//! acknowledged records on power failure — process crashes lose nothing
+//! either way because appends go straight to the file, not a userspace
+//! buffer), `Never` leaves flushing to the OS (benchmark baseline).
+//!
+//! # Failure handling
+//!
+//! Opening truncates a torn final record off the newest segment (the
+//! normal shape after a mid-append crash). Replay stops at the first
+//! record that fails its checksum or breaks seq monotonicity and reports
+//! how far it got — it never panics and never returns bytes that did not
+//! pass verification.
+
+use crate::crc::Crc32;
+use datacron_stream::LatencyHistogram;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Record header bytes: `len` + `crc` + `seq`.
+pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8;
+
+/// Largest accepted record payload (a guard against reading a corrupt
+/// length field as a multi-gigabyte allocation).
+pub const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// When to fsync appended records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record: an acknowledged record survives power loss.
+    Always,
+    /// Group commit: fsync once every `n` records (`n` is clamped to ≥ 1).
+    /// At most `n - 1` acknowledged records can be lost to power failure.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, or `every=N` (used by the CLI flag).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(Self::Always),
+            "never" => Some(Self::Never),
+            _ => s
+                .strip_prefix("every=")
+                .and_then(|n| n.parse().ok())
+                .map(Self::EveryN),
+        }
+    }
+}
+
+/// WAL tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Durability policy for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 8 * 1024 * 1024,
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// A sealed or active segment.
+#[derive(Debug)]
+struct Segment {
+    first_seq: u64,
+    path: PathBuf,
+}
+
+/// How far replay got and why it stopped early (if it did).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayEnd {
+    /// Every record to the end of the log verified.
+    Clean,
+    /// A record failed verification; replay stopped just before it.
+    Corrupt {
+        /// The file holding the bad record.
+        segment: PathBuf,
+        /// Byte offset of the bad record within that file.
+        offset: u64,
+        /// What failed.
+        reason: String,
+    },
+}
+
+/// The records replay recovered, in order, plus how the scan ended.
+#[derive(Debug)]
+pub struct Replay {
+    /// `(seq, payload)` for every verified record at or after the
+    /// requested start, in sequence order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Whether the log verified to its end.
+    pub end: ReplayEnd,
+}
+
+/// The segmented write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    cfg: WalConfig,
+    /// All segments in first-seq order; the last one is active.
+    segments: Vec<Segment>,
+    active: File,
+    active_bytes: u64,
+    next_seq: u64,
+    /// Records appended since the last fsync (group-commit counter).
+    unsynced: u32,
+    /// fsync call latency (the group-commit cost the bench sweeps).
+    fsync_lat: LatencyHistogram,
+    appended: u64,
+    /// What open-time recovery cut off the newest segment, if anything.
+    truncation_note: Option<String>,
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:016x}.log"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// What [`read_record`] found at the reader's position: a record, a clean
+/// end-of-file (`Ok(None)`), or a torn/corrupt record (`Err(reason)`).
+type RecordOutcome = Result<Option<(u64, Vec<u8>)>, String>;
+
+/// Reads one record at the reader's position.
+fn read_record(reader: &mut impl Read) -> io::Result<RecordOutcome> {
+    let mut header = [0u8; RECORD_HEADER_BYTES];
+    match reader.read(&mut header)? {
+        0 => return Ok(Ok(None)),
+        n if n < RECORD_HEADER_BYTES => {
+            // A short header; fill what we can to distinguish torn from EOF.
+            let mut got = n;
+            while got < RECORD_HEADER_BYTES {
+                let m = reader.read(&mut header[got..])?;
+                if m == 0 {
+                    return Ok(Err(format!(
+                        "torn header: {got} of {RECORD_HEADER_BYTES} bytes"
+                    )));
+                }
+                got += m;
+            }
+        }
+        _ => {}
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if len > MAX_RECORD_BYTES {
+        return Ok(Err(format!(
+            "record length {len} exceeds the {MAX_RECORD_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        let m = reader.read(&mut payload[got..])?;
+        if m == 0 {
+            return Ok(Err(format!("torn payload: {got} of {len} bytes")));
+        }
+        got += m;
+    }
+    let mut check = Crc32::new();
+    check.update(&header[8..16]);
+    check.update(&payload);
+    let actual = check.finalize();
+    if actual != crc {
+        return Ok(Err(format!(
+            "checksum mismatch: stored {crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(Ok(Some((seq, payload))))
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir`. A torn final record in
+    /// the newest segment — the footprint of a crash mid-append — is
+    /// truncated away so the log is immediately appendable; corruption
+    /// deeper in the log is left for [`Wal::replay_from`] to report.
+    pub fn open(dir: impl Into<PathBuf>, cfg: WalConfig) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut segments: Vec<Segment> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name();
+                let first_seq = parse_segment_name(name.to_str()?)?;
+                Some(Segment {
+                    first_seq,
+                    path: e.path(),
+                })
+            })
+            .collect();
+        segments.sort_by_key(|s| s.first_seq);
+        if segments.is_empty() {
+            segments.push(Segment {
+                first_seq: 0,
+                path: segment_path(&dir, 0),
+            });
+        }
+
+        // Scan the newest segment: find the end of its last valid record,
+        // truncate anything after it, and learn the next sequence number.
+        let last = segments.last().expect("at least one segment");
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&last.path)?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut reader = io::BufReader::new(&mut file);
+        let mut valid_end: u64 = 0;
+        let mut next_seq = last.first_seq;
+        let mut tail_error: Option<String> = None;
+        loop {
+            match read_record(&mut reader)? {
+                Ok(Some((seq, payload))) => {
+                    valid_end += (RECORD_HEADER_BYTES + payload.len()) as u64;
+                    next_seq = seq + 1;
+                }
+                Ok(None) => break,
+                Err(reason) => {
+                    // Torn/corrupt tail: remember why, cut it off below.
+                    tail_error = Some(reason);
+                    break;
+                }
+            }
+        }
+        drop(reader);
+        let disk_len = file.metadata()?.len();
+        let truncation_note = (disk_len > valid_end).then(|| {
+            format!(
+                "truncated {} invalid bytes after seq {} ({})",
+                disk_len - valid_end,
+                next_seq.wrapping_sub(1),
+                tail_error.unwrap_or_else(|| "trailing bytes".into()),
+            )
+        });
+        if disk_len > valid_end {
+            file.set_len(valid_end)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let active_bytes = valid_end;
+
+        Ok(Self {
+            dir,
+            cfg,
+            active: file,
+            active_bytes,
+            next_seq,
+            unsynced: 0,
+            fsync_lat: LatencyHistogram::new(),
+            appended: 0,
+            truncation_note,
+            segments,
+        })
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records appended through this handle (not counting recovered ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Number of segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total bytes across all segment files.
+    pub fn wal_bytes(&self) -> u64 {
+        let sealed: u64 = self.segments[..self.segments.len() - 1]
+            .iter()
+            .filter_map(|s| fs::metadata(&s.path).ok())
+            .map(|m| m.len())
+            .sum();
+        sealed + self.active_bytes
+    }
+
+    /// The fsync-latency histogram (µs), for the stats endpoint.
+    pub fn fsync_latency(&self) -> &LatencyHistogram {
+        &self.fsync_lat
+    }
+
+    /// What open-time recovery truncated off the newest segment, if
+    /// anything — the footprint of a crash mid-append (or a bit flip in
+    /// the final record).
+    pub fn truncation_note(&self) -> Option<&str> {
+        self.truncation_note.as_deref()
+    }
+
+    /// Appends one record and applies the fsync policy. Returns the
+    /// record's sequence number; when this returns under
+    /// [`FsyncPolicy::Always`], the record is on disk.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload exceeds {MAX_RECORD_BYTES} bytes"),
+            ));
+        }
+        if self.active_bytes >= self.cfg.segment_bytes {
+            self.roll_segment()?;
+        }
+        let seq = self.next_seq;
+        let seq_bytes = seq.to_le_bytes();
+        let mut check = Crc32::new();
+        check.update(&seq_bytes);
+        check.update(payload);
+        let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&check.finalize().to_le_bytes());
+        buf.extend_from_slice(&seq_bytes);
+        buf.extend_from_slice(payload);
+        self.active.write_all(&buf)?;
+        self.active_bytes += buf.len() as u64;
+        self.next_seq += 1;
+        self.appended += 1;
+        self.unsynced += 1;
+        match self.cfg.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Flushes and fsyncs the active segment now, regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        let t = Instant::now();
+        self.active.sync_data()?;
+        self.fsync_lat.record_since(t);
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Seals the active segment (fsync) and starts a new one named after
+    /// the next sequence number.
+    fn roll_segment(&mut self) -> io::Result<()> {
+        self.active.sync_data()?;
+        let path = segment_path(&self.dir, self.next_seq);
+        self.active = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        self.active_bytes = 0;
+        self.unsynced = 0;
+        self.segments.push(Segment {
+            first_seq: self.next_seq,
+            path,
+        });
+        Ok(())
+    }
+
+    /// Replays every verified record with `seq >= from_seq`, in order,
+    /// stopping (never panicking) at the first record that fails its
+    /// checksum, breaks sequence monotonicity, or is torn.
+    pub fn replay_from(&self, from_seq: u64) -> io::Result<Replay> {
+        let mut records = Vec::new();
+        let mut end = ReplayEnd::Clean;
+        let mut expect_seq: Option<u64> = None;
+        'segments: for (i, seg) in self.segments.iter().enumerate() {
+            // Skip segments that end before the requested start.
+            if let Some(next) = self.segments.get(i + 1) {
+                if next.first_seq <= from_seq {
+                    expect_seq = Some(next.first_seq);
+                    continue;
+                }
+            }
+            let file = match File::open(&seg.path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let mut reader = io::BufReader::new(file);
+            let mut offset: u64 = 0;
+            loop {
+                match read_record(&mut reader)? {
+                    Ok(Some((seq, payload))) => {
+                        let plausible = expect_seq.is_none_or(|e| seq == e) && seq >= seg.first_seq;
+                        if !plausible {
+                            end = ReplayEnd::Corrupt {
+                                segment: seg.path.clone(),
+                                offset,
+                                reason: format!(
+                                    "sequence break: got {seq}, expected {:?}",
+                                    expect_seq
+                                ),
+                            };
+                            break 'segments;
+                        }
+                        offset += (RECORD_HEADER_BYTES + payload.len()) as u64;
+                        expect_seq = Some(seq + 1);
+                        if seq >= from_seq {
+                            records.push((seq, payload));
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(reason) => {
+                        end = ReplayEnd::Corrupt {
+                            segment: seg.path.clone(),
+                            offset,
+                            reason,
+                        };
+                        break 'segments;
+                    }
+                }
+            }
+        }
+        Ok(Replay { records, end })
+    }
+
+    /// Deletes sealed segments made wholly redundant by a snapshot that
+    /// covers every record with `seq < through_seq`. The active segment is
+    /// never deleted. Returns how many segments were removed.
+    pub fn retire_through(&mut self, through_seq: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        // A segment is disposable when the *next* segment starts at or
+        // before `through_seq` — then all of its records are `< through_seq`
+        // and already captured by the snapshot.
+        while self.segments.len() > 1 && self.segments[1].first_seq <= through_seq {
+            let seg = self.segments.remove(0);
+            match fs::remove_file(&seg.path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    // Put the bookkeeping back; disk use stays bounded next
+                    // time retirement runs.
+                    self.segments.insert(0, seg);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    fn wal_in(dir: &TempDir, cfg: WalConfig) -> Wal {
+        Wal::open(dir.path(), cfg).expect("open wal")
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = TempDir::new("wal-roundtrip");
+        let mut w = wal_in(&dir, WalConfig::default());
+        for i in 0..20u64 {
+            let seq = w.append(format!("payload-{i}").as_bytes()).unwrap();
+            assert_eq!(seq, i);
+        }
+        let replay = w.replay_from(0).unwrap();
+        assert_eq!(replay.end, ReplayEnd::Clean);
+        assert_eq!(replay.records.len(), 20);
+        for (i, (seq, payload)) in replay.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(payload, format!("payload-{i}").as_bytes());
+        }
+        // Mid-log start.
+        let replay = w.replay_from(15).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.records[0].0, 15);
+    }
+
+    #[test]
+    fn reopen_continues_sequence() {
+        let dir = TempDir::new("wal-reopen");
+        {
+            let mut w = wal_in(&dir, WalConfig::default());
+            for _ in 0..7 {
+                w.append(b"x").unwrap();
+            }
+        }
+        let mut w = wal_in(&dir, WalConfig::default());
+        assert_eq!(w.next_seq(), 7);
+        assert_eq!(w.append(b"y").unwrap(), 7);
+        let replay = w.replay_from(0).unwrap();
+        assert_eq!(replay.records.len(), 8);
+        assert_eq!(replay.end, ReplayEnd::Clean);
+    }
+
+    #[test]
+    fn segments_roll_and_retire() {
+        let dir = TempDir::new("wal-segments");
+        let mut w = wal_in(
+            &dir,
+            WalConfig {
+                segment_bytes: 256,
+                fsync: FsyncPolicy::Never,
+            },
+        );
+        for i in 0..50u64 {
+            w.append(format!("record-{i:04}-padding-padding").as_bytes())
+                .unwrap();
+        }
+        assert!(w.segment_count() > 2, "{} segments", w.segment_count());
+        let before = w.segment_count();
+        let bytes_before = w.wal_bytes();
+
+        // Snapshot covering seq < 30: every segment fully below it goes.
+        let removed = w.retire_through(30).unwrap();
+        assert!(removed > 0);
+        assert_eq!(w.segment_count(), before - removed);
+        assert!(w.wal_bytes() < bytes_before);
+
+        // Replay still serves everything from 30 on.
+        let replay = w.replay_from(30).unwrap();
+        assert_eq!(replay.end, ReplayEnd::Clean);
+        assert_eq!(replay.records.first().map(|r| r.0), Some(30));
+        assert_eq!(replay.records.last().map(|r| r.0), Some(49));
+
+        // Retiring everything still keeps the active segment.
+        w.retire_through(u64::MAX).unwrap();
+        assert_eq!(w.segment_count(), 1);
+        assert_eq!(w.append(b"after-retire").unwrap(), 50);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = TempDir::new("wal-torn");
+        let path;
+        {
+            let mut w = wal_in(&dir, WalConfig::default());
+            for i in 0..5u64 {
+                w.append(format!("rec-{i}").as_bytes()).unwrap();
+            }
+            path = segment_path(dir.path(), 0);
+        }
+        // Simulate a crash mid-append: half a record of garbage after the
+        // valid data.
+        let valid = fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 9]).unwrap();
+        drop(f);
+
+        let mut w = wal_in(&dir, WalConfig::default());
+        assert_eq!(fs::metadata(&path).unwrap().len(), valid, "torn bytes cut");
+        assert_eq!(w.next_seq(), 5);
+        assert!(w.truncation_note().is_some(), "the cut must be reported");
+        let replay = w.replay_from(0).unwrap();
+        assert_eq!(replay.end, ReplayEnd::Clean);
+        assert_eq!(replay.records.len(), 5);
+        // And appends keep working.
+        assert_eq!(w.append(b"recovered").unwrap(), 5);
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_last_good_record() {
+        let dir = TempDir::new("wal-bitflip");
+        let mut w = wal_in(&dir, WalConfig::default());
+        for i in 0..6u64 {
+            w.append(format!("record-number-{i}").as_bytes()).unwrap();
+        }
+        // Flip one payload bit in record 4 (offset: 4 full records, then
+        // past the header into the payload).
+        let rec_len = RECORD_HEADER_BYTES + "record-number-0".len();
+        let path = segment_path(dir.path(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let victim = 4 * rec_len + RECORD_HEADER_BYTES + 3;
+        bytes[victim] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let replay = w.replay_from(0).unwrap();
+        assert_eq!(replay.records.len(), 4, "stop before the flipped record");
+        assert!(matches!(replay.end, ReplayEnd::Corrupt { .. }));
+        if let ReplayEnd::Corrupt { offset, reason, .. } = &replay.end {
+            assert_eq!(*offset, (4 * rec_len) as u64);
+            assert!(reason.contains("checksum"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn group_commit_counts_fsyncs() {
+        let dir = TempDir::new("wal-group");
+        let mut w = wal_in(
+            &dir,
+            WalConfig {
+                fsync: FsyncPolicy::EveryN(8),
+                ..WalConfig::default()
+            },
+        );
+        for _ in 0..32 {
+            w.append(b"batched").unwrap();
+        }
+        assert_eq!(w.fsync_latency().count(), 4, "32 records / batch of 8");
+        let before = w.fsync_latency().count();
+        w.sync().unwrap();
+        assert_eq!(w.fsync_latency().count(), before + 1);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let dir = TempDir::new("wal-oversize");
+        let mut w = wal_in(&dir, WalConfig::default());
+        // Don't allocate 256 MiB in a unit test; check the guard by header
+        // math instead: a fake length field beyond the cap fails replay.
+        assert!(w.append(&[0u8; 16]).is_ok());
+        let path = segment_path(dir.path(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0..4].copy_from_slice(&(MAX_RECORD_BYTES + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let replay = w.replay_from(0).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(matches!(replay.end, ReplayEnd::Corrupt { .. }));
+    }
+}

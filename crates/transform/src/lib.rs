@@ -24,4 +24,4 @@ pub mod ontology;
 
 pub use adsb::{parse_adsb_csv, report_to_adsb_csv};
 pub use ais::{parse_ais_csv, report_to_ais_csv, ParseErrorKind, TransformError};
-pub use map::RdfMapper;
+pub use map::{MapperState, RdfMapper};

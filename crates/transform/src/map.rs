@@ -17,6 +17,19 @@ pub struct RdfMapper {
     triples_emitted: u64,
 }
 
+/// The mapper's durable state, exported for snapshots and restored on
+/// recovery. Restoring it is what keeps per-object typing "exactly once"
+/// across a restart — a fresh mapper would re-type every known object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapperState {
+    /// Objects already typed, in ascending id order (deterministic dumps).
+    pub typed_objects: Vec<ObjectId>,
+    /// Next event instance number.
+    pub event_seq: u64,
+    /// Triples emitted so far.
+    pub triples_emitted: u64,
+}
+
 impl RdfMapper {
     /// A fresh mapper.
     pub fn new() -> Self {
@@ -26,6 +39,26 @@ impl RdfMapper {
     /// Triples emitted so far.
     pub fn triples_emitted(&self) -> u64 {
         self.triples_emitted
+    }
+
+    /// Exports the mapper's durable state for a snapshot.
+    pub fn export_state(&self) -> MapperState {
+        let mut typed_objects: Vec<ObjectId> = self.typed_objects.iter().copied().collect();
+        typed_objects.sort_unstable_by_key(|o| o.0);
+        MapperState {
+            typed_objects,
+            event_seq: self.event_seq,
+            triples_emitted: self.triples_emitted,
+        }
+    }
+
+    /// Rebuilds a mapper from exported state.
+    pub fn from_state(state: MapperState) -> Self {
+        Self {
+            typed_objects: state.typed_objects.into_iter().collect(),
+            event_seq: state.event_seq,
+            triples_emitted: state.triples_emitted,
+        }
     }
 
     fn type_object(&mut self, g: &mut Graph, id: ObjectId, class: Term) {
@@ -336,6 +369,45 @@ mod tests {
         let q = parse_query("SELECT ?a ?b WHERE { ?a owl:sameAs ?b }").unwrap();
         let (b, _) = execute(&g, &q);
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_exactly_once_typing() {
+        let mut g = Graph::new();
+        let mut m = RdfMapper::new();
+        m.map_report(&mut g, &sample_report(1, 1000), None);
+        m.map_event(
+            &mut g,
+            &EventRecord::durative(
+                EventKind::Rendezvous,
+                vec![ObjectId(1)],
+                TimeInterval::new(TimeMs(0), TimeMs(1)),
+                GeoPoint::new(24.0, 37.0),
+            ),
+        );
+        let state = m.export_state();
+        let mut m2 = RdfMapper::from_state(state.clone());
+        assert_eq!(m2.export_state(), state);
+        assert_eq!(m2.triples_emitted(), m.triples_emitted());
+
+        // A restored mapper must not re-type object 1 …
+        let before = m2.triples_emitted();
+        m2.map_report(&mut g, &sample_report(1, 2000), None);
+        let emitted = m2.triples_emitted() - before;
+        // … so the second report emits node triples only (no type triple).
+        assert_eq!(emitted, 6);
+
+        // … and continues the event numbering, not restarting it.
+        let ev = m2.map_event(
+            &mut g,
+            &EventRecord::durative(
+                EventKind::Rendezvous,
+                vec![ObjectId(1)],
+                TimeInterval::new(TimeMs(2), TimeMs(3)),
+                GeoPoint::new(24.0, 37.0),
+            ),
+        );
+        assert!(ev.to_string().contains('1'), "second instance is #1: {ev}");
     }
 
     #[test]

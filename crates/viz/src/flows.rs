@@ -78,6 +78,37 @@ impl FlowMatrix {
             .sum()
     }
 
+    /// Exports the matrix state for a persistence snapshot: places in
+    /// intern order plus `(from, to, count)` entries sorted by indices
+    /// (deterministic dumps). The name→index map is derived.
+    pub fn export_state(&self) -> (Vec<String>, Vec<(usize, usize, u64)>) {
+        let mut flows: Vec<(usize, usize, u64)> =
+            self.flows.iter().map(|(&(f, t), &c)| (f, t, c)).collect();
+        flows.sort_unstable();
+        (self.places.clone(), flows)
+    }
+
+    /// Rebuilds a matrix from exported state. Flow indices must refer to
+    /// `places` entries; out-of-range entries are dropped (corrupt input
+    /// is the storage layer's CRC problem, not a panic here).
+    pub fn from_state(places: Vec<String>, flows: Vec<(usize, usize, u64)>) -> Self {
+        let n = places.len();
+        let index = places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        Self {
+            index,
+            flows: flows
+                .into_iter()
+                .filter(|&(f, t, _)| f < n && t < n)
+                .map(|(f, t, c)| ((f, t), c))
+                .collect(),
+            places,
+        }
+    }
+
     /// The `k` largest flows as `(from, to, count)`, largest first, ties
     /// broken by place indices for determinism.
     pub fn top_k(&self, k: usize) -> Vec<(&str, &str, u64)> {
@@ -144,6 +175,25 @@ mod tests {
         assert_eq!(top[0], ("A", "B", 5));
         assert_eq!(top[1], ("B", "C", 2));
         assert_eq!(m.top_k(100).len(), 3);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut m = FlowMatrix::new();
+        m.record("A", "B");
+        m.record("A", "B");
+        m.record("B", "C");
+        let (places, flows) = m.export_state();
+        let m2 = FlowMatrix::from_state(places, flows);
+        assert_eq!(m2.count("A", "B"), 2);
+        assert_eq!(m2.count("B", "C"), 1);
+        assert_eq!(m2.place_count(), 3);
+        assert_eq!(m2.total(), m.total());
+        // Interning after restore reuses existing indices.
+        let mut m2 = m2;
+        m2.record("A", "B");
+        assert_eq!(m2.count("A", "B"), 3);
+        assert_eq!(m2.place_count(), 3);
     }
 
     #[test]

@@ -158,6 +158,28 @@ impl DensityGrid {
         });
     }
 
+    /// Exports the accumulator state for a persistence snapshot:
+    /// `(packed cell, weight)` pairs in cell order (deterministic dumps)
+    /// plus the dropped-outside counter. The grid geometry travels
+    /// separately ([`DensityGrid::grid`]); the total is derived.
+    pub fn export_state(&self) -> (Vec<(u64, f64)>, u64) {
+        let mut cells: Vec<(u64, f64)> = self.cells.iter().map(|(&c, &w)| (c, w)).collect();
+        cells.sort_unstable_by_key(|&(c, _)| c);
+        (cells, self.dropped_outside)
+    }
+
+    /// Rebuilds a grid from exported state (the total is recomputed — it
+    /// is always the sum of cell weights).
+    pub fn from_state(grid: Grid, cells: Vec<(u64, f64)>, dropped_outside: u64) -> Self {
+        let total = cells.iter().map(|&(_, w)| w).sum();
+        Self {
+            grid,
+            cells: cells.into_iter().collect(),
+            total,
+            dropped_outside,
+        }
+    }
+
     /// Row-major dense snapshot (row 0 = south), for rendering.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let (cols, rows) = (self.grid.cols() as usize, self.grid.rows() as usize);
@@ -292,6 +314,22 @@ mod tests {
         d.add_segment(&GeoPoint::new(9.5, 5.5), &GeoPoint::new(12.0, 5.5));
         assert!(d.dropped_outside() > 0);
         assert!(d.weight_of(CellId { x: 9, y: 5 }) >= 1.0);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut d = DensityGrid::new(grid());
+        d.add(&GeoPoint::new(1.5, 1.5));
+        d.add(&GeoPoint::new(1.5, 1.5));
+        d.add_weighted(&GeoPoint::new(2.5, 2.5), 0.5);
+        d.add(&GeoPoint::new(-5.0, 5.0)); // dropped
+        let (cells, dropped) = d.export_state();
+        let d2 = DensityGrid::from_state(grid(), cells, dropped);
+        assert_eq!(d2.total(), d.total());
+        assert_eq!(d2.dropped_outside(), 1);
+        assert_eq!(d2.weight_of(CellId { x: 1, y: 1 }), 2.0);
+        assert_eq!(d2.weight_of(CellId { x: 2, y: 2 }), 0.5);
+        assert_eq!(d2.top_k(10), d.top_k(10));
     }
 
     #[test]

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# E15 — durable-ingest throughput vs. fsync policy, recovery time vs. WAL length.
+#
+# Builds the release storage_durability binary, sweeps the WAL fsync
+# policies (always / every=8 / every=64 / never) over a fixed encoded
+# ingest stream, measures cold recovery (WAL read+replay vs. snapshot
+# restore) at several log lengths, and writes BENCH_storage.json at the
+# repo root.
+#
+# Usage: scripts/bench_storage.sh [--quick] [--offline]
+#   --quick    smaller sweep and shorter logs (CI-sized run)
+#   --offline  resolve crates from the local cargo cache only
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+BIN_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    --quick) BIN_ARGS+=(quick) ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo run "${CARGO_FLAGS[@]}" --release -p datacron-bench --bin storage_durability -- "${BIN_ARGS[@]}"
+echo "==> BENCH_storage.json written"

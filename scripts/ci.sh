@@ -26,6 +26,10 @@ run cargo fmt --all -- --check
 run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 run cargo build "${CARGO_FLAGS[@]}" --release --workspace
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
+# Crash-recovery integration suite (kill/restart, corrupt + truncated WAL
+# tails) in release mode — the durability guarantees must hold under the
+# optimized build the server actually ships.
+run cargo test "${CARGO_FLAGS[@]}" --release -q -p datacron-server --test integration_storage
 run cargo bench "${CARGO_FLAGS[@]}" --workspace --no-run
 
 echo "==> CI green"

@@ -1,0 +1,363 @@
+//! Crash-recovery integration tests for the durable server: kill and
+//! restart on the same data directory, WAL-only replay, clean-shutdown
+//! snapshots, and corrupted/truncated WAL tails.
+//!
+//! The identity tests compare a restarted durable server against a
+//! never-restarted in-memory control fed the exact same batches: the
+//! query-visible state (SPARQL answers, heatmap, flows, events, pipeline
+//! counters) must be indistinguishable.
+
+use datacron_core::{PipelineConfig, PolygonSpec};
+use datacron_geo::BoundingBox;
+use datacron_server::client::is_ok;
+use datacron_server::{start, Client, Json, ServerConfig};
+use datacron_storage::test_util::TempDir;
+use datacron_storage::{FsyncPolicy, Storage, StorageConfig};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::Duration;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        pipeline: PipelineConfig {
+            region: BoundingBox::new(19.0, 33.0, 30.0, 41.0),
+            zones: vec![
+                (
+                    "west".to_string(),
+                    PolygonSpec(vec![(20.0, 34.0), (23.0, 34.0), (23.0, 40.0), (20.0, 40.0)]),
+                ),
+                (
+                    "east".to_string(),
+                    PolygonSpec(vec![(26.0, 34.0), (29.0, 34.0), (29.0, 40.0), (26.0, 40.0)]),
+                ),
+            ],
+            ..PipelineConfig::default()
+        },
+        heat_cell_deg: 0.25,
+        ..ServerConfig::default()
+    }
+}
+
+fn durable_config(dir: &Path, snapshot_every: u64) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        storage: StorageConfig {
+            segment_bytes: 4096,
+            fsync: FsyncPolicy::Always,
+            snapshot_every_records: snapshot_every,
+        },
+        ..test_config()
+    }
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect_timeout(addr, Duration::from_secs(10)).expect("connect")
+}
+
+fn ingest_request(object: u64, t0_s: i64, n: usize, lon0: f64, lat: f64) -> Json {
+    let reports: Vec<Json> = (0..n)
+        .map(|i| {
+            Json::obj()
+                .field("object", object)
+                .field("t_ms", (t0_s + i as i64 * 10) * 1000)
+                .field("lon", lon0 + i as f64 * 0.01)
+                .field("lat", lat)
+                .field("speed_mps", 6.0)
+                .field("heading_deg", 90.0)
+                .build()
+        })
+        .collect();
+    Json::obj()
+        .field("type", "ingest")
+        .field("reports", Json::Arr(reports))
+        .build()
+}
+
+/// Feeds the deterministic batch sequence used by the identity tests:
+/// three objects on distinct tracks, including a west→east zone
+/// migration so flows and zone events exist.
+fn feed(c: &mut Client) {
+    for (obj, t0, lon, lat) in [
+        (1u64, 0i64, 20.5, 37.0),
+        (2, 0, 21.0, 36.0),
+        (1, 2000, 26.5, 37.0),
+        (3, 0, 27.0, 38.5),
+        (2, 3000, 21.5, 36.0),
+    ] {
+        let resp = c.call(&ingest_request(obj, t0, 30, lon, lat)).unwrap();
+        assert!(is_ok(&resp), "ingest failed: {resp}");
+    }
+}
+
+/// Everything query-visible, normalised so legitimate nondeterminism
+/// (timings, top-k tie order) can't cause false mismatches.
+fn fingerprint(c: &mut Client) -> Vec<String> {
+    let mut out = Vec::new();
+    let resp = c
+        .call(
+            &Json::obj()
+                .field("type", "sparql")
+                .field("query", "SELECT ?n ?o WHERE { ?n da:ofMovingObject ?o }")
+                .field("limit", 10_000u64)
+                .build(),
+        )
+        .unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    let result = resp.get("result").unwrap();
+    let mut rows: Vec<String> = result
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    rows.sort_unstable();
+    out.push(format!(
+        "sparql rows={} {:?}",
+        result.get("row_count").and_then(Json::as_u64).unwrap(),
+        rows
+    ));
+    for (ep, list_key) in [("heatmap", "cells"), ("flows", "flows")] {
+        let resp = c
+            .call(
+                &Json::obj()
+                    .field("type", ep)
+                    .field("top_k", 1000u64)
+                    .build(),
+            )
+            .unwrap();
+        assert!(is_ok(&resp), "{resp}");
+        let result = resp.get("result").unwrap();
+        let mut items: Vec<String> = result
+            .get(list_key)
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
+        items.sort_unstable();
+        let mut scalars: Vec<String> = Vec::new();
+        if let Json::Obj(fields) = result {
+            for (k, v) in fields {
+                if k != list_key {
+                    scalars.push(format!("{k}={v}"));
+                }
+            }
+        }
+        out.push(format!("{ep} {scalars:?} {items:?}"));
+    }
+    let resp = c
+        .call(
+            &Json::obj()
+                .field("type", "events")
+                .field("limit", 1000u64)
+                .build(),
+        )
+        .unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    out.push(format!("events {}", resp.get("result").unwrap()));
+    let resp = c.call(&Json::obj().field("type", "stats").build()).unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    let pipeline = resp.get("pipeline").unwrap();
+    for key in [
+        "reports_in",
+        "reports_clean",
+        "reports_kept",
+        "events",
+        "triples",
+        "graph_len",
+    ] {
+        out.push(format!(
+            "pipeline.{key}={}",
+            pipeline.get(key).and_then(Json::as_u64).unwrap()
+        ));
+    }
+    out
+}
+
+fn object_rows(c: &mut Client, object: u64) -> u64 {
+    let resp = c
+        .call(
+            &Json::obj()
+                .field("type", "sparql")
+                .field(
+                    "query",
+                    &*format!("SELECT ?n WHERE {{ ?n da:ofMovingObject da:obj/{object} }}"),
+                )
+                .build(),
+        )
+        .unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    resp.get("result")
+        .and_then(|r| r.get("row_count"))
+        .and_then(Json::as_u64)
+        .unwrap()
+}
+
+/// The newest WAL segment file under the data dir.
+fn newest_segment(dir: &Path) -> std::path::PathBuf {
+    let mut segs: Vec<_> = std::fs::read_dir(dir.join("wal"))
+        .expect("wal dir")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    segs.sort();
+    segs.pop().expect("at least one segment")
+}
+
+#[test]
+fn kill_and_restart_replays_wal_to_identical_state() {
+    let dir = TempDir::new("itest-replay");
+    // Snapshots off: recovery is a pure WAL replay from birth, so the
+    // CEP detectors see the identical report stream as the control.
+    let control = start(test_config()).expect("control start");
+    let durable = start(durable_config(dir.path(), 0)).expect("durable start");
+
+    feed(&mut connect(control.local_addr));
+    feed(&mut connect(durable.local_addr));
+
+    // Unclean stop: no final fsync, no shutdown snapshot.
+    durable.abort();
+
+    let restarted = start(durable_config(dir.path(), 0)).expect("restart");
+    let want = fingerprint(&mut connect(control.local_addr));
+    let got = fingerprint(&mut connect(restarted.local_addr));
+    assert_eq!(got, want, "restarted state must match the control");
+
+    restarted.shutdown();
+    control.shutdown();
+}
+
+#[test]
+fn snapshot_recovery_matches_control_and_retires_segments() {
+    let dir = TempDir::new("itest-snap");
+    // Snapshot after every batch: recovery is snapshot-only (empty WAL
+    // tail), exercising the full state codec instead of replay.
+    let control = start(test_config()).expect("control start");
+    let durable = start(durable_config(dir.path(), 1)).expect("durable start");
+
+    feed(&mut connect(control.local_addr));
+    feed(&mut connect(durable.local_addr));
+
+    // Snapshots bound the log: covered segments are retired.
+    let mut c = connect(durable.local_addr);
+    let resp = c.call(&Json::obj().field("type", "stats").build()).unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    assert!(resp.get("uptime_ms").and_then(Json::as_u64).is_some());
+    let storage = resp.get("storage").expect("storage stats section");
+    assert_eq!(
+        storage.get("records_since_snapshot").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(storage.get("segments").and_then(Json::as_u64), Some(1));
+    assert!(storage.get("fsyncs").and_then(Json::as_u64).unwrap() >= 5);
+    assert!(storage.get("fsync_p99_us").and_then(Json::as_u64).is_some());
+    drop(c);
+
+    durable.abort();
+    let restarted = start(durable_config(dir.path(), 1)).expect("restart");
+    let want = fingerprint(&mut connect(control.local_addr));
+    let got = fingerprint(&mut connect(restarted.local_addr));
+    assert_eq!(got, want, "snapshot-recovered state must match the control");
+
+    restarted.shutdown();
+    control.shutdown();
+}
+
+#[test]
+fn clean_shutdown_installs_final_snapshot_with_empty_tail() {
+    let dir = TempDir::new("itest-clean");
+    let handle = start(durable_config(dir.path(), 0)).expect("start");
+    feed(&mut connect(handle.local_addr));
+    handle.shutdown();
+
+    // The directory holds a snapshot covering everything: no tail to
+    // replay, nothing truncated.
+    let (_, recovery) = Storage::open(
+        dir.path(),
+        StorageConfig {
+            segment_bytes: 4096,
+            fsync: FsyncPolicy::Always,
+            snapshot_every_records: 0,
+        },
+    )
+    .expect("reopen");
+    let (_, payload) = recovery.snapshot.expect("clean-shutdown snapshot");
+    assert!(!payload.is_empty());
+    assert!(
+        recovery.wal_tail.is_empty(),
+        "tail: {}",
+        recovery.wal_tail.len()
+    );
+    assert!(recovery.truncation.is_none());
+
+    // And the restarted server serves from it.
+    let restarted = start(durable_config(dir.path(), 0)).expect("restart");
+    let mut c = connect(restarted.local_addr);
+    assert!(object_rows(&mut c, 1) > 0);
+    assert!(object_rows(&mut c, 3) > 0);
+    drop(c);
+    restarted.shutdown();
+}
+
+/// Appends one batch per object so WAL records map 1:1 to objects, kills
+/// the server, damages the log tail, and asserts recovery keeps every
+/// record before the damage and drops everything after — no panics.
+fn corrupt_tail_case(tag: &str, damage: impl FnOnce(&Path)) {
+    let dir = TempDir::new(tag);
+    let handle = start(durable_config(dir.path(), 0)).expect("start");
+    let mut c = connect(handle.local_addr);
+    for obj in 0..6u64 {
+        let resp = c
+            .call(&ingest_request(100 + obj, 0, 10, 20.5 + obj as f64, 37.0))
+            .unwrap();
+        assert!(is_ok(&resp), "{resp}");
+    }
+    drop(c);
+    handle.abort();
+
+    damage(dir.path());
+
+    let restarted = start(durable_config(dir.path(), 0)).expect("restart after damage");
+    let mut c = connect(restarted.local_addr);
+    // Damage hit the newest record(s): the first objects must have
+    // survived, the last must be gone.
+    for obj in 0..4u64 {
+        assert!(
+            object_rows(&mut c, 100 + obj) > 0,
+            "object {} lost before the damaged tail",
+            100 + obj
+        );
+    }
+    assert_eq!(
+        object_rows(&mut c, 105),
+        0,
+        "damaged final record must not replay"
+    );
+    // The recovered server keeps accepting writes.
+    let resp = c.call(&ingest_request(200, 0, 10, 22.0, 37.0)).unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    assert!(object_rows(&mut c, 200) > 0);
+    drop(c);
+    restarted.shutdown();
+}
+
+#[test]
+fn bit_flipped_tail_recovers_to_last_valid_record() {
+    corrupt_tail_case("itest-bitflip", |dir| {
+        let seg = newest_segment(dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x80;
+        std::fs::write(&seg, &bytes).unwrap();
+    });
+}
+
+#[test]
+fn truncated_tail_recovers_without_panic() {
+    corrupt_tail_case("itest-truncate", |dir| {
+        let seg = newest_segment(dir);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+    });
+}
