@@ -1,0 +1,249 @@
+//! Rule identities, path scoping, the built-in allowlist, and the
+//! lock-order manifest.
+//!
+//! Scoping policy (workspace mode):
+//! - `no_panic` (L1) applies to non-test sources of the serving/durability
+//!   crates: `server`, `storage`, `rdf`, `core`.
+//! - `safety_comment` (L2) applies to every file, test code included —
+//!   an `unsafe` block needs its justification no matter where it lives.
+//! - `truncation` (L3) applies to the four binary-format modules where a
+//!   silent `as` truncation corrupts data on disk or on the wire.
+//! - `wallclock` (L4) applies everywhere except designated clock modules
+//!   and load-generation/bench tools that pace against real deadlines.
+//! - `lock_order` (L5) applies to all non-test code.
+//!
+//! When the binary is given explicit file arguments ("strict mode", used
+//! for the lint fixtures), every rule applies to every file regardless of
+//! this table.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// The five repo-specific lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// L1: no `unwrap()`/`expect()`/`panic!`/`todo!` in non-test code of
+    /// the serving/durability crates.
+    NoPanic,
+    /// L2: every `unsafe` block carries a `// SAFETY:` comment.
+    SafetyComment,
+    /// L3: no `as` integer casts in binary-format modules.
+    Truncation,
+    /// L4: no `Instant::now`/`SystemTime::now` outside clock modules.
+    Wallclock,
+    /// L5: nested lock acquisitions must appear in the lock-order manifest.
+    LockOrder,
+}
+
+impl Rule {
+    /// All rules, in L1..L5 order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NoPanic,
+        Rule::SafetyComment,
+        Rule::Truncation,
+        Rule::Wallclock,
+        Rule::LockOrder,
+    ];
+
+    /// Short id, `L1`..`L5`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "L1",
+            Rule::SafetyComment => "L2",
+            Rule::Truncation => "L3",
+            Rule::Wallclock => "L4",
+            Rule::LockOrder => "L5",
+        }
+    }
+
+    /// Name used in diagnostics and in `// lint:allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no_panic",
+            Rule::SafetyComment => "safety_comment",
+            Rule::Truncation => "truncation",
+            Rule::Wallclock => "wallclock",
+            Rule::LockOrder => "lock_order",
+        }
+    }
+
+    /// Parses a rule name as written in `lint:allow(...)`.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Crate-source prefixes where `no_panic` is enforced.
+const NO_PANIC_SCOPE: [&str; 4] = [
+    "crates/server/src/",
+    "crates/storage/src/",
+    "crates/rdf/src/",
+    "crates/core/src/",
+];
+
+/// Binary-format modules where `truncation` is enforced.
+const TRUNCATION_SCOPE: [&str; 4] = [
+    "crates/storage/src/binser.rs",
+    "crates/storage/src/crc.rs",
+    "crates/rdf/src/binary.rs",
+    "crates/server/src/codec.rs",
+];
+
+/// Files and trees allowed to read the wall clock. The two `clock.rs`
+/// modules are the designated abstractions; `metrics.rs` hosts the
+/// latency histogram that timestamps samples; loadgen and the bench
+/// binaries pace an open-loop workload against real deadlines.
+const WALLCLOCK_ALLOW: [&str; 5] = [
+    "crates/stream/src/clock.rs",
+    "crates/rdf/src/clock.rs",
+    "crates/stream/src/metrics.rs",
+    "crates/server/src/bin/loadgen.rs",
+    "crates/bench/",
+];
+
+/// True when `rule` should run on `path` (workspace-relative, `/`
+/// separators) during a workspace walk.
+pub fn rule_applies(rule: Rule, path: &str) -> bool {
+    match rule {
+        Rule::NoPanic => NO_PANIC_SCOPE.iter().any(|p| path.starts_with(p)),
+        Rule::SafetyComment => true,
+        Rule::Truncation => TRUNCATION_SCOPE.contains(&path),
+        Rule::Wallclock => !WALLCLOCK_ALLOW.iter().any(|p| path.starts_with(p)),
+        Rule::LockOrder => true,
+    }
+}
+
+/// True when `path` is test-only by location: integration tests, bench
+/// harnesses, examples, and the lint engine's own fixtures.
+pub fn path_is_test(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// The checked lock-order manifest: the set of `held -> acquired`
+/// pairs the repo has vetted as deadlock-free (the manifest is the
+/// partial order; the dynamic `tracked-locks` checker verifies it has
+/// no cycles at runtime).
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    edges: BTreeSet<(String, String)>,
+}
+
+impl Manifest {
+    /// Parses manifest text: one `held -> acquired` pair per line,
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Manifest {
+        let mut edges = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((held, acq)) = line.split_once("->") {
+                edges.insert((held.trim().to_string(), acq.trim().to_string()));
+            }
+        }
+        Manifest { edges }
+    }
+
+    /// Loads a manifest file; a missing file is an empty manifest.
+    pub fn load(path: &Path) -> io::Result<Manifest> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Manifest::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True when acquiring `acquired` while holding `held` is vetted.
+    pub fn allows(&self, held: &str, acquired: &str) -> bool {
+        self.edges
+            .contains(&(held.to_string(), acquired.to_string()))
+    }
+
+    /// Number of vetted pairs.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no pairs are vetted.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Appends `pairs` (deduplicated against the current set) to the
+    /// manifest file at `path`, creating it if needed. Returns the pairs
+    /// actually added. Used by `datacron-lint --fix-manifest`.
+    pub fn append_to_file(
+        &mut self,
+        path: &Path,
+        pairs: &[(String, String)],
+    ) -> io::Result<Vec<(String, String)>> {
+        let fresh: Vec<(String, String)> = pairs
+            .iter()
+            .filter(|p| !self.edges.contains(*p))
+            .cloned()
+            .collect();
+        if fresh.is_empty() {
+            return Ok(fresh);
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for (held, acq) in &fresh {
+            writeln!(f, "{held} -> {acq}")?;
+            self.edges.insert((held.clone(), acq.clone()));
+        }
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parses_pairs_and_comments() {
+        let m = Manifest::parse("# vetted orders\nstate -> storage\n\n  a->b  # inline\n");
+        assert_eq!(m.len(), 2);
+        assert!(m.allows("state", "storage"));
+        assert!(m.allows("a", "b"));
+        assert!(!m.allows("storage", "state"));
+    }
+
+    #[test]
+    fn scoping_matches_policy() {
+        assert!(rule_applies(Rule::NoPanic, "crates/server/src/server.rs"));
+        assert!(!rule_applies(Rule::NoPanic, "crates/viz/src/heatmap.rs"));
+        assert!(rule_applies(Rule::Truncation, "crates/storage/src/crc.rs"));
+        assert!(!rule_applies(Rule::Truncation, "crates/storage/src/wal.rs"));
+        assert!(!rule_applies(Rule::Wallclock, "crates/stream/src/clock.rs"));
+        assert!(!rule_applies(
+            Rule::Wallclock,
+            "crates/bench/src/bin/report.rs"
+        ));
+        assert!(rule_applies(Rule::Wallclock, "crates/core/src/pipeline.rs"));
+        assert!(rule_applies(
+            Rule::SafetyComment,
+            "tests/integration_server.rs"
+        ));
+    }
+
+    #[test]
+    fn test_paths_detected() {
+        assert!(path_is_test("tests/integration_server.rs"));
+        assert!(path_is_test("crates/link/tests/end_to_end.rs"));
+        assert!(!path_is_test("crates/server/src/server.rs"));
+    }
+}

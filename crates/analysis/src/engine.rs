@@ -1,0 +1,346 @@
+//! The lint engine: walks sources, runs rules, applies scoping,
+//! test-region suppression, and the `// lint:allow(<rule>)` escape hatch,
+//! and renders diagnostics.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{path_is_test, rule_applies, Manifest, Rule};
+use crate::lexer::{lex, Token};
+use crate::rules;
+
+/// One rendered finding.
+#[derive(Debug)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Workspace-relative path (or the path as given in file mode).
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    /// For `lock_order`: the unvetted `(held, acquired)` pair, consumed
+    /// by `--fix-manifest`.
+    pub pair: Option<(String, String)>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Engine configuration: the lock-order manifest and the mode.
+pub struct Engine {
+    pub manifest: Manifest,
+    /// Strict mode (explicit file arguments): every rule runs on every
+    /// file, and path-based test detection is off. Used for fixtures.
+    pub strict: bool,
+}
+
+impl Engine {
+    /// Engine for a workspace walk.
+    pub fn workspace(manifest: Manifest) -> Engine {
+        Engine {
+            manifest,
+            strict: false,
+        }
+    }
+
+    /// Engine for explicit files: all rules, no path scoping.
+    pub fn strict(manifest: Manifest) -> Engine {
+        Engine {
+            manifest,
+            strict: true,
+        }
+    }
+
+    /// Lints one source text. `path` is used for scoping (workspace mode)
+    /// and in the rendered diagnostics.
+    pub fn lint_source(&self, path: &str, src: &str) -> Vec<Diagnostic> {
+        let tokens = lex(src);
+        let in_test_file = !self.strict && path_is_test(path);
+        let mask = if in_test_file {
+            vec![true; tokens.len()]
+        } else {
+            test_mask(&tokens)
+        };
+        let no_mask = vec![false; tokens.len()];
+        let allows = allow_lines(&tokens);
+
+        let mut out = Vec::new();
+        for rule in Rule::ALL {
+            if !self.strict && !rule_applies(rule, path) {
+                continue;
+            }
+            let findings = match rule {
+                Rule::NoPanic => rules::no_panic(&tokens, &mask),
+                // SAFETY comments are required in test code too.
+                Rule::SafetyComment => rules::safety_comment(&tokens, &no_mask),
+                Rule::Truncation => rules::truncation(&tokens, &mask),
+                Rule::Wallclock => rules::wallclock(&tokens, &mask),
+                Rule::LockOrder => rules::lock_order(&tokens, &mask, &self.manifest),
+            };
+            for f in findings {
+                if allows.contains(&(rule, f.line)) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule,
+                    path: path.to_string(),
+                    line: f.line,
+                    message: f.message,
+                    pair: f.pair,
+                });
+            }
+        }
+        out.sort_by_key(|d| (d.line, d.rule));
+        out
+    }
+
+    /// Lints one file on disk.
+    pub fn lint_file(&self, root: &Path, rel: &str) -> io::Result<Vec<Diagnostic>> {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        Ok(self.lint_source(rel, &src))
+    }
+
+    /// Walks the workspace at `root` and lints every tracked `.rs` file.
+    /// The lint engine's own test fixtures are deliberate violations and
+    /// are skipped.
+    pub fn lint_workspace(&self, root: &Path) -> io::Result<Vec<Diagnostic>> {
+        let mut files = Vec::new();
+        collect_rs(&root.join("crates"), &mut files)?;
+        collect_rs(&root.join("tests"), &mut files)?;
+        let mut out = Vec::new();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if rel.starts_with("crates/analysis/tests/fixtures/") {
+                continue;
+            }
+            out.extend(self.lint_file(root, &rel)?);
+        }
+        out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        Ok(out)
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output). A missing directory yields nothing.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut items: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    items.sort();
+    for path in items {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Builds the set of `(rule, line)` pairs suppressed by
+/// `// lint:allow(<rule>[, <rule>...])` comments. A comment suppresses
+/// findings on its own line (trailing form) and on the line of the next
+/// code token after it (preceding form).
+fn allow_lines(tokens: &[Token]) -> HashSet<(Rule, u32)> {
+    let mut set = HashSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let mut rest = t.text;
+        while let Some(at) = rest.find("lint:allow(") {
+            rest = &rest[at + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            for name in rest[..close].split(',') {
+                if let Some(rule) = Rule::from_name(name.trim()) {
+                    set.insert((rule, t.line));
+                    // The next code token after this comment.
+                    let mut j = i + 1;
+                    while j < tokens.len() && tokens[j].is_comment() {
+                        j += 1;
+                    }
+                    if let Some(next) = tokens.get(j) {
+                        set.insert((rule, next.line));
+                    }
+                }
+            }
+            rest = &rest[close..];
+        }
+    }
+    set
+}
+
+/// Marks tokens inside test-only regions: items annotated `#[test]`,
+/// `#[cfg(test)]` (mod blocks included), and similar `*::test`
+/// attributes. `#[cfg(not(test))]` does NOT mark a region.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut is_test_attr = false;
+        while j < tokens.len() && depth > 0 {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_ident("test") {
+                // `#[cfg(not(test))]` is the opposite of a test region.
+                let negated =
+                    j >= 2 && tokens[j - 1].is_punct('(') && tokens[j - 2].is_ident("not");
+                if !negated {
+                    is_test_attr = true;
+                }
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip trailing comments and further attributes to the item.
+        let mut k = j;
+        loop {
+            while k < tokens.len() && tokens[k].is_comment() {
+                k += 1;
+            }
+            if k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+                k += 2;
+                let mut d = 1usize;
+                while k < tokens.len() && d > 0 {
+                    if tokens[k].is_punct('[') {
+                        d += 1;
+                    } else if tokens[k].is_punct(']') {
+                        d -= 1;
+                    }
+                    k += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item runs to its matching close brace, or to `;` for
+        // brace-less items (`#[cfg(test)] mod tests;`).
+        let mut end = k;
+        while end < tokens.len() && !tokens[end].is_punct('{') && !tokens[end].is_punct(';') {
+            end += 1;
+        }
+        if end < tokens.len() && tokens[end].is_punct('{') {
+            let mut d = 1usize;
+            end += 1;
+            while end < tokens.len() && d > 0 {
+                if tokens[end].is_punct('{') {
+                    d += 1;
+                } else if tokens[end].is_punct('}') {
+                    d -= 1;
+                }
+                end += 1;
+            }
+        } else if end < tokens.len() {
+            end += 1; // include the `;`
+        }
+        let end = end.min(tokens.len());
+        for m in mask.iter_mut().take(end).skip(attr_start) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Convenience: tokens of `src` paired with their test mask (used by
+/// integration tests).
+pub fn masked_tokens(src: &str) -> (Vec<Token<'_>>, Vec<bool>) {
+    let tokens = lex(src);
+    let mask = test_mask(&tokens);
+    (tokens, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { y.unwrap(); }\n}";
+        let eng = Engine::strict(Manifest::default());
+        let diags = eng.lint_source("crates/server/src/x.rs", src);
+        let l1: Vec<_> = diags.iter().filter(|d| d.rule == Rule::NoPanic).collect();
+        assert_eq!(l1.len(), 1, "only the live unwrap fires: {diags:?}");
+        assert_eq!(l1[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let eng = Engine::strict(Manifest::default());
+        assert_eq!(eng.lint_source("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let src = "fn f() { x.unwrap(); // lint:allow(no_panic) invariant: x set above\n}";
+        let eng = Engine::strict(Manifest::default());
+        assert!(eng.lint_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn preceding_allow_suppresses_next_line() {
+        let src = "fn f() {\n  // lint:allow(no_panic) invariant: x set above\n  x.unwrap();\n}";
+        let eng = Engine::strict(Manifest::default());
+        assert!(eng.lint_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_is_rule_specific() {
+        // unwrap + Instant::now on one line; only no_panic is allowed.
+        let src = "fn f() { let t = Instant::now(); x.unwrap(); // lint:allow(no_panic)\n}";
+        let eng = Engine::strict(Manifest::default());
+        let diags = eng.lint_source("f.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::Wallclock);
+    }
+
+    #[test]
+    fn workspace_mode_scopes_by_path() {
+        let eng = Engine::workspace(Manifest::default());
+        // unwrap outside the no_panic scope: not flagged.
+        assert!(eng
+            .lint_source("crates/viz/src/heatmap.rs", "fn f() { x.unwrap(); }")
+            .is_empty());
+        // ...but in server: flagged.
+        assert_eq!(
+            eng.lint_source("crates/server/src/server.rs", "fn f() { x.unwrap(); }")
+                .len(),
+            1
+        );
+    }
+}

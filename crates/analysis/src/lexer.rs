@@ -1,0 +1,414 @@
+//! A hand-rolled Rust lexer, sufficient for the repo's lint rules.
+//!
+//! The workspace cannot take `syn`/`proc-macro2` (no external deps), so
+//! the lint engine works from a flat token stream instead of a syntax
+//! tree. The lexer understands everything that can *hide* tokens from a
+//! naive text scan — line and (nested) block comments, string/char/byte
+//! literals, raw strings with arbitrary `#` fences, and lifetimes — so a
+//! rule that looks for `.unwrap()` never fires on the word "unwrap"
+//! inside a doc comment or a string literal.
+//!
+//! Comments are kept as tokens (with their text and line) because two
+//! rules read them: `safety_comment` looks for `// SAFETY:` above an
+//! `unsafe` block, and every rule honours the `// lint:allow(<rule>)`
+//! escape hatch.
+
+/// What a token is. The lexer is lossless enough for linting: every
+/// character of input lands in exactly one token or in whitespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `let`, ...).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` is never a char literal.
+    Lifetime,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// A single punctuation character (`.`, `(`, `{`, `=`, ...).
+    Punct,
+    /// `// ...` comment (text includes the slashes).
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token: kind, the source slice, and the 1-based line where it
+/// starts.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True for a punctuation token matching `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated constructs (string/comment) are
+/// closed at end of input rather than reported — the lint engine is not a
+/// compiler; rustc will reject such files anyway.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Number of newlines inside src[from..to].
+    let count_lines = |from: usize, to: usize| -> u32 {
+        let mut n = 0;
+        let mut k = from;
+        while k < to {
+            if bytes[k] == b'\n' {
+                n += 1;
+            }
+            k += 1;
+        }
+        n
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        let start_line = line;
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(start, i);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = scan_string(bytes, i + 1);
+                line += count_lines(start, i);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                i = scan_raw_or_byte(bytes, i);
+                line += count_lines(start, i);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal. A lifetime is `'` + ident not
+                // closed by another `'` (so `'a'` is a char, `'a` is a
+                // lifetime, `'\n'` is a char).
+                let mut j = i + 1;
+                if j < bytes.len() && bytes[j] != b'\\' && is_ident_start(bytes[j]) {
+                    let mut k = j + 1;
+                    while k < bytes.len() && is_ident_continue(bytes[k]) {
+                        k += 1;
+                    }
+                    if bytes.get(k) != Some(&b'\'') {
+                        // Lifetime.
+                        tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            text: &src[i..k],
+                            line: start_line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                }
+                // Char literal: scan to the closing quote, honouring escapes.
+                if j < bytes.len() && bytes[j] == b'\\' {
+                    j += 2; // skip the escaped character
+                            // Multi-char escapes (\u{...}, \x41) end at the quote.
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                } else {
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                }
+                i = (j + 1).min(bytes.len());
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'0'..=b'9' => {
+                i += 1;
+                while i < bytes.len() && (is_ident_continue(bytes[i]) || bytes[i] == b'.') {
+                    // `1..10` — the range dots are punctuation, not part of
+                    // the number.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            _ => {
+                // One punctuation character (multi-byte UTF-8 handled by
+                // advancing to the next char boundary).
+                let mut end = i + 1;
+                while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: &src[i..end],
+                    line: start_line,
+                });
+                i = end;
+            }
+        }
+    }
+    tokens
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scans past a normal `"..."` string body; `i` points just after the
+/// opening quote. Returns the index just past the closing quote.
+fn scan_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// True when `i` starts `r"`, `r#`, `b"`, `b'`, `br"`, `br#`, `rb...`.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let next = |k: usize| bytes.get(i + k).copied();
+    match bytes[i] {
+        b'r' => matches!(next(1), Some(b'"') | Some(b'#')),
+        b'b' => match next(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(next(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a raw/byte string starting at its prefix. Returns the index just
+/// past the closing delimiter.
+fn scan_raw_or_byte(bytes: &[u8], mut i: usize) -> usize {
+    // Skip the prefix letters.
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // Byte char literal b'x'.
+        let mut j = i + 1;
+        if bytes.get(j) == Some(&b'\\') {
+            j += 2;
+        }
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1).min(bytes.len());
+    }
+    // Count the `#` fence.
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // not actually a string; treat prefix as consumed
+    }
+    i += 1;
+    if hashes == 0 {
+        // Raw string without fence: ends at the next quote, no escapes.
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    // Ends at `"` followed by `hashes` hash marks.
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = a.unwrap();");
+        assert_eq!(ts[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(ts[2], (TokenKind::Punct, "=".into()));
+        assert!(ts.iter().any(|t| t == &(TokenKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ts = kinds(r#"let s = "call .unwrap() please";"#);
+        assert!(!ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "unwrap"));
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Literal && t.1.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r##"let s = r#"quote " inside"#; x"##;
+        let ts = kinds(src);
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Literal && t.1.starts_with("r#")));
+        assert_eq!(ts.last().map(|t| t.1.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let src = "// SAFETY: fine\nunsafe { body() }\n/* block\ncomment */ y";
+        let ts = lex(src);
+        assert_eq!(ts[0].kind, TokenKind::LineComment);
+        assert_eq!(ts[0].line, 1);
+        assert!(ts.iter().any(|t| t.is_ident("unsafe") && t.line == 2));
+        let block = ts
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .unwrap();
+        assert_eq!(block.line, 3);
+        let y = ts.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* a /* b */ c */ x");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(ts.iter().any(|t| t.0 == TokenKind::Lifetime && t.1 == "'a"));
+        assert!(ts.iter().any(|t| t.0 == TokenKind::Literal && t.1 == "'x'"));
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Literal && t.1 == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let ts = kinds("for i in 0..10 { a[i] = 1.5e3; }");
+        assert!(ts.iter().any(|t| t.0 == TokenKind::Number && t.1 == "0"));
+        assert!(ts.iter().any(|t| t.0 == TokenKind::Number && t.1 == "10"));
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Number && t.1 == "1.5e3"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let ts = kinds(r#"let b = b"DSNP"; let c = b'x';"#);
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Literal && t.1 == "b\"DSNP\""));
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokenKind::Literal && t.1 == "b'x'"));
+    }
+}

@@ -1,0 +1,33 @@
+//! datacron-analysis: the workspace lint engine.
+//!
+//! A self-contained static analysis over the workspace's Rust sources —
+//! no external parser crates, just a hand-rolled lexer
+//! ([`lexer`]) and token-stream rules ([`rules`]). It enforces the
+//! repo-specific correctness gates for the serving/durability path:
+//!
+//! | id | name             | what it guards                                           |
+//! |----|------------------|----------------------------------------------------------|
+//! | L1 | `no_panic`       | no `unwrap`/`expect`/`panic!`/`todo!` in serving crates  |
+//! | L2 | `safety_comment` | every `unsafe` block carries `// SAFETY:`                |
+//! | L3 | `truncation`     | no `as` integer casts in binary-format modules           |
+//! | L4 | `wallclock`      | wall-clock reads only in designated clock modules        |
+//! | L5 | `lock_order`     | nested lock acquisitions vetted in `lock-order.manifest` |
+//!
+//! Escape hatch: `// lint:allow(<rule>)` on the offending line or the
+//! line above suppresses exactly that rule, there. The comment should
+//! state *why* the construct is sound.
+//!
+//! The `datacron-lint` binary runs the engine over the workspace
+//! (`cargo run -p datacron-analysis`) and is wired into `scripts/ci.sh`
+//! as a hard gate. With explicit file arguments it runs in strict mode
+//! (all rules, no path scoping), which is how the fixture tests drive it.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Manifest, Rule};
+pub use engine::{Diagnostic, Engine};

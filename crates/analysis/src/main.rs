@@ -1,0 +1,175 @@
+//! datacron-lint: command-line front end for the workspace lint engine.
+//!
+//! Usage:
+//!   datacron-lint                       # walk the workspace, scoped rules
+//!   datacron-lint FILE...               # strict mode: all rules on FILEs
+//!   datacron-lint --manifest PATH ...   # alternate lock-order manifest
+//!   datacron-lint --fix-manifest        # vet unknown lock pairs instead
+//!                                       # of failing on them
+//!   datacron-lint --root PATH           # workspace root override
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use datacron_analysis::config::{Manifest, Rule};
+use datacron_analysis::engine::{Diagnostic, Engine};
+
+fn main() -> ExitCode {
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut fix_manifest = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--manifest" => match args.next() {
+                Some(p) => manifest_path = Some(PathBuf::from(p)),
+                None => return usage("--manifest needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--fix-manifest" => fix_manifest = true,
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    // The binary lives at <root>/crates/analysis, so the workspace root
+    // is two levels up from the crate manifest.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    let manifest_path =
+        manifest_path.unwrap_or_else(|| root.join("crates/analysis/lock-order.manifest"));
+    let mut manifest = match Manifest::load(&manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!(
+                "datacron-lint: cannot read {}: {e}",
+                manifest_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let strict = !files.is_empty();
+    let engine = if strict {
+        Engine::strict(manifest.clone())
+    } else {
+        Engine::workspace(manifest.clone())
+    };
+
+    let result = if strict {
+        let mut all = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => all.extend(engine.lint_source(f, &src)),
+                Err(e) => {
+                    eprintln!("datacron-lint: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Ok(all)
+    } else {
+        engine.lint_workspace(&root)
+    };
+
+    let mut diags = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("datacron-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix_manifest {
+        let pairs: Vec<(String, String)> = diags.iter().filter_map(|d| d.pair.clone()).collect();
+        match manifest.append_to_file(&manifest_path, &pairs) {
+            Ok(added) => {
+                for (h, a) in &added {
+                    println!(
+                        "vetted: {h} -> {a} (appended to {})",
+                        manifest_path.display()
+                    );
+                }
+                diags.retain(|d| d.pair.is_none());
+            }
+            Err(e) => {
+                eprintln!(
+                    "datacron-lint: cannot update {}: {e}",
+                    manifest_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    print_summary(&diags);
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Per-rule violation counts, printed even when clean so CI logs show the
+/// gate actually ran.
+fn print_summary(diags: &[Diagnostic]) {
+    let mut counts: BTreeMap<Rule, usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    let total: usize = counts.values().sum();
+    println!("---");
+    for rule in Rule::ALL {
+        println!(
+            "{} {:<15} {}",
+            rule.id(),
+            rule.name(),
+            counts.get(&rule).copied().unwrap_or(0)
+        );
+    }
+    if total == 0 {
+        println!("datacron-lint: clean");
+    } else {
+        println!("datacron-lint: {total} violation(s)");
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("datacron-lint: {msg}");
+    eprint!("{}", HELP);
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+usage: datacron-lint [--root PATH] [--manifest PATH] [--fix-manifest] [FILE...]
+
+Without FILEs, walks the workspace and applies the scoped rules L1-L5.
+With FILEs, runs in strict mode: every rule on every named file.
+
+  --root PATH       workspace root (default: inferred from the binary)
+  --manifest PATH   lock-order manifest (default: crates/analysis/lock-order.manifest)
+  --fix-manifest    append unvetted lock pairs to the manifest instead of failing
+";

@@ -1,0 +1,477 @@
+//! The five lint rules, each a pass over the token stream.
+//!
+//! Every rule takes the token stream plus a `skip` mask (true = token is
+//! inside a test region and the rule should not fire there) and returns
+//! raw findings as `(line, message)` pairs; the engine attaches rule ids,
+//! applies `lint:allow`, and formats diagnostics.
+
+use crate::config::Manifest;
+use crate::lexer::{Token, TokenKind};
+
+/// A raw finding: 1-based line plus human-readable message. For
+/// `lock_order` findings the engine also needs the offending pair, so it
+/// rides along (None for every other rule).
+pub struct Finding {
+    pub line: u32,
+    pub message: String,
+    pub pair: Option<(String, String)>,
+}
+
+impl Finding {
+    fn new(line: u32, message: String) -> Finding {
+        Finding {
+            line,
+            message,
+            pair: None,
+        }
+    }
+}
+
+/// Index of the next non-comment token at or after `i`.
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if !tokens[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the previous non-comment token strictly before `i`.
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !tokens[j].is_comment() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// L1 `no_panic`: flags `.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+/// and `unimplemented!` outside test code.
+pub fn no_panic(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text {
+            "unwrap" | "expect" => {
+                let method_call = prev_code(tokens, i).is_some_and(|p| tokens[p].is_punct('.'))
+                    && next_code(tokens, i + 1).is_some_and(|n| tokens[n].is_punct('('));
+                if method_call {
+                    out.push(Finding::new(
+                        t.line,
+                        format!(".{}() can panic; return a typed error instead", t.text),
+                    ));
+                }
+            }
+            "panic" | "todo" | "unimplemented"
+                if next_code(tokens, i + 1).is_some_and(|n| tokens[n].is_punct('!')) =>
+            {
+                out.push(Finding::new(
+                    t.line,
+                    format!(
+                        "{}! is forbidden here; return a typed error instead",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// L2 `safety_comment`: every `unsafe` block must have a `// SAFETY:`
+/// comment immediately above it (or as the first token inside the block).
+pub fn safety_comment(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || !t.is_ident("unsafe") {
+            continue;
+        }
+        // Only unsafe *blocks*: the next code token is `{`. (`unsafe fn`
+        // signatures are governed at the call site, where the block is.)
+        let Some(open) = next_code(tokens, i + 1) else {
+            continue;
+        };
+        if !tokens[open].is_punct('{') {
+            continue;
+        }
+        // A SAFETY comment anywhere between the start of the enclosing
+        // statement and the `unsafe` keyword counts — this accepts both
+        // `// SAFETY: ...\nunsafe { .. }` and the equally common
+        // `// SAFETY: ...\nlet x = unsafe { .. }`.
+        let mut justified = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let back = &tokens[j];
+            if back.is_comment() {
+                if back.text.contains("SAFETY:") {
+                    justified = true;
+                    break;
+                }
+                continue;
+            }
+            if back.is_punct(';') || back.is_punct('{') || back.is_punct('}') {
+                break;
+            }
+        }
+        // ...or the first token inside the block.
+        if !justified {
+            if let Some(inner) = tokens.get(open + 1) {
+                if inner.is_comment() && inner.text.contains("SAFETY:") {
+                    justified = true;
+                }
+            }
+        }
+        if !justified {
+            out.push(Finding::new(
+                t.line,
+                "unsafe block without a `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// L3 `truncation`: flags every `as <int-type>` cast. In the binary
+/// format modules a silent truncation corrupts bytes on disk or on the
+/// wire; use `From`/`TryFrom` instead, or carry a `lint:allow(truncation)`
+/// with the widening/masking argument.
+pub fn truncation(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || !t.is_ident("as") {
+            continue;
+        }
+        let Some(n) = next_code(tokens, i + 1) else {
+            continue;
+        };
+        if tokens[n].kind == TokenKind::Ident && INT_TYPES.contains(&tokens[n].text) {
+            out.push(Finding::new(
+                t.line,
+                format!(
+                    "`as {}` cast in a binary-format module; use From/TryFrom",
+                    tokens[n].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L4 `wallclock`: flags `Instant::now` / `SystemTime::now` outside the
+/// designated clock modules.
+pub fn wallclock(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text != "Instant" && t.text != "SystemTime" {
+            continue;
+        }
+        let Some(c1) = next_code(tokens, i + 1) else {
+            continue;
+        };
+        let Some(c2) = next_code(tokens, c1 + 1) else {
+            continue;
+        };
+        let Some(m) = next_code(tokens, c2 + 1) else {
+            continue;
+        };
+        if tokens[c1].is_punct(':') && tokens[c2].is_punct(':') && tokens[m].is_ident("now") {
+            out.push(Finding::new(
+                t.line,
+                format!(
+                    "{}::now() outside a clock module; take time through stream::clock",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// A lock guard known to be live: the variable it is bound to (None for
+/// an unbound temporary that we still track until end of statement), the
+/// lock field it came from, and the brace depth it was bound at.
+struct Guard {
+    var: Option<String>,
+    lock: String,
+    depth: usize,
+}
+
+/// L5 `lock_order`: flags an acquisition of one lock while a guard from a
+/// *different* lock is held, unless the `held -> acquired` pair is vetted
+/// in the lock-order manifest.
+///
+/// Heuristics, tuned for this workspace:
+/// - Only `.read()`, `.write()`, and `.lock()` calls with *empty*
+///   argument lists count as acquisitions (this filters `io::Read::read`
+///   and `io::Write::write`, which always take a buffer).
+/// - The lock name is the field identifier before the final dot
+///   (`shared.state.read()` → `state`). Calls whose receiver ends in
+///   something other than an identifier (e.g. `f().lock()`) are skipped —
+///   name them through a let binding to bring them under the lint.
+/// - A `let g = <acq>` binding keeps the guard live until its brace scope
+///   closes or `drop(g)` is seen; an unbound acquisition is live only to
+///   the end of the statement (`;`).
+pub fn lock_order(tokens: &[Token], skip: &[bool], manifest: &Manifest) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            held.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            // Statement end: unbound temporaries die here.
+            held.retain(|g| g.var.is_some());
+            i += 1;
+            continue;
+        }
+        // drop(guard) releases.
+        if t.is_ident("drop") {
+            if let Some(p1) = next_code(tokens, i + 1) {
+                if tokens[p1].is_punct('(') {
+                    if let Some(a) = next_code(tokens, p1 + 1) {
+                        if tokens[a].kind == TokenKind::Ident {
+                            if let Some(close) = next_code(tokens, a + 1) {
+                                if tokens[close].is_punct(')') {
+                                    let name = tokens[a].text;
+                                    held.retain(|g| g.var.as_deref() != Some(name));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Acquisition: Ident(lock) . (read|write|lock) ( )
+        let is_acq_method = t.kind == TokenKind::Ident
+            && matches!(t.text, "read" | "write" | "lock")
+            && prev_code(tokens, i).is_some_and(|p| tokens[p].is_punct('.'));
+        if is_acq_method {
+            let open = next_code(tokens, i + 1);
+            let close = open.and_then(|o| next_code(tokens, o + 1));
+            let empty_call = matches!((open, close), (Some(o), Some(c))
+                if tokens[o].is_punct('(') && tokens[c].is_punct(')'));
+            if empty_call {
+                // Name the lock: identifier before the final dot.
+                let dot = prev_code(tokens, i).unwrap_or(0);
+                let recv = prev_code(tokens, dot);
+                if let Some(r) = recv {
+                    if tokens[r].kind == TokenKind::Ident && tokens[r].text != "self" {
+                        let lock = tokens[r].text.to_string();
+                        if !skip[i] {
+                            for g in &held {
+                                if g.lock != lock && !manifest.allows(&g.lock, &lock) {
+                                    out.push(Finding {
+                                        line: t.line,
+                                        message: format!(
+                                            "acquired lock `{lock}` while holding `{}`; \
+                                             vet the order in lock-order.manifest",
+                                            g.lock
+                                        ),
+                                        pair: Some((g.lock.clone(), lock.clone())),
+                                    });
+                                }
+                            }
+                        }
+                        // Bound to a let? Walk left over the receiver chain.
+                        let mut b = r;
+                        while let Some(p) = prev_code(tokens, b) {
+                            if tokens[p].is_punct('.') {
+                                if let Some(pp) = prev_code(tokens, p) {
+                                    if tokens[pp].kind == TokenKind::Ident {
+                                        b = pp;
+                                        continue;
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                        let var = prev_code(tokens, b).and_then(|eq| {
+                            if !tokens[eq].is_punct('=') {
+                                return None;
+                            }
+                            let v = prev_code(tokens, eq)?;
+                            if tokens[v].kind != TokenKind::Ident {
+                                return None;
+                            }
+                            let kw = prev_code(tokens, v)?;
+                            let is_let = tokens[kw].is_ident("let")
+                                || (tokens[kw].is_ident("mut")
+                                    && prev_code(tokens, kw)
+                                        .is_some_and(|k| tokens[k].is_ident("let")));
+                            is_let.then(|| tokens[v].text.to_string())
+                        });
+                        held.push(Guard { var, lock, depth });
+                        i = close.map(|c| c + 1).unwrap_or(i + 1);
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run<F>(src: &str, f: F) -> Vec<Finding>
+    where
+        F: Fn(&[Token], &[bool]) -> Vec<Finding>,
+    {
+        let toks = lex(src);
+        let skip = vec![false; toks.len()];
+        f(&toks, &skip)
+    }
+
+    #[test]
+    fn no_panic_catches_method_calls_only() {
+        let f = run(
+            "fn f() { x.unwrap(); let unwrap = 1; y.expect(\"m\"); }",
+            no_panic,
+        );
+        assert_eq!(f.len(), 2);
+        let f = run("fn f() { panic!(\"boom\"); todo!() }", no_panic);
+        assert_eq!(f.len(), 2);
+        // Words inside strings/comments never fire.
+        let f = run("// call .unwrap() here\nlet s = \".unwrap()\";", no_panic);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_or_inside() {
+        assert_eq!(run("fn f() { unsafe { g() } }", safety_comment).len(), 1);
+        // A SAFETY comment on the enclosing fn is not adjacent to the block.
+        assert_eq!(
+            run(
+                "// SAFETY: g is fine\nfn f() { unsafe { g() } }",
+                safety_comment
+            )
+            .len(),
+            1
+        );
+        assert!(run(
+            "fn f() {\n  // SAFETY: g is fine\n  unsafe { g() } }",
+            safety_comment
+        )
+        .is_empty());
+        // The statement form: comment above `let x = unsafe { ... }`.
+        assert!(run(
+            "fn f() {\n  // SAFETY: g is fine\n  let x = unsafe { g() };\n}",
+            safety_comment
+        )
+        .is_empty());
+        // ...but a SAFETY comment before the *previous* statement does
+        // not leak forward across the `;`.
+        assert_eq!(
+            run(
+                "fn f() {\n  // SAFETY: stale\n  let a = 1;\n  let x = unsafe { g() };\n}",
+                safety_comment
+            )
+            .len(),
+            1
+        );
+        assert!(run(
+            "fn f() { unsafe { // SAFETY: g is fine\n g() } }",
+            safety_comment
+        )
+        .is_empty());
+        // `unsafe fn` signature alone is not a block.
+        assert!(run("unsafe fn f() {}", safety_comment).is_empty());
+    }
+
+    #[test]
+    fn truncation_flags_int_casts() {
+        let f = run(
+            "let x = y as u32; let z = w as f64; use a as b;",
+            truncation,
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("u32"));
+    }
+
+    #[test]
+    fn wallclock_matches_path_calls() {
+        let f = run(
+            "let t = Instant::now(); let s = std::time::SystemTime::now();",
+            wallclock,
+        );
+        assert_eq!(f.len(), 2);
+        assert!(run("let d = Instant::elapsed(&t);", wallclock).is_empty());
+    }
+
+    fn run_l5(src: &str, manifest: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let skip = vec![false; toks.len()];
+        lock_order(&toks, &skip, &Manifest::parse(manifest))
+    }
+
+    #[test]
+    fn lock_order_flags_unvetted_nesting() {
+        let src = "fn f(s: &S) { let a = s.state.write(); let b = s.storage.lock(); }";
+        assert_eq!(run_l5(src, "").len(), 1);
+        assert!(run_l5(src, "state -> storage").is_empty());
+        // Reverse order is not vetted by the forward edge.
+        let rev = "fn f(s: &S) { let b = s.storage.lock(); let a = s.state.write(); }";
+        assert_eq!(run_l5(rev, "state -> storage").len(), 1);
+    }
+
+    #[test]
+    fn lock_order_scope_and_drop_release() {
+        let scoped = "fn f(s: &S) { { let a = s.state.write(); } let b = s.storage.lock(); }";
+        assert!(run_l5(scoped, "").is_empty());
+        let dropped = "fn f(s: &S) { let a = s.state.write(); drop(a); let b = s.storage.lock(); }";
+        assert!(run_l5(dropped, "").is_empty());
+    }
+
+    #[test]
+    fn lock_order_ignores_buffered_io_reads() {
+        let src = "fn f(r: &mut R, buf: &mut [u8]) { let g = s.state.read(); r.read(buf); }";
+        assert!(run_l5(src, "").is_empty());
+    }
+
+    #[test]
+    fn lock_order_temporary_dies_at_statement_end() {
+        let src = "fn f(s: &S) { s.state.read().len(); let b = s.storage.lock(); }";
+        assert!(run_l5(src, "").is_empty());
+        // ...but two temporaries in one statement do nest.
+        let nested = "fn f(s: &S) { g(s.state.read(), s.storage.lock()); }";
+        assert_eq!(run_l5(nested, "").len(), 1);
+    }
+}

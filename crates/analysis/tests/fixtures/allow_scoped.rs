@@ -1,0 +1,10 @@
+// Fixture: `lint:allow` is rule-scoped. The first unwrap is allowed for
+// no_panic and must not fire; the second carries an allow for a
+// *different* rule and must still fire.
+fn main() {
+    let v: Option<u32> = Some(1);
+    // lint:allow(no_panic) fixture exercises the escape hatch
+    let _ = v.unwrap();
+    // lint:allow(truncation) wrong rule: does not cover unwrap
+    let _ = v.unwrap();
+}

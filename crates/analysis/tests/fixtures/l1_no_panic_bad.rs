@@ -1,0 +1,8 @@
+// Fixture: L1 no_panic violations (deliberate).
+fn main() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+    let _ = v.expect("boom");
+    panic!("explicit panic");
+    todo!();
+}

@@ -1,0 +1,9 @@
+// Fixture: no L1 violations — typed error paths only.
+fn main() -> Result<(), String> {
+    let v: Option<u32> = Some(1);
+    let x = v.ok_or_else(|| "missing".to_string())?;
+    // Words like unwrap_or are not violations.
+    let _ = v.unwrap_or(0);
+    let _ = v.unwrap_or_else(|| x);
+    Ok(())
+}

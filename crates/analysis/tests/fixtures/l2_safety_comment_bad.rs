@@ -1,0 +1,6 @@
+// Fixture: L2 safety_comment violation — unsafe block with no SAFETY note.
+fn main() {
+    let bytes = [104u8, 105u8];
+    let s = unsafe { std::str::from_utf8_unchecked(&bytes) };
+    let _ = s;
+}

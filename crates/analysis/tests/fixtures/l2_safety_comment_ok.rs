@@ -1,0 +1,7 @@
+// Fixture: unsafe block properly documented.
+fn main() {
+    let bytes = [104u8, 105u8];
+    // SAFETY: `bytes` is ASCII by construction, hence valid UTF-8.
+    let s = unsafe { std::str::from_utf8_unchecked(&bytes) };
+    let _ = s;
+}

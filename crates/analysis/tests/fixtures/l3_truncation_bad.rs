@@ -1,0 +1,8 @@
+// Fixture: L3 truncation violations — silent `as` integer casts.
+fn main() {
+    let big: u64 = 5_000_000_000;
+    let a = big as u32;
+    let b = big as usize;
+    let c = -1i64 as u8;
+    let _ = (a, b, c);
+}

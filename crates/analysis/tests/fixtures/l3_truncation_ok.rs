@@ -1,0 +1,8 @@
+// Fixture: checked or infallible conversions instead of `as`.
+fn main() {
+    let big: u64 = 5_000_000_000;
+    let a = u32::try_from(big).unwrap_or(u32::MAX);
+    let b = usize::try_from(big).unwrap_or(usize::MAX);
+    let c = u64::from(a);
+    let _ = (a, b, c);
+}

@@ -1,0 +1,6 @@
+// Fixture: L4 wallclock violations — direct clock reads.
+fn main() {
+    let t = std::time::Instant::now();
+    let w = std::time::SystemTime::now();
+    let _ = (t, w);
+}

@@ -1,0 +1,14 @@
+// Fixture: time flows through the clock abstraction, not raw reads.
+struct Stopwatch;
+impl Stopwatch {
+    fn start() -> Self {
+        Stopwatch
+    }
+    fn elapsed_us(&self) -> u64 {
+        0
+    }
+}
+fn main() {
+    let sw = Stopwatch::start();
+    let _ = sw.elapsed_us();
+}

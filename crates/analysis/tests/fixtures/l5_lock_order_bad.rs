@@ -1,0 +1,12 @@
+// Fixture: L5 lock_order violation — nested acquisition not in the
+// manifest (`zebra -> aardvark` is deliberately unvetted).
+use std::sync::Mutex;
+
+fn main() {
+    let zebra = Mutex::new(1u32);
+    let aardvark = Mutex::new(2u32);
+    let g1 = zebra.lock();
+    let g2 = aardvark.lock();
+    drop(g2);
+    drop(g1);
+}

@@ -1,0 +1,12 @@
+// Fixture: no nested acquisition — the first guard is dropped before
+// the second lock is taken.
+use std::sync::Mutex;
+
+fn main() {
+    let zebra = Mutex::new(1u32);
+    let aardvark = Mutex::new(2u32);
+    let g1 = zebra.lock();
+    drop(g1);
+    let g2 = aardvark.lock();
+    drop(g2);
+}

@@ -1,0 +1,202 @@
+//! Integration tests for the lint engine and the `datacron-lint` binary.
+//!
+//! Each rule L1–L5 has a positive fixture (must fire) and a negative
+//! fixture (must stay silent) under `tests/fixtures/`; the workspace walk
+//! skips that directory, so the deliberate violations never gate CI.
+
+use datacron_analysis::{Engine, Manifest, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn crate_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn workspace_root() -> PathBuf {
+    crate_dir().join("../..")
+}
+
+fn manifest() -> Manifest {
+    Manifest::load(&crate_dir().join("lock-order.manifest")).expect("manifest readable")
+}
+
+fn lint_fixture(name: &str) -> Vec<datacron_analysis::Diagnostic> {
+    let engine = Engine::strict(manifest());
+    engine
+        .lint_file(&crate_dir().join("tests/fixtures"), name)
+        .expect("fixture readable")
+}
+
+fn rules_fired(name: &str) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = lint_fixture(name).into_iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule() {
+    for (fixture, rule) in [
+        ("l1_no_panic_bad.rs", Rule::NoPanic),
+        ("l2_safety_comment_bad.rs", Rule::SafetyComment),
+        ("l3_truncation_bad.rs", Rule::Truncation),
+        ("l4_wallclock_bad.rs", Rule::Wallclock),
+        ("l5_lock_order_bad.rs", Rule::LockOrder),
+    ] {
+        assert!(
+            rules_fired(fixture).contains(&rule),
+            "{fixture} must trigger {}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_stay_silent() {
+    for fixture in [
+        "l1_no_panic_ok.rs",
+        "l2_safety_comment_ok.rs",
+        "l3_truncation_ok.rs",
+        "l4_wallclock_ok.rs",
+        "l5_lock_order_ok.rs",
+    ] {
+        let diags = lint_fixture(fixture);
+        assert!(
+            diags.is_empty(),
+            "{fixture} must be clean, got: {}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+#[test]
+fn violation_counts_per_positive_fixture() {
+    // L1: unwrap + expect + panic! + todo! = 4 findings.
+    assert_eq!(lint_fixture("l1_no_panic_bad.rs").len(), 4);
+    // L3: three silent casts.
+    assert_eq!(lint_fixture("l3_truncation_bad.rs").len(), 3);
+    // L4: Instant::now + SystemTime::now.
+    assert_eq!(lint_fixture("l4_wallclock_bad.rs").len(), 2);
+}
+
+#[test]
+fn allow_suppresses_exactly_its_rule() {
+    let diags = lint_fixture("allow_scoped.rs");
+    // First unwrap carries lint:allow(no_panic) — silenced. Second
+    // carries lint:allow(truncation) — wrong rule, still fires.
+    assert_eq!(diags.len(), 1, "exactly the mismatched allow must fire");
+    assert_eq!(diags[0].rule, Rule::NoPanic);
+    assert_eq!(diags[0].line, 9);
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let diags = lint_fixture("l1_no_panic_bad.rs");
+    let first = &diags[0];
+    assert_eq!(first.path, "l1_no_panic_bad.rs");
+    assert_eq!(first.line, 4);
+    let shown = first.to_string();
+    assert!(
+        shown.starts_with("l1_no_panic_bad.rs:4: [no_panic]"),
+        "display format: {shown}"
+    );
+}
+
+#[test]
+fn lock_order_diagnostic_names_the_pair() {
+    let diags = lint_fixture("l5_lock_order_bad.rs");
+    let d = diags.iter().find(|d| d.rule == Rule::LockOrder).unwrap();
+    assert_eq!(
+        d.pair.as_ref().map(|(h, a)| (h.as_str(), a.as_str())),
+        Some(("zebra", "aardvark"))
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let engine = Engine::workspace(manifest());
+    let diags = engine
+        .lint_workspace(&workspace_root())
+        .expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "workspace must be lint-clean, got:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn run_lint(args: &[&str], cwd: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_datacron-lint"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let (code, text) = run_lint(&[], &workspace_root());
+    assert_eq!(code, 0, "clean workspace must exit 0:\n{text}");
+    assert!(text.contains("datacron-lint: clean"), "summary: {text}");
+}
+
+#[test]
+fn binary_exits_nonzero_with_located_diagnostics_on_fixtures() {
+    let fixtures = crate_dir().join("tests/fixtures");
+    for (fixture, rule, line) in [
+        ("l1_no_panic_bad.rs", "no_panic", 4),
+        ("l2_safety_comment_bad.rs", "safety_comment", 4),
+        ("l3_truncation_bad.rs", "truncation", 4),
+        ("l4_wallclock_bad.rs", "wallclock", 3),
+        ("l5_lock_order_bad.rs", "lock_order", 9),
+    ] {
+        let (code, text) = run_lint(&[fixture], &fixtures);
+        assert_eq!(code, 1, "{fixture} must exit 1:\n{text}");
+        let needle = format!("{fixture}:{line}: [{rule}]");
+        assert!(text.contains(&needle), "want `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn binary_fix_manifest_vets_the_reported_pair() {
+    let tmp = std::env::temp_dir().join(format!("lint-manifest-{}", std::process::id()));
+    std::fs::write(&tmp, "state -> storage\n").unwrap();
+    let fixtures = crate_dir().join("tests/fixtures");
+    let tmp_s = tmp.to_string_lossy().into_owned();
+
+    // Without --fix-manifest the unvetted pair fails the run…
+    let (code, _) = run_lint(&["--manifest", &tmp_s, "l5_lock_order_bad.rs"], &fixtures);
+    assert_eq!(code, 1);
+
+    // …with it, the pair is appended and the run passes.
+    let (code, text) = run_lint(
+        &[
+            "--manifest",
+            &tmp_s,
+            "--fix-manifest",
+            "l5_lock_order_bad.rs",
+        ],
+        &fixtures,
+    );
+    assert_eq!(code, 0, "fix-manifest run must pass:\n{text}");
+    let vetted = std::fs::read_to_string(&tmp).unwrap();
+    assert!(vetted.contains("zebra -> aardvark"), "manifest: {vetted}");
+
+    // The vetted manifest now passes without --fix-manifest too.
+    let (code, _) = run_lint(&["--manifest", &tmp_s, "l5_lock_order_bad.rs"], &fixtures);
+    assert_eq!(code, 0);
+    let _ = std::fs::remove_file(&tmp);
+}

@@ -4,6 +4,7 @@
 //! Criterion benches (timing) and the `report` binary (quality metrics)
 //! measure the same workloads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

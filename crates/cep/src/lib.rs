@@ -16,6 +16,7 @@
 //!   the probability that a partially-matched pattern completes within a
 //!   bounded number of steps (experiment E9).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -17,10 +17,12 @@
 //! [`run_threaded`] runs the same stages across OS threads on the
 //! `datacron-stream` runtime, demonstrating the sharded deployment.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod pipeline;
+pub mod sync;
 pub mod threaded;
 
 pub use datacron_transform::MapperState;
@@ -28,4 +30,5 @@ pub use pipeline::{
     IngestOutcome, Pipeline, PipelineConfig, PipelineMetrics, PipelineState, PolygonSpec,
     StageLatency,
 };
+pub use sync::{TrackedMutex, TrackedRwLock};
 pub use threaded::run_threaded;

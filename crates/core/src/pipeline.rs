@@ -7,11 +7,11 @@ use datacron_cep::{
 use datacron_geo::{BoundingBox, GeoPoint, Polygon};
 use datacron_model::{EventRecord, PositionReport};
 use datacron_rdf::{Graph, Triple};
+use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
 use datacron_synopses::{Cleanser, CriticalPointDetector, DeadReckoningCompressor, SynopsisConfig};
 use datacron_transform::{MapperState, RdfMapper};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// The pipeline's durable state, exported for persistence snapshots and
 /// restored on crash recovery.
@@ -245,25 +245,25 @@ impl Pipeline {
     /// Processes one observed report through every stage, returning the
     /// events recognised *now*.
     pub fn process(&mut self, report: &PositionReport) -> Vec<EventRecord> {
-        let t_start = Instant::now();
+        let t_start = Stopwatch::start();
         self.metrics.reports_in += 1;
 
         // Stage 1 — in-situ cleansing.
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let clean = self.cleanser.check(report);
-        self.metrics.lat_cleanse.record_since(t);
+        self.metrics.lat_cleanse.observe(&t);
         if !clean {
-            self.metrics.lat_total.record_since(t_start);
+            self.metrics.lat_total.observe(&t_start);
             return Vec::new();
         }
         self.metrics.reports_clean += 1;
 
         // Stage 2 — synopsis: compression decision + critical points.
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let kept = self.compressor.check(report);
         self.scratch_points.clear();
         self.synopsis.update(report, &mut self.scratch_points);
-        self.metrics.lat_synopsis.record_since(t);
+        self.metrics.lat_synopsis.observe(&t);
         self.metrics.critical_points += self.scratch_points.len() as u64;
         if kept {
             self.metrics.reports_kept += 1;
@@ -272,7 +272,7 @@ impl Pipeline {
         // Stage 3 — event recognition over the *full* cleansed stream (the
         // quality experiments compare against running it on the compressed
         // stream instead).
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut events: Vec<EventRecord> = Vec::new();
         events.extend(self.zones.update(report));
         if let Some(e) = self.loitering.update(report) {
@@ -291,12 +291,12 @@ impl Pipeline {
                 events.push(low);
             }
         }
-        self.metrics.lat_cep.record_since(t);
+        self.metrics.lat_cep.observe(&t);
         self.metrics.events += events.len() as u64;
 
         // Stage 4 — transformation to the common RDF representation.
         if self.config.enable_rdf {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             if kept {
                 let annotation = self.scratch_points.first().map(|cp| {
                     // Borrow a static tag for the annotation.
@@ -318,10 +318,10 @@ impl Pipeline {
                 }
             }
             self.metrics.triples = self.mapper.triples_emitted();
-            self.metrics.lat_rdf.record_since(t);
+            self.metrics.lat_rdf.observe(&t);
         }
 
-        self.metrics.lat_total.record_since(t_start);
+        self.metrics.lat_total.observe(&t_start);
         events
     }
 

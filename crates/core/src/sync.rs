@@ -1,0 +1,308 @@
+//! Lock wrappers with optional runtime lock-order tracking.
+//!
+//! [`TrackedRwLock`] and [`TrackedMutex`] wrap `parking_lot` primitives
+//! (no poisoning, so acquisition is infallible — no `unwrap` at every
+//! call site) and give every lock a *name*. In normal builds they are
+//! zero-cost wrappers. With the `tracked-locks` feature enabled, every
+//! acquisition records a `held -> acquired` edge in a global
+//! lock-order graph and **panics the moment an acquisition would close a
+//! cycle** — turning a potential deadlock (which would hang a test until
+//! a timeout, or a production server forever) into an immediate, located
+//! failure.
+//!
+//! The static half of this contract is lint rule L5 (`lock_order` in
+//! `datacron-analysis`), which checks lexically-nested acquisitions
+//! against `crates/analysis/lock-order.manifest`. The static lint sees
+//! nesting within one function; this tracker sees nesting across call
+//! chains and threads. The two share the same model: lock *names* form a
+//! partial order, and every observed edge must be consistent with it.
+
+use std::ops::{Deref, DerefMut};
+
+#[cfg(feature = "tracked-locks")]
+mod tracker {
+    use parking_lot::Mutex;
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::LazyLock;
+
+    /// Directed edges `held -> acquired` observed so far, process-wide.
+    static EDGES: LazyLock<Mutex<BTreeMap<&'static str, BTreeSet<&'static str>>>> =
+        LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+    thread_local! {
+        /// Names of locks this thread currently holds, in acquisition
+        /// order (duplicates possible for reader re-entry).
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// True when `to` is reachable from `from` in the edge graph.
+    fn reachable(
+        edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> bool {
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = edges.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Records that the current thread is acquiring `name`; panics if the
+    /// acquisition closes a cycle in the global lock-order graph. Returns
+    /// a token whose drop marks the release.
+    pub fn acquire(name: &'static str) -> Token {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if !held.is_empty() {
+                let mut edges = EDGES.lock();
+                for &prev in held.iter() {
+                    if prev == name {
+                        continue;
+                    }
+                    // Adding prev -> name: a path name ->* prev would
+                    // make the order cyclic, i.e. some interleaving can
+                    // deadlock.
+                    if reachable(&edges, name, prev) {
+                        // lint:allow(no_panic) the whole point of the tracker:
+                        // fail fast and loudly where the inversion happens.
+                        panic!(
+                            "lock-order cycle: acquiring `{name}` while holding `{prev}`, \
+                             but the reverse order `{name}` -> `{prev}` was already observed; \
+                             fix the acquisition order or vet it in lock-order.manifest"
+                        );
+                    }
+                    edges.entry(prev).or_default().insert(name);
+                }
+            }
+        });
+        HELD.with(|h| h.borrow_mut().push(name));
+        Token { name }
+    }
+
+    /// Held-lock marker; drop = release.
+    pub struct Token {
+        name: &'static str,
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&n| n == self.name) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Test hook: forgets every recorded edge. Only meaningful between
+    /// tests that must not see each other's orders.
+    pub fn reset_for_tests() {
+        EDGES.lock().clear();
+    }
+}
+
+/// Clears the recorded lock-order graph (no-op without `tracked-locks`).
+/// Test isolation hook; never call it on a live server.
+pub fn reset_lock_graph_for_tests() {
+    #[cfg(feature = "tracked-locks")]
+    tracker::reset_for_tests();
+}
+
+/// A named reader-writer lock; see the module docs.
+#[derive(Debug)]
+pub struct TrackedRwLock<T> {
+    name: &'static str,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Wraps `value` under lock name `name`. The name identifies the
+    /// lock in the lock-order manifest and in cycle reports, so two
+    /// locks that may nest must have distinct names.
+    pub fn new(name: &'static str, value: T) -> Self {
+        Self {
+            name,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// The lock's manifest name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> TrackedReadGuard<'_, T> {
+        TrackedReadGuard {
+            #[cfg(feature = "tracked-locks")]
+            token: tracker::acquire(self.name),
+            inner: self.inner.read(),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+        TrackedWriteGuard {
+            #[cfg(feature = "tracked-locks")]
+            token: tracker::acquire(self.name),
+            inner: self.inner.write(),
+        }
+    }
+}
+
+/// Shared guard from a [`TrackedRwLock`].
+pub struct TrackedReadGuard<'a, T> {
+    // Field order: the parking_lot guard releases the lock before the
+    // token drop removes the name from the held set, so a same-thread
+    // re-acquire never sees itself as a conflict.
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "tracked-locks")]
+    token: tracker::Token,
+}
+
+impl<T> Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard from a [`TrackedRwLock`].
+pub struct TrackedWriteGuard<'a, T> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "tracked-locks")]
+    token: tracker::Token,
+}
+
+impl<T> Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A named mutex; see the module docs.
+#[derive(Debug)]
+pub struct TrackedMutex<T> {
+    name: &'static str,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wraps `value` under lock name `name`.
+    pub fn new(name: &'static str, value: T) -> Self {
+        Self {
+            name,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// The lock's manifest name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the mutex.
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        TrackedMutexGuard {
+            #[cfg(feature = "tracked-locks")]
+            token: tracker::acquire(self.name),
+            inner: self.inner.lock(),
+        }
+    }
+}
+
+/// Guard from a [`TrackedMutex`].
+pub struct TrackedMutexGuard<'a, T> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(feature = "tracked-locks")]
+    token: tracker::Token,
+}
+
+impl<T> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = TrackedRwLock::new("t_state", 1u32);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.name(), "t_state");
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = TrackedMutex::new("t_storage", vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.lock().len(), 2);
+    }
+
+    #[test]
+    fn consistent_nesting_is_fine() {
+        let a = TrackedRwLock::new("t_a", ());
+        let b = TrackedMutex::new("t_b", ());
+        for _ in 0..3 {
+            let ga = a.write();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+    }
+
+    #[cfg(feature = "tracked-locks")]
+    #[test]
+    fn seeded_inversion_fires() {
+        // Its own lock names so parallel tests don't interleave edges.
+        let a = TrackedRwLock::new("t_inv_a", ());
+        let b = TrackedMutex::new("t_inv_b", ());
+        {
+            let ga = a.write();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        // The inverted order must panic.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let gb = b.lock();
+            let ga = a.write();
+            drop(ga);
+            drop(gb);
+        }));
+        let err = r.expect_err("inverted acquisition order must be detected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+    }
+}

@@ -238,8 +238,14 @@ mod tests {
     fn smoothed_speed_tracks_truth() {
         let (noisy, _) = noisy_track(120, 15.0, 9);
         let smoothed = KalmanSmoother::smooth_track(&noisy, 15.0, 0.05);
+        // The instantaneous estimate has a steady-state sd of ~0.25 m/s
+        // (measured over 40 seeds), so a single-point ±0.5 assertion fails
+        // for ~5% of seeds. Judge the converged mean instead (sd ~0.016).
+        let half = smoothed.len() / 2;
+        let mean_speed = smoothed[half..].iter().map(|p| p.speed_mps).sum::<f64>()
+            / (smoothed.len() - half) as f64;
+        assert!((mean_speed - 6.0).abs() < 0.2, "v = {mean_speed}");
         let last = smoothed.last().unwrap();
-        assert!((last.speed_mps - 6.0).abs() < 0.5, "v = {}", last.speed_mps);
         assert!(
             datacron_geo::units::heading_delta_deg(last.heading_deg, 90.0).abs() < 10.0,
             "heading = {}",

@@ -15,6 +15,7 @@
 //!   persistence with level-off), composed with any horizontal predictor;
 //! * [`evaluate`] — the horizon-sweep harness behind experiments E6/E7.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

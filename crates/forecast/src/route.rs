@@ -106,88 +106,11 @@ impl RouteModel {
         last.speed_mps.is_finite().then_some(last.speed_mps)
     }
 
-    /// Current heading estimate of a track.
-    fn track_heading(history: &[TrajPoint]) -> Option<f64> {
-        let last = history.last()?;
-        if history.len() >= 2 {
-            let prev = &history[history.len() - 2];
-            if prev.position().haversine_m(&last.position()) > 1.0 {
-                return Some(prev.position().bearing_deg(&last.position()));
-            }
-        }
-        last.heading_deg.is_finite().then_some(last.heading_deg)
-    }
-}
-
-impl Predictor for RouteModel {
-    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint> {
-        let last = history.last()?;
-        let horizon_s = (at - last.time) as f64 / 1000.0;
-        if horizon_s < 0.0 {
-            return None;
-        }
-        let speed = Self::track_speed(history)?;
-        let heading = Self::track_heading(history)?;
-        let cell = self.grid.cell_of_clamped(&last.position()).pack();
-        let hits = self.index.get(&cell)?;
-
-        // The track's recent distinct-cell suffix (up to 8 cells, newest
-        // last) — the online counterpart of the training cell sequences.
-        let mut suffix: Vec<u64> = Vec::with_capacity(8);
-        for p in history.iter().rev() {
-            let c = self.grid.cell_of_clamped(&p.position()).pack();
-            if suffix.last() != Some(&c) {
-                suffix.push(c);
-                if suffix.len() == 8 {
-                    break;
-                }
-            }
-        }
-        suffix.reverse();
-
-        // Candidate routes through this cell, compatible in direction.
-        // Rank by (1) how long a suffix of the track's cell sequence the
-        // route reproduces ending at `pos` — the vessel's recent path
-        // identifies its lane where lanes cross — then (2) direction
-        // agreement, then (3) support.
-        let mut best: Option<(&Route, usize, usize, f64, u32)> = None;
-        for &(ridx, pos) in hits {
-            let route = &self.routes[ridx as usize];
-            let pos = pos as usize;
-            if pos + 1 >= route.path.len() {
-                continue; // route ends here
-            }
-            let dir = route.path[pos].bearing_deg(&route.path[pos + 1]);
-            let delta = heading_delta_deg(dir, heading).abs();
-            if delta > 75.0 {
-                continue;
-            }
-            // Longest match between `suffix` (ending at the current cell)
-            // and the route cells ending at `pos`.
-            let mut matched = 0usize;
-            while matched < suffix.len()
-                && matched <= pos
-                && route.cells[pos - matched] == suffix[suffix.len() - 1 - matched]
-            {
-                matched += 1;
-            }
-            let better = match best {
-                None => true,
-                Some((_, _, m, d, s)) => {
-                    matched > m
-                        || (matched == m && delta + 5.0 < d)
-                        || (matched == m && (delta - d).abs() <= 5.0 && route.support > s)
-                }
-            };
-            if better {
-                best = Some((route, pos, matched, delta, route.support));
-            }
-        }
-        let (route, pos, _, _, _) = best?;
-
-        // Advance along the route polyline from the *actual* position.
-        let mut current = last.position();
-        let mut remaining = speed * horizon_s;
+    /// Advances `dist` metres along `route`'s polyline starting from the
+    /// actual position `from` matched at waypoint index `pos`.
+    fn advance(route: &Route, pos: usize, from: GeoPoint, dist: f64) -> GeoPoint {
+        let mut current = from;
+        let mut remaining = dist;
         let mut next = pos + 1;
         while remaining > 0.0 && next < route.path.len() {
             let target = route.path[next];
@@ -209,7 +132,144 @@ impl Predictor for RouteModel {
                 route.path[route.path.len() - 2].bearing_deg(&route.path[route.path.len() - 1]);
             current = current.destination(bearing, remaining);
         }
-        Some(current)
+        current
+    }
+
+    /// Current heading estimate of a track.
+    fn track_heading(history: &[TrajPoint]) -> Option<f64> {
+        let last = history.last()?;
+        if history.len() >= 2 {
+            let prev = &history[history.len() - 2];
+            if prev.position().haversine_m(&last.position()) > 1.0 {
+                return Some(prev.position().bearing_deg(&last.position()));
+            }
+        }
+        last.heading_deg.is_finite().then_some(last.heading_deg)
+    }
+}
+
+impl Predictor for RouteModel {
+    fn predict(&self, history: &[TrajPoint], at: TimeMs) -> Option<GeoPoint> {
+        let last = history.last()?;
+        let horizon_s = (at - last.time) as f64 / 1000.0;
+        if horizon_s < 0.0 {
+            return None;
+        }
+        let speed = Self::track_speed(history)?;
+        // A moored or drifting vessel is not traversing a route; its
+        // heading is noise and its departure time is unknowable from the
+        // track alone. Route forecasts only apply to vessels under way.
+        if speed < 0.5 {
+            return None;
+        }
+        let heading = Self::track_heading(history)?;
+        let cell = self.grid.cell_of_clamped(&last.position()).pack();
+        let hits = self.index.get(&cell)?;
+
+        // The track's recent distinct-cell suffix (up to 8 cells, newest
+        // last) — the online counterpart of the training cell sequences.
+        let mut suffix: Vec<u64> = Vec::with_capacity(8);
+        for p in history.iter().rev() {
+            let c = self.grid.cell_of_clamped(&p.position()).pack();
+            if suffix.last() != Some(&c) {
+                suffix.push(c);
+                if suffix.len() == 8 {
+                    break;
+                }
+            }
+        }
+        suffix.reverse();
+
+        // Candidate routes through this cell, compatible in direction.
+        // A candidate must reproduce at least `min_matched` trailing cells
+        // of the track. With only one distinct cell of history nothing more
+        // can be asked, but a track that has crossed cells must agree on
+        // the previous cell too — a crossing lane that merely shares the
+        // current cell (and passes the direction gate at an oblique angle)
+        // otherwise captures the track and predicts kilometres off
+        // cross-track.
+        let min_matched = suffix.len().min(2);
+        let mut cands: Vec<(&Route, usize, usize)> = Vec::new();
+        let mut best_matched = 0usize;
+        for &(ridx, pos) in hits {
+            let route = &self.routes[ridx as usize];
+            let pos = pos as usize;
+            if pos + 1 >= route.path.len() {
+                continue; // route ends here
+            }
+            let dir = route.path[pos].bearing_deg(&route.path[pos + 1]);
+            let delta = heading_delta_deg(dir, heading).abs();
+            if delta > 75.0 {
+                continue;
+            }
+            // Longest match between `suffix` (ending at the current cell)
+            // and the route cells ending at `pos`.
+            let mut matched = 0usize;
+            while matched < suffix.len()
+                && matched <= pos
+                && route.cells[pos - matched] == suffix[suffix.len() - 1 - matched]
+            {
+                matched += 1;
+            }
+            if matched < min_matched {
+                continue;
+            }
+            best_matched = best_matched.max(matched);
+            cands.push((route, pos, matched));
+        }
+        // Keep only routes that explain the track's recent path as well as
+        // the best one does; the vessel's history cannot tell them apart.
+        cands.retain(|&(_, _, m)| m == best_matched);
+        // Representative route for the consensus stretch: highest support.
+        cands.sort_by_key(|&(r, _, _)| std::cmp::Reverse(r.support));
+        let &(best_route, best_pos, _) = cands.first()?;
+
+        // Advance along every surviving candidate. Where they all share a
+        // corridor the endpoints agree and any of them is the prediction.
+        // Where they *branch* within the horizon the track's history
+        // cannot say which branch the vessel will take — committing to one
+        // risks the full cross-track divergence. Instead, follow the
+        // consensus corridor up to the branch point, then continue on the
+        // incoming bearing (dead-reckoning from the junction): no worse
+        // than dead reckoning where the network is ambiguous, and still
+        // ahead of it on every turn the candidates agree on.
+        let dist = speed * horizon_s;
+        let from = last.position();
+        let spread = |d: f64| -> f64 {
+            let pts: Vec<GeoPoint> = cands
+                .iter()
+                .map(|&(r, p, _)| Self::advance(r, p, from, d))
+                .collect();
+            let mut worst = 0.0f64;
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    worst = worst.max(pts[i].haversine_m(&pts[j]));
+                }
+            }
+            worst
+        };
+        const AGREE_M: f64 = 2_500.0;
+        if cands.len() == 1 || spread(dist) <= AGREE_M {
+            return Some(Self::advance(best_route, best_pos, from, dist));
+        }
+        // Binary-search the longest consensus distance.
+        let (mut lo, mut hi) = (0.0f64, dist);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            if spread(mid) <= AGREE_M {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let junction = Self::advance(best_route, best_pos, from, lo);
+        let approach = Self::advance(best_route, best_pos, from, (lo - 200.0).max(0.0));
+        let bearing = if approach.haversine_m(&junction) > 1.0 {
+            approach.bearing_deg(&junction)
+        } else {
+            heading
+        };
+        Some(junction.destination(bearing, dist - lo))
     }
 
     fn name(&self) -> &'static str {

@@ -62,6 +62,19 @@ impl Grid {
         })
     }
 
+    /// The infallible whole-earth fallback: 1° cells over
+    /// (-180, -90)..(180, 90). Callers that must produce *some* grid when
+    /// a configured extent turns out to be degenerate (empty region, NaN
+    /// cell size) fall back to this instead of panicking.
+    pub fn global() -> Self {
+        Self {
+            extent: BoundingBox::new(-180.0, -90.0, 180.0, 90.0),
+            cell_deg: 1.0,
+            cols: 360,
+            rows: 180,
+        }
+    }
+
     /// The grid's extent.
     pub fn extent(&self) -> &BoundingBox {
         &self.extent

@@ -20,6 +20,7 @@
 //! relevant to surveillance analytics (tens of metres) the difference from an
 //! ellipsoid is immaterial and the math stays transparent.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -41,7 +41,14 @@ pub fn evaluate_links(links: &[ScoredLink], truth: &GroundTruth) -> LinkScores {
         }
     }
     let fn_count = truth_set.len() - tp;
-    let (precision, recall, f1) = prf1(tp, fp, fn_count);
+    let (mut precision, recall, f1) = prf1(tp, fp, fn_count);
+    // `prf1` maps an empty denominator to 0.0 to avoid NaN, but for link
+    // discovery an empty claim set is *vacuously* precise: no claim is
+    // false. Without this, precision is not monotone at thresholds above
+    // the maximum achievable score.
+    if links.is_empty() {
+        precision = 1.0;
+    }
     LinkScores {
         tp,
         fp,

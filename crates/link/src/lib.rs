@@ -15,6 +15,7 @@
 //! * [`evaluate`] — precision/recall/F1 against the simulator's ground
 //!   truth (experiment E4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -6,6 +6,7 @@
 //! `datacron-transform`): moving-object identities, position reports,
 //! trajectories, recognised events and ground-truth labels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

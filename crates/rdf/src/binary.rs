@@ -106,19 +106,24 @@ pub fn from_binary(bytes: &[u8]) -> Result<Graph, BinError> {
     }
     let mut g = Graph::new();
     let n_terms = r.seq_len()?;
-    for expect in 0..n_terms {
+    // Compare ids in u32 (their native width) against a running counter
+    // instead of casting through usize.
+    let mut expect: u32 = 0;
+    for _ in 0..n_terms {
         let term = read_term(&mut r)?;
         let id = g.encode(&term);
-        if id.raw() as usize != expect {
+        if id.raw() != expect {
             return Err(BinError::msg(format!(
                 "duplicate dictionary term at id {expect}"
             )));
         }
+        expect = expect.wrapping_add(1);
     }
     let n_triples = r.seq_len()?;
     for _ in 0..n_triples {
         let (s, p, o) = (r.u32()?, r.u32()?, r.u32()?);
-        if [s, p, o].iter().any(|&id| id as usize >= n_terms) {
+        let n_terms_u64 = u64::try_from(n_terms).unwrap_or(u64::MAX);
+        if [s, p, o].iter().any(|&id| u64::from(id) >= n_terms_u64) {
             return Err(BinError::msg(format!(
                 "triple id out of range: ({s}, {p}, {o}) with {n_terms} terms"
             )));

@@ -1,0 +1,52 @@
+//! The crate's designated clock module.
+//!
+//! `datacron-rdf` sits below `datacron-stream` in the dependency graph,
+//! so it cannot use `stream::clock`; this minimal stopwatch is the one
+//! place in the crate that reads the wall clock (lint rule L4,
+//! `wallclock`). Query timing in [`crate::engine`] and
+//! [`crate::parallel`] goes through it.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic stopwatch, started at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed whole microseconds, saturating at `u64::MAX`.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_advances() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed_us() >= 1000);
+    }
+}

@@ -1,13 +1,14 @@
 //! BGP evaluation: greedy join ordering, index nested loops, filter
 //! pushdown into the spatiotemporal indexes.
 
+use crate::clock::Stopwatch;
 use crate::dict::TermId;
 use crate::query::{CmpOp, FilterExpr, PatternTerm, SelectQuery, TriplePattern};
 use crate::store::Graph;
 use crate::term::{Literal, Term};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::cmp::Ordering;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One result row: the projected terms in projection order.
 pub type Row = Vec<TermId>;
@@ -35,6 +36,8 @@ impl Bindings {
     /// Decodes a row into terms via `graph`.
     pub fn decode_row<'g>(&self, graph: &'g Graph, row: &Row) -> Vec<&'g Term> {
         row.iter()
+            // lint:allow(no_panic) ids in a Row were produced by this
+            // graph's dictionary; decode of one is infallible.
             .map(|id| graph.decode(*id).expect("id from this graph"))
             .collect()
     }
@@ -188,6 +191,7 @@ fn residual_ok(
         let Some(Some(id)) = var_idx.get(var).map(|&i| row[i]) else {
             return false;
         };
+        // lint:allow(no_panic) bound ids come from this graph's indexes.
         let term = graph.decode(id).expect("id from this graph");
         cmp_satisfies(*op, cmp_terms(term, value))
     })
@@ -199,7 +203,7 @@ fn residual_ok(
 /// callback), tail scans skipped when the tail is empty, and flat binding
 /// buffers reused across join steps (no per-row allocation).
 pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
-    let t_total = Instant::now();
+    let t_total = Stopwatch::start();
     let mut stats = QueryStats::default();
     let pro = match prologue(graph, q, &mut stats) {
         Ok(p) => p,
@@ -230,7 +234,7 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
         // predicate statistics for variables an earlier step has bound (a
         // bound var acts as a constant at probe time, so the predicate's
         // average degree predicts the per-probe fan-out).
-        let t_plan = Instant::now();
+        let t_plan = Stopwatch::start();
         let mut best: Option<(usize, f64)> = None;
         for (i, pat) in remaining.iter().enumerate() {
             let consts = |pt: &PatternTerm| resolve(pt, graph, &var_idx, &empty_row);
@@ -272,6 +276,8 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
                 best = Some((i, cost));
             }
         }
+        // lint:allow(no_panic) the loop guard ensures `remaining` is
+        // non-empty, and every pattern yields a candidate cost.
         let (chosen_idx, _) = best.expect("remaining non-empty");
         let pat = remaining.remove(chosen_idx);
         planning += t_plan.elapsed();
@@ -416,7 +422,7 @@ pub fn execute(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
 /// bit-identical results and benchmarked for planning cost — do not
 /// "optimise" this function.
 pub fn execute_reference(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStats) {
-    let t_total = Instant::now();
+    let t_total = Stopwatch::start();
     let mut stats = QueryStats::default();
     let pro = match prologue(graph, q, &mut stats) {
         Ok(p) => p,
@@ -439,7 +445,7 @@ pub fn execute_reference(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStat
         // Cost estimate: matches with constants only, discounted per
         // already-bound variable (a bound var acts as a constant at probe
         // time) and per candidate-restricted variable.
-        let t_plan = Instant::now();
+        let t_plan = Stopwatch::start();
         let empty_row = vec![None; all_vars.len()];
         let mut best: Option<(usize, f64)> = None;
         for (i, pat) in remaining.iter().enumerate() {
@@ -470,6 +476,8 @@ pub fn execute_reference(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStat
                 best = Some((i, cost));
             }
         }
+        // lint:allow(no_panic) the loop guard ensures `remaining` is
+        // non-empty, and every pattern yields a candidate cost.
         let (chosen_idx, _) = best.expect("remaining non-empty");
         let pat = remaining.remove(chosen_idx);
         planning += t_plan.elapsed();
@@ -535,6 +543,7 @@ pub fn execute_reference(graph: &Graph, q: &SelectQuery) -> (Bindings, QueryStat
                 let Some(Some(id)) = var_idx.get(var).map(|&i| row[i]) else {
                     return false;
                 };
+                // lint:allow(no_panic) bound ids come from this graph's indexes.
                 let term = graph.decode(id).expect("id from this graph");
                 cmp_satisfies(*op, cmp_terms(term, value))
             })

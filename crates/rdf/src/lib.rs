@@ -26,10 +26,12 @@
 //!   a whole graph (dictionary included), the formats the storage layer
 //!   snapshots and the durability tests round-trip.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod binary;
+pub mod clock;
 pub mod dict;
 pub mod engine;
 pub mod index;

@@ -62,9 +62,10 @@ impl PartitionedStore {
         for t in source.iter_triples() {
             let idx = partitioner.assign(&t, source);
             let (s, p, o) = (
+                // lint:allow(no_panic) ids came from `source.iter_triples`.
                 source.decode(t.s).expect("id from source"),
-                source.decode(t.p).expect("id from source"),
-                source.decode(t.o).expect("id from source"),
+                source.decode(t.p).expect("id from source"), // lint:allow(no_panic)
+                source.decode(t.o).expect("id from source"), // lint:allow(no_panic)
             );
             parts[idx].insert(s, p, o);
         }
@@ -94,9 +95,11 @@ impl PartitionedStore {
         for t in new {
             let idx = self.partitioner.assign(t, source);
             let (s, p, o) = (
+                // lint:allow(no_panic) callers pass triples encoded by
+                // `source`; see `ingest`'s contract.
                 source.decode(t.s).expect("id from source"),
-                source.decode(t.p).expect("id from source"),
-                source.decode(t.o).expect("id from source"),
+                source.decode(t.p).expect("id from source"), // lint:allow(no_panic)
+                source.decode(t.o).expect("id from source"), // lint:allow(no_panic)
             );
             self.parts[idx].insert(s, p, o);
             touched[idx] = true;
@@ -187,6 +190,8 @@ impl PartitionedStore {
                             .iter()
                             .map(|row| {
                                 row.iter()
+                                    // lint:allow(no_panic) ids are local
+                                    // to the partition that produced them.
                                     .map(|id| g.decode(*id).expect("local id").clone())
                                     .collect()
                             })
@@ -197,6 +202,8 @@ impl PartitionedStore {
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(no_panic) re-raise a worker panic on the
+                // caller thread rather than silently dropping results.
                 .map(|h| h.join().expect("partition worker panicked"))
                 .collect()
         });

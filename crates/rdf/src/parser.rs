@@ -201,7 +201,8 @@ impl<'a> Lexer<'a> {
                     }
                     i += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..i]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..i])
+                    .map_err(|_| self.err("non-utf8 number".to_string()))?;
                 let v: f64 = text
                     .parse()
                     .map_err(|_| self.err(format!("bad number '{text}'")))?;

@@ -90,7 +90,7 @@ impl SpatialGridPartitioner {
         assert!(n > 0);
         Self {
             n,
-            grid: Grid::new(extent, cell_deg).expect("valid grid"),
+            grid: Grid::new(extent, cell_deg).unwrap_or_else(Grid::global),
             homes: FxHashMap::default(),
         }
     }

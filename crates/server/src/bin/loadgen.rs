@@ -13,12 +13,13 @@
 //! With `--sweep`, one line per target rate prints the requests/s vs
 //! p50/p99 curve.
 
+use datacron_core::sync::TrackedMutex;
 use datacron_server::json::Json;
 use datacron_stream::LatencyHistogram;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -123,7 +124,8 @@ fn run_connection(
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
-    let inflight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let inflight: Arc<TrackedMutex<HashMap<u64, Instant>>> =
+        Arc::new(TrackedMutex::new("inflight", HashMap::new()));
     let stop = Arc::new(AtomicBool::new(false));
 
     // Reader: match response ids back to send timestamps until the writer
@@ -146,9 +148,7 @@ fn run_connection(
                         continue;
                     };
                     let id = resp.get("id").and_then(Json::as_u64);
-                    if let Some(start) =
-                        id.and_then(|id| reader_inflight.lock().unwrap().remove(&id))
-                    {
+                    if let Some(start) = id.and_then(|id| reader_inflight.lock().remove(&id)) {
                         reader_stats.latency.record_since(start);
                     }
                     if resp.get("ok").and_then(Json::as_bool) == Some(true) {
@@ -167,9 +167,7 @@ fn run_connection(
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if reader_stop.load(Ordering::SeqCst)
-                        && reader_inflight.lock().unwrap().is_empty()
-                    {
+                    if reader_stop.load(Ordering::SeqCst) && reader_inflight.lock().is_empty() {
                         break;
                     }
                 }
@@ -196,9 +194,9 @@ fn run_connection(
         let mut line = String::new();
         req.write(&mut line);
         line.push('\n');
-        inflight.lock().unwrap().insert(id, Instant::now());
+        inflight.lock().insert(id, Instant::now());
         if std::io::Write::write_all(&mut writer, line.as_bytes()).is_err() {
-            inflight.lock().unwrap().remove(&id);
+            inflight.lock().remove(&id);
             stats.errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
@@ -207,10 +205,10 @@ fn run_connection(
     }
     // Give stragglers up to 2 s, then let the reader exit on its timeout.
     let drain_deadline = Instant::now() + Duration::from_secs(2);
-    while Instant::now() < drain_deadline && !inflight.lock().unwrap().is_empty() {
+    while Instant::now() < drain_deadline && !inflight.lock().is_empty() {
         thread::sleep(Duration::from_millis(5));
     }
-    inflight.lock().unwrap().clear();
+    inflight.lock().clear();
     stop.store(true, Ordering::SeqCst);
     let _ = reader.join();
     Ok(())

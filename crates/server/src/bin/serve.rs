@@ -46,11 +46,20 @@ extern "C" fn on_signal(_sig: i32) {
 /// Installs `on_signal` for SIGINT and SIGTERM via the libc `signal`
 /// symbol std already links — no signal-handling crate in the tree.
 fn install_signal_handlers() {
+    // SAFETY: the declaration must match the C symbol. `signal` from the
+    // C runtime std already links takes `(int, void (*)(int))` and
+    // returns the previous handler as a pointer-sized value; the
+    // argument/return types here are ABI-compatible with that signature
+    // on every Linux/macOS target the server supports.
     unsafe extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` is async-signal-safe — it only stores to an
+    // atomic (see its comment); installing it cannot race with anything
+    // because it happens once, before the server threads start. The
+    // returned previous-handler value is deliberately ignored.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);

@@ -24,8 +24,18 @@ const NAV_STATUSES: [NavStatus; 6] = [
     NavStatus::Unknown,
 ];
 
+/// Wire tag for a nav status; the match is exhaustive, so adding a
+/// variant forces a decision about its encoding (and `NAV_STATUSES`
+/// keeps decode in sync — see `nav_tags_round_trip`).
 fn nav_index(n: NavStatus) -> u8 {
-    NAV_STATUSES.iter().position(|&x| x == n).unwrap_or(5) as u8
+    match n {
+        NavStatus::UnderWay => 0,
+        NavStatus::AtAnchor => 1,
+        NavStatus::Moored => 2,
+        NavStatus::Fishing => 3,
+        NavStatus::Restricted => 4,
+        NavStatus::Unknown => 5,
+    }
 }
 
 const EVENT_KINDS: [EventKind; 19] = [
@@ -50,11 +60,31 @@ const EVENT_KINDS: [EventKind; 19] = [
     EventKind::SeparationRisk,
 ];
 
+/// Wire tag for an event kind; exhaustive for the same reason as
+/// [`nav_index`], and checked against `EVENT_KINDS` by
+/// `kind_tags_round_trip`.
 fn kind_index(k: EventKind) -> u32 {
-    EVENT_KINDS
-        .iter()
-        .position(|&x| x == k)
-        .expect("every kind listed") as u32
+    match k {
+        EventKind::StopStart => 0,
+        EventKind::StopEnd => 1,
+        EventKind::TurningPoint => 2,
+        EventKind::SpeedChange => 3,
+        EventKind::GapStart => 4,
+        EventKind::GapEnd => 5,
+        EventKind::Takeoff => 6,
+        EventKind::Landing => 7,
+        EventKind::LevelFlight => 8,
+        EventKind::ZoneEntry => 9,
+        EventKind::ZoneExit => 10,
+        EventKind::Loitering => 11,
+        EventKind::Rendezvous => 12,
+        EventKind::DarkActivity => 13,
+        EventKind::Drifting => 14,
+        EventKind::CollisionRisk => 15,
+        EventKind::HoldingPattern => 16,
+        EventKind::SectorHotspot => 17,
+        EventKind::SeparationRisk => 18,
+    }
 }
 
 pub(crate) fn write_report(w: &mut Writer, r: &PositionReport) {
@@ -82,7 +112,7 @@ pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<PositionReport, BinError
         vrate_mps: r.f64()?,
         source: SourceId(r.u16()?),
         nav_status: {
-            let idx = r.u8()? as usize;
+            let idx = usize::from(r.u8()?);
             *NAV_STATUSES
                 .get(idx)
                 .ok_or_else(|| BinError::msg(format!("bad nav status {idx}")))?
@@ -139,7 +169,7 @@ pub(crate) fn write_event(w: &mut Writer, e: &EventRecord) {
 }
 
 pub(crate) fn read_event(r: &mut Reader<'_>) -> Result<EventRecord, BinError> {
-    let idx = r.variant()? as usize;
+    let idx = usize::try_from(r.variant()?).unwrap_or(usize::MAX);
     let kind = *EVENT_KINDS
         .get(idx)
         .ok_or_else(|| BinError::msg(format!("bad event kind {idx}")))?;
@@ -175,6 +205,21 @@ pub(crate) fn read_event(r: &mut Reader<'_>) -> Result<EventRecord, BinError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nav_tags_round_trip() {
+        // The exhaustive encode match and the decode table agree.
+        for (i, &n) in NAV_STATUSES.iter().enumerate() {
+            assert_eq!(usize::from(nav_index(n)), i, "{n:?}");
+        }
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for (i, &k) in EVENT_KINDS.iter().enumerate() {
+            assert_eq!(kind_index(k) as usize, i, "{k:?}");
+        }
+    }
 
     fn sample_reports() -> Vec<PositionReport> {
         vec![

@@ -247,9 +247,11 @@ fn write_num(n: f64, out: &mut String) {
         // JSON has no NaN/Inf; null is the conventional downgrade.
         out.push_str("null");
     } else if n.fract() == 0.0 && n.abs() <= 9e15 {
-        fmt::write(out, format_args!("{}", n as i64)).unwrap();
+        // Writing into a String cannot fail; ignore the Result rather
+        // than introduce a panic path into response rendering.
+        let _ = fmt::write(out, format_args!("{}", n as i64));
     } else {
-        fmt::write(out, format_args!("{n}")).unwrap();
+        let _ = fmt::write(out, format_args!("{n}"));
     }
 }
 
@@ -262,7 +264,9 @@ pub(crate) fn write_str(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => fmt::write(out, format_args!("\\u{:04x}", c as u32)).unwrap(),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
             c => out.push(c),
         }
     }
@@ -432,11 +436,23 @@ impl<'a> Parser<'a> {
                 }
                 Some(b) if b < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so this is safe
-                    // to do bytewise by finding the char boundary).
+                    // Copy one UTF-8 scalar bytewise by finding the char
+                    // boundary.
                     let start = self.pos;
+                    debug_assert!(
+                        std::str::from_utf8(&self.bytes[start..]).is_ok(),
+                        "parser position left a UTF-8 char boundary"
+                    );
+                    // SAFETY: `bytes` is the byte view of the `&str` the
+                    // parser was constructed from, and `pos` only ever
+                    // advances by whole scalars (ASCII matches above,
+                    // `len_utf8` here), so the suffix at `start` is valid
+                    // UTF-8. The debug_assert re-checks this in test
+                    // builds.
                     let s = unsafe { std::str::from_utf8_unchecked(&self.bytes[start..]) };
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("truncated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -135,9 +135,20 @@ impl Request {
         "ingest", "sparql", "heatmap", "flows", "hotspots", "events", "stats", "sleep",
     ];
 
-    /// Index of this request's tag within [`Request::TAGS`].
+    /// Index of this request's tag within [`Request::TAGS`]. Exhaustive
+    /// so a new request variant cannot compile without a metrics slot;
+    /// `tags_match_indices` checks it against the table.
     pub fn index(&self) -> usize {
-        Self::TAGS.iter().position(|t| *t == self.tag()).unwrap()
+        match self {
+            Request::Ingest { .. } => 0,
+            Request::Sparql { .. } => 1,
+            Request::Heatmap { .. } => 2,
+            Request::Flows { .. } => 3,
+            Request::Hotspots { .. } => 4,
+            Request::Events { .. } => 5,
+            Request::Stats => 6,
+            Request::Sleep { .. } => 7,
+        }
     }
 }
 
@@ -351,6 +362,31 @@ pub fn error_response(id: &Json, code: ErrorCode, msg: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tags_match_indices() {
+        let all = [
+            Request::Ingest {
+                reports: Vec::new(),
+            },
+            Request::Sparql {
+                query: String::new(),
+                limit: 1,
+            },
+            Request::Heatmap { top_k: 1 },
+            Request::Flows { top_k: 1 },
+            Request::Hotspots { top_k: 1 },
+            Request::Events {
+                limit: 1,
+                kind: None,
+            },
+            Request::Stats,
+            Request::Sleep { ms: 0 },
+        ];
+        for r in &all {
+            assert_eq!(Request::TAGS[r.index()], r.tag());
+        }
+    }
 
     #[test]
     fn parses_every_request_type() {

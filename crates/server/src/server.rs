@@ -15,17 +15,19 @@ use crate::protocol::{
 };
 use crate::state::AnalyticsState;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use datacron_core::sync::{TrackedMutex, TrackedRwLock};
 use datacron_core::PipelineConfig;
 use datacron_geo::BoundingBox;
 use datacron_storage::{Storage, StorageConfig};
+use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -155,10 +157,10 @@ pub struct ServerHandle {
     /// Server-side counters and latency histograms.
     pub metrics: Arc<ServerMetrics>,
     /// The shared analytics state (exposed for in-process embedding).
-    pub state: Arc<RwLock<AnalyticsState>>,
+    pub state: Arc<TrackedRwLock<AnalyticsState>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
-    storage: Option<Arc<Mutex<Storage>>>,
+    storage: Option<Arc<TrackedMutex<Storage>>>,
 }
 
 impl ServerHandle {
@@ -169,8 +171,8 @@ impl ServerHandle {
     pub fn shutdown(mut self) {
         self.stop_threads();
         if let Some(storage) = &self.storage {
-            let state = self.state.read().expect("state lock");
-            let mut storage = storage.lock().expect("storage lock");
+            let state = self.state.read();
+            let mut storage = storage.lock();
             if let Err(e) = storage.sync() {
                 eprintln!("datacron-server: shutdown WAL sync failed: {e}");
             }
@@ -199,15 +201,15 @@ impl ServerHandle {
 }
 
 struct Shared {
-    state: Arc<RwLock<AnalyticsState>>,
+    state: Arc<TrackedRwLock<AnalyticsState>>,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     queue: Receiver<TcpStream>,
     cfg: ServerConfig,
     /// Lock order: state write lock first, then storage — both ingest
     /// and shutdown follow it, so they can never deadlock.
-    storage: Option<Arc<Mutex<Storage>>>,
-    started: Instant,
+    storage: Option<Arc<TrackedMutex<Storage>>>,
+    started: Stopwatch,
 }
 
 /// Binds, spawns the acceptor and worker pool, and returns immediately.
@@ -217,7 +219,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let (storage, recovered) = match &cfg.data_dir {
         Some(dir) => {
             let (storage, state) = recover(dir, &cfg)?;
-            (Some(Arc::new(Mutex::new(storage))), state)
+            (Some(Arc::new(TrackedMutex::new("storage", storage))), state)
         }
         None => (
             None,
@@ -229,7 +231,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
             ),
         ),
     };
-    let state = Arc::new(RwLock::new(recovered));
+    let state = Arc::new(TrackedRwLock::new("state", recovered));
     let metrics = Arc::new(ServerMetrics::new());
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_capacity.max(1));
@@ -241,7 +243,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         queue: rx,
         cfg,
         storage: storage.clone(),
-        started: Instant::now(),
+        started: Stopwatch::start(),
     });
 
     let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
@@ -462,12 +464,12 @@ fn serve_connection(conn: TcpStream, shared: &Shared) -> io::Result<()> {
 }
 
 fn handle_line(line: &str, shared: &Shared) -> String {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     match parse_request(line) {
         Ok(env) => {
             let idx = env.req.index();
             let (resp, ok) = dispatch(&env, shared);
-            shared.metrics.latency[idx].record_since(start);
+            shared.metrics.latency[idx].observe(&start);
             let counter = if ok {
                 &shared.metrics.requests_ok
             } else {
@@ -492,7 +494,7 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
     let id = &env.id;
     let result: Result<Vec<(String, Json)>, ProtocolError> = match &env.req {
         Request::Ingest { reports } => {
-            let mut state = shared.state.write().expect("state lock");
+            let mut state = shared.state.write();
             ingest_durable(&mut state, reports, shared).map(|out| {
                 vec![
                     ("accepted".into(), Json::from(out.accepted)),
@@ -506,31 +508,22 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
         Request::Sparql { query, limit } => shared
             .state
             .read()
-            .expect("state lock")
             .sparql(query, *limit)
             .map(|j| vec![("result".into(), j)]),
-        Request::Heatmap { top_k } => Ok(vec![(
-            "result".into(),
-            shared.state.read().expect("state lock").heatmap(*top_k),
-        )]),
-        Request::Flows { top_k } => Ok(vec![(
-            "result".into(),
-            shared.state.read().expect("state lock").flows(*top_k),
-        )]),
+        Request::Heatmap { top_k } => {
+            Ok(vec![("result".into(), shared.state.read().heatmap(*top_k))])
+        }
+        Request::Flows { top_k } => Ok(vec![("result".into(), shared.state.read().flows(*top_k))]),
         Request::Hotspots { top_k } => Ok(vec![(
             "result".into(),
-            shared.state.read().expect("state lock").hotspots(*top_k),
+            shared.state.read().hotspots(*top_k),
         )]),
         Request::Events { limit, kind } => Ok(vec![(
             "result".into(),
-            shared
-                .state
-                .read()
-                .expect("state lock")
-                .events(*limit, kind.as_deref()),
+            shared.state.read().events(*limit, kind.as_deref()),
         )]),
         Request::Stats => {
-            let pipeline = shared.state.read().expect("state lock").pipeline_stats();
+            let pipeline = shared.state.read().pipeline_stats();
             let server = shared.metrics.to_json(
                 shared.queue.len(),
                 shared.cfg.queue_capacity,
@@ -539,13 +532,13 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
             let mut fields = vec![
                 (
                     "uptime_ms".to_string(),
-                    Json::from(shared.started.elapsed().as_millis() as u64),
+                    Json::from(shared.started.elapsed_ms()),
                 ),
                 ("server".to_string(), server),
                 ("pipeline".to_string(), pipeline),
             ];
             if let Some(storage) = &shared.storage {
-                let s = storage.lock().expect("storage lock").stats();
+                let s = storage.lock().stats();
                 fields.push((
                     "storage".to_string(),
                     Json::obj()
@@ -587,7 +580,7 @@ fn ingest_durable(
         return Ok(state.ingest(reports));
     };
     let payload = codec::encode_batch(reports);
-    let mut storage = storage.lock().expect("storage lock");
+    let mut storage = storage.lock();
     storage
         .append(&payload)
         .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?;

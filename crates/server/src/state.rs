@@ -23,14 +23,9 @@ const SNAPSHOT_VERSION: u32 = 1;
 /// The heat grid over the pipeline region, falling back to a 1° global
 /// grid when the region is degenerate.
 fn heat_grid(cfg: &PipelineConfig, heat_cell_deg: f64) -> Grid {
-    Grid::new(cfg.region, heat_cell_deg)
-        .or_else(|| {
-            Grid::new(
-                datacron_geo::BoundingBox::new(-180.0, -90.0, 180.0, 90.0),
-                1.0,
-            )
-        })
-        .expect("global fallback grid is valid")
+    // A degenerate configured region falls back to the whole-earth grid
+    // rather than panicking the server at construction time.
+    Grid::new(cfg.region, heat_cell_deg).unwrap_or_else(Grid::global)
 }
 
 /// The pipeline plus everything the query handlers read.

@@ -20,6 +20,7 @@
 //!
 //! Everything is seeded; the same config always yields identical data.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -111,17 +111,20 @@ impl Writer {
 
     /// `bool` as one byte.
     pub fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
+        self.u8(u8::from(v));
     }
 
     /// `usize` travels as `u64` so the format is identical across targets.
     pub fn usize(&mut self, v: usize) {
+        // lint:allow(truncation) usize is at most 64 bits on every
+        // supported target, so this widens; it is the one sanctioned
+        // usize->u64 conversion in the format layer.
         self.u64(v as u64);
     }
 
     /// Length-prefixed raw bytes.
     pub fn bytes(&mut self, v: &[u8]) {
-        self.u64(v.len() as u64);
+        self.usize(v.len());
         self.buf.extend_from_slice(v);
     }
 
@@ -132,12 +135,12 @@ impl Writer {
 
     /// Sequence element count; the caller then encodes each element.
     pub fn seq_len(&mut self, n: usize) {
-        self.u64(n as u64);
+        self.usize(n);
     }
 
     /// Option tag; the caller encodes the value after a `true` tag.
     pub fn opt_tag(&mut self, present: bool) {
-        self.u8(present as u8);
+        self.u8(u8::from(present));
     }
 
     /// Enum variant index.
@@ -199,24 +202,34 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Exactly `N` bytes as a fixed array (for the `from_le_bytes`
+    /// decoders below; the copy cannot fail once `take` has bounds-checked
+    /// the read).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
     /// `u16`, little-endian.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// `u32`, little-endian.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// `u64`, little-endian.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// `i64`, little-endian.
     pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// `f64` by IEEE-754 bit pattern.
@@ -394,4 +407,15 @@ mod tests {
     fn empty_input_finishes_clean() {
         Reader::new(&[]).finish().unwrap();
     }
+}
+
+/// Copies the `N` bytes at `off` out of a header buffer, for the
+/// `from_le_bytes` decoders in `wal` and `snapshot`. Offsets and widths
+/// are compile-time constants at every call site, inside fixed-size
+/// headers that were filled by `read_exact`, so the slice arithmetic
+/// cannot go out of bounds at runtime.
+pub(crate) fn field<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[off..off + N]);
+    out
 }

@@ -12,6 +12,8 @@ const fn make_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint:allow(truncation) i < 256, so the cast to u32 widens;
+        // const fns cannot use TryFrom.
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -51,7 +53,10 @@ impl Crc32 {
     pub fn update(&mut self, data: &[u8]) {
         let mut crc = self.state;
         for &b in data {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+            let idx = (crc ^ u32::from(b)) & 0xFF;
+            // lint:allow(truncation) idx is masked to 0..=255, so the
+            // cast to usize is exact on every target.
+            crc = (crc >> 8) ^ TABLE[idx as usize];
         }
         self.state = crc;
     }

@@ -24,6 +24,7 @@
 //! query-visible state; a snapshot also retires fully-covered WAL
 //! segments, bounding disk use.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -224,6 +225,8 @@ pub mod test_util {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let path =
                 std::env::temp_dir().join(format!("datacron-{tag}-{}-{n}", std::process::id()));
+            // lint:allow(no_panic) test-support only: integration suites
+            // cannot proceed without a scratch directory.
             std::fs::create_dir_all(&path).expect("create temp dir");
             Self { path }
         }

@@ -16,6 +16,7 @@
 //! previous snapshot intact; a bit-flipped snapshot fails its CRC at load
 //! and the store silently falls back to the next-newest one.
 
+use crate::binser;
 use crate::crc::crc32;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -104,18 +105,18 @@ impl SnapshotStore {
         if &header[0..4] != MAGIC {
             return Err(bad("bad snapshot magic".into()));
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let version = u32::from_le_bytes(binser::field(&header, 4));
         if version != VERSION {
             return Err(bad(format!("unsupported snapshot version {version}")));
         }
-        let stored_seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let stored_seq = u64::from_le_bytes(binser::field(&header, 8));
         if stored_seq != wal_seq {
             return Err(bad(format!(
                 "snapshot seq mismatch: file says {stored_seq}, name says {wal_seq}"
             )));
         }
-        let len = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        let len = u64::from_le_bytes(binser::field(&header, 16));
+        let crc = u32::from_le_bytes(binser::field(&header, 24));
         let mut payload = Vec::new();
         f.read_to_end(&mut payload)?;
         if payload.len() as u64 != len {

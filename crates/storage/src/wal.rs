@@ -33,12 +33,13 @@
 //! how far it got — it never panics and never returns bytes that did not
 //! pass verification.
 
+use crate::binser;
 use crate::crc::Crc32;
+use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Record header bytes: `len` + `crc` + `seq`.
 pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8;
@@ -176,9 +177,9 @@ fn read_record(reader: &mut impl Read) -> io::Result<RecordOutcome> {
         }
         _ => {}
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(binser::field(&header, 0));
+    let crc = u32::from_le_bytes(binser::field(&header, 4));
+    let seq = u64::from_le_bytes(binser::field(&header, 8));
     if len > MAX_RECORD_BYTES {
         return Ok(Err(format!(
             "record length {len} exceeds the {MAX_RECORD_BYTES}-byte cap"
@@ -234,6 +235,8 @@ impl Wal {
 
         // Scan the newest segment: find the end of its last valid record,
         // truncate anything after it, and learn the next sequence number.
+        // lint:allow(no_panic) a segment was pushed just above when the
+        // directory scan found none, so the list is never empty here.
         let last = segments.last().expect("at least one segment");
         let mut file = OpenOptions::new()
             .create(true)
@@ -368,9 +371,9 @@ impl Wal {
 
     /// Flushes and fsyncs the active segment now, regardless of policy.
     pub fn sync(&mut self) -> io::Result<()> {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         self.active.sync_data()?;
-        self.fsync_lat.record_since(t);
+        self.fsync_lat.observe(&t);
         self.unsynced = 0;
         Ok(())
     }

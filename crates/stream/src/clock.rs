@@ -1,0 +1,117 @@
+//! The designated clock module: the one place (together with
+//! `metrics.rs` and `rdf::clock`) where the workspace reads the wall
+//! clock.
+//!
+//! Everything else measures elapsed time through [`Stopwatch`] and
+//! expresses timeouts through [`Deadline`]. Funnelling `Instant::now()`
+//! through a single module keeps timing behaviour auditable (lint rule
+//! L4, `wallclock`) and gives a later simulated-clock backend exactly
+//! one seam to replace.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic stopwatch, started at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start (or the last [`Self::restart`]).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed whole microseconds, saturating at `u64::MAX`.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed whole milliseconds, saturating at `u64::MAX`.
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed seconds as a float (for rate computations).
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts the stopwatch and returns the lap time.
+    pub fn restart(&mut self) -> Duration {
+        let lap = self.started.elapsed();
+        self.started = Instant::now();
+        lap
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// A point in the future against which timeouts are checked.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Self {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// True once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left until the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_advances() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+        assert!(sw.elapsed_us() >= 1000);
+    }
+
+    #[test]
+    fn restart_returns_lap() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let lap = sw.restart();
+        assert!(lap >= Duration::from_millis(1));
+        assert!(sw.elapsed() < lap);
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3000));
+    }
+}

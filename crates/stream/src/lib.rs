@@ -17,9 +17,11 @@
 //! * **metrics** — throughput counters and latency histograms used by the
 //!   latency experiments ([`metrics`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod clock;
 pub mod message;
 pub mod metrics;
 pub mod operator;
@@ -27,6 +29,7 @@ pub mod runtime;
 pub mod watermark;
 pub mod window;
 
+pub use clock::{Deadline, Stopwatch};
 pub use message::{Message, Record};
 pub use metrics::{LatencyHistogram, Throughput};
 pub use operator::{Chain, FilterOp, FlatMapOp, KeyedProcessOp, MapOp, Operator};

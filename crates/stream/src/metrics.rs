@@ -116,6 +116,13 @@ impl LatencyHistogram {
         self.record_us(start.elapsed().as_micros() as u64);
     }
 
+    /// Records the elapsed time on a [`crate::clock::Stopwatch`]. This is
+    /// the form lint-clean code uses: the stopwatch is the only sanctioned
+    /// way to hold a start time outside the clock modules.
+    pub fn observe(&self, sw: &crate::clock::Stopwatch) {
+        self.record_us(sw.elapsed_us());
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.inner.lock().count

@@ -21,6 +21,7 @@
 //! Everything is available both as plain functions over slices (batch) and
 //! as [`datacron_stream::Operator`]s (streaming).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

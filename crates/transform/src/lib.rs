@@ -14,6 +14,7 @@
 //!   synopses (critical points) and recognised events become triples in a
 //!   [`datacron_rdf::Graph`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

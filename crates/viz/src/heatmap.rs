@@ -186,7 +186,15 @@ impl DensityGrid {
         let mut out = vec![vec![0.0; cols]; rows];
         for (&c, &w) in &self.cells {
             let cell = CellId::unpack(c);
-            out[cell.y as usize][cell.x as usize] = w;
+            // Keys come from this grid in normal operation, but state can
+            // be rebuilt from untrusted exports — drop foreign cells
+            // instead of indexing out of bounds.
+            if let Some(slot) = out
+                .get_mut(cell.y as usize)
+                .and_then(|row| row.get_mut(cell.x as usize))
+            {
+                *slot = w;
+            }
         }
         out
     }

@@ -12,6 +12,7 @@
 //! * [`timeseries`] — bucketed temporal rollups of events and traffic;
 //! * [`render`] — ASCII rendering of grids for the terminal examples.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -9,6 +9,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deny warnings in every build in this script, not only under clippy.
+# Exported once so all cargo invocations share one artifact cache.
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
 CARGO_FLAGS=()
 for arg in "$@"; do
   case "$arg" in
@@ -24,6 +28,10 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+# Workspace lint gate: the datacron-analysis rules (L1 no_panic,
+# L2 safety_comment, L3 truncation, L4 wallclock, L5 lock_order) are a
+# hard failure. The binary prints the per-rule violation counts.
+run cargo run "${CARGO_FLAGS[@]}" -q -p datacron-analysis
 run cargo build "${CARGO_FLAGS[@]}" --release --workspace
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
 # Crash-recovery integration suite (kill/restart, corrupt + truncated WAL

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the datacron-analysis workspace lint (rules L1–L5).
+#
+# Usage: scripts/lint.sh [--fix-manifest] [--offline] [FILE...]
+#
+#   (no args)        walk the workspace with the path-scoped rules;
+#                    exits non-zero on any violation
+#   FILE...          strict mode: every rule on the named files
+#   --fix-manifest   append any unvetted lock-order pairs the lint finds
+#                    to crates/analysis/lock-order.manifest, then succeed
+#                    if nothing else fired (review the diff before
+#                    committing!)
+#   --offline        pass --offline to cargo
+#
+# The binary prints a per-rule violation count summary either way.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+LINT_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    *) LINT_ARGS+=("$arg") ;;
+  esac
+done
+
+exec cargo run "${CARGO_FLAGS[@]}" -q -p datacron-analysis -- "${LINT_ARGS[@]}"
