@@ -3,7 +3,7 @@
 //!
 //! Scoping policy (workspace mode):
 //! - `no_panic` (L1) applies to non-test sources of the serving/durability
-//!   crates: `server`, `storage`, `rdf`, `core`.
+//!   crates: `server`, `storage`, `rdf`, `core`, `obs`.
 //! - `safety_comment` (L2) applies to every file, test code included —
 //!   an `unsafe` block needs its justification no matter where it lives.
 //! - `truncation` (L3) applies to the four binary-format modules where a
@@ -81,12 +81,15 @@ impl fmt::Display for Rule {
     }
 }
 
-/// Crate-source prefixes where `no_panic` is enforced.
-const NO_PANIC_SCOPE: [&str; 4] = [
+/// Crate-source prefixes where `no_panic` is enforced. `obs` is in
+/// scope because every metrics/trace call sits on the serving path — a
+/// panic in an observer would take down the request it observes.
+const NO_PANIC_SCOPE: [&str; 5] = [
     "crates/server/src/",
     "crates/storage/src/",
     "crates/rdf/src/",
     "crates/core/src/",
+    "crates/obs/src/",
 ];
 
 /// Binary-format modules where `truncation` is enforced.
@@ -225,6 +228,7 @@ mod tests {
     #[test]
     fn scoping_matches_policy() {
         assert!(rule_applies(Rule::NoPanic, "crates/server/src/server.rs"));
+        assert!(rule_applies(Rule::NoPanic, "crates/obs/src/registry.rs"));
         assert!(!rule_applies(Rule::NoPanic, "crates/viz/src/heatmap.rs"));
         assert!(rule_applies(Rule::Truncation, "crates/storage/src/crc.rs"));
         assert!(!rule_applies(Rule::Truncation, "crates/storage/src/wal.rs"));

@@ -109,6 +109,10 @@ pub struct StageLatency {
 }
 
 /// Counters and per-stage latency histograms.
+///
+/// The stage histograms are `Arc`-shared so the embedding layer can
+/// register them into a metrics registry (`datacron-obs`) while the
+/// pipeline keeps recording into the same storage.
 #[derive(Debug, Default)]
 pub struct PipelineMetrics {
     /// Reports fed in.
@@ -124,15 +128,15 @@ pub struct PipelineMetrics {
     /// Triples inserted.
     pub triples: u64,
     /// Cleansing stage latency.
-    pub lat_cleanse: LatencyHistogram,
+    pub lat_cleanse: std::sync::Arc<LatencyHistogram>,
     /// Compression + synopsis stage latency.
-    pub lat_synopsis: LatencyHistogram,
+    pub lat_synopsis: std::sync::Arc<LatencyHistogram>,
     /// Event-recognition stage latency.
-    pub lat_cep: LatencyHistogram,
+    pub lat_cep: std::sync::Arc<LatencyHistogram>,
     /// RDF mapping stage latency.
-    pub lat_rdf: LatencyHistogram,
+    pub lat_rdf: std::sync::Arc<LatencyHistogram>,
     /// End-to-end per-report latency.
-    pub lat_total: LatencyHistogram,
+    pub lat_total: std::sync::Arc<LatencyHistogram>,
 }
 
 impl PipelineMetrics {
@@ -154,15 +158,35 @@ impl PipelineMetrics {
         }
     }
 
+    /// `(stage name, shared histogram)` rows, in processing order.
+    pub fn stage_histograms(&self) -> [(&'static str, &std::sync::Arc<LatencyHistogram>); 5] {
+        [
+            ("cleanse", &self.lat_cleanse),
+            ("synopsis", &self.lat_synopsis),
+            ("cep", &self.lat_cep),
+            ("rdf", &self.lat_rdf),
+            ("total", &self.lat_total),
+        ]
+    }
+
+    /// Registers every stage histogram into `registry` as
+    /// `datacron_pipeline_stage_latency_us{stage=…}`.
+    pub fn register_into(&self, registry: &datacron_obs::Registry) {
+        for (stage, h) in self.stage_histograms() {
+            registry.register_histogram(
+                "datacron_pipeline_stage_latency_us",
+                &[("stage", stage)],
+                std::sync::Arc::clone(h),
+            );
+        }
+    }
+
     /// `(stage name, latency summary)` rows for reports.
     pub fn latency_table(&self) -> Vec<(&'static str, StageLatency)> {
-        vec![
-            ("cleanse", Self::summary(&self.lat_cleanse)),
-            ("synopsis", Self::summary(&self.lat_synopsis)),
-            ("cep", Self::summary(&self.lat_cep)),
-            ("rdf", Self::summary(&self.lat_rdf)),
-            ("total", Self::summary(&self.lat_total)),
-        ]
+        self.stage_histograms()
+            .iter()
+            .map(|(name, h)| (*name, Self::summary(h)))
+            .collect()
     }
 }
 

@@ -1,0 +1,114 @@
+//! The injected clock abstraction.
+//!
+//! Library crates in this workspace must not read the wall clock
+//! directly (the L4 `wallclock` lint); they take a [`ClockSource`]
+//! instead. Production code injects [`MonotonicClock`] (which delegates
+//! to the sanctioned [`datacron_stream::clock::Stopwatch`]); tests
+//! inject [`ManualClock`] and advance time deterministically.
+
+use datacron_stream::clock::Stopwatch;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic microsecond clock with an arbitrary origin.
+///
+/// Only *differences* between readings are meaningful; the origin is
+/// whenever the source was created (or wherever a [`ManualClock`] was
+/// set). Implementations must be monotonic: a later call never returns
+/// a smaller value.
+pub trait ClockSource: Send + Sync + fmt::Debug {
+    /// Microseconds elapsed since this source's origin.
+    fn now_us(&self) -> u64;
+}
+
+/// The production clock: monotonic microseconds since construction,
+/// read through the stream crate's sanctioned [`Stopwatch`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Stopwatch,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Self {
+            origin: Stopwatch::start(),
+        }
+    }
+}
+
+impl ClockSource for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed_us()
+    }
+}
+
+/// A test clock that only moves when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_us: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.now_us.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute reading. Monotonicity is the caller's contract:
+    /// setting the clock backwards violates [`ClockSource`].
+    pub fn set_us(&self, us: u64) {
+        self.now_us.store(us, Ordering::SeqCst);
+    }
+}
+
+impl ClockSource for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_us(150);
+        assert_eq!(c.now_us(), 150);
+        c.set_us(1_000);
+        assert_eq!(c.now_us(), 1_000);
+    }
+
+    #[test]
+    fn clock_source_is_object_safe() {
+        let clocks: Vec<Box<dyn ClockSource>> = vec![
+            Box::new(MonotonicClock::new()),
+            Box::new(ManualClock::new()),
+        ];
+        for c in &clocks {
+            let _ = c.now_us();
+        }
+    }
+}

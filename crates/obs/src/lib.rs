@@ -1,0 +1,39 @@
+//! datAcron reproduction: the observability substrate for the serving
+//! path — one metrics registry, per-request trace spans, and a
+//! slow-query log.
+//!
+//! The paper's C8 requires operational latencies "in ms", and the
+//! visual-analytics layer (C7) presumes the system can explain its own
+//! behaviour. This crate is the single scrape surface those requirements
+//! need:
+//!
+//! * [`clock`] — the injected [`ClockSource`] abstraction library code
+//!   uses instead of reading the wall clock directly (the L4 `wallclock`
+//!   lint forbids raw `Instant::now` outside designated clock modules);
+//! * [`registry`] — named counters, gauges, and the workspace's
+//!   log-bucket [`datacron_stream::LatencyHistogram`]s behind one
+//!   [`Registry`] with label support and Prometheus-style text
+//!   exposition;
+//! * [`trace`] — lightweight per-request spans (queue wait, planning,
+//!   exec, WAL append, serialize) that feed the slow-query log;
+//! * [`slowlog`] — a fixed-capacity log of the N slowest requests with
+//!   their span breakdowns.
+//!
+//! Dependency direction: `obs` sits directly above `datacron-stream`
+//! (it reuses the histogram and stopwatch) and below everything that
+//! reports — `core`, `storage`, and `server` all register into one
+//! [`Registry`] owned by the embedding layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use clock::{ClockSource, ManualClock, MonotonicClock};
+pub use registry::{Counter, Gauge, Registry, Sink};
+pub use slowlog::{SlowLog, SlowLogEntry};
+pub use trace::{Span, Trace};

@@ -56,6 +56,10 @@ struct RunStats {
     ok: AtomicU64,
     errors: AtomicU64,
     busy: AtomicU64,
+    /// Requests still unanswered when the drain deadline passed. These
+    /// are slow, not failed — at saturation lumping them into `errors`
+    /// made the server look broken when it was merely queueing.
+    timeouts: AtomicU64,
 }
 
 fn build_request(seq: u64, id: u64, batch: usize, rng: &mut XorShift) -> Json {
@@ -139,11 +143,17 @@ fn run_connection(
         let mut lines = std::io::BufReader::new(stream);
         let mut line = String::new();
         loop {
-            line.clear();
+            // NB: `line` is NOT cleared here. A read timeout can fire
+            // mid-response with a partial line already appended; clearing
+            // at the loop top discarded that prefix, so the next read
+            // picked up the rest of a torn line and counted a perfectly
+            // good (just slow) response as a parse error.
             match lines.read_line(&mut line) {
                 Ok(0) => break, // server closed
                 Ok(_) => {
-                    let Ok(resp) = Json::parse(line.trim_end()) else {
+                    let parsed = Json::parse(line.trim_end());
+                    line.clear();
+                    let Ok(resp) = parsed else {
                         reader_stats.errors.fetch_add(1, Ordering::Relaxed);
                         continue;
                     };
@@ -208,7 +218,16 @@ fn run_connection(
     while Instant::now() < drain_deadline && !inflight.lock().is_empty() {
         thread::sleep(Duration::from_millis(5));
     }
-    inflight.lock().clear();
+    {
+        // Whatever is still unanswered is a client-side timeout, counted
+        // separately from errors (len + clear under one lock, so a late
+        // response can't be double-counted).
+        let mut inflight = inflight.lock();
+        stats
+            .timeouts
+            .fetch_add(inflight.len() as u64, Ordering::Relaxed);
+        inflight.clear();
+    }
     stop.store(true, Ordering::SeqCst);
     let _ = reader.join();
     Ok(())
@@ -221,6 +240,7 @@ fn run_step(addr: SocketAddr, rps: f64, duration: Duration, conns: usize, batch:
         ok: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         busy: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
     });
     let per_conn_rps = rps / conns as f64;
     let started = Instant::now();
@@ -241,13 +261,15 @@ fn run_step(addr: SocketAddr, rps: f64, duration: Duration, conns: usize, batch:
     let ok = stats.ok.load(Ordering::Relaxed);
     let errors = stats.errors.load(Ordering::Relaxed);
     let busy = stats.busy.load(Ordering::Relaxed);
+    let timeouts = stats.timeouts.load(Ordering::Relaxed);
     println!(
-        "{:>8.0} {:>9.1} {:>8} {:>8} {:>6} {:>9} {:>9} {:>9} {:>5}",
+        "{:>8.0} {:>9.1} {:>8} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9} {:>5}",
         rps,
         ok as f64 / elapsed,
         ok,
         errors,
         busy,
+        timeouts,
         stats.latency.percentile(50.0),
         stats.latency.percentile(99.0),
         stats.latency.max_us(),
@@ -293,8 +315,8 @@ fn main() {
         sweep
     };
     println!(
-        "{:>8} {:>9} {:>8} {:>8} {:>6} {:>9} {:>9} {:>9} {:>5}",
-        "target", "ach_rps", "ok", "err", "busy", "p50_us", "p99_us", "max_us", "cerr"
+        "{:>8} {:>9} {:>8} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9} {:>5}",
+        "target", "ach_rps", "ok", "err", "busy", "tmo", "p50_us", "p99_us", "max_us", "cerr"
     );
     for rps in rates {
         run_step(addr, rps, duration, conns, batch);

@@ -112,6 +112,13 @@ pub enum Request {
         /// Sleep duration, capped at [`MAX_SLEEP_MS`].
         ms: u64,
     },
+    /// One Prometheus-style text snapshot of the unified metrics registry.
+    Metrics,
+    /// The slowest requests observed, with per-span latency breakdowns.
+    Slowlog {
+        /// Maximum entries returned (defaults to [`MAX_TOP_K`]).
+        limit: usize,
+    },
 }
 
 impl Request {
@@ -127,12 +134,15 @@ impl Request {
             Request::Events { .. } => "events",
             Request::Stats => "stats",
             Request::Sleep { .. } => "sleep",
+            Request::Metrics => "metrics",
+            Request::Slowlog { .. } => "slowlog",
         }
     }
 
     /// All request tags, in metric-index order (see `request_index`).
-    pub const TAGS: [&'static str; 8] = [
-        "ingest", "sparql", "heatmap", "flows", "hotspots", "events", "stats", "sleep",
+    pub const TAGS: [&'static str; 10] = [
+        "ingest", "sparql", "heatmap", "flows", "hotspots", "events", "stats", "sleep", "metrics",
+        "slowlog",
     ];
 
     /// Index of this request's tag within [`Request::TAGS`]. Exhaustive
@@ -148,6 +158,8 @@ impl Request {
             Request::Events { .. } => 5,
             Request::Stats => 6,
             Request::Sleep { .. } => 7,
+            Request::Metrics => 8,
+            Request::Slowlog { .. } => 9,
         }
     }
 }
@@ -257,6 +269,10 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
             }
             Request::Sleep { ms }
         }
+        "metrics" => Request::Metrics,
+        "slowlog" => Request::Slowlog {
+            limit: parse_k(&v, "limit", MAX_TOP_K)?,
+        },
         other => return Err(bad(format!("unknown request type {other:?}"))),
     };
     Ok(Envelope { id, req })
@@ -382,6 +398,8 @@ mod tests {
             },
             Request::Stats,
             Request::Sleep { ms: 0 },
+            Request::Metrics,
+            Request::Slowlog { limit: 1 },
         ];
         for r in &all {
             assert_eq!(Request::TAGS[r.index()], r.tag());
@@ -408,6 +426,8 @@ mod tests {
             ),
             (r#"{"type":"stats"}"#, "stats"),
             (r#"{"type":"sleep","ms":10}"#, "sleep"),
+            (r#"{"type":"metrics"}"#, "metrics"),
+            (r#"{"type":"slowlog","limit":5}"#, "slowlog"),
         ];
         for (line, tag) in cases {
             let env = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));

@@ -18,6 +18,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use datacron_core::sync::{TrackedMutex, TrackedRwLock};
 use datacron_core::PipelineConfig;
 use datacron_geo::BoundingBox;
+use datacron_obs::{ClockSource, MonotonicClock, Registry, SlowLog, Trace};
 use datacron_storage::{Storage, StorageConfig};
 use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
@@ -60,6 +61,13 @@ pub struct ServerConfig {
     /// Storage tuning (segment size, fsync policy, snapshot threshold);
     /// ignored unless `data_dir` is set.
     pub storage: StorageConfig,
+    /// Socket write timeout applied to every response (normal replies and
+    /// `busy`/`shutting_down` rejections alike), so a stalled reader
+    /// cannot pin a worker or the acceptor indefinitely.
+    pub write_timeout: Duration,
+    /// Slow-query log capacity: the N slowest requests kept with their
+    /// span breakdowns (served by the `slowlog` request).
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +87,8 @@ impl Default for ServerConfig {
             partition_min_triples: 10_000,
             data_dir: None,
             storage: StorageConfig::default(),
+            write_timeout: Duration::from_millis(500),
+            slowlog_capacity: 32,
         }
     }
 }
@@ -95,7 +105,8 @@ pub struct ServerMetrics {
     /// Requests answered with an error response.
     pub requests_err: AtomicU64,
     /// Per-type request latency, indexed like [`Request::TAGS`].
-    pub latency: Vec<LatencyHistogram>,
+    /// `Arc`-shared so each histogram can also live in the registry.
+    pub latency: Vec<Arc<LatencyHistogram>>,
 }
 
 impl ServerMetrics {
@@ -107,8 +118,20 @@ impl ServerMetrics {
             requests_err: AtomicU64::new(0),
             latency: Request::TAGS
                 .iter()
-                .map(|_| LatencyHistogram::new())
+                .map(|_| Arc::new(LatencyHistogram::new()))
                 .collect(),
+        }
+    }
+
+    /// Shares every per-type latency histogram with `registry` as
+    /// `datacron_request_latency_us{type=…}`.
+    fn register_into(&self, registry: &Registry) {
+        for (tag, h) in Request::TAGS.iter().zip(self.latency.iter()) {
+            registry.register_histogram(
+                "datacron_request_latency_us",
+                &[("type", tag)],
+                Arc::clone(h),
+            );
         }
     }
 
@@ -156,6 +179,10 @@ pub struct ServerHandle {
     pub local_addr: SocketAddr,
     /// Server-side counters and latency histograms.
     pub metrics: Arc<ServerMetrics>,
+    /// The unified metrics registry behind the `metrics` request.
+    pub registry: Arc<Registry>,
+    /// The slow-query log behind the `slowlog` request.
+    pub slowlog: Arc<SlowLog>,
     /// The shared analytics state (exposed for in-process embedding).
     pub state: Arc<TrackedRwLock<AnalyticsState>>,
     shutdown: Arc<AtomicBool>,
@@ -203,8 +230,14 @@ impl ServerHandle {
 struct Shared {
     state: Arc<TrackedRwLock<AnalyticsState>>,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    slowlog: Arc<SlowLog>,
+    /// The clock every trace and queue-wait measurement runs against.
+    clock: Arc<dyn ClockSource>,
     shutdown: Arc<AtomicBool>,
-    queue: Receiver<TcpStream>,
+    /// Connections plus the clock reading at enqueue time, so the
+    /// dequeuing worker can attribute queue wait to the first request.
+    queue: Receiver<(TcpStream, u64)>,
     cfg: ServerConfig,
     /// Lock order: state write lock first, then storage — both ingest
     /// and shutdown follow it, so they can never deadlock.
@@ -216,9 +249,12 @@ struct Shared {
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
+    let clock: Arc<dyn ClockSource> = Arc::new(MonotonicClock::new());
+    let registry = Arc::new(Registry::new());
     let (storage, recovered) = match &cfg.data_dir {
         Some(dir) => {
-            let (storage, state) = recover(dir, &cfg)?;
+            let (storage, state) = recover(dir, &cfg, &clock)?;
+            storage.register_metrics(&registry);
             (Some(Arc::new(TrackedMutex::new("storage", storage))), state)
         }
         None => (
@@ -231,14 +267,31 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
             ),
         ),
     };
+    // Register the stage histograms on the plain state before it goes
+    // behind the lock: registration never orders against the state lock.
+    recovered.register_metrics(&registry);
     let state = Arc::new(TrackedRwLock::new("state", recovered));
     let metrics = Arc::new(ServerMetrics::new());
+    metrics.register_into(&registry);
+    let slowlog = Arc::new(SlowLog::new(cfg.slowlog_capacity));
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_capacity.max(1));
+    let (tx, rx) = channel::bounded::<(TcpStream, u64)>(cfg.queue_capacity.max(1));
+    install_collectors(
+        &registry,
+        &state,
+        storage.as_ref(),
+        &metrics,
+        &slowlog,
+        rx.clone(),
+        &cfg,
+    );
 
     let shared = Arc::new(Shared {
         state: Arc::clone(&state),
         metrics: Arc::clone(&metrics),
+        registry: Arc::clone(&registry),
+        slowlog: Arc::clone(&slowlog),
+        clock,
         shutdown: Arc::clone(&shutdown),
         queue: rx,
         cfg,
@@ -267,11 +320,97 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     Ok(ServerHandle {
         local_addr,
         metrics,
+        registry,
+        slowlog,
         state,
         shutdown,
         threads,
         storage,
     })
+}
+
+/// Installs the scrape-time collectors: everything that lives behind a
+/// lock or an atomic and must be read fresh per `metrics` request. The
+/// closures capture individual `Arc`s (never `Shared`) so the registry
+/// does not cycle back to itself, and they run with no registry lock
+/// held, so taking the state or storage lock here is unordered.
+fn install_collectors(
+    registry: &Registry,
+    state: &Arc<TrackedRwLock<AnalyticsState>>,
+    storage: Option<&Arc<TrackedMutex<Storage>>>,
+    metrics: &Arc<ServerMetrics>,
+    slowlog: &Arc<SlowLog>,
+    queue: Receiver<(TcpStream, u64)>,
+    cfg: &ServerConfig,
+) {
+    let state = Arc::clone(state);
+    let storage = storage.map(Arc::clone);
+    let metrics = Arc::clone(metrics);
+    let slowlog = Arc::clone(slowlog);
+    let queue_capacity = cfg.queue_capacity as u64;
+    let workers = cfg.workers as u64;
+    registry.collector(move |sink| {
+        sink.counter(
+            "datacron_connections_total",
+            &[("outcome", "accepted")],
+            metrics.connections_accepted.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_connections_total",
+            &[("outcome", "rejected")],
+            metrics.connections_rejected.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_requests_total",
+            &[("outcome", "ok")],
+            metrics.requests_ok.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_requests_total",
+            &[("outcome", "err")],
+            metrics.requests_err.load(Ordering::Relaxed),
+        );
+        sink.gauge("datacron_queue_depth", &[], queue.len() as u64);
+        sink.gauge("datacron_queue_capacity", &[], queue_capacity);
+        sink.gauge("datacron_workers", &[], workers);
+        sink.gauge("datacron_slowlog_threshold_us", &[], slowlog.threshold_us());
+        // State read lock and storage lock are taken one after the
+        // other, never nested (and state -> storage is the vetted order).
+        let c = state.read().counters();
+        sink.counter(
+            "datacron_pipeline_reports_total",
+            &[("stage", "in")],
+            c.reports_in,
+        );
+        sink.counter(
+            "datacron_pipeline_reports_total",
+            &[("stage", "clean")],
+            c.reports_clean,
+        );
+        sink.counter(
+            "datacron_pipeline_reports_total",
+            &[("stage", "kept")],
+            c.reports_kept,
+        );
+        sink.counter("datacron_pipeline_events_total", &[], c.events);
+        sink.counter("datacron_pipeline_triples_total", &[], c.triples);
+        sink.gauge("datacron_graph_triples", &[], c.graph_len);
+        if let Some(storage) = &storage {
+            let s = storage.lock().stats();
+            sink.gauge("datacron_wal_bytes", &[], s.wal_bytes);
+            sink.gauge("datacron_wal_segments", &[], s.segments as u64);
+            sink.gauge(
+                "datacron_wal_records_since_snapshot",
+                &[],
+                s.records_since_snapshot,
+            );
+            sink.gauge("datacron_wal_next_seq", &[], s.next_seq);
+            sink.counter("datacron_wal_fsyncs_total", &[], s.fsyncs);
+            if let Some(age) = s.snapshot_age_us {
+                sink.gauge("datacron_snapshot_age_us", &[], age);
+            }
+        }
+    });
 }
 
 /// Opens the data directory and rebuilds the analytics state from the
@@ -280,8 +419,13 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
 /// this is a format mismatch, not disk corruption); a WAL record that
 /// fails to decode stops the replay at the last good record, mirroring
 /// the storage layer's stop-at-first-bad-record contract.
-fn recover(dir: &PathBuf, cfg: &ServerConfig) -> io::Result<(Storage, AnalyticsState)> {
-    let (storage, recovery) = Storage::open(dir, cfg.storage.clone())?;
+fn recover(
+    dir: &PathBuf,
+    cfg: &ServerConfig,
+    clock: &Arc<dyn ClockSource>,
+) -> io::Result<(Storage, AnalyticsState)> {
+    let (storage, recovery) =
+        Storage::open_with_clock(dir, cfg.storage.clone(), Arc::clone(clock))?;
     let mut state = match &recovery.snapshot {
         Some((wal_seq, payload)) => AnalyticsState::from_snapshot_bytes(
             cfg.pipeline.clone(),
@@ -326,7 +470,7 @@ fn recover(dir: &PathBuf, cfg: &ServerConfig) -> io::Result<(Storage, AnalyticsS
     Ok((storage, state))
 }
 
-fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shared: &Shared) {
+fn acceptor_loop(listener: &TcpListener, tx: &Sender<(TcpStream, u64)>, shared: &Shared) {
     loop {
         let conn = match listener.accept() {
             Ok((conn, _)) => conn,
@@ -334,30 +478,45 @@ fn acceptor_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shared: &Shared
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             // The wake-up connection (or a late client) during shutdown.
-            let _ = reject(conn, ErrorCode::ShuttingDown, "server is shutting down");
+            let _ = reject(
+                conn,
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+                shared.cfg.write_timeout,
+            );
             return; // drops tx, disconnecting the workers' queue
         }
-        match tx.try_send(conn) {
+        match tx.try_send((conn, shared.clock.now_us())) {
             Ok(()) => {
                 shared
                     .metrics
                     .connections_accepted
                     .fetch_add(1, Ordering::Relaxed);
             }
-            Err(TrySendError::Full(conn)) => {
+            Err(TrySendError::Full((conn, _))) => {
                 shared
                     .metrics
                     .connections_rejected
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = reject(conn, ErrorCode::Busy, "connection queue full, retry later");
+                let _ = reject(
+                    conn,
+                    ErrorCode::Busy,
+                    "connection queue full, retry later",
+                    shared.cfg.write_timeout,
+                );
             }
             Err(TrySendError::Disconnected(_)) => return,
         }
     }
 }
 
-fn reject(mut conn: TcpStream, code: ErrorCode, msg: &str) -> io::Result<()> {
-    let _ = conn.set_write_timeout(Some(Duration::from_millis(500)));
+fn reject(
+    mut conn: TcpStream,
+    code: ErrorCode,
+    msg: &str,
+    write_timeout: Duration,
+) -> io::Result<()> {
+    let _ = conn.set_write_timeout(Some(write_timeout));
     let line = error_response(&Json::Null, code, msg);
     conn.write_all(line.as_bytes())?;
     conn.write_all(b"\n")
@@ -367,8 +526,9 @@ fn worker_loop(shared: &Shared) {
     // recv() errors only when the acceptor exits and drops the sender; at
     // that point queued connections are still drained (channel semantics),
     // so none hang unanswered across a shutdown.
-    while let Ok(conn) = shared.queue.recv() {
-        let _ = serve_connection(conn, shared);
+    while let Ok((conn, enqueued_us)) = shared.queue.recv() {
+        let queue_wait_us = shared.clock.now_us().saturating_sub(enqueued_us);
+        let _ = serve_connection(conn, shared, queue_wait_us);
     }
 }
 
@@ -431,9 +591,15 @@ fn read_line_bounded(
     }
 }
 
-fn serve_connection(conn: TcpStream, shared: &Shared) -> io::Result<()> {
+fn serve_connection(conn: TcpStream, shared: &Shared, queue_wait_us: u64) -> io::Result<()> {
     conn.set_read_timeout(Some(shared.cfg.poll_interval))?;
+    // Write timeout applies to the shared fd, so the cloned writer
+    // inherits it: a stalled reader cannot pin this worker.
+    conn.set_write_timeout(Some(shared.cfg.write_timeout))?;
     conn.set_nodelay(true).ok();
+    // Admission-queue wait is a per-connection cost; attribute it to the
+    // connection's first request.
+    let mut queue_wait = Some(queue_wait_us);
     let mut writer = conn.try_clone()?;
     let mut reader = BufReader::new(conn);
     loop {
@@ -456,19 +622,23 @@ fn serve_connection(conn: TcpStream, shared: &Shared) -> io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_line(&line, shared);
+        let response = handle_line(&line, shared, queue_wait.take());
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
 }
 
-fn handle_line(line: &str, shared: &Shared) -> String {
+fn handle_line(line: &str, shared: &Shared, queue_wait_us: Option<u64>) -> String {
     let start = Stopwatch::start();
     match parse_request(line) {
         Ok(env) => {
+            let mut trace = Trace::start(Arc::clone(&shared.clock));
+            if let Some(wait) = queue_wait_us {
+                trace.add_span_us("queue_wait", wait);
+            }
             let idx = env.req.index();
-            let (resp, ok) = dispatch(&env, shared);
+            let (resp, ok) = dispatch(&env, shared, &mut trace);
             shared.metrics.latency[idx].observe(&start);
             let counter = if ok {
                 &shared.metrics.requests_ok
@@ -476,6 +646,12 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 &shared.metrics.requests_err
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            shared.slowlog.record(
+                env.req.tag(),
+                trace.total_us(),
+                trace.into_spans(),
+                detail_for(&env.req),
+            );
             resp
         }
         Err(e) => {
@@ -490,12 +666,36 @@ fn handle_line(line: &str, shared: &Shared) -> String {
     }
 }
 
-fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
+/// Free-form slow-log detail for a request: enough to identify the work
+/// without storing the whole line.
+fn detail_for(req: &Request) -> String {
+    match req {
+        Request::Ingest { reports } => format!("batch of {}", reports.len()),
+        Request::Sparql { query, .. } => truncate_chars(query, 120),
+        _ => String::new(),
+    }
+}
+
+/// First `max` bytes of `s`, cut back to a char boundary, with an
+/// ellipsis when anything was dropped.
+fn truncate_chars(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        return s.to_string();
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool) {
     let id = &env.id;
+    let exec_begin = trace.begin();
     let result: Result<Vec<(String, Json)>, ProtocolError> = match &env.req {
         Request::Ingest { reports } => {
             let mut state = shared.state.write();
-            ingest_durable(&mut state, reports, shared).map(|out| {
+            ingest_durable(&mut state, reports, shared, trace).map(|out| {
                 vec![
                     ("accepted".into(), Json::from(out.accepted)),
                     ("clean".into(), Json::from(out.clean)),
@@ -505,11 +705,20 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
                 ]
             })
         }
-        Request::Sparql { query, limit } => shared
-            .state
-            .read()
-            .sparql(query, *limit)
-            .map(|j| vec![("result".into(), j)]),
+        Request::Sparql { query, limit } => {
+            let res = shared.state.read().sparql(query, *limit);
+            if let Ok(j) = &res {
+                // The engine already measured planning/exec; lift its
+                // numbers into the trace instead of re-timing.
+                if let Some(us) = j.get("planning_us").and_then(Json::as_u64) {
+                    trace.add_span_us("planning", us);
+                }
+                if let Some(us) = j.get("exec_us").and_then(Json::as_u64) {
+                    trace.add_span_us("sparql_exec", us);
+                }
+            }
+            res.map(|j| vec![("result".into(), j)])
+        }
         Request::Heatmap { top_k } => {
             Ok(vec![("result".into(), shared.state.read().heatmap(*top_k))])
         }
@@ -558,11 +767,54 @@ fn dispatch(env: &Envelope, shared: &Shared) -> (String, bool) {
             thread::sleep(Duration::from_millis((*ms).min(protocol::MAX_SLEEP_MS)));
             Ok(vec![("slept_ms".into(), Json::from(*ms))])
         }
+        Request::Metrics => Ok(vec![(
+            "exposition".into(),
+            Json::from(shared.registry.render()),
+        )]),
+        Request::Slowlog { limit } => Ok(slowlog_fields(&shared.slowlog, *limit)),
     };
-    match result {
+    trace.end_span("exec", exec_begin);
+    let ser_begin = trace.begin();
+    let out = match result {
         Ok(fields) => (ok_response(id, fields), true),
         Err(e) => (error_response(id, e.code, &e.msg), false),
-    }
+    };
+    trace.end_span("serialize", ser_begin);
+    out
+}
+
+/// Renders the slow-query log for the `slowlog` response: entries
+/// slowest-first, each with its span breakdown.
+fn slowlog_fields(log: &SlowLog, limit: usize) -> Vec<(String, Json)> {
+    let entries: Vec<Json> = log
+        .snapshot(limit)
+        .into_iter()
+        .map(|e| {
+            let spans: Vec<Json> = e
+                .spans
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("name", s.name)
+                        .field("start_us", s.start_us)
+                        .field("dur_us", s.dur_us)
+                        .build()
+                })
+                .collect();
+            Json::obj()
+                .field("type", e.tag)
+                .field("total_us", e.total_us)
+                .field("seq", e.seq)
+                .field("detail", e.detail)
+                .field("spans", Json::Arr(spans))
+                .build()
+        })
+        .collect();
+    vec![
+        ("entries".into(), Json::Arr(entries)),
+        ("capacity".into(), Json::from(log.capacity() as u64)),
+        ("threshold_us".into(), Json::from(log.threshold_us())),
+    ]
 }
 
 /// Write-ahead order: the batch is appended to the WAL (and fsynced per
@@ -575,14 +827,17 @@ fn ingest_durable(
     state: &mut AnalyticsState,
     reports: &[datacron_model::PositionReport],
     shared: &Shared,
+    trace: &mut Trace,
 ) -> Result<datacron_core::IngestOutcome, ProtocolError> {
     let Some(storage) = &shared.storage else {
         return Ok(state.ingest(reports));
     };
     let payload = codec::encode_batch(reports);
     let mut storage = storage.lock();
-    storage
-        .append(&payload)
+    let wal_begin = trace.begin();
+    let appended = storage.append(&payload);
+    trace.end_span("wal_append", wal_begin);
+    appended
         .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?;
     let out = state.ingest(reports);
     if storage.should_snapshot() {

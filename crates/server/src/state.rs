@@ -17,6 +17,23 @@ use std::collections::VecDeque;
 /// Upper bound on the in-memory recent-events ring.
 const MAX_RECENT_EVENTS: usize = 10_000;
 
+/// Scrape-time pipeline counter snapshot for metrics collectors.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineCounters {
+    /// Reports offered to the pipeline.
+    pub reports_in: u64,
+    /// Reports surviving cleansing.
+    pub reports_clean: u64,
+    /// Critical points kept by the synopsis stage.
+    pub reports_kept: u64,
+    /// CEP detections emitted.
+    pub events: u64,
+    /// RDF triples generated.
+    pub triples: u64,
+    /// Current graph size, triples.
+    pub graph_len: u64,
+}
+
 /// Snapshot payload format version, bumped on any wire change.
 const SNAPSHOT_VERSION: u32 = 1;
 
@@ -460,6 +477,27 @@ impl AnalyticsState {
             mirror,
             partition_min_triples: min_triples,
         })
+    }
+
+    /// Registers the pipeline's per-stage latency histograms into
+    /// `registry`. The server calls this on the plain state *before*
+    /// wrapping it in its lock, so registration never orders against
+    /// the state lock.
+    pub fn register_metrics(&self, registry: &datacron_obs::Registry) {
+        self.pipeline.metrics().register_into(registry);
+    }
+
+    /// Current pipeline counter values, for scrape-time collectors.
+    pub fn counters(&self) -> PipelineCounters {
+        let m = self.pipeline.metrics();
+        PipelineCounters {
+            reports_in: m.reports_in,
+            reports_clean: m.reports_clean,
+            reports_kept: m.reports_kept,
+            events: m.events,
+            triples: m.triples,
+            graph_len: self.pipeline.graph().len() as u64,
+        }
     }
 
     /// Pipeline counters plus per-stage latency percentiles.

@@ -38,8 +38,10 @@ pub use crc::{crc32, Crc32};
 pub use snapshot::SnapshotStore;
 pub use wal::{FsyncPolicy, Replay, ReplayEnd, Wal, WalConfig};
 
+use datacron_obs::{ClockSource, MonotonicClock, Registry};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Storage tuning knobs.
 #[derive(Debug, Clone)]
@@ -96,6 +98,10 @@ pub struct StorageStats {
     pub fsync_p99_us: u64,
     /// fsync calls issued.
     pub fsyncs: u64,
+    /// Microseconds since this handle last installed a snapshot, against
+    /// the injected clock. `None` until the first install (a snapshot
+    /// recovered from disk predates the clock, so its age is unknown).
+    pub snapshot_age_us: Option<u64>,
 }
 
 /// The durable-state façade: one WAL plus one snapshot store in a data
@@ -106,12 +112,29 @@ pub struct Storage {
     snaps: SnapshotStore,
     cfg: StorageConfig,
     last_snapshot_seq: u64,
+    /// The injected time source (L4 `wallclock`: library code never
+    /// reads the wall clock directly).
+    clock: Arc<dyn ClockSource>,
+    /// Clock reading when this handle last installed a snapshot.
+    last_snapshot_at_us: Option<u64>,
 }
 
 impl Storage {
     /// Opens the data directory, recovering whatever it holds: the newest
-    /// valid snapshot and the verified WAL records after it.
+    /// valid snapshot and the verified WAL records after it. Timestamps
+    /// (snapshot age) run against a fresh monotonic clock; use
+    /// [`Storage::open_with_clock`] to inject one.
     pub fn open(dir: impl AsRef<Path>, cfg: StorageConfig) -> io::Result<(Self, Recovery)> {
+        Self::open_with_clock(dir, cfg, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Like [`Storage::open`], with an injected [`ClockSource`] — the
+    /// server shares its clock; tests inject a manual one.
+    pub fn open_with_clock(
+        dir: impl AsRef<Path>,
+        cfg: StorageConfig,
+        clock: Arc<dyn ClockSource>,
+    ) -> io::Result<(Self, Recovery)> {
         let dir: PathBuf = dir.as_ref().into();
         let wal = Wal::open(
             dir.join("wal"),
@@ -142,6 +165,8 @@ impl Storage {
             wal,
             snaps,
             cfg,
+            clock,
+            last_snapshot_at_us: None,
         };
         Ok((
             storage,
@@ -184,6 +209,7 @@ impl Storage {
         let wal_seq = self.wal.next_seq();
         self.snaps.save(wal_seq, payload)?;
         self.last_snapshot_seq = wal_seq;
+        self.last_snapshot_at_us = Some(self.clock.now_us());
         self.wal.retire_through(wal_seq)?;
         Ok(wal_seq)
     }
@@ -199,7 +225,23 @@ impl Storage {
             last_snapshot_seq: self.last_snapshot_seq,
             fsync_p99_us: fsync.percentile(99.0),
             fsyncs: fsync.count(),
+            snapshot_age_us: self
+                .last_snapshot_at_us
+                .map(|at| self.clock.now_us().saturating_sub(at)),
         }
+    }
+
+    /// Registers this store's durability metrics into `registry`:
+    /// the shared fsync latency histogram as
+    /// `datacron_wal_fsync_latency_us`. Point-in-time gauges (WAL bytes,
+    /// segment count, snapshot age) need `&self` at scrape time, so the
+    /// owner installs a collector for those — see the server crate.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_histogram(
+            "datacron_wal_fsync_latency_us",
+            &[],
+            self.wal.fsync_latency_shared(),
+        );
     }
 }
 
@@ -347,6 +389,24 @@ mod tests {
         let (_, rec) = Storage::open(dir.path(), cfg(0)).unwrap();
         assert_eq!(rec.wal_tail.len(), 4, "recover to the last valid record");
         assert!(rec.truncation.is_some());
+    }
+
+    #[test]
+    fn snapshot_age_tracks_injected_clock() {
+        let dir = TempDir::new("storage-snap-age");
+        let clock = Arc::new(datacron_obs::ManualClock::new());
+        let (mut st, _) =
+            Storage::open_with_clock(dir.path(), cfg(0), Arc::clone(&clock) as _).unwrap();
+        assert_eq!(st.stats().snapshot_age_us, None, "no snapshot yet");
+        st.append(b"r").unwrap();
+        st.install_snapshot(b"s").unwrap();
+        assert_eq!(st.stats().snapshot_age_us, Some(0));
+        clock.advance_us(2_500);
+        assert_eq!(st.stats().snapshot_age_us, Some(2_500));
+        // A snapshot recovered from disk has unknown age.
+        drop(st);
+        let (st, _) = Storage::open(dir.path(), cfg(0)).unwrap();
+        assert_eq!(st.stats().snapshot_age_us, None);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use datacron_stream::LatencyHistogram;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Record header bytes: `len` + `crc` + `seq`.
 pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8;
@@ -137,8 +138,9 @@ pub struct Wal {
     next_seq: u64,
     /// Records appended since the last fsync (group-commit counter).
     unsynced: u32,
-    /// fsync call latency (the group-commit cost the bench sweeps).
-    fsync_lat: LatencyHistogram,
+    /// fsync call latency (the group-commit cost the bench sweeps);
+    /// `Arc`-shared so it can be registered into a metrics registry.
+    fsync_lat: Arc<LatencyHistogram>,
     appended: u64,
     /// What open-time recovery cut off the newest segment, if anything.
     truncation_note: Option<String>,
@@ -285,7 +287,7 @@ impl Wal {
             active_bytes,
             next_seq,
             unsynced: 0,
-            fsync_lat: LatencyHistogram::new(),
+            fsync_lat: Arc::new(LatencyHistogram::new()),
             appended: 0,
             truncation_note,
             segments,
@@ -320,6 +322,12 @@ impl Wal {
     /// The fsync-latency histogram (µs), for the stats endpoint.
     pub fn fsync_latency(&self) -> &LatencyHistogram {
         &self.fsync_lat
+    }
+
+    /// Shared handle to the fsync-latency histogram, the form a metrics
+    /// registry registers.
+    pub fn fsync_latency_shared(&self) -> Arc<LatencyHistogram> {
+        Arc::clone(&self.fsync_lat)
     }
 
     /// What open-time recovery truncated off the newest segment, if

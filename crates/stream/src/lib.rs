@@ -32,7 +32,7 @@ pub mod window;
 pub use clock::{Deadline, Stopwatch};
 pub use message::{Message, Record};
 pub use metrics::{LatencyHistogram, Throughput};
-pub use operator::{Chain, FilterOp, FlatMapOp, KeyedProcessOp, MapOp, Operator};
+pub use operator::{Chain, FilterOp, FlatMapOp, InstrumentOp, KeyedProcessOp, MapOp, Operator};
 pub use runtime::{
     collect_messages, merge_shards, run_source, shard_by_key, spawn_operator, StageHandle,
 };

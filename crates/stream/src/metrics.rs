@@ -143,8 +143,16 @@ impl LatencyHistogram {
         self.inner.lock().max_us
     }
 
+    /// Sum of all recorded samples, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.inner.lock().sum_us
+    }
+
     /// Approximate quantile (`q` in `[0,1]`) in microseconds: the upper edge
-    /// of the bucket containing the q-th sample.
+    /// of the bucket containing the q-th sample, clamped to the observed
+    /// maximum so `quantile_us(q) <= max_us()` always holds (the raw bucket
+    /// edge can exceed every sample — a single 5 µs sample lands in the
+    /// `[4, 8)` bucket, whose edge would report p99 = 8 µs).
     pub fn quantile_us(&self, q: f64) -> u64 {
         let h = self.inner.lock();
         if h.count == 0 {
@@ -155,7 +163,7 @@ impl LatencyHistogram {
         for (i, &c) in h.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << (i + 1);
+                return (1u64 << (i + 1)).min(h.max_us);
             }
         }
         h.max_us
@@ -311,6 +319,84 @@ mod tests {
         assert_eq!(h.percentile(50.0), h.quantile_us(0.5));
         assert_eq!(h.percentile(99.0), h.quantile_us(0.99));
         assert_eq!(h.percentile(100.0), h.quantile_us(1.0));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        // Regression: a single 5 µs sample lands in the [4, 8) bucket and
+        // used to report p99 = 8 µs with max_us = 5 µs.
+        let h = LatencyHistogram::new();
+        h.record_us(5);
+        assert_eq!(h.max_us(), 5);
+        assert_eq!(h.quantile_us(0.99), 5);
+        assert_eq!(h.quantile_us(1.0), 5);
+        assert_eq!(h.percentile(50.0), 5);
+    }
+
+    #[test]
+    fn sum_us_accumulates() {
+        let h = LatencyHistogram::new();
+        h.record_us(100);
+        h.record_us(250);
+        assert_eq!(h.sum_us(), 350);
+    }
+
+    #[test]
+    fn repeated_merge_into_fresh_accumulator_never_double_counts() {
+        // The stats path folds per-worker histograms into a fresh
+        // accumulator on every call; repeating the aggregation must give
+        // identical results every round.
+        let workers: Vec<LatencyHistogram> = (0..4)
+            .map(|w| {
+                let h = LatencyHistogram::new();
+                for i in 0..25u64 {
+                    h.record_us(w * 1_000 + i * 10);
+                }
+                h
+            })
+            .collect();
+        let mut last: Option<(u64, u64, u64, u64)> = None;
+        for _ in 0..3 {
+            let total = LatencyHistogram::new();
+            for w in &workers {
+                total.merge(w);
+            }
+            let snap = (
+                total.count(),
+                total.sum_us(),
+                total.max_us(),
+                total.quantile_us(0.99),
+            );
+            assert_eq!(snap.0, 100);
+            if let Some(prev) = last {
+                assert_eq!(prev, snap, "aggregation must be idempotent per round");
+            }
+            last = Some(snap);
+        }
+        // Source histograms are untouched by the repeated merges.
+        for w in &workers {
+            assert_eq!(w.count(), 25);
+        }
+    }
+
+    proptest::proptest! {
+        /// Invariant: for any sample set and any q, the reported quantile
+        /// never exceeds the observed maximum and quantiles stay monotone
+        /// in q.
+        #[test]
+        fn quantile_bounded_by_max(
+            samples in proptest::collection::vec(0u64..2_000_000_000, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record_us(s);
+            }
+            let max = h.max_us();
+            proptest::prop_assert_eq!(max, *samples.iter().max().unwrap());
+            proptest::prop_assert!(h.quantile_us(q) <= max);
+            proptest::prop_assert!(h.quantile_us(0.5) <= h.quantile_us(1.0));
+        }
     }
 
     #[test]

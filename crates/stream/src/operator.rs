@@ -1,9 +1,12 @@
 //! The operator abstraction and the stateless/stateful building blocks.
 
+use crate::clock::Stopwatch;
 use crate::message::{Message, Record};
+use crate::metrics::{LatencyHistogram, Throughput};
 use datacron_geo::TimeMs;
 use rustc_hash::FxHashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// A dataflow operator transforming an input stream into an output stream.
 ///
@@ -134,6 +137,85 @@ where
     }
 }
 
+/// Wraps any operator with per-record instrumentation: processing
+/// latency lands in a shared histogram, input/output record counts in
+/// shared [`Throughput`]s.
+///
+/// The `Arc` handles are the registration surface — the embedding layer
+/// hands clones of them to a metrics registry (`datacron-obs` sits
+/// *above* this crate, so the operator itself stays registry-agnostic)
+/// while the wrapped operator keeps recording into the same storage.
+pub struct InstrumentOp<Op> {
+    inner: Op,
+    latency: Arc<LatencyHistogram>,
+    records_in: Arc<Throughput>,
+    records_out: Arc<Throughput>,
+}
+
+impl<Op> InstrumentOp<Op> {
+    /// Instruments `inner` with fresh metric storage.
+    pub fn new(inner: Op) -> Self {
+        Self {
+            inner,
+            latency: Arc::new(LatencyHistogram::new()),
+            records_in: Arc::new(Throughput::new()),
+            records_out: Arc::new(Throughput::new()),
+        }
+    }
+
+    /// Per-record processing latency (shared handle).
+    pub fn latency(&self) -> Arc<LatencyHistogram> {
+        Arc::clone(&self.latency)
+    }
+
+    /// Input record counter (shared handle).
+    pub fn records_in(&self) -> Arc<Throughput> {
+        Arc::clone(&self.records_in)
+    }
+
+    /// Output record counter (shared handle).
+    pub fn records_out(&self) -> Arc<Throughput> {
+        Arc::clone(&self.records_out)
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &Op {
+        &self.inner
+    }
+}
+
+impl<I, O, Op> Operator<I, O> for InstrumentOp<Op>
+where
+    Op: Operator<I, O>,
+{
+    fn on_record(&mut self, rec: Record<I>, out: &mut dyn FnMut(Record<O>)) {
+        self.records_in.add(1);
+        let outs = &self.records_out;
+        let t = Stopwatch::start();
+        self.inner.on_record(rec, &mut |o| {
+            outs.add(1);
+            out(o);
+        });
+        self.latency.observe(&t);
+    }
+
+    fn on_watermark(&mut self, wm: TimeMs, out: &mut dyn FnMut(Record<O>)) {
+        let outs = &self.records_out;
+        self.inner.on_watermark(wm, &mut |o| {
+            outs.add(1);
+            out(o);
+        });
+    }
+
+    fn on_end(&mut self, out: &mut dyn FnMut(Record<O>)) {
+        let outs = &self.records_out;
+        self.inner.on_end(&mut |o| {
+            outs.add(1);
+            out(o);
+        });
+    }
+}
+
 /// Chains two operators into one.
 pub struct Chain<A, B, M> {
     first: A,
@@ -249,6 +331,20 @@ mod tests {
         let out = op.run(msgs(&[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]));
         assert_eq!(records(&out), vec![(1, 1), (2, 1), (3, 2), (4, 2), (5, 3)]);
         assert_eq!(op.key_count(), 2);
+    }
+
+    #[test]
+    fn instrument_counts_and_times() {
+        let mut op = InstrumentOp::new(FlatMapOp(|x: i32| vec![x, -x]));
+        let latency = op.latency();
+        let ins = op.records_in();
+        let outs = op.records_out();
+        let out = op.run(msgs(&[(1, 5), (2, 7)]));
+        assert_eq!(records(&out), vec![5, -5, 7, -7]);
+        assert_eq!(ins.count(), 2);
+        assert_eq!(outs.count(), 4);
+        assert_eq!(latency.count(), 2);
+        assert!(latency.quantile_us(1.0) <= latency.max_us());
     }
 
     #[test]

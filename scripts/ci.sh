@@ -33,6 +33,9 @@ run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 # hard failure. The binary prints the per-rule violation counts.
 run cargo run "${CARGO_FLAGS[@]}" -q -p datacron-analysis
 run cargo build "${CARGO_FLAGS[@]}" --release --workspace
+# Observability smoke: boot the release server, scrape `metrics` and
+# `slowlog` over the wire, and assert the exposition is well-formed.
+run scripts/obs_smoke.sh
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
 # Crash-recovery integration suite (kill/restart, corrupt + truncated WAL
 # tails) in release mode — the durability guarantees must hold under the

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Observability smoke test.
+#
+# Boots the release server on a kernel-assigned port with a throwaway
+# data dir, drives one ingest plus the `metrics` and `slowlog` requests
+# over the wire (plain bash /dev/tcp, no client tooling required), and
+# asserts the exposition is well-formed: the expected metric families
+# are present and the slow log carries span breakdowns.
+#
+# Usage: scripts/obs_smoke.sh   (expects `cargo build --release` done)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/datacron-serve
+if [[ ! -x "$BIN" ]]; then
+  echo "obs-smoke: $BIN not found; run 'cargo build --release' first" >&2
+  exit 1
+fi
+
+LOG=$(mktemp /tmp/obs-smoke-log.XXXXXX)
+DATA=$(mktemp -d /tmp/obs-smoke-data.XXXXXX)
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$LOG" "$DATA"
+}
+trap cleanup EXIT
+
+"$BIN" --addr 127.0.0.1:0 --workers 2 --queue 16 --data-dir "$DATA" \
+  >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The server prints its bound address once the listener is up.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^datacron-server listening on \([0-9.:]*\) .*/\1/p' "$LOG")
+  [[ -n "$ADDR" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "obs-smoke: server exited during startup:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+  echo "obs-smoke: server did not report a listen address:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+exec 3<>"/dev/tcp/$HOST/$PORT"
+
+# Sends one newline-delimited JSON request and reads the one-line reply
+# into RESP, asserting the server answered `"ok": true`.
+RESP=""
+request() {
+  printf '%s\n' "$1" >&3
+  IFS= read -r RESP <&3
+  if [[ "$RESP" != *'"ok":true'* && "$RESP" != *'"ok": true'* ]]; then
+    echo "obs-smoke: request failed: $1" >&2
+    echo "obs-smoke: response: $RESP" >&2
+    exit 1
+  fi
+}
+
+# Exercise the write path so every subsystem has something to report.
+# The protocol is one JSON object per line, so the batch must stay on
+# a single line.
+request "$(printf '%s' \
+  '{"type":"ingest","reports":[' \
+  '{"object":9,"t_ms":0,"lon":21.0,"lat":37.0,"speed_mps":6.0,"heading_deg":90.0},' \
+  '{"object":9,"t_ms":10000,"lon":21.01,"lat":37.0,"speed_mps":6.0,"heading_deg":90.0},' \
+  '{"object":9,"t_ms":20000,"lon":21.02,"lat":37.0,"speed_mps":6.0,"heading_deg":90.0}]}')"
+
+request '{"type":"metrics"}'
+for family in \
+  '# TYPE datacron_request_latency_us summary' \
+  '# TYPE datacron_pipeline_stage_latency_us summary' \
+  '# TYPE datacron_requests_total counter' \
+  '# TYPE datacron_queue_depth gauge' \
+  '# TYPE datacron_graph_triples gauge' \
+  '# TYPE datacron_wal_bytes gauge' \
+  '# TYPE datacron_wal_fsync_latency_us summary'; do
+  if [[ "$RESP" != *"$family"* ]]; then
+    echo "obs-smoke: exposition missing \"$family\"" >&2
+    echo "obs-smoke: response: $RESP" >&2
+    exit 1
+  fi
+done
+FAMILIES=$(grep -o '# TYPE' <<<"$RESP" | wc -l)
+
+request '{"type":"slowlog","limit":8}'
+for needle in '"entries"' '"total_us"' '"spans"' '"wal_append"'; do
+  if [[ "$RESP" != *"$needle"* ]]; then
+    echo "obs-smoke: slowlog missing $needle" >&2
+    echo "obs-smoke: response: $RESP" >&2
+    exit 1
+  fi
+done
+
+exec 3<&- 3>&-
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "obs-smoke: OK ($FAMILIES metric families, slow log populated)"
