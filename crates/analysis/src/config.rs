@@ -3,10 +3,10 @@
 //!
 //! Scoping policy (workspace mode):
 //! - `no_panic` (L1) applies to non-test sources of the serving/durability
-//!   crates: `server`, `storage`, `rdf`, `core`, `obs`.
+//!   crates: `server`, `storage`, `rdf`, `core`, `obs`, `repl`.
 //! - `safety_comment` (L2) applies to every file, test code included —
 //!   an `unsafe` block needs its justification no matter where it lives.
-//! - `truncation` (L3) applies to the four binary-format modules where a
+//! - `truncation` (L3) applies to the binary-format modules where a
 //!   silent `as` truncation corrupts data on disk or on the wire.
 //! - `wallclock` (L4) applies everywhere except designated clock modules
 //!   and load-generation/bench tools that pace against real deadlines.
@@ -83,21 +83,26 @@ impl fmt::Display for Rule {
 
 /// Crate-source prefixes where `no_panic` is enforced. `obs` is in
 /// scope because every metrics/trace call sits on the serving path — a
-/// panic in an observer would take down the request it observes.
-const NO_PANIC_SCOPE: [&str; 5] = [
+/// panic in an observer would take down the request it observes; `repl`
+/// because a panic in follower apply or leader fan-out takes the
+/// replica fleet with it.
+const NO_PANIC_SCOPE: [&str; 6] = [
     "crates/server/src/",
     "crates/storage/src/",
     "crates/rdf/src/",
     "crates/core/src/",
     "crates/obs/src/",
+    "crates/repl/src/",
 ];
 
-/// Binary-format modules where `truncation` is enforced.
-const TRUNCATION_SCOPE: [&str; 4] = [
+/// Binary-format modules where `truncation` is enforced. The repl b64
+/// codec is in scope: snapshot bytes cross the wire through it.
+const TRUNCATION_SCOPE: [&str; 5] = [
     "crates/storage/src/binser.rs",
     "crates/storage/src/crc.rs",
     "crates/rdf/src/binary.rs",
     "crates/server/src/codec.rs",
+    "crates/repl/src/b64.rs",
 ];
 
 /// Files and trees allowed to read the wall clock. The two `clock.rs`
@@ -229,8 +234,10 @@ mod tests {
     fn scoping_matches_policy() {
         assert!(rule_applies(Rule::NoPanic, "crates/server/src/server.rs"));
         assert!(rule_applies(Rule::NoPanic, "crates/obs/src/registry.rs"));
+        assert!(rule_applies(Rule::NoPanic, "crates/repl/src/follower.rs"));
         assert!(!rule_applies(Rule::NoPanic, "crates/viz/src/heatmap.rs"));
         assert!(rule_applies(Rule::Truncation, "crates/storage/src/crc.rs"));
+        assert!(rule_applies(Rule::Truncation, "crates/repl/src/b64.rs"));
         assert!(!rule_applies(Rule::Truncation, "crates/storage/src/wal.rs"));
         assert!(!rule_applies(Rule::Wallclock, "crates/stream/src/clock.rs"));
         assert!(!rule_applies(

@@ -12,8 +12,12 @@
 //! price list. Part 2 grows the WAL, then measures a cold recovery the
 //! way `datacron-server` performs it: read + verify + decode the log,
 //! replay it through a fresh analytics state, and — for comparison — a
-//! snapshot-only restart of the same state. Results land in
-//! `BENCH_storage.json` at the repo root.
+//! snapshot-only restart of the same state. Replay is measured both
+//! ways: one `ingest` call per WAL record (a graph commit per record —
+//! quadratic in log length, the pre-replication behaviour) and the
+//! batch path (`ingest_many`, one commit for the whole log) the server
+//! and follower catch-up now use. Results land in `BENCH_storage.json`
+//! at the repo root.
 
 use datacron_core::PipelineConfig;
 use datacron_geo::{BoundingBox, GeoPoint, TimeMs};
@@ -127,6 +131,7 @@ struct RecoveryResult {
     wal_bytes: u64,
     read_ms: f64,
     replay_ms: f64,
+    replay_batch_ms: f64,
     snapshot_bytes: usize,
     snapshot_restore_ms: f64,
 }
@@ -166,6 +171,15 @@ fn recovery_run(n_batches: usize, batches: &[Vec<u8>]) -> RecoveryResult {
     }
     let replay_ms = t.elapsed().as_secs_f64() * 1000.0;
 
+    // Batch replay: the whole decoded log through `ingest_many`, one
+    // graph commit total. This is the path recovery and follower
+    // catch-up actually take.
+    let mut batch_state = fresh_state();
+    let t = Instant::now();
+    batch_state.ingest_many(&decoded);
+    let replay_batch_ms = t.elapsed().as_secs_f64() * 1000.0;
+    drop(batch_state);
+
     // The alternative: restore the same end state from a snapshot.
     let snapshot = state.to_snapshot_bytes();
     let t = Instant::now();
@@ -188,6 +202,7 @@ fn recovery_run(n_batches: usize, batches: &[Vec<u8>]) -> RecoveryResult {
         wal_bytes,
         read_ms,
         replay_ms,
+        replay_batch_ms,
         snapshot_bytes: snapshot.len(),
         snapshot_restore_ms,
     }
@@ -229,8 +244,14 @@ fn main() {
     for &n in recovery_sizes {
         let r = recovery_run(n, &batches);
         eprintln!(
-            "recovery {:>6} records: read {:.1}ms replay {:.1}ms | snapshot restore {:.1}ms ({} bytes)",
-            r.wal_records, r.read_ms, r.replay_ms, r.snapshot_restore_ms, r.snapshot_bytes
+            "recovery {:>6} records: read {:.1}ms replay {:.1}ms batch-replay {:.1}ms ({:.0}x) | snapshot restore {:.1}ms ({} bytes)",
+            r.wal_records,
+            r.read_ms,
+            r.replay_ms,
+            r.replay_batch_ms,
+            r.replay_ms / r.replay_batch_ms.max(0.001),
+            r.snapshot_restore_ms,
+            r.snapshot_bytes
         );
         recoveries.push(r);
     }
@@ -257,11 +278,13 @@ fn main() {
     for (i, r) in recoveries.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"wal_records\": {}, \"wal_bytes\": {}, \"wal_read_ms\": {:.2}, \"replay_ms\": {:.2}, \"snapshot_bytes\": {}, \"snapshot_restore_ms\": {:.2}}}{}",
+            "    {{\"wal_records\": {}, \"wal_bytes\": {}, \"wal_read_ms\": {:.2}, \"replay_ms\": {:.2}, \"replay_batch_ms\": {:.2}, \"replay_speedup\": {:.1}, \"snapshot_bytes\": {}, \"snapshot_restore_ms\": {:.2}}}{}",
             r.wal_records,
             r.wal_bytes,
             r.read_ms,
             r.replay_ms,
+            r.replay_batch_ms,
+            r.replay_ms / r.replay_batch_ms.max(0.001),
             r.snapshot_bytes,
             r.snapshot_restore_ms,
             if i + 1 < recoveries.len() { "," } else { "" }

@@ -1,0 +1,148 @@
+//! Minimal standard-alphabet base64 (RFC 4648, with `=` padding).
+//!
+//! WAL frame payloads and snapshot bytes are binary, but the serving
+//! protocol is newline-delimited JSON; base64 is how binary payloads
+//! ride inside JSON strings. Hand-rolled because the workspace takes no
+//! external codec dependency, and written without truncating `as`
+//! casts so the binary-format lint (L3) covers it like the other codec
+//! modules.
+
+/// Encoding alphabet, indexed by 6-bit group value.
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Sentinel returned by [`decode_value`] for bytes outside the alphabet.
+const BAD: u8 = 0xff;
+
+/// 6-bit value of one alphabet byte, or [`BAD`]. The range arms cannot
+/// underflow or overflow u8, so this stays panic-free under
+/// overflow-checks.
+fn decode_value(b: u8) -> u8 {
+    match b {
+        b'A'..=b'Z' => b - b'A',
+        b'a'..=b'z' => b - b'a' + 26,
+        b'0'..=b'9' => b - b'0' + 52,
+        b'+' => 62,
+        b'/' => 63,
+        _ => BAD,
+    }
+}
+
+/// Encodes `bytes` as standard base64 with padding.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    let mut chunks = bytes.chunks_exact(3);
+    for c in &mut chunks {
+        let group = u32::from(c[0]) << 16 | u32::from(c[1]) << 8 | u32::from(c[2]);
+        push_group(&mut out, group, 4);
+    }
+    match chunks.remainder() {
+        [a] => {
+            push_group(&mut out, u32::from(*a) << 16, 2);
+            out.push_str("==");
+        }
+        [a, b] => {
+            push_group(&mut out, u32::from(*a) << 16 | u32::from(*b) << 8, 3);
+            out.push('=');
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Appends the top `chars` sextets of a 24-bit group.
+fn push_group(out: &mut String, group: u32, chars: u32) {
+    let mut shift = 18u32;
+    let mut emitted = 0u32;
+    while emitted < chars {
+        let idx = usize::try_from((group >> shift) & 0x3f).unwrap_or(0);
+        out.push(char::from(ALPHABET[idx]));
+        shift = shift.saturating_sub(6);
+        emitted += 1;
+    }
+}
+
+/// Decodes standard base64 (padding required for the final partial
+/// group). Returns a message describing the first malformed position
+/// on error.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (chunk_idx, chunk) in bytes.chunks_exact(4).enumerate() {
+        let last_chunk = (chunk_idx + 1) * 4 == bytes.len();
+        let pad = match chunk {
+            [_, _, b'=', b'='] if last_chunk => 2,
+            [_, _, _, b'='] if last_chunk => 1,
+            _ => 0,
+        };
+        let mut group = 0u32;
+        for (i, &b) in chunk.iter().enumerate() {
+            let value = if i >= 4 - pad { 0 } else { decode_value(b) };
+            if value == BAD {
+                return Err(format!(
+                    "invalid base64 byte 0x{b:02x} at offset {}",
+                    chunk_idx * 4 + i
+                ));
+            }
+            group = group << 6 | u32::from(value);
+        }
+        let full = group.to_be_bytes();
+        out.extend_from_slice(&full[1..4 - pad]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn round_trip_all_byte_values() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        for len in 0..all.len() {
+            let slice = &all[..len];
+            assert_eq!(decode(&encode(slice)).unwrap(), slice, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert!(decode("Zg=").is_err());
+        assert!(decode("Z").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_bytes() {
+        assert!(decode("Zg!=").is_err());
+        assert!(decode("Zg\n=").is_err());
+        // Padding in the middle of the string is malformed.
+        assert!(decode("Zg==Zm9v").is_err());
+    }
+
+    #[test]
+    fn rejects_pad_in_wrong_slot() {
+        assert!(decode("=g==").is_err());
+        assert!(decode("Z=g=").is_err());
+    }
+
+    #[test]
+    fn decode_inverts_alphabet() {
+        for (i, &c) in ALPHABET.iter().enumerate() {
+            assert_eq!(usize::from(decode_value(c)), i);
+        }
+    }
+}

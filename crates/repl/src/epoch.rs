@@ -1,0 +1,86 @@
+//! Durable leader-epoch counter.
+//!
+//! Every leader start increments a small counter file in the data
+//! directory and serves under that epoch; followers surface the last
+//! epoch they heard from a leader, so clients can tell "follower of the
+//! current leader" from "follower frozen at a dead leader's epoch". A
+//! memory-only leader (no data dir) always serves epoch
+//! [`MEMORY_EPOCH`].
+//!
+//! The write is crash-safe the same way snapshots are: write a temp
+//! file, fsync it, rename over the old one. A torn or missing file
+//! reads as epoch 0, so the first durable leader serves epoch 1.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Epoch served by a leader with no data directory.
+pub const MEMORY_EPOCH: u64 = 1;
+
+/// File name of the epoch counter inside the data directory.
+pub const EPOCH_FILE: &str = "epoch";
+
+/// Reads the current epoch counter without incrementing it. Missing or
+/// malformed files read as 0.
+pub fn read_epoch(dir: &Path) -> u64 {
+    let mut text = String::new();
+    let Ok(mut f) = File::open(dir.join(EPOCH_FILE)) else {
+        return 0;
+    };
+    if f.read_to_string(&mut text).is_err() {
+        return 0;
+    }
+    text.trim().parse().unwrap_or(0)
+}
+
+/// Increments and persists the epoch counter, returning the new value.
+/// Called once per leader start, before the listener comes up.
+pub fn next_epoch(dir: &Path) -> io::Result<u64> {
+    fs::create_dir_all(dir)?;
+    let epoch = read_epoch(dir).saturating_add(1);
+    let tmp = dir.join(format!("{EPOCH_FILE}.tmp"));
+    let mut f = File::create(&tmp)?;
+    f.write_all(epoch.to_string().as_bytes())?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join(EPOCH_FILE))?;
+    Ok(epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("repl-epoch-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn first_epoch_is_one_and_increments() {
+        let dir = temp_dir("incr");
+        assert_eq!(read_epoch(&dir), 0);
+        assert_eq!(next_epoch(&dir).unwrap(), 1);
+        assert_eq!(next_epoch(&dir).unwrap(), 2);
+        assert_eq!(read_epoch(&dir), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_file_resets_to_one() {
+        let dir = temp_dir("garbage");
+        fs::write(dir.join(EPOCH_FILE), b"\xff\xfenot a number").unwrap();
+        assert_eq!(read_epoch(&dir), 0);
+        assert_eq!(next_epoch(&dir).unwrap(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn creates_missing_directory() {
+        let dir = temp_dir("mkdir").join("nested");
+        assert_eq!(next_epoch(&dir).unwrap(), 1);
+        let _ = fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

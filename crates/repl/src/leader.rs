@@ -1,0 +1,194 @@
+//! Leader-side view of the follower fleet.
+//!
+//! The leader learns about followers passively: every `repl_frame`
+//! poll carries the follower's id and the sequence it wants next,
+//! which is an implicit ack of everything before it. In the WAL's
+//! 0-based sequence space that `from_seq` is exactly the follower's
+//! LSN — the count of records it has applied. The registry turns
+//! those observations plus the append-time ring into per-follower lag
+//! (records and microseconds) for the `stats` replication section and
+//! the obs gauges.
+//!
+//! All methods take `&self`; the registry is safe to share across the
+//! server's worker threads behind an `Arc`.
+
+use crate::lag::LagTracker;
+use parking_lot::Mutex;
+
+/// One follower's replication progress as seen by the leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FollowerLag {
+    /// Follower-supplied identity (stable across restarts).
+    pub id: String,
+    /// The follower's LSN: every sequence below it is implicitly
+    /// acked, and it is the next sequence the follower wants.
+    pub acked_lsn: u64,
+    /// Records appended on the leader but not yet acked.
+    pub lag_records: u64,
+    /// Age of the oldest unacked record, per the leader's clock.
+    pub lag_us: u64,
+    /// Leader clock reading at the follower's last poll.
+    pub last_seen_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    lag: LagTracker,
+    // (id, acked_lsn, last_seen_us); the fleet is small, linear scans
+    // keep ordering deterministic for stats output.
+    followers: Vec<(String, u64, u64)>,
+}
+
+/// Shared, thread-safe registry of follower progress.
+#[derive(Debug, Default)]
+pub struct FollowerRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl FollowerRegistry {
+    /// Creates an empty registry with the default lag-ring capacity.
+    pub fn new() -> Self {
+        FollowerRegistry::default()
+    }
+
+    /// Records a WAL append (`seq` at `at_us`) for time-lag accounting.
+    pub fn observe_append(&self, seq: u64, at_us: u64) {
+        self.inner.lock().lag.record(seq, at_us);
+    }
+
+    /// Records a follower poll asking for `from_seq` at `now_us`. A
+    /// poll for `from_seq` acks every sequence below it, so `from_seq`
+    /// is stored directly as the follower's LSN.
+    pub fn observe_poll(&self, follower_id: &str, from_seq: u64, now_us: u64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .followers
+            .iter_mut()
+            .find(|(id, _, _)| id == follower_id)
+        {
+            Some((_, acked_lsn, last_seen)) => {
+                // A restarted follower may legitimately re-poll from an
+                // older sequence; track what it actually asked for.
+                *acked_lsn = from_seq;
+                *last_seen = now_us;
+            }
+            None => inner
+                .followers
+                .push((follower_id.to_string(), from_seq, now_us)),
+        }
+    }
+
+    /// Drops followers not seen since `cutoff_us` so departed replicas
+    /// age out of stats and gauges.
+    pub fn prune(&self, cutoff_us: u64) {
+        self.inner
+            .lock()
+            .followers
+            .retain(|&(_, _, seen)| seen >= cutoff_us);
+    }
+
+    /// Per-follower lag given the leader's `next_seq` (one past the
+    /// last appended sequence) and the current clock reading.
+    pub fn snapshot(&self, next_seq: u64, now_us: u64) -> Vec<FollowerLag> {
+        let inner = self.inner.lock();
+        inner
+            .followers
+            .iter()
+            .map(|(id, acked_lsn, last_seen_us)| FollowerLag {
+                id: id.clone(),
+                acked_lsn: *acked_lsn,
+                lag_records: next_seq.saturating_sub(*acked_lsn),
+                lag_us: inner.lag.lag_us(*acked_lsn, now_us),
+                last_seen_us: *last_seen_us,
+            })
+            .collect()
+    }
+
+    /// Largest per-follower record lag, or 0 with no followers.
+    pub fn max_lag_records(&self, next_seq: u64) -> u64 {
+        self.inner
+            .lock()
+            .followers
+            .iter()
+            .map(|(_, acked, _)| next_seq.saturating_sub(*acked))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of followers currently tracked.
+    pub fn follower_count(&self) -> usize {
+        self.inner.lock().followers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_acks_everything_below_from_seq() {
+        let reg = FollowerRegistry::new();
+        reg.observe_append(1, 100);
+        reg.observe_append(2, 200);
+        reg.observe_append(3, 300);
+        reg.observe_poll("f1", 3, 1000);
+        let snap = reg.snapshot(4, 1000);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].acked_lsn, 3);
+        assert_eq!(snap[0].lag_records, 1);
+        assert_eq!(snap[0].lag_us, 700); // seq 3 appended at 300
+    }
+
+    #[test]
+    fn caught_up_follower_has_zero_lag() {
+        let reg = FollowerRegistry::new();
+        reg.observe_append(1, 100);
+        reg.observe_poll("f1", 2, 500);
+        let snap = reg.snapshot(2, 500);
+        assert_eq!(snap[0].lag_records, 0);
+        assert_eq!(snap[0].lag_us, 0);
+    }
+
+    #[test]
+    fn two_followers_tracked_independently() {
+        let reg = FollowerRegistry::new();
+        for seq in 1..=10 {
+            reg.observe_append(seq, seq * 10);
+        }
+        reg.observe_poll("fast", 11, 200);
+        reg.observe_poll("slow", 4, 200);
+        let snap = reg.snapshot(11, 200);
+        assert_eq!(snap.len(), 2);
+        let slow = snap.iter().find(|f| f.id == "slow").unwrap();
+        assert_eq!(slow.lag_records, 7);
+        assert_eq!(reg.max_lag_records(11), 7);
+    }
+
+    #[test]
+    fn prune_drops_silent_followers() {
+        let reg = FollowerRegistry::new();
+        reg.observe_poll("old", 1, 100);
+        reg.observe_poll("new", 1, 900);
+        reg.prune(500);
+        assert_eq!(reg.follower_count(), 1);
+        assert_eq!(reg.snapshot(1, 900)[0].id, "new");
+    }
+
+    #[test]
+    fn restart_rewinds_ack() {
+        let reg = FollowerRegistry::new();
+        reg.observe_poll("f1", 50, 100);
+        reg.observe_poll("f1", 10, 200);
+        let snap = reg.snapshot(51, 200);
+        assert_eq!(snap[0].acked_lsn, 10);
+        assert_eq!(snap[0].last_seen_us, 200);
+    }
+
+    #[test]
+    fn empty_registry_is_quiet() {
+        let reg = FollowerRegistry::new();
+        assert_eq!(reg.follower_count(), 0);
+        assert!(reg.snapshot(5, 5).is_empty());
+        assert_eq!(reg.max_lag_records(5), 0);
+    }
+}

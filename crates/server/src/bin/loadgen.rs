@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7878] [--rps 200] [--duration-s 10] [--conns 4]
 //!         [--batch 32] [--sweep 50,100,200,400,800]
+//!         [--targets HOST:PORT,HOST:PORT,...] [--read-only]
 //! ```
 //!
 //! Open-loop means send times follow the target schedule regardless of
@@ -12,6 +13,11 @@
 //! send timestamps); per-request latency lands in a shared histogram.
 //! With `--sweep`, one line per target rate prints the requests/s vs
 //! p50/p99 curve.
+//!
+//! `--targets` spreads connections round-robin over several endpoints —
+//! the read scale-out experiment (E18) points it at one leader plus its
+//! replicas. Combine with `--read-only` so the mix stays servable by
+//! followers (a replica answers ingest with `not_leader`).
 
 use datacron_core::sync::TrackedMutex;
 use datacron_server::json::Json;
@@ -62,9 +68,16 @@ struct RunStats {
     timeouts: AtomicU64,
 }
 
-fn build_request(seq: u64, id: u64, batch: usize, rng: &mut XorShift) -> Json {
+fn build_request(seq: u64, id: u64, batch: usize, read_only: bool, rng: &mut XorShift) -> Json {
     // 2 ingests : 3 sparql : 1 heatmap : 1 flows : 1 events per 8 requests.
+    // Read-only swaps the ingest slots for hotspots, keeping the request
+    // cadence identical so sweeps with and without writes compare.
     match seq % 8 {
+        0 | 4 if read_only => Json::obj()
+            .field("id", id)
+            .field("type", "hotspots")
+            .field("top_k", 10u64)
+            .build(),
         0 | 4 => {
             let object = 1 + rng.next() % 50;
             let reports: Vec<Json> = (0..batch)
@@ -122,6 +135,7 @@ fn run_connection(
     rps: f64,
     duration: Duration,
     batch: usize,
+    read_only: bool,
     stats: Arc<RunStats>,
 ) -> std::io::Result<()> {
     let stream = std::net::TcpStream::connect(addr)?;
@@ -200,7 +214,7 @@ fn run_connection(
         }
         next_send += interval;
         let id = seq;
-        let req = build_request(seq, id, batch, &mut rng);
+        let req = build_request(seq, id, batch, read_only, &mut rng);
         let mut line = String::new();
         req.write(&mut line);
         line.push('\n');
@@ -233,7 +247,14 @@ fn run_connection(
     Ok(())
 }
 
-fn run_step(addr: SocketAddr, rps: f64, duration: Duration, conns: usize, batch: usize) {
+fn run_step(
+    targets: &[SocketAddr],
+    rps: f64,
+    duration: Duration,
+    conns: usize,
+    batch: usize,
+    read_only: bool,
+) {
     let stats = Arc::new(RunStats {
         latency: LatencyHistogram::new(),
         sent: AtomicU64::new(0),
@@ -247,7 +268,12 @@ fn run_step(addr: SocketAddr, rps: f64, duration: Duration, conns: usize, batch:
     let handles: Vec<_> = (0..conns)
         .map(|i| {
             let stats = Arc::clone(&stats);
-            thread::spawn(move || run_connection(addr, i, per_conn_rps, duration, batch, stats))
+            // Round-robin endpoints: with 3 targets and 6 connections,
+            // each endpoint carries exactly a third of the offered load.
+            let addr = targets[i % targets.len()];
+            thread::spawn(move || {
+                run_connection(addr, i, per_conn_rps, duration, batch, read_only, stats)
+            })
         })
         .collect();
     let mut conn_errors = 0;
@@ -276,7 +302,10 @@ fn run_step(addr: SocketAddr, rps: f64, duration: Duration, conns: usize, batch:
         conn_errors,
     );
     if sent == 0 {
-        eprintln!("warning: no requests sent — is the server reachable at {addr}?");
+        eprintln!(
+            "warning: no requests sent — is the server reachable at {}?",
+            targets[0]
+        );
     }
 }
 
@@ -285,17 +314,33 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: loadgen [--addr HOST:PORT] [--rps N] [--duration-s N] \
-             [--conns N] [--batch N] [--sweep R1,R2,...]"
+             [--conns N] [--batch N] [--sweep R1,R2,...] \
+             [--targets HOST:PORT,HOST:PORT,...] [--read-only]"
         );
         return;
     }
-    let addr: SocketAddr = match arg(&args, "--addr", "127.0.0.1:7878".to_string()).parse() {
-        Ok(a) => a,
+    let target_list = args
+        .iter()
+        .position(|a| a == "--targets")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| arg(&args, "--addr", "127.0.0.1:7878".to_string()));
+    let targets: Vec<SocketAddr> = match target_list
+        .split(',')
+        .map(|s| s.trim().parse())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(t) if !t.is_empty() => t,
+        Ok(_) => {
+            eprintln!("--targets needs at least one HOST:PORT");
+            std::process::exit(1);
+        }
         Err(e) => {
-            eprintln!("bad --addr: {e}");
+            eprintln!("bad endpoint in {target_list:?}: {e}");
             std::process::exit(1);
         }
     };
+    let read_only = args.iter().any(|a| a == "--read-only");
     let duration = Duration::from_secs_f64(arg(&args, "--duration-s", 10.0_f64).max(0.1));
     let conns = arg(&args, "--conns", 4usize).max(1);
     let batch = arg(&args, "--batch", 32usize).max(1);
@@ -319,6 +364,6 @@ fn main() {
         "target", "ach_rps", "ok", "err", "busy", "tmo", "p50_us", "p99_us", "max_us", "cerr"
     );
     for rps in rates {
-        run_step(addr, rps, duration, conns, batch);
+        run_step(&targets, rps, duration, conns, batch, read_only);
     }
 }

@@ -4,6 +4,8 @@
 //! datacron-serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
 //!                [--data-dir DIR] [--fsync always|never|every=N]
 //!                [--snapshot-every N] [--segment-bytes N]
+//!                [--follow HOST:PORT] [--follower-id ID]
+//!                [--max-lag RECORDS] [--max-lag-ms MS] [--repl-poll-ms MS]
 //! ```
 //!
 //! Serves the newline-delimited JSON protocol until killed. The pipeline
@@ -15,10 +17,19 @@
 //! restarting on the same directory recovers the pre-crash state. SIGINT
 //! and SIGTERM trigger a graceful shutdown: the WAL is fsynced and a
 //! final clean snapshot installed before the process exits.
+//!
+//! With `--follow`, the process is a memory-only read replica of the
+//! given durable leader: it bootstraps over the wire, tails the
+//! leader's WAL, serves every read (stamped with `leader_epoch` /
+//! `applied_lsn`), and redirects writes with `not_leader`. `--max-lag`
+//! (records) and `--max-lag-ms` (leader silence) bound staleness: once
+//! either is exceeded, reads are shed with `stale` until the replica
+//! catches back up.
 
 use datacron_core::{PipelineConfig, PolygonSpec};
 use datacron_geo::BoundingBox;
-use datacron_server::{start, ServerConfig};
+use datacron_repl::StalenessPolicy;
+use datacron_server::{start, ReplicationConfig, ServerConfig};
 use datacron_storage::{FsyncPolicy, StorageConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -73,7 +84,9 @@ fn main() {
             "usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N] \
              [--sparql-partitions N] [--partition-min-triples N] \
              [--data-dir DIR] [--fsync always|never|every=N] \
-             [--snapshot-every N] [--segment-bytes N]"
+             [--snapshot-every N] [--segment-bytes N] \
+             [--follow HOST:PORT] [--follower-id ID] \
+             [--max-lag RECORDS] [--max-lag-ms MS] [--repl-poll-ms MS]"
         );
         return;
     }
@@ -107,22 +120,50 @@ fn main() {
             fsync,
             snapshot_every_records: arg(&args, "--snapshot-every", 1024u64),
         },
+        replication: ReplicationConfig {
+            follow: args
+                .iter()
+                .position(|a| a == "--follow")
+                .and_then(|i| args.get(i + 1))
+                .cloned(),
+            follower_id: arg(&args, "--follower-id", "follower-1".to_string()),
+            poll_interval: Duration::from_millis(arg(&args, "--repl-poll-ms", 50u64)),
+            policy: StalenessPolicy {
+                max_lag_records: args
+                    .iter()
+                    .position(|a| a == "--max-lag")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok()),
+                max_lag_us: args
+                    .iter()
+                    .position(|a| a == "--max-lag-ms")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|ms| ms.saturating_mul(1000)),
+            },
+            ..ReplicationConfig::default()
+        },
         ..ServerConfig::default()
     };
     let workers = cfg.workers;
     let queue = cfg.queue_capacity;
     let durable = cfg.data_dir.clone();
+    let following = cfg.replication.follow.clone();
     match start(cfg) {
         Ok(handle) => {
-            match &durable {
-                Some(dir) => println!(
-                    "datacron-server listening on {} ({} workers, queue {}, data dir {})",
+            match (&durable, &following) {
+                (Some(dir), _) => println!(
+                    "datacron-server listening on {} ({} workers, queue {}, leader, data dir {})",
                     handle.local_addr,
                     workers,
                     queue,
                     dir.display()
                 ),
-                None => println!(
+                (None, Some(leader)) => println!(
+                    "datacron-server listening on {} ({} workers, queue {}, following {})",
+                    handle.local_addr, workers, queue, leader
+                ),
+                (None, None) => println!(
                     "datacron-server listening on {} ({} workers, queue {}, in-memory)",
                     handle.local_addr, workers, queue
                 ),

@@ -12,7 +12,10 @@
 //!
 //! One JSON object per line in each direction; see [`protocol`] for the
 //! request grammar. Supported types: `ingest`, `sparql`, `heatmap`,
-//! `flows`, `hotspots`, `events`, `stats`, and the diagnostic `sleep`.
+//! `flows`, `hotspots`, `events`, `stats`, the diagnostic `sleep`, and
+//! the replication trio `repl_subscribe` / `repl_frame` / `repl_status`
+//! (see [`repl`]: a durable server is a leader shipping WAL frames;
+//! `--follow` turns a process into a read replica).
 //!
 //! # Architecture
 //!
@@ -33,11 +36,13 @@ pub mod client;
 pub mod codec;
 pub mod json;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod state;
 
 pub use client::Client;
 pub use json::Json;
 pub use protocol::{Envelope, ErrorCode, ProtocolError, Request};
-pub use server::{start, ServerConfig, ServerHandle, ServerMetrics};
+pub use repl::{ReplRuntime, ReplicationConfig};
+pub use server::{start, start_with_clock, ServerConfig, ServerHandle, ServerMetrics};
 pub use state::AnalyticsState;

@@ -29,6 +29,14 @@ pub const MAX_TOP_K: usize = 1_000;
 /// Longest `sleep` a client may request, milliseconds (diagnostics only).
 pub const MAX_SLEEP_MS: u64 = 5_000;
 
+/// Most WAL frames a single `repl_frame` response carries (bounds the
+/// response line; followers poll again for the rest).
+pub const MAX_REPL_FRAMES: usize = 512;
+
+/// Byte budget for the WAL payloads in one `repl_frame` response,
+/// pre-base64 (the line itself is ~4/3 of this plus framing).
+pub const MAX_REPL_BYTES: usize = 4 << 20;
+
 /// A machine-readable error category, the protocol's status-code analogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -46,6 +54,12 @@ pub enum ErrorCode {
     /// The durable log rejected the write; the batch was NOT applied and
     /// the client should retry (possibly against a recovered server).
     StorageError,
+    /// A write (or replication request) reached a follower. The response
+    /// carries a `"leader"` field with the address to redirect to.
+    NotLeader,
+    /// A follower shed a read because its replication lag exceeded the
+    /// configured bound; the response carries the observed lag.
+    Stale,
 }
 
 impl ErrorCode {
@@ -58,6 +72,8 @@ impl ErrorCode {
             ErrorCode::TooLarge => "too_large",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::StorageError => "storage_error",
+            ErrorCode::NotLeader => "not_leader",
+            ErrorCode::Stale => "stale",
         }
     }
 }
@@ -119,6 +135,28 @@ pub enum Request {
         /// Maximum entries returned (defaults to [`MAX_TOP_K`]).
         limit: usize,
     },
+    /// Follower registration and bootstrap (replication). The leader
+    /// answers with its epoch and WAL head, plus a full state snapshot
+    /// when `from_seq` is below the retained WAL floor.
+    ReplSubscribe {
+        /// The follower's self-chosen identity (shows up in leader stats).
+        follower: String,
+        /// The next WAL sequence the follower needs.
+        from_seq: u64,
+    },
+    /// Poll a window of WAL records starting at `from_seq` (replication).
+    /// Polling for `from_seq` implicitly acknowledges everything below it.
+    ReplFrame {
+        /// The follower's identity.
+        follower: String,
+        /// The next WAL sequence the follower needs.
+        from_seq: u64,
+        /// Most frames wanted, capped at [`MAX_REPL_FRAMES`].
+        max: usize,
+    },
+    /// Replication status: role, epoch, and per-follower lag on a leader;
+    /// applied position and observed leader head on a follower.
+    ReplStatus,
 }
 
 impl Request {
@@ -136,13 +174,27 @@ impl Request {
             Request::Sleep { .. } => "sleep",
             Request::Metrics => "metrics",
             Request::Slowlog { .. } => "slowlog",
+            Request::ReplSubscribe { .. } => "repl_subscribe",
+            Request::ReplFrame { .. } => "repl_frame",
+            Request::ReplStatus => "repl_status",
         }
     }
 
     /// All request tags, in metric-index order (see `request_index`).
-    pub const TAGS: [&'static str; 10] = [
-        "ingest", "sparql", "heatmap", "flows", "hotspots", "events", "stats", "sleep", "metrics",
+    pub const TAGS: [&'static str; 13] = [
+        "ingest",
+        "sparql",
+        "heatmap",
+        "flows",
+        "hotspots",
+        "events",
+        "stats",
+        "sleep",
+        "metrics",
         "slowlog",
+        "repl_subscribe",
+        "repl_frame",
+        "repl_status",
     ];
 
     /// Index of this request's tag within [`Request::TAGS`]. Exhaustive
@@ -160,7 +212,24 @@ impl Request {
             Request::Sleep { .. } => 7,
             Request::Metrics => 8,
             Request::Slowlog { .. } => 9,
+            Request::ReplSubscribe { .. } => 10,
+            Request::ReplFrame { .. } => 11,
+            Request::ReplStatus => 12,
         }
+    }
+
+    /// True for the read-path requests a follower serves (and stamps with
+    /// its replication position); writes and replication requests are not
+    /// reads, and diagnostics (`stats`, `metrics`, …) are never shed.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Request::Sparql { .. }
+                | Request::Heatmap { .. }
+                | Request::Flows { .. }
+                | Request::Hotspots { .. }
+                | Request::Events { .. }
+        )
     }
 }
 
@@ -180,6 +249,9 @@ pub struct ProtocolError {
     pub code: ErrorCode,
     /// The human-readable detail.
     pub msg: String,
+    /// Machine-readable fields carried alongside the error (e.g. the
+    /// leader address on `not_leader`, the observed lag on `stale`).
+    pub extra: Vec<(String, Json)>,
 }
 
 impl ProtocolError {
@@ -188,7 +260,14 @@ impl ProtocolError {
         Self {
             code,
             msg: msg.into(),
+            extra: Vec::new(),
         }
+    }
+
+    /// Attaches a machine-readable field to the error response.
+    pub fn with_field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
+        self.extra.push((key.into(), value.into()));
+        self
     }
 }
 
@@ -273,9 +352,44 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
         "slowlog" => Request::Slowlog {
             limit: parse_k(&v, "limit", MAX_TOP_K)?,
         },
+        "repl_subscribe" => Request::ReplSubscribe {
+            follower: parse_follower(&v)?,
+            // WAL sequences are 0-based; 0 means "from the first record".
+            from_seq: v.get("from_seq").and_then(Json::as_u64).unwrap_or(0),
+        },
+        "repl_frame" => Request::ReplFrame {
+            follower: parse_follower(&v)?,
+            from_seq: v
+                .get("from_seq")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("repl_frame needs integer \"from_seq\""))?,
+            max: match v.get("max") {
+                None | Some(Json::Null) => MAX_REPL_FRAMES,
+                Some(m) => {
+                    let m = m
+                        .as_u64()
+                        .ok_or_else(|| bad("\"max\" must be a non-negative integer"))?;
+                    usize::try_from(m)
+                        .unwrap_or(MAX_REPL_FRAMES)
+                        .min(MAX_REPL_FRAMES)
+                }
+            },
+        },
+        "repl_status" => Request::ReplStatus,
         other => return Err(bad(format!("unknown request type {other:?}"))),
     };
     Ok(Envelope { id, req })
+}
+
+fn parse_follower(v: &Json) -> Result<String, ProtocolError> {
+    let f = v
+        .get("follower")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("replication requests need a \"follower\" string"))?;
+    if f.is_empty() || f.len() > 128 {
+        return Err(bad("\"follower\" must be 1–128 bytes"));
+    }
+    Ok(f.to_string())
 }
 
 fn parse_k(v: &Json, field: &str, default: usize) -> Result<usize, ProtocolError> {
@@ -364,14 +478,26 @@ pub fn ok_response(id: &Json, fields: Vec<(String, Json)>) -> String {
 
 /// Builds an error response: `{"id":…,"ok":false,"code":…,"error":…}`.
 pub fn error_response(id: &Json, code: ErrorCode, msg: &str) -> String {
+    error_response_with(id, code, msg, Vec::new())
+}
+
+/// Like [`error_response`], with machine-readable extra fields appended
+/// (how `not_leader` carries the leader address and `stale` the lag).
+pub fn error_response_with(
+    id: &Json,
+    code: ErrorCode,
+    msg: &str,
+    extra: Vec<(String, Json)>,
+) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(false)),
+        ("code".to_string(), Json::Str(code.tag().to_string())),
+        ("error".to_string(), Json::Str(msg.to_string())),
+    ];
+    pairs.extend(extra);
     let mut out = String::new();
-    Json::obj()
-        .field("id", id.clone())
-        .field("ok", false)
-        .field("code", code.tag())
-        .field("error", msg)
-        .build()
-        .write(&mut out);
+    Json::Obj(pairs).write(&mut out);
     out
 }
 
@@ -400,7 +526,18 @@ mod tests {
             Request::Sleep { ms: 0 },
             Request::Metrics,
             Request::Slowlog { limit: 1 },
+            Request::ReplSubscribe {
+                follower: String::new(),
+                from_seq: 1,
+            },
+            Request::ReplFrame {
+                follower: String::new(),
+                from_seq: 1,
+                max: 1,
+            },
+            Request::ReplStatus,
         ];
+        assert_eq!(all.len(), Request::TAGS.len());
         for r in &all {
             assert_eq!(Request::TAGS[r.index()], r.tag());
         }
@@ -428,6 +565,15 @@ mod tests {
             (r#"{"type":"sleep","ms":10}"#, "sleep"),
             (r#"{"type":"metrics"}"#, "metrics"),
             (r#"{"type":"slowlog","limit":5}"#, "slowlog"),
+            (
+                r#"{"type":"repl_subscribe","follower":"f1","from_seq":1}"#,
+                "repl_subscribe",
+            ),
+            (
+                r#"{"type":"repl_frame","follower":"f1","from_seq":7,"max":64}"#,
+                "repl_frame",
+            ),
+            (r#"{"type":"repl_status"}"#, "repl_status"),
         ];
         for (line, tag) in cases {
             let env = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
@@ -520,5 +666,72 @@ mod tests {
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(v.get("code").and_then(Json::as_str), Some("busy"));
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn error_response_carries_extra_fields() {
+        let line = error_response_with(
+            &Json::Null,
+            ErrorCode::NotLeader,
+            "writes go to the leader",
+            vec![("leader".to_string(), Json::Str("127.0.0.1:7000".into()))],
+        );
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("not_leader"));
+        assert_eq!(
+            v.get("leader").and_then(Json::as_str),
+            Some("127.0.0.1:7000")
+        );
+    }
+
+    #[test]
+    fn repl_parse_rules() {
+        // from_seq defaults to 0 on subscribe (the whole 0-based log).
+        match parse_request(r#"{"type":"repl_subscribe","follower":"a"}"#)
+            .unwrap()
+            .req
+        {
+            Request::ReplSubscribe { from_seq, .. } => assert_eq!(from_seq, 0),
+            _ => unreachable!(),
+        }
+        match parse_request(r#"{"type":"repl_frame","follower":"a","from_seq":0}"#)
+            .unwrap()
+            .req
+        {
+            Request::ReplFrame { from_seq, max, .. } => {
+                assert_eq!(from_seq, 0);
+                assert_eq!(max, MAX_REPL_FRAMES);
+            }
+            _ => unreachable!(),
+        }
+        // max is capped, follower is required and bounded.
+        match parse_request(r#"{"type":"repl_frame","follower":"a","from_seq":5,"max":99999}"#)
+            .unwrap()
+            .req
+        {
+            Request::ReplFrame { max, .. } => assert_eq!(max, MAX_REPL_FRAMES),
+            _ => unreachable!(),
+        }
+        for line in [
+            r#"{"type":"repl_subscribe"}"#,
+            r#"{"type":"repl_subscribe","follower":""}"#,
+            r#"{"type":"repl_frame","follower":"a"}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().code,
+                ErrorCode::BadRequest,
+                "{line}"
+            );
+        }
+        // Reads are exactly the sheddable set.
+        assert!(parse_request(r#"{"type":"heatmap"}"#)
+            .unwrap()
+            .req
+            .is_read());
+        assert!(!parse_request(r#"{"type":"stats"}"#).unwrap().req.is_read());
+        assert!(!parse_request(r#"{"type":"repl_status"}"#)
+            .unwrap()
+            .req
+            .is_read());
     }
 }

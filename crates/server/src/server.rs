@@ -11,14 +11,17 @@
 use crate::codec;
 use crate::json::Json;
 use crate::protocol::{
-    self, error_response, ok_response, parse_request, Envelope, ErrorCode, ProtocolError, Request,
+    self, error_response, error_response_with, ok_response, parse_request, Envelope, ErrorCode,
+    ProtocolError, Request, MAX_REPL_BYTES,
 };
+use crate::repl::{self, ReplRuntime, ReplicationConfig};
 use crate::state::AnalyticsState;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use datacron_core::sync::{TrackedMutex, TrackedRwLock};
 use datacron_core::PipelineConfig;
 use datacron_geo::BoundingBox;
 use datacron_obs::{ClockSource, MonotonicClock, Registry, SlowLog, Trace};
+use datacron_repl::{b64, epoch, FollowerProgress, FollowerRegistry, StalenessVerdict};
 use datacron_storage::{Storage, StorageConfig};
 use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
@@ -68,6 +71,8 @@ pub struct ServerConfig {
     /// Slow-query log capacity: the N slowest requests kept with their
     /// span breakdowns (served by the `slowlog` request).
     pub slowlog_capacity: usize,
+    /// Replication role and knobs; default is a standalone leader.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +94,7 @@ impl Default for ServerConfig {
             storage: StorageConfig::default(),
             write_timeout: Duration::from_millis(500),
             slowlog_capacity: 32,
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -242,22 +248,71 @@ struct Shared {
     /// Lock order: state write lock first, then storage — both ingest
     /// and shutdown follow it, so they can never deadlock.
     storage: Option<Arc<TrackedMutex<Storage>>>,
+    /// Replication role plus its shared trackers.
+    repl: ReplRuntime,
     started: Stopwatch,
 }
 
 /// Binds, spawns the acceptor and worker pool, and returns immediately.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    start_with_clock(cfg, Arc::new(MonotonicClock::new()))
+}
+
+/// [`start`] with an injected clock, so tests can drive staleness and
+/// lag accounting deterministically. When following a leader, the
+/// initial bootstrap (subscribe + snapshot fetch) happens synchronously
+/// here: a follower that cannot reach its leader has nothing correct to
+/// serve, so startup fails instead.
+pub fn start_with_clock(
+    cfg: ServerConfig,
+    clock: Arc<dyn ClockSource>,
+) -> io::Result<ServerHandle> {
+    if cfg.replication.follow.is_some() && cfg.data_dir.is_some() {
+        return Err(io::Error::new(
+            ErrorKind::InvalidInput,
+            "a follower is a memory-only replica: --follow and --data-dir are mutually exclusive",
+        ));
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
-    let clock: Arc<dyn ClockSource> = Arc::new(MonotonicClock::new());
     let registry = Arc::new(Registry::new());
-    let (storage, recovered) = match &cfg.data_dir {
-        Some(dir) => {
+    let (storage, recovered, repl) = match (&cfg.replication.follow, &cfg.data_dir) {
+        (Some(leader), _) => {
+            // From position 0: a fresh replica wants the log from its
+            // first record (the leader sends a snapshot instead when 0
+            // has been retired).
+            let b = repl::bootstrap(&cfg, leader, 0)?;
+            let progress = Arc::new(FollowerProgress::new());
+            if b.applied_lsn > 0 {
+                progress.observe_apply(b.applied_lsn, 0);
+            }
+            progress.observe_leader(b.epoch, b.leader_next_seq, clock.now_us());
+            let repl = ReplRuntime::Follower {
+                leader: leader.clone(),
+                progress,
+                policy: cfg.replication.policy,
+            };
+            (None, b.state, repl)
+        }
+        (None, Some(dir)) => {
             let (storage, state) = recover(dir, &cfg, &clock)?;
             storage.register_metrics(&registry);
-            (Some(Arc::new(TrackedMutex::new("storage", storage))), state)
+            let repl = ReplRuntime::Leader {
+                // A durable epoch: every leader start gets a larger one,
+                // so followers can tell restarts from silence.
+                epoch: epoch::next_epoch(dir)?,
+                registry: Arc::new(FollowerRegistry::new()),
+                // The durable LSN: count of records in the WAL, which
+                // is exactly `next_seq` in its 0-based sequence space.
+                head: Arc::new(AtomicU64::new(storage.next_seq())),
+            };
+            (
+                Some(Arc::new(TrackedMutex::new("storage", storage))),
+                state,
+                repl,
+            )
         }
-        None => (
+        (None, None) => (
             None,
             AnalyticsState::with_sparql_partitions(
                 cfg.pipeline.clone(),
@@ -265,6 +320,11 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
                 cfg.sparql_partitions,
                 cfg.partition_min_triples,
             ),
+            ReplRuntime::Leader {
+                epoch: epoch::MEMORY_EPOCH,
+                registry: Arc::new(FollowerRegistry::new()),
+                head: Arc::new(AtomicU64::new(0)),
+            },
         ),
     };
     // Register the stage histograms on the plain state before it goes
@@ -284,6 +344,8 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         &slowlog,
         rx.clone(),
         &cfg,
+        &repl,
+        &clock,
     );
 
     let shared = Arc::new(Shared {
@@ -296,10 +358,31 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         queue: rx,
         cfg,
         storage: storage.clone(),
+        repl,
         started: Stopwatch::start(),
     });
 
-    let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+    let mut threads = Vec::with_capacity(shared.cfg.workers + 2);
+    if let ReplRuntime::Follower {
+        leader, progress, ..
+    } = &shared.repl
+    {
+        let sync = repl::FollowerSync {
+            cfg: shared.cfg.clone(),
+            leader: leader.clone(),
+            progress: Arc::clone(progress),
+            state: Arc::clone(&state),
+            registry: Arc::clone(&shared.registry),
+            clock: Arc::clone(&shared.clock),
+            slowlog: Arc::clone(&shared.slowlog),
+            shutdown: Arc::clone(&shutdown),
+        };
+        threads.push(
+            thread::Builder::new()
+                .name("datacron-repl-sync".to_string())
+                .spawn(move || repl::sync_loop(&sync))?,
+        );
+    }
     for i in 0..shared.cfg.workers.max(1) {
         let shared = Arc::clone(&shared);
         threads.push(
@@ -334,6 +417,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
 /// closures capture individual `Arc`s (never `Shared`) so the registry
 /// does not cycle back to itself, and they run with no registry lock
 /// held, so taking the state or storage lock here is unordered.
+#[allow(clippy::too_many_arguments)]
 fn install_collectors(
     registry: &Registry,
     state: &Arc<TrackedRwLock<AnalyticsState>>,
@@ -342,6 +426,8 @@ fn install_collectors(
     slowlog: &Arc<SlowLog>,
     queue: Receiver<(TcpStream, u64)>,
     cfg: &ServerConfig,
+    repl: &ReplRuntime,
+    clock: &Arc<dyn ClockSource>,
 ) {
     let state = Arc::clone(state);
     let storage = storage.map(Arc::clone);
@@ -349,7 +435,53 @@ fn install_collectors(
     let slowlog = Arc::clone(slowlog);
     let queue_capacity = cfg.queue_capacity as u64;
     let workers = cfg.workers as u64;
+    let repl = repl.clone();
+    let clock = Arc::clone(clock);
     registry.collector(move |sink| {
+        match &repl {
+            ReplRuntime::Leader {
+                epoch,
+                registry,
+                head,
+            } => {
+                let labels = [("role", "leader")];
+                sink.gauge("datacron_repl_epoch", &labels, *epoch);
+                let next_seq = head.load(Ordering::Relaxed).saturating_add(1);
+                sink.gauge(
+                    "datacron_repl_followers",
+                    &labels,
+                    registry.follower_count() as u64,
+                );
+                for f in registry.snapshot(next_seq, clock.now_us()) {
+                    let labels = [("follower", f.id.as_str())];
+                    sink.gauge("datacron_repl_follower_lag_records", &labels, f.lag_records);
+                    sink.gauge("datacron_repl_follower_lag_us", &labels, f.lag_us);
+                }
+            }
+            ReplRuntime::Follower { progress, .. } => {
+                let labels = [("role", "follower")];
+                sink.gauge("datacron_repl_epoch", &labels, progress.leader_epoch());
+                sink.gauge("datacron_repl_applied_lsn", &labels, progress.applied_lsn());
+                sink.gauge("datacron_repl_lag_records", &labels, progress.lag_records());
+                let last = progress.last_contact_us();
+                let silence = if last == 0 {
+                    0
+                } else {
+                    clock.now_us().saturating_sub(last)
+                };
+                sink.gauge("datacron_repl_silence_us", &labels, silence);
+                sink.counter(
+                    "datacron_repl_frames_applied_total",
+                    &labels,
+                    progress.frames_applied(),
+                );
+                sink.counter(
+                    "datacron_repl_records_applied_total",
+                    &labels,
+                    progress.records_applied(),
+                );
+            }
+        }
         sink.counter(
             "datacron_connections_total",
             &[("outcome", "accepted")],
@@ -447,22 +579,28 @@ fn recover(
             cfg.partition_min_triples,
         ),
     };
-    let mut replayed = 0usize;
+    // Decode every tail record first, then apply them all through the
+    // batch path: one graph commit for the whole tail instead of one per
+    // record, which is what makes long-tail replay linear instead of
+    // quadratic. A record that fails to decode stops the replay at the
+    // last good one, mirroring the storage layer's contract.
+    let mut batches = Vec::with_capacity(recovery.wal_tail.len());
     for (seq, payload) in &recovery.wal_tail {
         match codec::decode_batch(payload) {
-            Ok(batch) => {
-                state.ingest(&batch);
-                replayed += 1;
-            }
+            Ok(batch) => batches.push(batch),
             Err(e) => {
                 eprintln!(
                     "datacron-server: WAL replay stopped at seq {seq}: {e} \
-                     ({replayed} of {} records applied)",
+                     ({} of {} records applied)",
+                    batches.len(),
                     recovery.wal_tail.len()
                 );
                 break;
             }
         }
+    }
+    if !batches.is_empty() {
+        state.ingest_many(&batches);
     }
     if let Some(note) = &recovery.truncation {
         eprintln!("datacron-server: WAL tail dropped during recovery: {note}");
@@ -626,6 +764,12 @@ fn serve_connection(conn: TcpStream, shared: &Shared, queue_wait_us: u64) -> io:
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        // A client that always has the next request ready (a follower
+        // polling for WAL frames, say) would otherwise keep this worker
+        // serving forever and pin shutdown at the join.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
     }
 }
 
@@ -689,21 +833,69 @@ fn truncate_chars(s: &str, max: usize) -> String {
     format!("{}…", &s[..end])
 }
 
+/// `not_leader` error, carrying the leader address when this replica
+/// knows one (a follower always does).
+fn not_leader(repl: &ReplRuntime) -> ProtocolError {
+    let e = ProtocolError::new(
+        ErrorCode::NotLeader,
+        "writes and replication requests must go to the leader",
+    );
+    match repl {
+        ReplRuntime::Follower { leader, .. } => e.with_field("leader", leader.as_str()),
+        ReplRuntime::Leader { .. } => e,
+    }
+}
+
 fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool) {
     let id = &env.id;
+    // Follower read path: bounded staleness is enforced before touching
+    // state, so a shed read costs no locks.
+    if let ReplRuntime::Follower {
+        leader,
+        progress,
+        policy,
+    } = &shared.repl
+    {
+        if env.req.is_read() {
+            if let StalenessVerdict::Stale {
+                lag_records,
+                silence_us,
+            } = policy.check(progress, shared.clock.now_us())
+            {
+                let extra = vec![
+                    ("leader".to_string(), Json::Str(leader.clone())),
+                    ("lag_records".to_string(), Json::from(lag_records)),
+                    ("silence_us".to_string(), Json::from(silence_us)),
+                ];
+                return (
+                    error_response_with(
+                        id,
+                        ErrorCode::Stale,
+                        "replica lag exceeds the configured bound",
+                        extra,
+                    ),
+                    false,
+                );
+            }
+        }
+    }
     let exec_begin = trace.begin();
     let result: Result<Vec<(String, Json)>, ProtocolError> = match &env.req {
         Request::Ingest { reports } => {
-            let mut state = shared.state.write();
-            ingest_durable(&mut state, reports, shared, trace).map(|out| {
-                vec![
-                    ("accepted".into(), Json::from(out.accepted)),
-                    ("clean".into(), Json::from(out.clean)),
-                    ("kept".into(), Json::from(out.kept)),
-                    ("events".into(), Json::from(out.events.len() as u64)),
-                    ("triples".into(), Json::from(out.triples)),
-                ]
-            })
+            if matches!(&shared.repl, ReplRuntime::Follower { .. }) {
+                Err(not_leader(&shared.repl))
+            } else {
+                let mut state = shared.state.write();
+                ingest_durable(&mut state, reports, shared, trace).map(|out| {
+                    vec![
+                        ("accepted".into(), Json::from(out.accepted)),
+                        ("clean".into(), Json::from(out.clean)),
+                        ("kept".into(), Json::from(out.kept)),
+                        ("events".into(), Json::from(out.events.len() as u64)),
+                        ("triples".into(), Json::from(out.triples)),
+                    ]
+                })
+            }
         }
         Request::Sparql { query, limit } => {
             let res = shared.state.read().sparql(query, *limit);
@@ -745,6 +937,7 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
                 ),
                 ("server".to_string(), server),
                 ("pipeline".to_string(), pipeline),
+                ("replication".to_string(), replication_json(shared)),
             ];
             if let Some(storage) = &shared.storage {
                 let s = storage.lock().stats();
@@ -772,15 +965,211 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
             Json::from(shared.registry.render()),
         )]),
         Request::Slowlog { limit } => Ok(slowlog_fields(&shared.slowlog, *limit)),
+        Request::ReplSubscribe { follower, from_seq } => {
+            repl_subscribe(shared, follower, *from_seq, trace)
+        }
+        Request::ReplFrame {
+            follower,
+            from_seq,
+            max,
+        } => repl_frame(shared, follower, *from_seq, *max, trace),
+        Request::ReplStatus => Ok(vec![("replication".into(), replication_json(shared))]),
     };
     trace.end_span("exec", exec_begin);
     let ser_begin = trace.begin();
     let out = match result {
-        Ok(fields) => (ok_response(id, fields), true),
-        Err(e) => (error_response(id, e.code, &e.msg), false),
+        Ok(mut fields) => {
+            // Reads carry the replica position they were served at, so
+            // clients can reason about staleness end to end.
+            if env.req.is_read() {
+                let (leader_epoch, applied_lsn) = match &shared.repl {
+                    ReplRuntime::Leader { epoch, head, .. } => {
+                        (*epoch, head.load(Ordering::Relaxed))
+                    }
+                    ReplRuntime::Follower { progress, .. } => {
+                        (progress.leader_epoch(), progress.applied_lsn())
+                    }
+                };
+                fields.push(("leader_epoch".into(), Json::from(leader_epoch)));
+                fields.push(("applied_lsn".into(), Json::from(applied_lsn)));
+            }
+            (ok_response(id, fields), true)
+        }
+        Err(e) => (error_response_with(id, e.code, &e.msg, e.extra), false),
     };
     trace.end_span("serialize", ser_begin);
     out
+}
+
+/// Leader-side `repl_subscribe`: registers the follower and returns the
+/// epoch and WAL head, plus a full serialized state snapshot when
+/// `from_seq` has already been retired from the log. The state read
+/// lock excludes ingest (which appends under the write lock), so the
+/// snapshot is exactly the state as of `next_seq`.
+fn repl_subscribe(
+    shared: &Shared,
+    follower: &str,
+    from_seq: u64,
+    trace: &mut Trace,
+) -> Result<Vec<(String, Json)>, ProtocolError> {
+    let ReplRuntime::Leader {
+        epoch, registry, ..
+    } = &shared.repl
+    else {
+        return Err(not_leader(&shared.repl));
+    };
+    let Some(storage) = &shared.storage else {
+        return Err(ProtocolError::new(
+            ErrorCode::StorageError,
+            "replication needs a durable leader (start it with --data-dir)",
+        ));
+    };
+    // State read lock first, then storage: the vetted order.
+    let state = shared.state.read();
+    let storage = storage.lock();
+    let next_seq = storage.next_seq();
+    let floor = storage.first_retained_seq();
+    registry.observe_poll(follower, from_seq, shared.clock.now_us());
+    let mut fields = vec![
+        ("epoch".to_string(), Json::from(*epoch)),
+        ("next_seq".to_string(), Json::from(next_seq)),
+        ("first_retained_seq".to_string(), Json::from(floor)),
+    ];
+    if from_seq < floor {
+        let snap_begin = trace.begin();
+        let bytes = state.to_snapshot_bytes();
+        fields.push(("snapshot".to_string(), Json::from(b64::encode(&bytes))));
+        // The snapshot covers every record below `next_seq`, so the
+        // follower's position after installing it is `next_seq` itself.
+        fields.push(("snapshot_lsn".to_string(), Json::from(next_seq)));
+        trace.end_span("snapshot", snap_begin);
+    }
+    Ok(fields)
+}
+
+/// Leader-side `repl_frame`: serves a bounded window of WAL records
+/// from `from_seq`, or a `reset` marker when that position fell off the
+/// retained log (the follower must re-subscribe for a snapshot). The
+/// poll itself is the ack: everything below `from_seq` is confirmed.
+fn repl_frame(
+    shared: &Shared,
+    follower: &str,
+    from_seq: u64,
+    max: usize,
+    trace: &mut Trace,
+) -> Result<Vec<(String, Json)>, ProtocolError> {
+    let ReplRuntime::Leader {
+        epoch, registry, ..
+    } = &shared.repl
+    else {
+        return Err(not_leader(&shared.repl));
+    };
+    let Some(storage) = &shared.storage else {
+        return Err(ProtocolError::new(
+            ErrorCode::StorageError,
+            "replication needs a durable leader (start it with --data-dir)",
+        ));
+    };
+    let storage = storage.lock();
+    let next_seq = storage.next_seq();
+    let floor = storage.first_retained_seq();
+    registry.observe_poll(follower, from_seq, shared.clock.now_us());
+    let mut fields = vec![
+        ("epoch".to_string(), Json::from(*epoch)),
+        ("next_seq".to_string(), Json::from(next_seq)),
+    ];
+    if from_seq < floor {
+        fields.push(("reset".to_string(), Json::Bool(true)));
+        fields.push(("first_retained_seq".to_string(), Json::from(floor)));
+        return Ok(fields);
+    }
+    let read_begin = trace.begin();
+    let frames = storage
+        .read_from(from_seq, max, MAX_REPL_BYTES)
+        .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal read: {e}")))?;
+    trace.end_span("wal_read", read_begin);
+    let arr: Vec<Json> = frames
+        .iter()
+        .map(|(seq, payload)| {
+            Json::obj()
+                .field("seq", *seq)
+                .field("payload", b64::encode(payload))
+                .build()
+        })
+        .collect();
+    fields.push(("frames".to_string(), Json::Arr(arr)));
+    Ok(fields)
+}
+
+/// The `replication` section of `stats` (and the whole `repl_status`
+/// response): role, epoch, and position, plus per-follower lag on a
+/// leader and the staleness policy on a follower.
+fn replication_json(shared: &Shared) -> Json {
+    let now = shared.clock.now_us();
+    match &shared.repl {
+        ReplRuntime::Leader {
+            epoch,
+            registry,
+            head,
+        } => {
+            let next_seq = head.load(Ordering::Relaxed);
+            let followers: Vec<Json> = registry
+                .snapshot(next_seq, now)
+                .iter()
+                .map(|f| {
+                    Json::obj()
+                        .field("id", f.id.as_str())
+                        .field("acked_lsn", f.acked_lsn)
+                        .field("lag_records", f.lag_records)
+                        .field("lag_us", f.lag_us)
+                        .field("last_seen_us", f.last_seen_us)
+                        .build()
+                })
+                .collect();
+            Json::obj()
+                .field("role", "leader")
+                .field("epoch", *epoch)
+                .field("durable", shared.storage.is_some())
+                .field("next_seq", next_seq)
+                .field(
+                    "max_follower_lag_records",
+                    registry.max_lag_records(next_seq),
+                )
+                .field("followers", Json::Arr(followers))
+                .build()
+        }
+        ReplRuntime::Follower {
+            leader,
+            progress,
+            policy,
+        } => {
+            let last = progress.last_contact_us();
+            let silence_us = if last == 0 {
+                0
+            } else {
+                now.saturating_sub(last)
+            };
+            Json::obj()
+                .field("role", "follower")
+                .field("leader", leader.as_str())
+                .field("epoch", progress.leader_epoch())
+                .field("applied_lsn", progress.applied_lsn())
+                .field("leader_next_seq", progress.leader_next_seq())
+                .field("lag_records", progress.lag_records())
+                .field("silence_us", silence_us)
+                .field("frames_applied", progress.frames_applied())
+                .field("records_applied", progress.records_applied())
+                .field(
+                    "max_lag_records",
+                    policy.max_lag_records.map(Json::from).unwrap_or(Json::Null),
+                )
+                .field(
+                    "max_lag_us",
+                    policy.max_lag_us.map(Json::from).unwrap_or(Json::Null),
+                )
+                .build()
+        }
+    }
 }
 
 /// Renders the slow-query log for the `slowlog` response: entries
@@ -837,8 +1226,13 @@ fn ingest_durable(
     let wal_begin = trace.begin();
     let appended = storage.append(&payload);
     trace.end_span("wal_append", wal_begin);
-    appended
+    let seq = appended
         .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?;
+    if let ReplRuntime::Leader { registry, head, .. } = &shared.repl {
+        // `head` is an LSN: one past the sequence just appended.
+        head.store(seq.saturating_add(1), Ordering::Relaxed);
+        registry.observe_append(seq, shared.clock.now_us());
+    }
     let out = state.ingest(reports);
     if storage.should_snapshot() {
         if let Err(e) = storage.install_snapshot(&state.to_snapshot_bytes()) {

@@ -126,6 +126,34 @@ impl AnalyticsState {
         outcome
     }
 
+    /// Applies many already-logged batches in one shot: every batch runs
+    /// through the pipeline but the graph commits **once**, the partition
+    /// mirror syncs once, and the aggregates fold as usual. This is the
+    /// replay path (recovery and follower catch-up): commit cost grows
+    /// with graph size, so committing per batch makes an N-batch replay
+    /// quadratic while this stays linear. Not for live ingest — queries
+    /// between batches would see uncommitted triples as missing.
+    pub fn ingest_many<B: AsRef<[PositionReport]>>(&mut self, batches: &[B]) -> IngestOutcome {
+        let outcome = self.pipeline.ingest_batches(batches);
+        if let Some(m) = self.mirror.as_mut() {
+            m.ingest(self.pipeline.graph(), &outcome.new_triples);
+        }
+        for batch in batches {
+            for r in batch.as_ref() {
+                self.heat.add(&r.position());
+            }
+        }
+        for ev in &outcome.events {
+            self.fold_event(ev);
+            if self.recent.len() == MAX_RECENT_EVENTS {
+                self.recent.pop_front();
+                self.evicted += 1;
+            }
+            self.recent.push_back(ev.clone());
+        }
+        outcome
+    }
+
     /// Updates the origin–destination flow matrix from zone transitions:
     /// an exit remembers the origin, the next entry (into a different
     /// zone) records one `origin → destination` flow.

@@ -463,6 +463,74 @@ impl Wal {
         Ok(Replay { records, end })
     }
 
+    /// First sequence number still present in the log: the first
+    /// segment's starting sequence. A reader asking for anything older
+    /// must bootstrap from a snapshot instead.
+    pub fn first_retained_seq(&self) -> u64 {
+        self.segments.first().map_or(0, |s| s.first_seq)
+    }
+
+    /// Bounded tail read for replication: verified records with
+    /// `seq >= from_seq`, in order, stopping after `max_records`
+    /// records or once `max_bytes` of payload have been collected
+    /// (at least one record is returned if one exists, so a single
+    /// oversized record cannot wedge a tailer). `from_seq` must be at
+    /// least [`Wal::first_retained_seq`]; older positions silently
+    /// start at the first retained record — callers are expected to
+    /// check and fall back to a snapshot.
+    ///
+    /// Like [`Wal::replay_from`], this never returns unverified bytes:
+    /// the scan stops quietly at the first torn or corrupt record.
+    /// Appends go straight to the file (no userspace buffer), so a
+    /// tail read through a fresh handle observes every acknowledged
+    /// append.
+    pub fn tail_from(
+        &self,
+        from_seq: u64,
+        max_records: usize,
+        max_bytes: usize,
+    ) -> io::Result<Vec<(u64, Vec<u8>)>> {
+        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut bytes = 0usize;
+        let mut expect_seq: Option<u64> = None;
+        'segments: for (i, seg) in self.segments.iter().enumerate() {
+            // Skip segments that end before the requested start.
+            if let Some(next) = self.segments.get(i + 1) {
+                if next.first_seq <= from_seq {
+                    expect_seq = Some(next.first_seq);
+                    continue;
+                }
+            }
+            let file = match File::open(&seg.path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let mut reader = io::BufReader::new(file);
+            loop {
+                match read_record(&mut reader)? {
+                    Ok(Some((seq, payload))) => {
+                        let plausible = expect_seq.is_none_or(|e| seq == e) && seq >= seg.first_seq;
+                        if !plausible {
+                            break 'segments;
+                        }
+                        expect_seq = Some(seq + 1);
+                        if seq >= from_seq {
+                            bytes += payload.len();
+                            records.push((seq, payload));
+                            if records.len() >= max_records.max(1) || bytes >= max_bytes.max(1) {
+                                break 'segments;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => break 'segments,
+                }
+            }
+        }
+        Ok(records)
+    }
+
     /// Deletes sealed segments made wholly redundant by a snapshot that
     /// covers every record with `seq < through_seq`. The active segment is
     /// never deleted. Returns how many segments were removed.

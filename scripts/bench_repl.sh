@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# E18 — read scale-out across replicas, follower catch-up after a burst.
+#
+# Builds the release repl_scale binary, boots one durable leader plus
+# two memory-only followers over loopback TCP, preloads and waits for
+# convergence, then sweeps an identical closed-loop read mix over 1, 2,
+# and 3 serving endpoints. Writes BENCH_repl.json at the repo root.
+#
+# The same sweep can be driven against standalone processes with the
+# loadgen multi-endpoint mode, e.g.:
+#   target/release/datacron-serve --addr 127.0.0.1:7401 --data-dir /tmp/d &
+#   target/release/datacron-serve --addr 127.0.0.1:7402 --follow 127.0.0.1:7401 &
+#   target/release/datacron-loadgen --targets 127.0.0.1:7401,127.0.0.1:7402 \
+#     --read-only --rps 2000,4000,8000
+#
+# Usage: scripts/bench_repl.sh [--quick] [--offline]
+#   --quick    shorter preload and measurement steps (CI-sized run)
+#   --offline  resolve crates from the local cargo cache only
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+BIN_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    --quick) BIN_ARGS+=(quick) ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo run "${CARGO_FLAGS[@]}" --release -p datacron-bench --bin repl_scale -- "${BIN_ARGS[@]}"
+echo "==> BENCH_repl.json written"

@@ -36,6 +36,10 @@ run cargo build "${CARGO_FLAGS[@]}" --release --workspace
 # Observability smoke: boot the release server, scrape `metrics` and
 # `slowlog` over the wire, and assert the exposition is well-formed.
 run scripts/obs_smoke.sh
+# Replication smoke: boot a leader + follower pair, ingest at the
+# leader, and assert the follower converges, stamps reads with its
+# position, and redirects writes.
+run scripts/repl_smoke.sh
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
 # Crash-recovery integration suite (kill/restart, corrupt + truncated WAL
 # tails) in release mode — the durability guarantees must hold under the
