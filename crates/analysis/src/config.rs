@@ -233,6 +233,13 @@ mod tests {
     #[test]
     fn scoping_matches_policy() {
         assert!(rule_applies(Rule::NoPanic, "crates/server/src/server.rs"));
+        // The morsel executor is on the serving path: L1 and L5 must
+        // cover it (L5 covers all non-test code; the assertion pins the
+        // executor module by name so a future scope change can't silently
+        // drop it).
+        assert!(rule_applies(Rule::NoPanic, "crates/rdf/src/morsel.rs"));
+        assert!(rule_applies(Rule::LockOrder, "crates/rdf/src/morsel.rs"));
+        assert!(rule_applies(Rule::Wallclock, "crates/rdf/src/morsel.rs"));
         assert!(rule_applies(Rule::NoPanic, "crates/obs/src/registry.rs"));
         assert!(rule_applies(Rule::NoPanic, "crates/repl/src/follower.rs"));
         assert!(!rule_applies(Rule::NoPanic, "crates/viz/src/heatmap.rs"));

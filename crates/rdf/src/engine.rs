@@ -60,7 +60,7 @@ pub struct QueryStats {
 }
 
 /// Numeric/lexicographic comparison of two terms; `None` when incomparable.
-fn cmp_terms(a: &Term, b: &Term) -> Option<Ordering> {
+pub(crate) fn cmp_terms(a: &Term, b: &Term) -> Option<Ordering> {
     use Literal::*;
     match (a, b) {
         (Term::Iri(x), Term::Iri(y)) => Some(x.cmp(y)),
@@ -78,7 +78,7 @@ fn cmp_terms(a: &Term, b: &Term) -> Option<Ordering> {
     }
 }
 
-fn cmp_satisfies(op: CmpOp, ord: Option<Ordering>) -> bool {
+pub(crate) fn cmp_satisfies(op: CmpOp, ord: Option<Ordering>) -> bool {
     match (op, ord) {
         (CmpOp::Eq, Some(Ordering::Equal)) => true,
         (CmpOp::Ne, Some(o)) => o != Ordering::Equal,

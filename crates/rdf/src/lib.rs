@@ -18,6 +18,9 @@
 //!   and the spatiotemporal builtins `st_within`, `st_near`, `t_between`;
 //! * [`engine`] — greedy-ordered index-nested-loop BGP evaluation with
 //!   spatial/temporal pushdown;
+//! * [`morsel`] — the morsel-driven work-stealing executor: fixed-size
+//!   seed-scan morsels over per-worker deques, reusable flat binding
+//!   buffers, eager filters and hinted probes;
 //! * [`partition`] — the partitioning algorithms under evaluation: hash by
 //!   subject, spatial grid by subject home location, temporal range;
 //! * [`parallel`] — a partitioned store executing queries across worker
@@ -36,6 +39,7 @@ pub mod dict;
 pub mod engine;
 pub mod index;
 pub mod infer;
+pub mod morsel;
 pub mod ntriples;
 pub mod parallel;
 pub mod parser;
@@ -48,10 +52,11 @@ pub use binary::{from_binary, to_binary};
 pub use dict::{Dictionary, TermId};
 pub use engine::{execute, execute_reference, Bindings, QueryStats};
 pub use infer::{saturate_same_as, SaturationStats};
+pub use morsel::{execute_morsel, MorselConfig, MorselStats, DEFAULT_MORSEL_TRIPLES};
 pub use ntriples::{from_ntriples, to_ntriples};
 pub use parallel::{DecodedBindings, PartitionedStats, PartitionedStore};
 pub use parser::parse_query;
 pub use partition::{HashPartitioner, Partitioner, SpatialGridPartitioner, TemporalPartitioner};
 pub use query::{FilterExpr, PatternTerm, SelectQuery, TriplePattern};
-pub use store::{Graph, PatternSlice, PredicateStats, Triple};
+pub use store::{Graph, PatternSlice, PredicateStats, ProbeHint, Triple};
 pub use term::{Literal, Term};

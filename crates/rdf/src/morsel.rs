@@ -1,0 +1,1009 @@
+//! Morsel-driven, work-stealing BGP execution.
+//!
+//! The previous parallel model ran **one task per hash partition**: a big
+//! partition serialized the whole query and a partition count below the
+//! core count left cores idle. This module replaces it with the
+//! morsel-driven design: every routed partition's *seed scan* (the first
+//! pattern of the join order) is split into fixed-size triple **morsels**,
+//! all morsels from all partitions feed one worker pool through
+//! per-worker deques, and an idle worker **steals** from a victim's deque
+//! — so the largest single work unit is bounded by
+//! [`MorselConfig::morsel_triples`] no matter how skewed the partitions
+//! are. Hand-rolled on `std` threads and mutex-guarded deques, matching
+//! the repo's build-the-substrate style (no rayon).
+//!
+//! Each worker carries one set of flat columnar binding buffers
+//! (`cur`/`next`/`scratch`, `width`-sized row chunks) across every
+//! operator of every morsel it runs, so the hot join loop never
+//! reallocates per pattern. Two executor-only fast paths ride on the same
+//! plan:
+//!
+//! * **eager comparison filters** — a `FILTER (?s >= k)` is applied the
+//!   moment `?s` binds instead of after the last join, collapsing the
+//!   intermediate row count at the earliest possible step (a per-worker
+//!   memo caches the verdict per term id, so runs of equal ids decode and
+//!   compare once);
+//! * **hinted probes** — within a morsel the probe keys of a join step
+//!   ascend whenever the seed came off a sorted index prefix, so each step
+//!   keeps a [`ProbeHint`] cursor and probes via
+//!   [`Graph::pattern_slice_hinted`] (galloping search from the previous
+//!   position) instead of a cold O(log n) binary search.
+//!
+//! Join order still comes from the per-predicate statistics
+//! ([`Graph::estimate_pattern`] plus degree refinement), computed **once
+//! up front** per partition — valid because the greedy cost function
+//! depends only on which variables are bound, which is identical for
+//! every row. Result merge is per-worker append + final concat with
+//! global dedup, preserving the co-partitioned join semantics documented
+//! in [`crate::parallel`].
+
+use crate::clock::Stopwatch;
+use crate::dict::TermId;
+use crate::engine::{self, cmp_satisfies, cmp_terms, Bindings, QueryStats, Row};
+use crate::query::{CmpOp, FilterExpr, PatternTerm, SelectQuery, TriplePattern};
+use crate::store::{Graph, ProbeHint, Triple};
+use crate::term::Term;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default morsel size: small enough that one work unit can't serialize a
+/// query (the p99-tail guarantee), large enough to amortize deque traffic.
+pub const DEFAULT_MORSEL_TRIPLES: usize = 4096;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselConfig {
+    /// Worker pool size; `0` = one worker per available core.
+    pub workers: usize,
+    /// Seed-scan triples per morsel (the bound on the largest single work
+    /// unit). Values below 1 are treated as 1.
+    pub morsel_triples: usize,
+}
+
+impl Default for MorselConfig {
+    fn default() -> Self {
+        MorselConfig {
+            workers: 0,
+            morsel_triples: DEFAULT_MORSEL_TRIPLES,
+        }
+    }
+}
+
+impl MorselConfig {
+    /// A config with an explicit worker count (`0` = auto) and the default
+    /// morsel size.
+    pub fn with_workers(workers: usize) -> Self {
+        MorselConfig {
+            workers,
+            ..MorselConfig::default()
+        }
+    }
+
+    /// The concrete pool size this config resolves to on this host.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Executor statistics: how parallel the execution actually was.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorselStats {
+    /// Worker pool size the config resolved to.
+    pub workers: usize,
+    /// Workers that processed at least one morsel.
+    pub workers_used: usize,
+    /// Morsels executed.
+    pub morsels: u64,
+    /// Morsels obtained by stealing from another worker's deque.
+    pub steals: u64,
+}
+
+/// One position of a planned pattern, resolved against a graph's
+/// dictionary: a constant id or a variable slot.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Const(TermId),
+    Var(usize),
+}
+
+impl Slot {
+    /// The probe value of this position for `row` (`None` = wildcard or
+    /// not-yet-bound variable).
+    fn probe(&self, row: &[Option<TermId>]) -> Option<TermId> {
+        match *self {
+            Slot::Const(id) => Some(id),
+            Slot::Var(vi) => row[vi],
+        }
+    }
+
+    /// The probe value before any variable is bound (the seed scan).
+    fn const_probe(&self) -> Option<TermId> {
+        match *self {
+            Slot::Const(id) => Some(id),
+            Slot::Var(_) => None,
+        }
+    }
+}
+
+/// One join step: resolved slots plus the variable positions `bind` must
+/// fill, in S/P/O order (a variable may repeat within one pattern).
+#[derive(Debug)]
+struct Step {
+    s: Slot,
+    p: Slot,
+    o: Slot,
+    binds: Vec<(u8, usize)>,
+}
+
+/// Graph-independent query analysis: variable table, projection, eager
+/// comparison filters. Mirrors the engine prologue's validity rules.
+struct Shape<'q> {
+    all_vars: Vec<String>,
+    projected: Vec<String>,
+    proj_idx: Vec<usize>,
+    /// Per variable slot: the comparison filters to apply the moment the
+    /// slot binds.
+    eager: Vec<Vec<(CmpOp, &'q Term)>>,
+    var_idx: FxHashMap<String, usize>,
+    /// False when a filter or projected variable never occurs in the BGP
+    /// (the query is empty everywhere).
+    valid: bool,
+}
+
+fn shape(q: &SelectQuery) -> Shape<'_> {
+    let all_vars = q.all_vars();
+    let var_idx: FxHashMap<String, usize> = all_vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.clone(), i))
+        .collect();
+    let projected: Vec<String> = if q.vars.is_empty() {
+        all_vars.clone()
+    } else {
+        q.vars.clone()
+    };
+    let valid = q.filters.iter().all(|f| var_idx.contains_key(f.var()))
+        && projected.iter().all(|v| var_idx.contains_key(v));
+    let proj_idx: Vec<usize> = if valid {
+        projected.iter().map(|v| var_idx[v]).collect()
+    } else {
+        Vec::new()
+    };
+    let mut eager: Vec<Vec<(CmpOp, &Term)>> = vec![Vec::new(); all_vars.len()];
+    if valid {
+        for f in &q.filters {
+            if let FilterExpr::Compare { var, op, value } = f {
+                eager[var_idx[var]].push((*op, value));
+            }
+        }
+    }
+    Shape {
+        all_vars,
+        projected,
+        proj_idx,
+        eager,
+        var_idx,
+        valid,
+    }
+}
+
+/// A per-graph execution plan: join order as resolved steps plus the
+/// pushdown candidate sets.
+struct Plan {
+    steps: Vec<Step>,
+    candidates: FxHashMap<usize, FxHashSet<TermId>>,
+}
+
+/// Plans `q` against one graph. Returns the plan (`None` = provably empty
+/// here: a constant term absent from this graph's dictionary) and the
+/// pushdown candidate count (counted even for empty plans, matching the
+/// engine's prologue accounting).
+fn plan_graph(g: &Graph, q: &SelectQuery, shape: &Shape<'_>) -> (Option<Plan>, usize) {
+    // Pushdown: candidate id sets per variable from spatiotemporal filters.
+    let mut pushdown = 0usize;
+    let mut candidates: FxHashMap<usize, FxHashSet<TermId>> = FxHashMap::default();
+    for f in &q.filters {
+        let set = match f {
+            FilterExpr::SpatialWithin { bbox, .. } => g.spatial().within(bbox),
+            FilterExpr::SpatialNear {
+                center, radius_m, ..
+            } => g.spatial().near(center, *radius_m),
+            FilterExpr::TimeBetween { interval, .. } => g.temporal().between(interval),
+            FilterExpr::Compare { .. } => continue,
+        };
+        pushdown += set.len();
+        let idx = shape.var_idx[f.var()];
+        match candidates.get_mut(&idx) {
+            Some(existing) => existing.retain(|id| set.contains(id)),
+            None => {
+                candidates.insert(idx, set);
+            }
+        }
+    }
+
+    // Upfront greedy join order — the engine's cost function, computed
+    // once instead of per join state (it depends only on the
+    // bound-variable set, which the order itself determines).
+    let lookup = |pt: &PatternTerm| -> Result<Option<TermId>, ()> {
+        match pt {
+            PatternTerm::Term(t) => g.dict().lookup(t).map(Some).ok_or(()),
+            PatternTerm::Var(_) => Ok(None),
+        }
+    };
+    let mut remaining: Vec<usize> = (0..q.patterns.len()).collect();
+    let mut bound: FxHashSet<usize> = FxHashSet::default();
+    let mut order: Vec<usize> = Vec::with_capacity(q.patterns.len());
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (ri, &pi) in remaining.iter().enumerate() {
+            let pat: &TriplePattern = &q.patterns[pi];
+            let (s, p, o) = match (lookup(&pat.s), lookup(&pat.p), lookup(&pat.o)) {
+                (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+                _ => {
+                    // Unknown constant: zero matches in this graph — the
+                    // query is empty here.
+                    return (None, pushdown);
+                }
+            };
+            let mut cost = g.estimate_pattern(s, p, o) as f64;
+            let pstats = p.and_then(|pid| g.predicate_stats(pid));
+            for (pt, degree) in [
+                (
+                    &pat.s,
+                    pstats.map(|st| st.triples as f64 / st.distinct_subjects.max(1) as f64),
+                ),
+                (&pat.p, None),
+                (
+                    &pat.o,
+                    pstats.map(|st| st.triples as f64 / st.distinct_objects.max(1) as f64),
+                ),
+            ] {
+                let PatternTerm::Var(v) = pt else { continue };
+                let vi = shape.var_idx[v];
+                if bound.contains(&vi) {
+                    cost = match degree {
+                        Some(d) => cost.min(d),
+                        None => cost / 16.0,
+                    };
+                }
+                if candidates.contains_key(&vi) {
+                    cost /= 4.0;
+                }
+                // Executor-only refinement: a variable with an eager
+                // comparison filter sheds rows at bind time, so patterns
+                // binding it early are cheaper than their raw range width.
+                if !shape.eager[vi].is_empty() {
+                    cost /= 4.0;
+                }
+            }
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((ri, cost));
+            }
+        }
+        let Some((ri, _)) = best else { break };
+        let pi = remaining.swap_remove(ri);
+        order.push(pi);
+        for v in q.patterns[pi].vars() {
+            bound.insert(shape.var_idx[v]);
+        }
+    }
+
+    // Resolve the ordered patterns into steps.
+    let mut steps = Vec::with_capacity(order.len());
+    for pi in order {
+        let pat = &q.patterns[pi];
+        let slot = |pt: &PatternTerm| -> Option<Slot> {
+            match pt {
+                PatternTerm::Term(t) => g.dict().lookup(t).map(Slot::Const),
+                PatternTerm::Var(v) => Some(Slot::Var(shape.var_idx[v])),
+            }
+        };
+        let (Some(s), Some(p), Some(o)) = (slot(&pat.s), slot(&pat.p), slot(&pat.o)) else {
+            return (None, pushdown);
+        };
+        let mut binds: Vec<(u8, usize)> = Vec::with_capacity(3);
+        for (pos, sl) in [(0u8, &s), (1, &p), (2, &o)] {
+            if let Slot::Var(vi) = sl {
+                binds.push((pos, *vi));
+            }
+        }
+        steps.push(Step { s, p, o, binds });
+    }
+    (Some(Plan { steps, candidates }), pushdown)
+}
+
+/// One planned partition feeding the shared pool.
+struct Unit<'a> {
+    graph: &'a Graph,
+    /// Index into the caller's routed graph list (result rows decode
+    /// through this graph).
+    gidx: usize,
+    plan: Plan,
+    /// Seed-pattern probe values (no variable is bound at the seed).
+    seed: (Option<TermId>, Option<TermId>, Option<TermId>),
+}
+
+/// A fixed-size unit of seed-scan work: a key range of one partition's
+/// seed slice, or a chunk of its uncommitted tail.
+#[derive(Debug, Clone, Copy)]
+struct Morsel {
+    unit: u32,
+    lo: usize,
+    hi: usize,
+    tail: bool,
+}
+
+/// Everything a worker needs, shared by reference across the pool.
+struct Ctx<'a, 'q> {
+    units: Vec<Unit<'a>>,
+    shape: &'q Shape<'q>,
+    limit: Option<usize>,
+    deques: Vec<Mutex<VecDeque<Morsel>>>,
+    limit_hit: AtomicBool,
+}
+
+/// Per-worker results, merged after the scope joins.
+#[derive(Default)]
+struct WorkerOut {
+    /// Projected rows tagged with the producing unit ordinal.
+    rows: Vec<(u32, Row)>,
+    probes: usize,
+    intermediate: usize,
+    morsels: u64,
+    steals: u64,
+}
+
+/// Pops the next morsel: own deque from the front (preserving ascending
+/// seed order for the probe hints), victims from the back (the far end,
+/// minimizing repeat steals from the same run). Never holds two deque
+/// locks at once, so no ordering edge is ever introduced.
+fn next_morsel(ctx: &Ctx<'_, '_>, w: usize, steals: &mut u64) -> Option<Morsel> {
+    if let Ok(mut own) = ctx.deques[w].lock() {
+        if let Some(m) = own.pop_front() {
+            return Some(m);
+        }
+    }
+    let n = ctx.deques.len();
+    for i in 1..n {
+        let v = (w + i) % n;
+        if let Ok(mut victim) = ctx.deques[v].lock() {
+            if let Some(m) = victim.pop_back() {
+                *steals += 1;
+                return Some(m);
+            }
+        }
+    }
+    None
+}
+
+/// The buffers `bind` writes: the one-row staging area and the
+/// eager-filter memo.
+struct BindBufs {
+    /// Staging row; on a successful bind it holds the extended row.
+    scratch: Vec<Option<TermId>>,
+    /// Per-variable memo of the last eager-filter verdict: consecutive
+    /// equal ids (sorted seed slices) decode and compare once.
+    memo: Vec<Option<(TermId, bool)>>,
+}
+
+/// Reusable per-worker state: the flat columnar binding buffers carried
+/// across operators and morsels, probe hints, and the local dedup set.
+struct WorkerState {
+    /// Current bindings, `width`-sized row chunks.
+    cur: Vec<Option<TermId>>,
+    /// Next step's bindings (swapped with `cur` after each step).
+    next: Vec<Option<TermId>>,
+    /// The all-unbound row seeding each morsel.
+    base: Vec<Option<TermId>>,
+    /// Per-step probe cursors (reset at morsel start).
+    hints: Vec<ProbeHint>,
+    bufs: BindBufs,
+    /// Worker-local dedup over (unit, projected row).
+    seen: FxHashSet<(u32, Row)>,
+    /// Rows kept per unit (worker-local limit cap).
+    per_unit: Vec<usize>,
+}
+
+impl WorkerState {
+    fn new(width: usize, steps: usize, units: usize) -> Self {
+        WorkerState {
+            cur: Vec::new(),
+            next: Vec::new(),
+            base: vec![None; width],
+            hints: vec![ProbeHint::default(); steps],
+            bufs: BindBufs {
+                scratch: vec![None; width],
+                memo: vec![None; width],
+            },
+            seen: FxHashSet::default(),
+            per_unit: vec![0; units],
+        }
+    }
+}
+
+/// Binds `t` into `bufs.scratch` (copied from `row` first), honoring
+/// repeated variables, pushdown candidate sets, and eager comparison
+/// filters. Returns false when the triple cannot extend the row.
+fn bind(
+    g: &Graph,
+    shape: &Shape<'_>,
+    plan: &Plan,
+    step: &Step,
+    row: &[Option<TermId>],
+    t: Triple,
+    bufs: &mut BindBufs,
+) -> bool {
+    bufs.scratch.copy_from_slice(row);
+    for &(pos, vi) in &step.binds {
+        let id = match pos {
+            0 => t.s,
+            1 => t.p,
+            _ => t.o,
+        };
+        match bufs.scratch[vi] {
+            Some(existing) if existing != id => return false,
+            Some(_) => {}
+            None => {
+                if let Some(cand) = plan.candidates.get(&vi) {
+                    if !cand.contains(&id) {
+                        return false;
+                    }
+                }
+                let filters = &shape.eager[vi];
+                if !filters.is_empty() {
+                    let ok = match bufs.memo[vi] {
+                        Some((mid, verdict)) if mid == id => verdict,
+                        _ => {
+                            let Some(term) = g.decode(id) else {
+                                return false;
+                            };
+                            let verdict = filters
+                                .iter()
+                                .all(|(op, value)| cmp_satisfies(*op, cmp_terms(term, value)));
+                            bufs.memo[vi] = Some((id, verdict));
+                            verdict
+                        }
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+                bufs.scratch[vi] = Some(id);
+            }
+        }
+    }
+    true
+}
+
+/// Runs one morsel through every join step and appends surviving projected
+/// rows to `out`.
+fn run_morsel(ctx: &Ctx<'_, '_>, m: Morsel, st: &mut WorkerState, out: &mut WorkerOut) {
+    let unit = &ctx.units[m.unit as usize];
+    let (g, plan, shape) = (unit.graph, &unit.plan, ctx.shape);
+    let width = shape.all_vars.len();
+    let Some(seed) = plan.steps.first() else {
+        return;
+    };
+    for h in &mut st.hints {
+        *h = ProbeHint::default();
+    }
+
+    // Seed phase: materialize the morsel's key range (or tail chunk) into
+    // the flat `cur` buffer.
+    st.cur.clear();
+    let mut cur_rows = 0usize;
+    let (ss, sp, so) = unit.seed;
+    if m.tail {
+        for t in &g.tail_triples()[m.lo..m.hi] {
+            let hits = ss.is_none_or(|x| x == t.s)
+                && sp.is_none_or(|x| x == t.p)
+                && so.is_none_or(|x| x == t.o);
+            if hits && bind(g, shape, plan, seed, &st.base, *t, &mut st.bufs) {
+                st.cur.extend_from_slice(&st.bufs.scratch);
+                cur_rows += 1;
+            }
+        }
+    } else {
+        for t in g.pattern_slice(ss, sp, so).slice(m.lo, m.hi).iter() {
+            if bind(g, shape, plan, seed, &st.base, t, &mut st.bufs) {
+                st.cur.extend_from_slice(&st.bufs.scratch);
+                cur_rows += 1;
+            }
+        }
+    }
+    out.intermediate += cur_rows;
+
+    // Join steps over the reused flat buffers.
+    for (si, step) in plan.steps.iter().enumerate().skip(1) {
+        if cur_rows == 0 {
+            break;
+        }
+        st.next.clear();
+        let mut next_rows = 0usize;
+        let tail = g.tail_triples();
+        for r in 0..cur_rows {
+            let (rs, rp, ro) = {
+                let row = &st.cur[r * width..(r + 1) * width];
+                (step.s.probe(row), step.p.probe(row), step.o.probe(row))
+            };
+            out.probes += 1;
+            for t in g.pattern_slice_hinted(rs, rp, ro, &mut st.hints[si]).iter() {
+                if bind(
+                    g,
+                    shape,
+                    plan,
+                    step,
+                    &st.cur[r * width..(r + 1) * width],
+                    t,
+                    &mut st.bufs,
+                ) {
+                    st.next.extend_from_slice(&st.bufs.scratch);
+                    next_rows += 1;
+                }
+            }
+            if !tail.is_empty() {
+                for t in tail {
+                    let hits = rs.is_none_or(|x| x == t.s)
+                        && rp.is_none_or(|x| x == t.p)
+                        && ro.is_none_or(|x| x == t.o);
+                    if hits
+                        && bind(
+                            g,
+                            shape,
+                            plan,
+                            step,
+                            &st.cur[r * width..(r + 1) * width],
+                            *t,
+                            &mut st.bufs,
+                        )
+                    {
+                        st.next.extend_from_slice(&st.bufs.scratch);
+                        next_rows += 1;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut st.cur, &mut st.next);
+        cur_rows = next_rows;
+        out.intermediate += cur_rows;
+    }
+
+    // Projection + worker-local dedup + limit cap. Every BGP variable is
+    // bound after the last step, so no residual filter pass remains (the
+    // eager path already applied every comparison).
+    let cap = ctx.limit.map(|l| l.max(1));
+    for r in 0..cur_rows {
+        let row = &st.cur[r * width..(r + 1) * width];
+        let maybe_out: Option<Row> = shape.proj_idx.iter().map(|&i| row[i]).collect();
+        let Some(out_row) = maybe_out else {
+            continue;
+        };
+        if let Some(cap) = cap {
+            if st.per_unit[m.unit as usize] >= cap {
+                // This unit alone already guarantees `limit` distinct rows
+                // globally (ids decode injectively per graph), so the rest
+                // of the morsel can be dropped.
+                break;
+            }
+        }
+        if st.seen.insert((m.unit, out_row.clone())) {
+            out.rows.push((m.unit, out_row));
+            st.per_unit[m.unit as usize] += 1;
+            if cap.is_some_and(|c| st.per_unit[m.unit as usize] >= c) {
+                ctx.limit_hit.store(true, AtomicOrdering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The worker loop: drain the own deque, then steal until everything is
+/// dry (all morsels exist up front, so one empty sweep means done).
+fn worker_run(ctx: &Ctx<'_, '_>, w: usize) -> WorkerOut {
+    let mut out = WorkerOut::default();
+    let width = ctx.shape.all_vars.len();
+    let steps = ctx
+        .units
+        .iter()
+        .map(|u| u.plan.steps.len())
+        .max()
+        .unwrap_or(0);
+    let mut st = WorkerState::new(width, steps, ctx.units.len());
+    loop {
+        if ctx.limit_hit.load(AtomicOrdering::Relaxed) {
+            break;
+        }
+        let Some(m) = next_morsel(ctx, w, &mut out.steals) else {
+            break;
+        };
+        out.morsels += 1;
+        run_morsel(ctx, m, &mut st, &mut out);
+    }
+    out
+}
+
+/// The outcome of a pool run, before result-format-specific merging.
+struct RunOutcome {
+    projected: Vec<String>,
+    /// Per-worker row lists, each `(unit ordinal, projected id row)`.
+    rows: Vec<Vec<(u32, Row)>>,
+    /// Unit ordinal → index into the caller's graph list.
+    unit_gidx: Vec<usize>,
+    stats: QueryStats,
+    morsel: MorselStats,
+    /// Partitions with a live plan (the `partitions_probed` count).
+    ready: usize,
+}
+
+/// Plans `q` against every routed graph, splits the seed scans into
+/// morsels, and drains them through the work-stealing pool.
+fn run(graphs: &[&Graph], q: &SelectQuery, cfg: &MorselConfig) -> RunOutcome {
+    let shape = shape(q);
+    let mut stats = QueryStats::default();
+    let mut morsel_stats = MorselStats {
+        workers: cfg.resolved_workers(),
+        ..MorselStats::default()
+    };
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    let mut planning = Duration::ZERO;
+    if shape.valid {
+        for (gidx, &g) in graphs.iter().enumerate() {
+            let t_plan = Stopwatch::start();
+            let (plan, pushdown) = plan_graph(g, q, &shape);
+            // Per-partition planning runs on the caller thread but is
+            // reported as the per-partition maximum, the same critical-path
+            // convention the thread-per-partition executor used.
+            planning = planning.max(t_plan.elapsed());
+            stats.pushdown_candidates += pushdown;
+            if let Some(plan) = plan {
+                let seed = plan.steps.first().map_or((None, None, None), |s| {
+                    (s.s.const_probe(), s.p.const_probe(), s.o.const_probe())
+                });
+                units.push(Unit {
+                    graph: g,
+                    gidx,
+                    plan,
+                    seed,
+                });
+            }
+        }
+    }
+    stats.planning_us = planning.as_micros() as u64;
+    // The seed scan of each planned partition counts as one probe, as in
+    // the per-partition engine (morsels chunk that one logical probe).
+    stats.probes += units.len();
+    let ready = units.len();
+
+    // Morsel generation: fixed-size chunks of every seed slice plus the
+    // (usually empty) uncommitted tails.
+    let step = cfg.morsel_triples.max(1);
+    let mut morsels: Vec<Morsel> = Vec::new();
+    for (ui, unit) in units.iter().enumerate() {
+        let (s, p, o) = unit.seed;
+        let mut chunk = |n: usize, tail: bool| {
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + step).min(n);
+                morsels.push(Morsel {
+                    unit: ui as u32,
+                    lo,
+                    hi,
+                    tail,
+                });
+                lo = hi;
+            }
+        };
+        chunk(unit.graph.pattern_slice(s, p, o).len(), false);
+        chunk(unit.graph.tail_triples().len(), true);
+    }
+    morsel_stats.morsels = morsels.len() as u64;
+
+    // Distribute contiguous runs so each worker's own deque ascends (probe
+    // hints stay monotonic); stealing takes from the far end.
+    let pool = morsel_stats.workers.min(morsels.len()).max(1);
+    let total = morsels.len().max(1);
+    let mut queues: Vec<VecDeque<Morsel>> = (0..pool).map(|_| VecDeque::new()).collect();
+    for (i, m) in morsels.into_iter().enumerate() {
+        queues[i * pool / total].push_back(m);
+    }
+    let ctx = Ctx {
+        units,
+        shape: &shape,
+        limit: q.limit,
+        deques: queues.into_iter().map(Mutex::new).collect(),
+        limit_hit: AtomicBool::new(false),
+    };
+
+    let outs: Vec<WorkerOut> = if pool <= 1 {
+        // No parallelism to win: run the whole deque inline, no spawn.
+        vec![worker_run(&ctx, 0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..pool)
+                .map(|w| {
+                    let ctx = &ctx;
+                    scope.spawn(move || worker_run(ctx, w))
+                })
+                .collect();
+            handles
+                .into_iter()
+                // lint:allow(no_panic) re-raise a worker panic on the
+                // caller thread rather than silently dropping results.
+                .map(|h| h.join().expect("morsel worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut rows = Vec::with_capacity(outs.len());
+    for o in outs {
+        stats.probes += o.probes;
+        stats.intermediate += o.intermediate;
+        morsel_stats.steals += o.steals;
+        if o.morsels > 0 {
+            morsel_stats.workers_used += 1;
+        }
+        rows.push(o.rows);
+    }
+    let unit_gidx = ctx.units.iter().map(|u| u.gidx).collect();
+    RunOutcome {
+        projected: shape.projected,
+        rows,
+        unit_gidx,
+        stats,
+        morsel: morsel_stats,
+        ready,
+    }
+}
+
+/// Executes `q` against a single graph on the morsel executor. Returns
+/// the same row set as [`engine::execute`] (order unspecified), plus the
+/// executor statistics.
+pub fn execute_morsel(
+    graph: &Graph,
+    q: &SelectQuery,
+    cfg: &MorselConfig,
+) -> (Bindings, QueryStats, MorselStats) {
+    if q.patterns.is_empty() {
+        // The empty-BGP epilogue (one all-unbound row) has no seed scan to
+        // morselize; the per-graph engine handles it directly.
+        let (b, s) = engine::execute(graph, q);
+        let morsel = MorselStats {
+            workers: cfg.resolved_workers(),
+            ..MorselStats::default()
+        };
+        return (b, s, morsel);
+    }
+    let t_total = Stopwatch::start();
+    let out = run(&[graph], q, cfg);
+    let mut stats = out.stats;
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut rows: Vec<Row> = Vec::new();
+    'merge: for worker_rows in out.rows {
+        for (_, row) in worker_rows {
+            if seen.insert(row.clone()) {
+                rows.push(row);
+                if let Some(limit) = q.limit {
+                    if rows.len() >= limit {
+                        break 'merge;
+                    }
+                }
+            }
+        }
+    }
+    stats.exec_us = t_total
+        .elapsed()
+        .saturating_sub(Duration::from_micros(stats.planning_us))
+        .as_micros() as u64;
+    (
+        Bindings {
+            vars: out.projected,
+            rows,
+        },
+        stats,
+        out.morsel,
+    )
+}
+
+/// What partitioned execution hands back to
+/// [`crate::parallel::PartitionedStore`]: decoded rows plus statistics.
+pub(crate) struct RoutedResult {
+    pub vars: Vec<String>,
+    pub rows: Vec<Vec<Term>>,
+    pub stats: QueryStats,
+    pub morsel: MorselStats,
+    /// Partitions whose plan was live (`partitions_probed`).
+    pub probed: usize,
+}
+
+/// Partitioned execution over an already-routed graph list: runs the
+/// shared pool, then decodes and merges rows with global dedup via a
+/// rendered key (terms have no cross-partition ids).
+pub(crate) fn execute_routed(
+    graphs: &[&Graph],
+    q: &SelectQuery,
+    cfg: &MorselConfig,
+) -> RoutedResult {
+    let t_total = Stopwatch::start();
+    let out = run(graphs, q, cfg);
+    let mut stats = out.stats;
+    let mut seen: FxHashSet<String> = FxHashSet::default();
+    let mut merged: Vec<Vec<Term>> = Vec::new();
+    'merge: for worker_rows in out.rows {
+        for (unit, row) in worker_rows {
+            let g = graphs[out.unit_gidx[unit as usize]];
+            let terms: Vec<Term> = row
+                .iter()
+                // lint:allow(no_panic) ids are local to the partition
+                // that produced them.
+                .map(|id| g.decode(*id).expect("local id").clone())
+                .collect();
+            let key = terms
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            if seen.insert(key) {
+                merged.push(terms);
+                if let Some(limit) = q.limit {
+                    if merged.len() >= limit {
+                        break 'merge;
+                    }
+                }
+            }
+        }
+    }
+    stats.exec_us = t_total
+        .elapsed()
+        .saturating_sub(Duration::from_micros(stats.planning_us))
+        .as_micros() as u64;
+    RoutedResult {
+        vars: out.projected,
+        rows: merged,
+        stats,
+        morsel: out.morsel,
+        probed: out.ready,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn fleet() -> Graph {
+        use datacron_geo::{GeoPoint, TimeMs};
+        let mut g = Graph::new();
+        for i in 0..30i64 {
+            let v = Term::iri(format!("v{i}"));
+            g.insert(&v, &Term::iri("type"), &Term::iri("Vessel"));
+            g.insert(&v, &Term::iri("speed"), &Term::double(i as f64 / 2.0));
+            g.insert(
+                &v,
+                &Term::iri("pos"),
+                &Term::point(GeoPoint::new(20.0 + (i % 6) as f64, 36.0)),
+            );
+            g.insert(&v, &Term::iri("at"), &Term::time(TimeMs(i * 1000)));
+            g.insert(
+                &v,
+                &Term::iri("near"),
+                &Term::iri(format!("v{}", (i + 1) % 30)),
+            );
+        }
+        g.commit();
+        g
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort();
+        rows
+    }
+
+    fn check_equivalence(g: &Graph, text: &str) {
+        let q = parse_query(text).unwrap();
+        let (reference, _) = engine::execute(g, &q);
+        for workers in [1, 2, 8] {
+            for morsel_triples in [3, 4096] {
+                let cfg = MorselConfig {
+                    workers,
+                    morsel_triples,
+                };
+                let (b, _, ms) = execute_morsel(g, &q, &cfg);
+                assert_eq!(b.vars, reference.vars, "{text}");
+                if q.limit.is_some() {
+                    assert_eq!(b.rows.len(), reference.rows.len(), "{text}");
+                } else {
+                    assert_eq!(
+                        sorted(b.rows),
+                        sorted(reference.rows.clone()),
+                        "{text} workers={workers} morsel={morsel_triples}"
+                    );
+                }
+                assert_eq!(ms.workers, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_engine_on_query_zoo() {
+        let g = fleet();
+        for text in [
+            "SELECT ?v WHERE { ?v type Vessel }",
+            "SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . FILTER (?s >= 9.0) }",
+            "SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . ?v at ?t . FILTER (?s < 3.0) }",
+            "SELECT ?a ?c WHERE { ?a near ?b . ?b near ?c }",
+            "SELECT ?t WHERE { ?v type ?t }",
+            "SELECT ?v WHERE { ?v type Vessel } LIMIT 7",
+            "SELECT ?v WHERE { ?v pos ?g . FILTER st_within(?g, 19.5, 35.5, 21.5, 36.5) }",
+            "SELECT ?v WHERE { ?v at ?t . FILTER t_between(?t, 5000, 12000) }",
+            "SELECT ?v WHERE { ?v type Submarine }",
+        ] {
+            check_equivalence(&g, text);
+        }
+    }
+
+    #[test]
+    fn matches_engine_with_uncommitted_tail() {
+        let mut g = fleet();
+        g.insert(&Term::iri("v99"), &Term::iri("type"), &Term::iri("Vessel"));
+        g.insert(&Term::iri("v99"), &Term::iri("speed"), &Term::double(40.0));
+        // No commit: the tail morsels must see these.
+        check_equivalence(
+            &g,
+            "SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . FILTER (?s >= 9.0) }",
+        );
+    }
+
+    #[test]
+    fn counts_morsels_and_bounds_work_units() {
+        let g = fleet();
+        let q = parse_query("SELECT ?v WHERE { ?v type Vessel }").unwrap();
+        let cfg = MorselConfig {
+            workers: 2,
+            morsel_triples: 4,
+        };
+        let (b, _, ms) = execute_morsel(&g, &q, &cfg);
+        assert_eq!(b.rows.len(), 30);
+        // 30 seed triples at 4 per morsel → 8 morsels.
+        assert_eq!(ms.morsels, 8);
+        assert!(ms.workers_used >= 1 && ms.workers_used <= 2);
+    }
+
+    #[test]
+    fn shared_variable_within_pattern() {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("a"));
+        g.insert(&Term::iri("b"), &Term::iri("p"), &Term::iri("c"));
+        g.commit();
+        check_equivalence(&g, "SELECT ?x WHERE { ?x p ?x }");
+    }
+
+    #[test]
+    fn empty_bgp_falls_back_to_engine() {
+        let g = fleet();
+        let q = SelectQuery::new(Vec::new());
+        let (b, _, ms) = execute_morsel(&g, &q, &MorselConfig::default());
+        let (reference, _) = engine::execute(&g, &q);
+        assert_eq!(b.rows, reference.rows);
+        assert!(ms.workers >= 1);
+    }
+
+    #[test]
+    fn stats_reflect_execution() {
+        let g = fleet();
+        let q = parse_query("SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s }").unwrap();
+        let (b, stats, ms) = execute_morsel(&g, &q, &MorselConfig::with_workers(1));
+        assert_eq!(b.rows.len(), 30);
+        assert!(stats.probes > 1);
+        assert!(stats.intermediate >= 30);
+        assert!(ms.morsels >= 1);
+        assert_eq!(ms.workers_used, 1);
+    }
+}

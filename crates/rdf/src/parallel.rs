@@ -14,6 +14,7 @@
 //! the datAcron ontology models per-entity data.
 
 use crate::engine::{execute, QueryStats};
+use crate::morsel::{self, MorselConfig};
 use crate::partition::Partitioner;
 use crate::query::{FilterExpr, SelectQuery};
 use crate::store::{Graph, Triple};
@@ -31,6 +32,16 @@ pub struct PartitionedStats {
     /// Partitions whose engine actually issued index probes (the
     /// partition-parallelism proof: > 1 means the query really fanned out).
     pub partitions_probed: usize,
+    /// Worker pool size the morsel executor resolved to.
+    pub workers: usize,
+    /// Workers that processed at least one morsel (the intra-query
+    /// parallelism proof — can exceed `partitions_probed` now that work
+    /// units are morsels, not partitions).
+    pub workers_used: usize,
+    /// Morsels executed across all partitions.
+    pub morsels: u64,
+    /// Morsels obtained by work stealing.
+    pub steals: u64,
     /// Merged per-partition engine statistics: counters are summed;
     /// `planning_us`/`exec_us` take the per-partition maximum (the
     /// critical path, since partitions run on concurrent workers).
@@ -167,81 +178,96 @@ impl PartitionedStore {
         out
     }
 
-    /// Executes a query across the routed partitions, one worker thread per
-    /// partition, and merges the decoded results.
+    /// Executes a query across the routed partitions on the morsel-driven
+    /// work-stealing executor (default configuration: one worker per
+    /// core) and merges the decoded results.
     pub fn execute(&self, q: &SelectQuery) -> (DecodedBindings, PartitionedStats) {
+        self.execute_with(q, &MorselConfig::default())
+    }
+
+    /// [`PartitionedStore::execute`] with an explicit executor
+    /// configuration (worker count, morsel size).
+    ///
+    /// All routed partitions feed **one** shared worker pool: each
+    /// partition's seed scan is split into fixed-size morsels distributed
+    /// over per-worker deques, and idle workers steal, so a skewed
+    /// partition no longer serializes the query the way the old
+    /// one-thread-per-partition model did. Joins stay partition-local
+    /// (the co-partitioned semantics documented above).
+    pub fn execute_with(
+        &self,
+        q: &SelectQuery,
+        cfg: &MorselConfig,
+    ) -> (DecodedBindings, PartitionedStats) {
         let routed = self.route(q);
         let mut stats = PartitionedStats {
             partitions_touched: routed.len(),
             partitions_total: self.parts.len(),
-            partitions_probed: 0,
-            engine: QueryStats::default(),
+            workers: cfg.resolved_workers(),
+            ..PartitionedStats::default()
         };
 
-        let results: Vec<(Vec<String>, Vec<Vec<Term>>, QueryStats)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = routed
-                .iter()
-                .map(|&idx| {
-                    let g = &self.parts[idx];
-                    scope.spawn(move || {
-                        let (b, s) = execute(g, q);
-                        let rows: Vec<Vec<Term>> = b
-                            .rows
-                            .iter()
-                            .map(|row| {
-                                row.iter()
-                                    // lint:allow(no_panic) ids are local
-                                    // to the partition that produced them.
-                                    .map(|id| g.decode(*id).expect("local id").clone())
-                                    .collect()
-                            })
-                            .collect();
-                        (b.vars, rows, s)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                // lint:allow(no_panic) re-raise a worker panic on the
-                // caller thread rather than silently dropping results.
-                .map(|h| h.join().expect("partition worker panicked"))
-                .collect()
-        });
-
-        let mut vars: Vec<String> = Vec::new();
-        let mut merged: Vec<Vec<Term>> = Vec::new();
-        let mut seen: FxHashSet<String> = FxHashSet::default();
-        for (v, rows, s) in results {
-            if vars.is_empty() {
-                vars = v;
-            }
-            stats.engine.intermediate += s.intermediate;
-            stats.engine.pushdown_candidates += s.pushdown_candidates;
-            stats.engine.probes += s.probes;
-            stats.engine.planning_us = stats.engine.planning_us.max(s.planning_us);
-            stats.engine.exec_us = stats.engine.exec_us.max(s.exec_us);
-            if s.probes > 0 {
-                stats.partitions_probed += 1;
-            }
-            for row in rows {
-                // Dedup across partitions via a rendered key (terms have no
-                // global ids).
-                let key = row
-                    .iter()
-                    .map(|t| t.to_string())
-                    .collect::<Vec<_>>()
-                    .join("\u{1f}");
-                if seen.insert(key) {
-                    merged.push(row);
-                    if let Some(limit) = q.limit {
-                        if merged.len() >= limit {
-                            return (DecodedBindings { vars, rows: merged }, stats);
+        if q.patterns.is_empty() {
+            // Empty-BGP epilogue (one all-unbound row per partition): no
+            // seed scan to morselize — run the per-partition engine
+            // serially and merge with the usual rendered-key dedup.
+            let mut vars: Vec<String> = Vec::new();
+            let mut merged: Vec<Vec<Term>> = Vec::new();
+            let mut seen: FxHashSet<String> = FxHashSet::default();
+            'parts: for &idx in &routed {
+                let g = &self.parts[idx];
+                let (b, s) = execute(g, q);
+                if vars.is_empty() {
+                    vars = b.vars;
+                }
+                stats.engine.intermediate += s.intermediate;
+                stats.engine.pushdown_candidates += s.pushdown_candidates;
+                stats.engine.probes += s.probes;
+                stats.engine.planning_us = stats.engine.planning_us.max(s.planning_us);
+                stats.engine.exec_us = stats.engine.exec_us.max(s.exec_us);
+                if s.probes > 0 {
+                    stats.partitions_probed += 1;
+                }
+                for row in b.rows {
+                    let terms: Vec<Term> = row
+                        .iter()
+                        // lint:allow(no_panic) ids are local to the
+                        // partition that produced them.
+                        .map(|id| g.decode(*id).expect("local id").clone())
+                        .collect();
+                    let key = terms
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\u{1f}");
+                    if seen.insert(key) {
+                        merged.push(terms);
+                        if let Some(limit) = q.limit {
+                            if merged.len() >= limit {
+                                break 'parts;
+                            }
                         }
                     }
                 }
             }
+            return (DecodedBindings { vars, rows: merged }, stats);
         }
-        (DecodedBindings { vars, rows: merged }, stats)
+
+        let graphs: Vec<&Graph> = routed.iter().map(|&idx| &self.parts[idx]).collect();
+        let r = morsel::execute_routed(&graphs, q, cfg);
+        stats.partitions_probed = r.probed;
+        stats.workers = r.morsel.workers;
+        stats.workers_used = r.morsel.workers_used;
+        stats.morsels = r.morsel.morsels;
+        stats.steals = r.morsel.steals;
+        stats.engine = r.stats;
+        (
+            DecodedBindings {
+                vars: r.vars,
+                rows: r.rows,
+            },
+            stats,
+        )
     }
 }
 
@@ -373,6 +399,46 @@ mod tests {
         let (b, _) = store.execute(&q);
         assert_eq!(b.rows.len(), 1);
         assert_eq!(b.rows[0][0], Term::iri("Vessel"));
+    }
+
+    #[test]
+    fn execute_with_explicit_workers_matches_default() {
+        let q =
+            parse_query("SELECT ?v ?s WHERE { ?v type Vessel . ?v speed ?s . FILTER (?s >= 5.0) }")
+                .unwrap();
+        for store in stores() {
+            let (reference, _) = store.execute(&q);
+            let mut reference_rows = reference.rows;
+            reference_rows.sort_by_key(|r| format!("{r:?}"));
+            for workers in [1, 2, 8] {
+                let cfg = MorselConfig {
+                    workers,
+                    morsel_triples: 16,
+                };
+                let (b, stats) = store.execute_with(&q, &cfg);
+                let mut rows = b.rows;
+                rows.sort_by_key(|r| format!("{r:?}"));
+                assert_eq!(rows, reference_rows);
+                assert_eq!(stats.workers, workers);
+                assert!(stats.workers_used >= 1 && stats.workers_used <= workers);
+                // 4 partitions × (40 type triples at 16/morsel = 3 morsels)
+                // — partitioning skew can shift the split but every
+                // partition contributes at least one morsel.
+                assert!(stats.morsels >= 4, "{stats:?}");
+                assert!(stats.partitions_probed >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_surface_morsel_counters() {
+        let store = &stores()[0];
+        let q = parse_query("SELECT ?v WHERE { ?v type Vessel }").unwrap();
+        let (b, stats) = store.execute(&q);
+        assert_eq!(b.rows.len(), 40);
+        assert!(stats.workers >= 1);
+        assert!(stats.morsels >= stats.partitions_probed as u64);
+        assert_eq!(stats.partitions_probed, 4);
     }
 
     #[test]

@@ -80,7 +80,18 @@ pub struct PatternSlice<'a> {
     order: IndexOrder,
 }
 
-impl PatternSlice<'_> {
+impl<'a> PatternSlice<'a> {
+    /// A clamped sub-range of this slice. The morsel executor uses this to
+    /// split one seed scan into fixed-size work units without re-planning.
+    pub fn slice(&self, lo: usize, hi: usize) -> PatternSlice<'a> {
+        let lo = lo.min(self.keys.len());
+        let hi = hi.clamp(lo, self.keys.len());
+        PatternSlice {
+            keys: &self.keys[lo..hi],
+            order: self.order,
+        }
+    }
+
     /// Number of matching committed triples.
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -96,6 +107,39 @@ impl PatternSlice<'_> {
         let order = self.order;
         self.keys.iter().map(move |&k| triple_of(k, order))
     }
+}
+
+/// Cursor state for [`Graph::pattern_slice_hinted`]: the index position of
+/// the previous probe's range start. One hint is valid for one pattern
+/// *shape* (bound-component combination) against one graph; callers keep
+/// one per join step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeHint {
+    pos: usize,
+}
+
+/// First position `j >= from` where `below(&index[j])` is false, given that
+/// every key before `from` satisfies `below`. Exponential search brackets
+/// the answer in O(log gap), then a binary search inside the bracket
+/// finishes — the building block of the hinted probe fast path.
+fn gallop(
+    index: &[(u32, u32, u32)],
+    from: usize,
+    below: impl Fn(&(u32, u32, u32)) -> bool,
+) -> usize {
+    let mut low = from;
+    let mut jump = 1usize;
+    let high = loop {
+        let probe = low + jump;
+        match index.get(probe) {
+            Some(k) if below(k) => {
+                low = probe + 1;
+                jump *= 2;
+            }
+            _ => break probe.min(index.len()),
+        }
+    };
+    low + index[low..high].partition_point(|k| below(k))
 }
 
 /// A dictionary-encoded RDF graph with three sorted permutation indexes and
@@ -357,6 +401,38 @@ impl Graph {
         PatternSlice { keys, order }
     }
 
+    /// Like [`Graph::pattern_slice`], but seeded with a position hint from
+    /// the caller's previous probe of the *same pattern shape* (same
+    /// bound-component combination, so the same permutation index). When
+    /// successive probe keys ascend — the common case when the probing
+    /// variable was seeded from a sorted index prefix — the exponential
+    /// (galloping) search from the hint replaces a full O(log n) binary
+    /// search with an O(log gap) one over cache-adjacent keys. A hint that
+    /// overshoots (non-monotonic probe order) falls back to a binary
+    /// search, so results are always exact.
+    pub fn pattern_slice_hinted(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        hint: &mut ProbeHint,
+    ) -> PatternSlice<'_> {
+        let (index, order, lo, hi) = self.plan_range(s, p, o);
+        let from = hint.pos.min(index.len());
+        let a = if index[..from].last().is_some_and(|&k| k >= lo) {
+            // Hint overshot the range start: binary-search the prefix.
+            index[..from].partition_point(|&k| k < lo)
+        } else {
+            gallop(index, from, |&k| k < lo)
+        };
+        let b = gallop(index, a, |&k| k <= hi);
+        hint.pos = a;
+        PatternSlice {
+            keys: &index[a..b],
+            order,
+        }
+    }
+
     /// O(log n) cardinality estimate for a pattern: the exact committed
     /// match count (range width via two `partition_point` calls) plus the
     /// pending-tail size as an upper bound on tail matches. Never visits
@@ -590,5 +666,83 @@ mod tests {
         // The 64k auto-commit must have fired at least once.
         let p = g.encode(&Term::iri("p"));
         assert_eq!(g.count_pattern(None, Some(p), None), 70_000);
+    }
+
+    #[test]
+    fn hinted_slice_matches_unhinted_in_any_probe_order() {
+        let mut g = Graph::new();
+        for i in 0..500 {
+            let s = Term::iri(format!("s{i:03}"));
+            g.insert(&s, &Term::iri("p"), &Term::integer(i % 7));
+            if i % 3 == 0 {
+                g.insert(&s, &Term::iri("q"), &Term::integer(i));
+            }
+        }
+        g.commit();
+        let p = g.encode(&Term::iri("p"));
+        let subjects: Vec<TermId> = (0..500)
+            .map(|i| g.encode(&Term::iri(format!("s{i:03}"))))
+            .collect();
+
+        // Ascending, descending, and repeated probe sequences must all
+        // agree with the unhinted slice despite sharing one cursor.
+        let mut orders: Vec<Vec<TermId>> = vec![
+            subjects.clone(),
+            subjects.iter().rev().copied().collect(),
+            subjects.iter().flat_map(|&s| [s, s]).collect(),
+        ];
+        // A pseudo-random shuffle without rand: stride through the list.
+        orders.push((0..500).map(|i| subjects[(i * 131) % 500]).collect());
+        for order in orders {
+            let mut hint = ProbeHint::default();
+            for s in order {
+                let plain: Vec<Triple> = g.pattern_slice(Some(s), Some(p), None).iter().collect();
+                let hinted: Vec<Triple> = g
+                    .pattern_slice_hinted(Some(s), Some(p), None, &mut hint)
+                    .iter()
+                    .collect();
+                assert_eq!(plain, hinted, "subject {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_slice_handles_empty_and_missing_ranges() {
+        let mut g = Graph::new();
+        g.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        g.commit();
+        let absent = g.encode(&Term::iri("zzz"));
+        let p = g.encode(&Term::iri("p"));
+        let mut hint = ProbeHint::default();
+        assert!(g
+            .pattern_slice_hinted(Some(absent), Some(p), None, &mut hint)
+            .is_empty());
+        let a = g.encode(&Term::iri("a"));
+        assert_eq!(
+            g.pattern_slice_hinted(Some(a), Some(p), None, &mut hint)
+                .len(),
+            1
+        );
+        // Empty graph: any probe is empty at any hint.
+        let empty = Graph::new();
+        let mut hint = ProbeHint { pos: 10 };
+        assert!(empty
+            .pattern_slice_hinted(None, None, None, &mut hint)
+            .is_empty());
+    }
+
+    #[test]
+    fn pattern_slice_subrange_clamps() {
+        let mut g = sample_graph();
+        g.commit();
+        let ty = g.encode(&Term::iri("type"));
+        let s = g.pattern_slice(None, Some(ty), None);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.slice(1, 3).len(), 2);
+        assert_eq!(s.slice(0, 99).len(), 3);
+        assert_eq!(s.slice(5, 2).len(), 0);
+        let all: Vec<Triple> = s.iter().collect();
+        let sub: Vec<Triple> = s.slice(1, 3).iter().collect();
+        assert_eq!(&all[1..3], &sub[..]);
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! datacron-serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
+//!                [--query-workers N]
 //!                [--data-dir DIR] [--fsync always|never|every=N]
 //!                [--snapshot-every N] [--segment-bytes N]
 //!                [--follow HOST:PORT] [--follower-id ID]
@@ -83,6 +84,7 @@ fn main() {
         eprintln!(
             "usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N] \
              [--sparql-partitions N] [--partition-min-triples N] \
+             [--query-workers N (0 = one per core)] \
              [--data-dir DIR] [--fsync always|never|every=N] \
              [--snapshot-every N] [--segment-bytes N] \
              [--follow HOST:PORT] [--follower-id ID] \
@@ -110,6 +112,7 @@ fn main() {
         heat_cell_deg: 0.1,
         sparql_partitions: arg(&args, "--sparql-partitions", 4usize),
         partition_min_triples: arg(&args, "--partition-min-triples", 10_000usize),
+        query_workers: arg(&args, "--query-workers", 0usize),
         data_dir: args
             .iter()
             .position(|a| a == "--data-dir")

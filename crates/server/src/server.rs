@@ -56,6 +56,9 @@ pub struct ServerConfig {
     /// Minimum graph size (triples) before SPARQL fans out to the
     /// partitions; smaller graphs answer on the single-graph path.
     pub partition_min_triples: usize,
+    /// Morsel-executor worker pool size for SPARQL queries; `0` = one
+    /// worker per available core.
+    pub query_workers: usize,
     /// Durable-storage directory. `Some(dir)` makes ingest write-ahead
     /// log every batch before acknowledging it, snapshots state on the
     /// configured threshold, and recovers the pre-crash state on start.
@@ -90,6 +93,7 @@ impl Default for ServerConfig {
             heat_cell_deg: 0.25,
             sparql_partitions: 4,
             partition_min_triples: 10_000,
+            query_workers: 0,
             data_dir: None,
             storage: StorageConfig::default(),
             write_timeout: Duration::from_millis(500),
@@ -276,7 +280,7 @@ pub fn start_with_clock(
     let listener = TcpListener::bind(&cfg.addr)?;
     let local_addr = listener.local_addr()?;
     let registry = Arc::new(Registry::new());
-    let (storage, recovered, repl) = match (&cfg.replication.follow, &cfg.data_dir) {
+    let (storage, mut recovered, repl) = match (&cfg.replication.follow, &cfg.data_dir) {
         (Some(leader), _) => {
             // From position 0: a fresh replica wants the log from its
             // first record (the leader sends a snapshot instead when 0
@@ -329,6 +333,7 @@ pub fn start_with_clock(
     };
     // Register the stage histograms on the plain state before it goes
     // behind the lock: registration never orders against the state lock.
+    recovered.set_query_workers(cfg.query_workers);
     recovered.register_metrics(&registry);
     let state = Arc::new(TrackedRwLock::new("state", recovered));
     let metrics = Arc::new(ServerMetrics::new());
@@ -527,6 +532,8 @@ fn install_collectors(
         sink.counter("datacron_pipeline_events_total", &[], c.events);
         sink.counter("datacron_pipeline_triples_total", &[], c.triples);
         sink.gauge("datacron_graph_triples", &[], c.graph_len);
+        sink.counter("datacron_query_morsels_total", &[], c.query_morsels);
+        sink.counter("datacron_query_steals_total", &[], c.query_steals);
         if let Some(storage) = &storage {
             let s = storage.lock().stats();
             sink.gauge("datacron_wal_bytes", &[], s.wal_bytes);

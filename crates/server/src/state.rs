@@ -8,11 +8,12 @@ use crate::protocol::{ErrorCode, ProtocolError};
 use datacron_core::{IngestOutcome, MapperState, Pipeline, PipelineConfig, PipelineState};
 use datacron_geo::Grid;
 use datacron_model::{EventKind, EventRecord, ObjectId, PositionReport};
-use datacron_rdf::{execute, parse_query, HashPartitioner, PartitionedStore};
+use datacron_rdf::{execute_morsel, parse_query, HashPartitioner, MorselConfig, PartitionedStore};
 use datacron_storage::binser::{BinError, Reader, Writer};
 use datacron_viz::{DensityGrid, FlowMatrix};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Upper bound on the in-memory recent-events ring.
 const MAX_RECENT_EVENTS: usize = 10_000;
@@ -32,6 +33,10 @@ pub struct PipelineCounters {
     pub triples: u64,
     /// Current graph size, triples.
     pub graph_len: u64,
+    /// Morsels executed by SPARQL queries since start.
+    pub query_morsels: u64,
+    /// Work-stealing deque steals during SPARQL execution since start.
+    pub query_steals: u64,
 }
 
 /// Snapshot payload format version, bumped on any wire change.
@@ -65,6 +70,13 @@ pub struct AnalyticsState {
     /// Below this graph size, SPARQL stays on the single-graph path even
     /// when a mirror exists (fan-out overhead beats tiny scans).
     partition_min_triples: usize,
+    /// Morsel-executor pool size for SPARQL; `0` = one worker per core.
+    query_workers: usize,
+    /// Morsels executed by queries since start (metrics counter; atomic
+    /// because `sparql` runs under the server's *read* lock).
+    query_morsels: AtomicU64,
+    /// Deque steals during query execution since start.
+    query_steals: AtomicU64,
 }
 
 impl AnalyticsState {
@@ -101,7 +113,16 @@ impl AnalyticsState {
             evicted: 0,
             mirror,
             partition_min_triples: min_triples,
+            query_workers: 0,
+            query_morsels: AtomicU64::new(0),
+            query_steals: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the morsel-executor worker pool size for SPARQL queries
+    /// (`0` = one worker per available core, the default).
+    pub fn set_query_workers(&mut self, workers: usize) {
+        self.query_workers = workers;
     }
 
     /// Runs a batch through the pipeline and folds the outcome into the
@@ -185,15 +206,21 @@ impl AnalyticsState {
     ///
     /// Routes to the partition-parallel mirror when one exists and the
     /// graph has reached `partition_min_triples`; otherwise the single
-    /// graph answers. Either way the response carries per-query engine
-    /// statistics (probes, intermediate rows, planning/exec µs) and says
-    /// which path ran.
+    /// graph answers. Both paths run on the morsel-driven work-stealing
+    /// executor, and the response carries per-query engine statistics
+    /// (probes, intermediate rows, planning/exec µs), the executor's
+    /// parallelism (`workers_used`, `morsels`, `steals`), and says which
+    /// path ran.
     pub fn sparql(&self, query: &str, limit: usize) -> Result<Json, ProtocolError> {
         let q = parse_query(query)
             .map_err(|e| ProtocolError::new(ErrorCode::QueryError, format!("parse: {e}")))?;
+        let cfg = MorselConfig::with_workers(self.query_workers);
         if let Some(m) = &self.mirror {
             if self.pipeline.graph().len() >= self.partition_min_triples {
-                let (b, stats) = m.execute(&q);
+                let (b, stats) = m.execute_with(&q, &cfg);
+                self.query_morsels
+                    .fetch_add(stats.morsels, Ordering::Relaxed);
+                self.query_steals.fetch_add(stats.steals, Ordering::Relaxed);
                 let total = b.rows.len();
                 let rows: Vec<Json> = b
                     .rows
@@ -216,10 +243,17 @@ impl AnalyticsState {
                     .field("parallel", true)
                     .field("partitions", stats.partitions_total)
                     .field("partitions_probed", stats.partitions_probed)
+                    .field("workers_used", stats.workers_used)
+                    .field("morsels", stats.morsels)
+                    .field("steals", stats.steals)
                     .build());
             }
         }
-        let (bindings, stats) = execute(self.pipeline.graph(), &q);
+        let (bindings, stats, morsel) = execute_morsel(self.pipeline.graph(), &q, &cfg);
+        self.query_morsels
+            .fetch_add(morsel.morsels, Ordering::Relaxed);
+        self.query_steals
+            .fetch_add(morsel.steals, Ordering::Relaxed);
         let total = bindings.len();
         let rows: Vec<Json> = bindings
             .rows
@@ -248,6 +282,9 @@ impl AnalyticsState {
             .field("planning_us", stats.planning_us)
             .field("exec_us", stats.exec_us)
             .field("parallel", false)
+            .field("workers_used", morsel.workers_used)
+            .field("morsels", morsel.morsels)
+            .field("steals", morsel.steals)
             .build())
     }
 
@@ -504,6 +541,9 @@ impl AnalyticsState {
             evicted,
             mirror,
             partition_min_triples: min_triples,
+            query_workers: 0,
+            query_morsels: AtomicU64::new(0),
+            query_steals: AtomicU64::new(0),
         })
     }
 
@@ -525,6 +565,8 @@ impl AnalyticsState {
             events: m.events,
             triples: m.triples,
             graph_len: self.pipeline.graph().len() as u64,
+            query_morsels: self.query_morsels.load(Ordering::Relaxed),
+            query_steals: self.query_steals.load(Ordering::Relaxed),
         }
     }
 
@@ -592,6 +634,7 @@ mod tests {
     use super::*;
     use datacron_geo::{BoundingBox, GeoPoint, TimeMs};
     use datacron_model::{NavStatus, SourceId};
+    use datacron_rdf::execute;
 
     fn state() -> AnalyticsState {
         let cfg = PipelineConfig {
@@ -671,6 +714,12 @@ mod tests {
         );
         assert!(res.get("planning_us").and_then(Json::as_u64).is_some());
         assert!(res.get("exec_us").and_then(Json::as_u64).is_some());
+        // Executor parallelism fields ride next to partitions_probed.
+        assert!(res.get("workers_used").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(res.get("morsels").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(res.get("steals").and_then(Json::as_u64).is_some());
+        let c = s.counters();
+        assert!(c.query_morsels >= 1);
         // Same answer as the single-graph path.
         let single = execute(s.pipeline.graph(), &parse_query(query).unwrap())
             .0

@@ -3,8 +3,12 @@
 #
 # Builds the release query_latency binary, runs the canonical query mix
 # against 10k / 100k / 1M-triple stores, and writes BENCH_query.json at
-# the repo root (p50/p99 per query shape, fast-vs-reference planning
-# comparison, hash-partition sweep).
+# the repo root (p50/p99 per query shape with the p99/p50 tail ratio,
+# fast-vs-reference planning comparison, hash-partition sweep, and the
+# morsel-executor worker sweep 1..8 with morsel/steal counters). The
+# binary asserts star3's p99/p50 tail ratio stays < 3x and records
+# host_cores so flat worker-sweep curves on small hosts read as what
+# they are.
 #
 # Usage: scripts/bench_query.sh [--quick] [--offline]
 #   --quick    skip the 1M-triple store (CI-sized run)
