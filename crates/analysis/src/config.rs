@@ -85,24 +85,30 @@ impl fmt::Display for Rule {
 /// scope because every metrics/trace call sits on the serving path — a
 /// panic in an observer would take down the request it observes; `repl`
 /// because a panic in follower apply or leader fan-out takes the
-/// replica fleet with it.
-const NO_PANIC_SCOPE: [&str; 6] = [
+/// replica fleet with it; `net` because a panic on the reactor thread
+/// takes every connection on the box down at once.
+const NO_PANIC_SCOPE: [&str; 7] = [
     "crates/server/src/",
     "crates/storage/src/",
     "crates/rdf/src/",
     "crates/core/src/",
     "crates/obs/src/",
     "crates/repl/src/",
+    "crates/net/src/",
 ];
 
 /// Binary-format modules where `truncation` is enforced. The repl b64
-/// codec is in scope: snapshot bytes cross the wire through it.
-const TRUNCATION_SCOPE: [&str; 5] = [
+/// codec is in scope: snapshot bytes cross the wire through it. The
+/// net syscall layer and framing buffer are in scope: a silent `as`
+/// truncation there corrupts epoll tokens or frame boundaries.
+const TRUNCATION_SCOPE: [&str; 7] = [
     "crates/storage/src/binser.rs",
     "crates/storage/src/crc.rs",
     "crates/rdf/src/binary.rs",
     "crates/server/src/codec.rs",
     "crates/repl/src/b64.rs",
+    "crates/net/src/sys.rs",
+    "crates/net/src/buf.rs",
 ];
 
 /// Files and trees allowed to read the wall clock. The two `clock.rs`
@@ -242,6 +248,15 @@ mod tests {
         assert!(rule_applies(Rule::Wallclock, "crates/rdf/src/morsel.rs"));
         assert!(rule_applies(Rule::NoPanic, "crates/obs/src/registry.rs"));
         assert!(rule_applies(Rule::NoPanic, "crates/repl/src/follower.rs"));
+        // The reactor runs every connection on one thread: L1, L4 and L5
+        // must cover it (a panic there drops the whole box; wall-clock
+        // reads there break injected-clock tests).
+        assert!(rule_applies(Rule::NoPanic, "crates/net/src/reactor.rs"));
+        assert!(rule_applies(Rule::LockOrder, "crates/net/src/reactor.rs"));
+        assert!(rule_applies(Rule::Wallclock, "crates/net/src/reactor.rs"));
+        assert!(rule_applies(Rule::Truncation, "crates/net/src/sys.rs"));
+        assert!(rule_applies(Rule::Truncation, "crates/net/src/buf.rs"));
+        assert!(!rule_applies(Rule::Truncation, "crates/net/src/reactor.rs"));
         assert!(!rule_applies(Rule::NoPanic, "crates/viz/src/heatmap.rs"));
         assert!(rule_applies(Rule::Truncation, "crates/storage/src/crc.rs"));
         assert!(rule_applies(Rule::Truncation, "crates/repl/src/b64.rs"));

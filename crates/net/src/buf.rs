@@ -1,0 +1,225 @@
+//! Newline framing over a byte-stream read accumulator.
+//!
+//! The server protocol is newline-delimited JSON; the reactor reads
+//! whatever the kernel has ready (which may be half a line, or several
+//! lines plus a tail) and [`LineBuffer`] turns those chunks into
+//! [`Frame`]s. Semantics match the seed server's `read_line_bounded`:
+//! a line longer than the configured cap — or one that is not valid
+//! UTF-8 — yields [`Frame::Overflow`] exactly once, and every byte up
+//! to and including the offending `\n` is discarded so the connection
+//! can keep being served afterwards. Trailing `\r` is *not* stripped
+//! (the seed treats it as part of the payload and the JSON parser
+//! rejects it, which existing tests rely on).
+
+/// One framed unit produced by [`LineBuffer::push`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, newline stripped.
+    Line(String),
+    /// A line that exceeded the size cap or was not valid UTF-8; its
+    /// bytes (through the terminating newline) have been discarded.
+    Overflow,
+}
+
+/// Accumulates stream chunks and splits them into newline-delimited
+/// frames with bounded memory.
+#[derive(Debug)]
+pub struct LineBuffer {
+    buf: Vec<u8>,
+    max: usize,
+    /// Set while discarding the remainder of an oversized line; the
+    /// Overflow frame for it has already been emitted.
+    discarding: bool,
+}
+
+impl LineBuffer {
+    /// Creates a buffer that rejects lines longer than `max_line_bytes`
+    /// (exclusive of the newline itself, matching `read_line_bounded`).
+    pub fn new(max_line_bytes: usize) -> LineBuffer {
+        LineBuffer {
+            buf: Vec::new(),
+            max: max_line_bytes,
+            discarding: false,
+        }
+    }
+
+    /// Feeds one chunk read from the socket, appending any completed
+    /// frames to `out`. Partial tail bytes are retained for the next
+    /// chunk.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<Frame>) {
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            match rest.iter().position(|b| *b == b'\n') {
+                Some(nl) => {
+                    let (head, tail) = rest.split_at(nl);
+                    rest = &tail[1..];
+                    if self.discarding {
+                        // End of the line whose Overflow already fired.
+                        self.discarding = false;
+                        self.buf.clear();
+                        continue;
+                    }
+                    if self.buf.len() + head.len() > self.max {
+                        self.buf.clear();
+                        out.push(Frame::Overflow);
+                        continue;
+                    }
+                    let line = if self.buf.is_empty() {
+                        String::from_utf8(head.to_vec())
+                    } else {
+                        self.buf.extend_from_slice(head);
+                        String::from_utf8(std::mem::take(&mut self.buf))
+                    };
+                    match line {
+                        Ok(s) => out.push(Frame::Line(s)),
+                        Err(_) => {
+                            self.buf.clear();
+                            out.push(Frame::Overflow);
+                        }
+                    }
+                }
+                None => {
+                    if self.discarding {
+                        return;
+                    }
+                    if self.buf.len() + rest.len() > self.max {
+                        // Oversized before the newline even arrived:
+                        // emit Overflow now and swallow until the
+                        // terminator shows up.
+                        self.buf.clear();
+                        self.discarding = true;
+                        out.push(Frame::Overflow);
+                        return;
+                    }
+                    self.buf.extend_from_slice(rest);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Bytes currently buffered awaiting a newline.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the buffer holds an unterminated partial line (or is
+    /// mid-discard of an oversized one) — the state the slowloris
+    /// reaper keys on.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty() || self.discarding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(lb: &mut LineBuffer, chunk: &[u8]) -> Vec<Frame> {
+        let mut out = Vec::new();
+        lb.push(chunk, &mut out);
+        out
+    }
+
+    #[test]
+    fn partial_frames_accumulate_across_pushes() {
+        let mut lb = LineBuffer::new(1024);
+        assert!(feed(&mut lb, b"hel").is_empty());
+        assert!(lb.has_partial());
+        assert_eq!(lb.pending_bytes(), 3);
+        assert!(feed(&mut lb, b"lo wor").is_empty());
+        let frames = feed(&mut lb, b"ld\n");
+        assert_eq!(frames, vec![Frame::Line("hello world".into())]);
+        assert!(!lb.has_partial());
+        assert_eq!(lb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_read() {
+        let mut lb = LineBuffer::new(1024);
+        let frames = feed(&mut lb, b"a\nbb\nccc\ntail");
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Line("a".into()),
+                Frame::Line("bb".into()),
+                Frame::Line("ccc".into()),
+            ]
+        );
+        assert!(lb.has_partial());
+        assert_eq!(feed(&mut lb, b"!\n"), vec![Frame::Line("tail!".into())]);
+    }
+
+    #[test]
+    fn empty_lines_are_frames() {
+        let mut lb = LineBuffer::new(16);
+        assert_eq!(
+            feed(&mut lb, b"\n\nx\n"),
+            vec![
+                Frame::Line(String::new()),
+                Frame::Line(String::new()),
+                Frame::Line("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn carriage_return_is_preserved() {
+        let mut lb = LineBuffer::new(16);
+        assert_eq!(feed(&mut lb, b"ab\r\n"), vec![Frame::Line("ab\r".into())]);
+    }
+
+    #[test]
+    fn oversized_complete_line_overflows_and_recovers() {
+        let mut lb = LineBuffer::new(4);
+        let frames = feed(&mut lb, b"abcdef\nok\n");
+        assert_eq!(frames, vec![Frame::Overflow, Frame::Line("ok".into())]);
+    }
+
+    #[test]
+    fn exactly_max_fits() {
+        let mut lb = LineBuffer::new(4);
+        assert_eq!(feed(&mut lb, b"abcd\n"), vec![Frame::Line("abcd".into())]);
+        assert_eq!(feed(&mut lb, b"abcde\n"), vec![Frame::Overflow]);
+    }
+
+    #[test]
+    fn overflow_spanning_many_pushes_fires_once() {
+        let mut lb = LineBuffer::new(8);
+        assert!(feed(&mut lb, b"01234").is_empty());
+        // Crosses the cap mid-line: Overflow fires immediately...
+        assert_eq!(feed(&mut lb, b"56789"), vec![Frame::Overflow]);
+        assert!(lb.has_partial());
+        // ...and the rest of the oversized line is swallowed silently.
+        assert!(feed(&mut lb, b"more junk").is_empty());
+        let frames = feed(&mut lb, b"end\nnext\n");
+        assert_eq!(frames, vec![Frame::Line("next".into())]);
+        assert!(!lb.has_partial());
+    }
+
+    #[test]
+    fn invalid_utf8_is_overflow_and_connection_survives() {
+        let mut lb = LineBuffer::new(64);
+        let frames = feed(&mut lb, b"\xff\xfe\nok\n");
+        assert_eq!(frames, vec![Frame::Overflow, Frame::Line("ok".into())]);
+    }
+
+    #[test]
+    fn invalid_utf8_split_across_pushes() {
+        let mut lb = LineBuffer::new(64);
+        assert!(feed(&mut lb, b"ab\xff").is_empty());
+        assert_eq!(
+            feed(&mut lb, b"cd\nz\n"),
+            vec![Frame::Overflow, Frame::Line("z".into())]
+        );
+    }
+
+    #[test]
+    fn pending_bytes_tracks_tail() {
+        let mut lb = LineBuffer::new(64);
+        feed(&mut lb, b"one\ntwo");
+        assert_eq!(lb.pending_bytes(), 3);
+        feed(&mut lb, b"\n");
+        assert_eq!(lb.pending_bytes(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! datAcron reproduction: the readiness-driven I/O core of the serving
+//! layer — one epoll event loop holding every connection.
+//!
+//! The datAcron architecture (EDBT 2017, §6) serves continuous mobility
+//! analytics to many concurrent consumers, most of which are standing
+//! subscribers that sit idle between updates. A thread-per-connection
+//! design prices an idle consumer at a whole blocked worker; this crate
+//! prices it at one file descriptor plus a few hundred bytes of buffer
+//! state, which is what makes 10k+ concurrent connections on one box
+//! realistic.
+//!
+//! In this repo's build-the-substrate style the crate is dependency-free:
+//! no mio, no tokio — a hand-rolled wrapper over the raw Linux readiness
+//! syscalls (`epoll_create1` / `epoll_ctl` / `epoll_wait`, nonblocking
+//! mode via `fcntl`, a `pipe2` self-wake channel) in [`sys`], newline
+//! framing in [`buf`], and the event loop itself in [`reactor`].
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌───────────────────── reactor thread ─────────────────────┐
+//! clients ──▶│ epoll_wait ─▶ accept / read ─▶ LineBuffer ─▶ Handler     │
+//!            │     ▲                                          │on_line  │
+//!            │     │ wakeup pipe                              ▼         │
+//!            │     │                                  dispatch to queue │
+//!            └─────┼────────────────────────────────────────────────────┘
+//!                  │                                          │
+//!                  │      ReactorHandle::complete(conn, resp) ▼
+//!                  └──────────────────────────────────── worker threads
+//! ```
+//!
+//! The reactor owns all per-connection state: registered interest, the
+//! read-accumulation buffer with newline framing, and the pending-write
+//! buffer with partial-write continuation. Workers never touch a socket;
+//! they hand finished response bytes back through [`reactor::ReactorHandle`],
+//! whose wakeup pipe nudges the sleeping `epoll_wait`.
+//!
+//! Connections execute at most one request at a time (pipelined lines
+//! queue in arrival order), so responses on a connection are always in
+//! request order and a single aggressive client cannot monopolise the
+//! worker pool.
+//!
+//! Slowloris guard: a connection holding a *partial* line (or a stalled
+//! unflushed response) past the configured deadline is reaped; a fully
+//! idle connection with empty buffers is free and lives forever.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buf;
+pub mod reactor;
+pub mod sys;
+
+pub use buf::{Frame, LineBuffer};
+pub use reactor::{
+    ConnId, Handler, LineAction, NetStats, Open, Reactor, ReactorConfig, ReactorHandle,
+};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen [--addr 127.0.0.1:7878] [--rps 200] [--duration-s 10] [--conns 4]
-//!         [--batch 32] [--sweep 50,100,200,400,800]
+//!         [--batch 32] [--sweep 50,100,200,400,800] [--connections N]
 //!         [--targets HOST:PORT,HOST:PORT,...] [--read-only]
 //! ```
 //!
@@ -13,6 +13,14 @@
 //! send timestamps); per-request latency lands in a shared histogram.
 //! With `--sweep`, one line per target rate prints the requests/s vs
 //! p50/p99 curve.
+//!
+//! `--connections N` (experiment E13) additionally opens N *idle*
+//! connections before the paced load starts and holds them for the whole
+//! run — the event-loop server should carry them at a few kilobytes each
+//! with no latency impact on the active minority. After each step a
+//! sample of the idle pool is probed with a request to prove the server
+//! still serves them; the tallies print as `idle_opened=..` /
+//! `idle_alive=..` for `scripts/bench_server.sh` to scrape.
 //!
 //! `--targets` spreads connections round-robin over several endpoints —
 //! the read scale-out experiment (E18) points it at one leader plus its
@@ -247,6 +255,48 @@ fn run_connection(
     Ok(())
 }
 
+/// Opens `n` idle connections round-robin over `targets`. They send
+/// nothing — the point is to occupy the server's connection table, not
+/// its workers. Sockets that fail to connect are simply not held.
+fn open_idle_pool(targets: &[SocketAddr], n: usize) -> Vec<std::net::TcpStream> {
+    let mut pool = Vec::with_capacity(n);
+    for i in 0..n {
+        match std::net::TcpStream::connect(targets[i % targets.len()]) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                pool.push(s);
+            }
+            Err(_) => break,
+        }
+    }
+    pool
+}
+
+/// Probes up to `sample` connections from the idle pool with a cheap
+/// request and counts how many answer — proof the server still serves
+/// the idle majority after a loaded run (and that none were reaped:
+/// fully idle connections are not slowloris suspects).
+fn probe_idle_pool(pool: &mut [std::net::TcpStream], sample: usize) -> usize {
+    use std::io::{BufRead, BufReader, Write};
+    let step = (pool.len() / sample.max(1)).max(1);
+    let mut alive = 0;
+    for conn in pool.iter_mut().step_by(step).take(sample) {
+        conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        if conn
+            .write_all(b"{\"id\":0,\"type\":\"hotspots\",\"top_k\":1}\n")
+            .is_err()
+        {
+            continue;
+        }
+        let mut line = String::new();
+        let mut reader = BufReader::new(&mut *conn);
+        if reader.read_line(&mut line).unwrap_or(0) > 0 && Json::parse(line.trim_end()).is_ok() {
+            alive += 1;
+        }
+    }
+    alive
+}
+
 fn run_step(
     targets: &[SocketAddr],
     rps: f64,
@@ -315,6 +365,7 @@ fn main() {
         eprintln!(
             "usage: loadgen [--addr HOST:PORT] [--rps N] [--duration-s N] \
              [--conns N] [--batch N] [--sweep R1,R2,...] \
+             [--connections N (idle pool held for the whole run)] \
              [--targets HOST:PORT,HOST:PORT,...] [--read-only]"
         );
         return;
@@ -359,11 +410,33 @@ fn main() {
     } else {
         sweep
     };
+    let idle_connections = arg(&args, "--connections", 0usize);
+    let mut idle_pool = if idle_connections > 0 {
+        let pool = open_idle_pool(&targets, idle_connections);
+        eprintln!(
+            "idle pool: opened {}/{} connections",
+            pool.len(),
+            idle_connections
+        );
+        pool
+    } else {
+        Vec::new()
+    };
     println!(
         "{:>8} {:>9} {:>8} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9} {:>5}",
         "target", "ach_rps", "ok", "err", "busy", "tmo", "p50_us", "p99_us", "max_us", "cerr"
     );
     for rps in rates {
         run_step(&targets, rps, duration, conns, batch, read_only);
+    }
+    if idle_connections > 0 {
+        let sample = idle_pool.len().min(64);
+        let alive = probe_idle_pool(&mut idle_pool, sample);
+        println!(
+            "idle_opened={} idle_alive={}/{}",
+            idle_pool.len(),
+            alive,
+            sample
+        );
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! datacron-serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
+//!                [--max-connections N] [--idle-timeout-ms MS]
 //!                [--query-workers N]
 //!                [--data-dir DIR] [--fsync always|never|every=N]
 //!                [--snapshot-every N] [--segment-bytes N]
@@ -83,6 +84,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: datacron-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+             [--max-connections N] [--idle-timeout-ms MS (0 = never reap)] \
              [--sparql-partitions N] [--partition-min-triples N] \
              [--query-workers N (0 = one per core)] \
              [--data-dir DIR] [--fsync always|never|every=N] \
@@ -101,6 +103,13 @@ fn main() {
         addr: arg(&args, "--addr", "127.0.0.1:7878".to_string()),
         workers: arg(&args, "--workers", 4usize),
         queue_capacity: arg(&args, "--queue", 64usize),
+        max_connections: arg(&args, "--max-connections", 10_240usize),
+        // Slowloris guard: connections stalled mid-line (or mid-write)
+        // longer than this are reaped. 0 disables reaping entirely.
+        idle_timeout: match arg(&args, "--idle-timeout-ms", 30_000u64) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
         pipeline: PipelineConfig {
             region: BoundingBox::new(19.0, 33.0, 30.0, 41.0),
             zones: vec![

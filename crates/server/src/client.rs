@@ -32,6 +32,18 @@ impl Client {
         Ok(c)
     }
 
+    /// Wraps an already-connected stream — e.g. one a test has been
+    /// holding open in an idle pool — keeping whatever timeouts are
+    /// already set on it.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
     /// Sends one request line without waiting for the response.
     pub fn send(&mut self, request: &Json) -> io::Result<()> {
         let mut line = String::new();

@@ -1,12 +1,19 @@
-//! The TCP server: one acceptor thread feeding a bounded work queue of
-//! connections, drained by a fixed worker pool.
+//! The TCP server: one epoll reactor thread (datacron-net) owning every
+//! connection, feeding a bounded work queue of *requests* drained by a
+//! fixed worker pool.
 //!
-//! Admission control happens at the queue: when it is full the acceptor
-//! immediately writes a `busy` error line and closes the connection
-//! instead of letting it wait — callers get backpressure, not latency.
-//! Workers serve a connection's requests serially; ingest takes the state
-//! write lock, every query takes a read lock, so queries proceed
-//! concurrently with each other and only serialise behind ingest.
+//! A connection costs one fd plus buffer state in the event loop — it
+//! never pins a worker, which is what lets one box hold 10k+ mostly-idle
+//! consumers. Admission control is two-level: a new connection is turned
+//! away with `busy` while the request queue is saturated (cheap, at
+//! accept), and an individual request gets a `busy` line when the queue
+//! is full at dispatch — the connection itself survives. Workers execute
+//! requests only; finished responses travel back to the reactor through
+//! its wakeup pipe. Per connection, requests run one at a time in
+//! arrival order (pipelined lines queue in the loop), so responses are
+//! always ordered. Ingest takes the state write lock, every query takes
+//! a read lock, so queries proceed concurrently with each other and only
+//! serialise behind ingest.
 
 use crate::codec;
 use crate::json::Json;
@@ -20,16 +27,17 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use datacron_core::sync::{TrackedMutex, TrackedRwLock};
 use datacron_core::PipelineConfig;
 use datacron_geo::BoundingBox;
+use datacron_net::{ConnId, LineAction, Open, Reactor, ReactorConfig, ReactorHandle};
 use datacron_obs::{ClockSource, MonotonicClock, Registry, SlowLog, Trace};
 use datacron_repl::{b64, epoch, FollowerProgress, FollowerRegistry, StalenessVerdict};
 use datacron_storage::{Storage, StorageConfig};
 use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -38,13 +46,24 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address; use port 0 to let the OS pick one.
     pub addr: String,
-    /// Worker threads draining the connection queue.
+    /// Worker threads draining the request queue.
     pub workers: usize,
-    /// Bounded connection-queue capacity; beyond it, `busy` rejections.
+    /// Bounded request-queue capacity. While `queued + executing`
+    /// requests are at this bound, new connections get `busy` at accept
+    /// and a request that finds the queue full gets a `busy` line (its
+    /// connection survives).
     pub queue_capacity: usize,
+    /// Hard cap on concurrently open connections; beyond it, `busy`.
+    pub max_connections: usize,
+    /// Slowloris guard: a connection holding a *partial* request line
+    /// (or a stalled unflushed response) past this deadline is reaped by
+    /// the reactor. Fully idle connections are free and never reaped.
+    /// `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
     /// Largest accepted request line, bytes.
     pub max_line_bytes: usize,
-    /// Poll interval for idle connections (bounds shutdown latency).
+    /// Upper bound on one reactor `epoll_wait` sleep (bounds shutdown
+    /// latency and reaper staleness).
     pub poll_interval: Duration,
     /// Pipeline configuration for the owned analytics state.
     pub pipeline: PipelineConfig,
@@ -67,9 +86,10 @@ pub struct ServerConfig {
     /// Storage tuning (segment size, fsync policy, snapshot threshold);
     /// ignored unless `data_dir` is set.
     pub storage: StorageConfig,
-    /// Socket write timeout applied to every response (normal replies and
-    /// `busy`/`shutting_down` rejections alike), so a stalled reader
-    /// cannot pin a worker or the acceptor indefinitely.
+    /// Write-stall deadline: a connection whose pending response bytes
+    /// make no progress for this long is reaped by the reactor, so a
+    /// stalled reader cannot hold buffer memory indefinitely. (Workers
+    /// never touch sockets, so no thread is ever pinned either way.)
     pub write_timeout: Duration,
     /// Slow-query log capacity: the N slowest requests kept with their
     /// span breakdowns (served by the `slowlog` request).
@@ -84,6 +104,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_capacity: 64,
+            max_connections: 10_240,
+            idle_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: 1 << 20,
             poll_interval: Duration::from_millis(100),
             pipeline: PipelineConfig {
@@ -196,6 +218,7 @@ pub struct ServerHandle {
     /// The shared analytics state (exposed for in-process embedding).
     pub state: Arc<TrackedRwLock<AnalyticsState>>,
     shutdown: Arc<AtomicBool>,
+    net: ReactorHandle,
     threads: Vec<JoinHandle<()>>,
     storage: Option<Arc<TrackedMutex<Storage>>>,
 }
@@ -229,8 +252,10 @@ impl ServerHandle {
 
     fn stop_threads(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The acceptor blocks in accept(); a throwaway connection wakes it.
-        let _ = TcpStream::connect(self.local_addr);
+        // The reactor wakes from epoll_wait, closes every connection and
+        // exits, dropping the handler and with it the queue sender —
+        // workers drain whatever was queued, then see the disconnect.
+        self.net.shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -245,9 +270,16 @@ struct Shared {
     /// The clock every trace and queue-wait measurement runs against.
     clock: Arc<dyn ClockSource>,
     shutdown: Arc<AtomicBool>,
-    /// Connections plus the clock reading at enqueue time, so the
-    /// dequeuing worker can attribute queue wait to the first request.
-    queue: Receiver<(TcpStream, u64)>,
+    /// Parsed request lines awaiting a worker; each carries the clock
+    /// reading at reactor enqueue time so the dequeuing worker can
+    /// attribute queue wait truthfully.
+    queue: Receiver<Job>,
+    /// Requests admitted but not yet answered (queued + executing);
+    /// accept-time admission control reads it.
+    jobs_in_flight: Arc<AtomicU64>,
+    /// The reactor handle, set once the event loop exists (it is built
+    /// after `Shared`); gives `stats` access to connection gauges.
+    net: OnceLock<ReactorHandle>,
     cfg: ServerConfig,
     /// Lock order: state write lock first, then storage — both ingest
     /// and shutdown follow it, so they can never deadlock.
@@ -340,7 +372,8 @@ pub fn start_with_clock(
     metrics.register_into(&registry);
     let slowlog = Arc::new(SlowLog::new(cfg.slowlog_capacity));
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = channel::bounded::<(TcpStream, u64)>(cfg.queue_capacity.max(1));
+    let (tx, rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
+    let jobs_in_flight = Arc::new(AtomicU64::new(0));
     install_collectors(
         &registry,
         &state,
@@ -353,6 +386,13 @@ pub fn start_with_clock(
         &clock,
     );
 
+    // Holding many sockets needs headroom over the usual 1024-fd soft
+    // limit; failure is advisory (the kernel grants what it grants).
+    let want_fds = u64::try_from(cfg.max_connections)
+        .unwrap_or(u64::MAX)
+        .saturating_add(64);
+    let _ = datacron_net::sys::raise_nofile_limit(want_fds);
+
     let shared = Arc::new(Shared {
         state: Arc::clone(&state),
         metrics: Arc::clone(&metrics),
@@ -361,11 +401,29 @@ pub fn start_with_clock(
         clock,
         shutdown: Arc::clone(&shutdown),
         queue: rx,
+        jobs_in_flight: Arc::clone(&jobs_in_flight),
+        net: OnceLock::new(),
         cfg,
         storage: storage.clone(),
         repl,
         started: Stopwatch::start(),
     });
+
+    let reactor_cfg = ReactorConfig {
+        max_line_bytes: shared.cfg.max_line_bytes,
+        idle_timeout: shared.cfg.idle_timeout,
+        write_stall_timeout: Some(shared.cfg.write_timeout),
+        poll_interval: shared.cfg.poll_interval,
+        ..ReactorConfig::default()
+    };
+    let handler = ServerHandler {
+        shared: Arc::clone(&shared),
+        jobs: tx,
+    };
+    let mut reactor = Reactor::new(listener, reactor_cfg, handler)?;
+    let net = reactor.handle();
+    let _ = shared.net.set(net.clone());
+    install_net_collectors(&registry, &net);
 
     let mut threads = Vec::with_capacity(shared.cfg.workers + 2);
     if let ReplRuntime::Follower {
@@ -390,20 +448,22 @@ pub fn start_with_clock(
     }
     for i in 0..shared.cfg.workers.max(1) {
         let shared = Arc::clone(&shared);
+        let net = net.clone();
         threads.push(
             thread::Builder::new()
                 .name(format!("datacron-worker-{i}"))
-                .spawn(move || worker_loop(&shared))?,
+                .spawn(move || worker_loop(&shared, &net))?,
         );
     }
-    {
-        let shared = Arc::clone(&shared);
-        threads.push(
-            thread::Builder::new()
-                .name("datacron-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &tx, &shared))?,
-        );
-    }
+    threads.push(
+        thread::Builder::new()
+            .name("datacron-reactor".to_string())
+            .spawn(move || {
+                if let Err(e) = reactor.run() {
+                    eprintln!("datacron-server: reactor exited with error: {e}");
+                }
+            })?,
+    );
 
     Ok(ServerHandle {
         local_addr,
@@ -412,6 +472,7 @@ pub fn start_with_clock(
         slowlog,
         state,
         shutdown,
+        net,
         threads,
         storage,
     })
@@ -429,7 +490,7 @@ fn install_collectors(
     storage: Option<&Arc<TrackedMutex<Storage>>>,
     metrics: &Arc<ServerMetrics>,
     slowlog: &Arc<SlowLog>,
-    queue: Receiver<(TcpStream, u64)>,
+    queue: Receiver<Job>,
     cfg: &ServerConfig,
     repl: &ReplRuntime,
     clock: &Arc<dyn ClockSource>,
@@ -552,6 +613,62 @@ fn install_collectors(
     });
 }
 
+/// Exposes the reactor's connection gauges and loop counters as
+/// `datacron_net_*`, plus the epoll iteration latency histogram. Kept
+/// separate from [`install_collectors`] because the reactor (and its
+/// stats) only exists once `Shared` does.
+fn install_net_collectors(registry: &Registry, net: &ReactorHandle) {
+    registry.register_histogram(
+        "datacron_net_loop_latency_us",
+        &[],
+        Arc::clone(&net.stats().loop_latency),
+    );
+    let net = net.clone();
+    registry.collector(move |sink| {
+        let s = net.stats();
+        sink.gauge(
+            "datacron_net_open_connections",
+            &[],
+            s.open_connections.load(Ordering::Relaxed),
+        );
+        sink.gauge(
+            "datacron_net_read_buffer_bytes",
+            &[],
+            s.read_buffer_bytes.load(Ordering::Relaxed),
+        );
+        sink.gauge(
+            "datacron_net_write_buffer_bytes",
+            &[],
+            s.write_buffer_bytes.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_net_accepts_total",
+            &[],
+            s.accepts_total.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_net_conns_closed_total",
+            &[],
+            s.conns_closed_total.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_net_conns_reaped_total",
+            &[],
+            s.conns_reaped_total.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_net_wakeups_total",
+            &[],
+            s.wakeups_total.load(Ordering::Relaxed),
+        );
+        sink.counter(
+            "datacron_net_loop_iterations_total",
+            &[],
+            s.loop_iterations_total.load(Ordering::Relaxed),
+        );
+    });
+}
+
 /// Opens the data directory and rebuilds the analytics state from the
 /// newest valid snapshot plus the verified WAL tail after it. A snapshot
 /// whose payload fails to decode aborts startup (it passed its CRC, so
@@ -615,168 +732,134 @@ fn recover(
     Ok((storage, state))
 }
 
-fn acceptor_loop(listener: &TcpListener, tx: &Sender<(TcpStream, u64)>, shared: &Shared) {
-    loop {
-        let conn = match listener.accept() {
-            Ok((conn, _)) => conn,
-            Err(_) => continue,
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // The wake-up connection (or a late client) during shutdown.
-            let _ = reject(
-                conn,
+/// One parsed request line in the bounded queue, stamped with the clock
+/// reading at reactor enqueue so queue wait is measured from there.
+struct Job {
+    conn: ConnId,
+    line: String,
+    enqueued_us: u64,
+}
+
+/// The reactor-side application logic: admission control at accept,
+/// request-level enqueueing at each framed line. Runs on the reactor
+/// thread; everything here must stay non-blocking (`try_send`, atomics).
+struct ServerHandler {
+    shared: Arc<Shared>,
+    jobs: Sender<Job>,
+}
+
+/// An error line plus newline, ready for the reactor's write buffer.
+fn error_line(code: ErrorCode, msg: &str) -> Vec<u8> {
+    let mut s = error_response(&Json::Null, code, msg);
+    s.push('\n');
+    s.into_bytes()
+}
+
+impl datacron_net::Handler for ServerHandler {
+    fn on_open(&mut self, _conn: ConnId, open: usize) -> Open {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Open::Reject(error_line(
                 ErrorCode::ShuttingDown,
                 "server is shutting down",
-                shared.cfg.write_timeout,
-            );
-            return; // drops tx, disconnecting the workers' queue
+            ));
         }
-        match tx.try_send((conn, shared.clock.now_us())) {
-            Ok(()) => {
-                shared
-                    .metrics
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full((conn, _))) => {
-                shared
-                    .metrics
-                    .connections_rejected
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = reject(
-                    conn,
-                    ErrorCode::Busy,
-                    "connection queue full, retry later",
-                    shared.cfg.write_timeout,
-                );
-            }
-            Err(TrySendError::Disconnected(_)) => return,
+        if open > self.shared.cfg.max_connections {
+            self.shared
+                .metrics
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Open::Reject(error_line(
+                ErrorCode::Busy,
+                "connection limit reached, retry later",
+            ));
         }
+        // Accept-time admission: while the request queue is saturated the
+        // server is not keeping up, so new connections are turned away
+        // immediately instead of being left to time out on their first
+        // request.
+        let in_flight = self.shared.jobs_in_flight.load(Ordering::Relaxed);
+        let cap = u64::try_from(self.shared.cfg.queue_capacity.max(1)).unwrap_or(u64::MAX);
+        if in_flight >= cap {
+            self.shared
+                .metrics
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Open::Reject(error_line(
+                ErrorCode::Busy,
+                "connection queue full, retry later",
+            ));
+        }
+        self.shared
+            .metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        Open::Accept
     }
-}
 
-fn reject(
-    mut conn: TcpStream,
-    code: ErrorCode,
-    msg: &str,
-    write_timeout: Duration,
-) -> io::Result<()> {
-    let _ = conn.set_write_timeout(Some(write_timeout));
-    let line = error_response(&Json::Null, code, msg);
-    conn.write_all(line.as_bytes())?;
-    conn.write_all(b"\n")
-}
-
-fn worker_loop(shared: &Shared) {
-    // recv() errors only when the acceptor exits and drops the sender; at
-    // that point queued connections are still drained (channel semantics),
-    // so none hang unanswered across a shutdown.
-    while let Ok((conn, enqueued_us)) = shared.queue.recv() {
-        let queue_wait_us = shared.clock.now_us().saturating_sub(enqueued_us);
-        let _ = serve_connection(conn, shared, queue_wait_us);
-    }
-}
-
-enum Line {
-    /// A complete request line (without the trailing newline).
-    Full(String),
-    /// The line exceeded `max_line_bytes`; the rest was discarded.
-    TooLong,
-    /// Peer closed the connection, or the server is shutting down.
-    Closed,
-}
-
-/// Reads one newline-terminated line, bounding memory at `max` bytes and
-/// polling the shutdown flag on read timeouts so workers stay joinable.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    max: usize,
-    shutdown: &AtomicBool,
-) -> io::Result<Line> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut overflowed = false;
-    loop {
-        let available = match reader.fill_buf() {
-            Ok(chunk) => chunk,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(Line::Closed);
-                }
-                continue;
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if available.is_empty() {
-            return Ok(Line::Closed); // EOF
+    fn on_line(&mut self, conn: ConnId, line: String) -> LineAction {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return LineAction::Close(error_line(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            ));
         }
-        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
-            Some(i) => (&available[..i], true),
-            None => (available, false),
-        };
-        if !overflowed {
-            if buf.len() + chunk.len() > max {
-                overflowed = true;
-                buf.clear();
-            } else {
-                buf.extend_from_slice(chunk);
-            }
-        }
-        let consumed = chunk.len() + usize::from(done);
-        reader.consume(consumed);
-        if done {
-            if overflowed {
-                return Ok(Line::TooLong);
-            }
-            return match String::from_utf8(buf) {
-                Ok(s) => Ok(Line::Full(s)),
-                Err(_) => Ok(Line::TooLong), // treat invalid UTF-8 as protocol abuse
-            };
-        }
-    }
-}
-
-fn serve_connection(conn: TcpStream, shared: &Shared, queue_wait_us: u64) -> io::Result<()> {
-    conn.set_read_timeout(Some(shared.cfg.poll_interval))?;
-    // Write timeout applies to the shared fd, so the cloned writer
-    // inherits it: a stalled reader cannot pin this worker.
-    conn.set_write_timeout(Some(shared.cfg.write_timeout))?;
-    conn.set_nodelay(true).ok();
-    // Admission-queue wait is a per-connection cost; attribute it to the
-    // connection's first request.
-    let mut queue_wait = Some(queue_wait_us);
-    let mut writer = conn.try_clone()?;
-    let mut reader = BufReader::new(conn);
-    loop {
-        let line =
-            match read_line_bounded(&mut reader, shared.cfg.max_line_bytes, &shared.shutdown)? {
-                Line::Closed => return Ok(()),
-                Line::TooLong => {
-                    shared.metrics.requests_err.fetch_add(1, Ordering::Relaxed);
-                    let resp = error_response(
-                        &Json::Null,
-                        ErrorCode::TooLarge,
-                        &format!("line exceeds {} bytes", shared.cfg.max_line_bytes),
-                    );
-                    writer.write_all(resp.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                    continue;
-                }
-                Line::Full(line) => line,
-            };
         if line.trim().is_empty() {
-            continue;
+            return LineAction::Ignore;
         }
-        let response = handle_line(&line, shared, queue_wait.take());
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        // A client that always has the next request ready (a follower
-        // polling for WAL frames, say) would otherwise keep this worker
-        // serving forever and pin shutdown at the join.
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+        self.shared.jobs_in_flight.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            conn,
+            line,
+            enqueued_us: self.shared.clock.now_us(),
+        };
+        match self.jobs.try_send(job) {
+            Ok(()) => LineAction::Dispatch,
+            Err(TrySendError::Full(_)) => {
+                // Request-level backpressure: this request is shed, the
+                // connection survives to retry.
+                self.shared.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+                self.shared
+                    .metrics
+                    .requests_err
+                    .fetch_add(1, Ordering::Relaxed);
+                LineAction::Respond(error_line(
+                    ErrorCode::Busy,
+                    "request queue full, retry later",
+                ))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+                LineAction::Close(error_line(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                ))
+            }
         }
+    }
+
+    fn on_overflow(&mut self, _conn: ConnId) -> LineAction {
+        self.shared
+            .metrics
+            .requests_err
+            .fetch_add(1, Ordering::Relaxed);
+        LineAction::Respond(error_line(
+            ErrorCode::TooLarge,
+            &format!("line exceeds {} bytes", self.shared.cfg.max_line_bytes),
+        ))
+    }
+}
+
+/// Pure request execution: take a job, run it, hand the response bytes
+/// back to the reactor. recv() errors only when the reactor exits and
+/// drops the sender; queued jobs are still drained first (channel
+/// semantics), their completions harmlessly dropped by the dead loop.
+fn worker_loop(shared: &Shared, net: &ReactorHandle) {
+    while let Ok(job) = shared.queue.recv() {
+        let queue_wait_us = shared.clock.now_us().saturating_sub(job.enqueued_us);
+        let mut response = handle_line(&job.line, shared, Some(queue_wait_us));
+        response.push('\n');
+        shared.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+        net.complete(job.conn, response.into_bytes());
     }
 }
 
@@ -946,6 +1029,39 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
                 ("pipeline".to_string(), pipeline),
                 ("replication".to_string(), replication_json(shared)),
             ];
+            if let Some(net) = shared.net.get() {
+                let s = net.stats();
+                fields.push((
+                    "net".to_string(),
+                    Json::obj()
+                        .field(
+                            "open_connections",
+                            s.open_connections.load(Ordering::Relaxed),
+                        )
+                        .field(
+                            "read_buffer_bytes",
+                            s.read_buffer_bytes.load(Ordering::Relaxed),
+                        )
+                        .field(
+                            "write_buffer_bytes",
+                            s.write_buffer_bytes.load(Ordering::Relaxed),
+                        )
+                        .field("accepts_total", s.accepts_total.load(Ordering::Relaxed))
+                        .field(
+                            "conns_closed_total",
+                            s.conns_closed_total.load(Ordering::Relaxed),
+                        )
+                        .field(
+                            "conns_reaped_total",
+                            s.conns_reaped_total.load(Ordering::Relaxed),
+                        )
+                        .field(
+                            "loop_iterations_total",
+                            s.loop_iterations_total.load(Ordering::Relaxed),
+                        )
+                        .build(),
+                ));
+            }
             if let Some(storage) = &shared.storage {
                 let s = storage.lock().stats();
                 fields.push((

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# E13 — connection scaling on the event-loop server.
+#
+# Boots the release server, then sweeps an idle-connection pool from
+# 100 to 10k while a fixed-rate open-loop workload (loadgen) runs
+# alongside. For every step it records the active traffic's p50/p99,
+# how many of the probed idle connections still answered, and the
+# server's resident memory sampled mid-run — giving bytes per held
+# connection. Writes BENCH_server.json at the repo root.
+#
+# The interesting comparison is against the retired thread-per-
+# connection design: there every held connection cost a worker-pool
+# slot (the pool saturated at `--workers`, typically 4) and an OS
+# thread would have cost ~8 MiB of stack address space each; the
+# reactor holds all of them on one thread in a few KiB apiece.
+#
+# Usage: scripts/bench_server.sh [--quick] [--offline]
+#   --quick    smaller sweep and shorter steps (CI-sized run)
+#   --offline  resolve crates from the local cargo cache only
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+SWEEP="100 500 1000 2500 5000 10000"
+DURATION=5
+RPS=${BENCH_SERVER_RPS:-200}
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    --quick) SWEEP="100 500 1000"; DURATION=3 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+
+cargo build "${CARGO_FLAGS[@]}" --release -p datacron-server --bins
+
+BIN=target/release/datacron-serve
+LOADGEN=target/release/loadgen
+LOG=$(mktemp /tmp/bench-server-log.XXXXXX)
+GEN=$(mktemp /tmp/bench-server-gen.XXXXXX)
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG" "$GEN"
+}
+trap cleanup EXIT
+
+"$BIN" --addr 127.0.0.1:0 --workers 4 --queue 128 \
+  --max-connections 20000 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^datacron-server listening on \([0-9.:]*\) .*/\1/p' "$LOG")
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "bench-server: no listen address" >&2; exit 1; }
+
+vm_rss_kb() {
+  awk '/^VmRSS:/ {print $2}' "/proc/$SERVER_PID/status"
+}
+
+BASELINE_KB=$(vm_rss_kb)
+STEPS=""
+
+for CONNS in $SWEEP; do
+  "$LOADGEN" --addr "$ADDR" --connections "$CONNS" --conns 4 \
+    --rps "$RPS" --duration-s "$DURATION" --batch 8 >"$GEN" 2>&1 &
+  GEN_PID=$!
+  # Sample resident memory mid-run, while the pool is held open.
+  sleep "$((DURATION / 2 + 1))"
+  RSS_KB=$(vm_rss_kb)
+  wait "$GEN_PID" || { echo "bench-server: loadgen failed:" >&2; cat "$GEN" >&2; exit 1; }
+
+  ROW=$(awk '$1 ~ /^[0-9]/ {print; exit}' "$GEN")
+  P50=$(awk '{print $7}' <<<"$ROW")
+  P99=$(awk '{print $8}' <<<"$ROW")
+  ACH=$(awk '{print $2}' <<<"$ROW")
+  IDLE_LINE=$(grep -o 'idle_opened=[0-9]* idle_alive=[0-9]*/[0-9]*' "$GEN" || true)
+  OPENED=$(sed 's/idle_opened=\([0-9]*\).*/\1/' <<<"$IDLE_LINE")
+  ALIVE=$(sed 's/.*idle_alive=\([0-9]*\)\/.*/\1/' <<<"$IDLE_LINE")
+  SAMPLE=$(sed 's/.*idle_alive=[0-9]*\/\([0-9]*\)/\1/' <<<"$IDLE_LINE")
+  DELTA_KB=$((RSS_KB - BASELINE_KB))
+  if (( OPENED > 0 )); then
+    BYTES_PER_CONN=$(( DELTA_KB > 0 ? DELTA_KB * 1024 / OPENED : 0 ))
+  else
+    BYTES_PER_CONN=0
+  fi
+
+  echo "conns=$CONNS opened=$OPENED alive=$ALIVE/$SAMPLE p50=${P50}us p99=${P99}us rss=${RSS_KB}kB (+${DELTA_KB}kB, ~${BYTES_PER_CONN}B/conn)"
+
+  [[ -n "$STEPS" ]] && STEPS+=","
+  STEPS+=$(printf '{"connections":%s,"idle_opened":%s,"idle_alive":%s,"idle_sampled":%s,"achieved_rps":%s,"p50_us":%s,"p99_us":%s,"rss_kb":%s,"rss_delta_kb":%s,"bytes_per_connection":%s}' \
+    "$CONNS" "${OPENED:-0}" "${ALIVE:-0}" "${SAMPLE:-0}" "${ACH:-0}" "${P50:-0}" "${P99:-0}" "$RSS_KB" "$DELTA_KB" "$BYTES_PER_CONN")
+done
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+printf '{"experiment":"E13-connections","rps":%s,"duration_s":%s,"workers":4,"baseline_rss_kb":%s,"thread_per_conn_note":"retired design: each connection pinned a worker-pool slot (4 total) and a dedicated thread would cost ~8 MiB stack address space; the reactor holds all connections on one thread","steps":[%s]}\n' \
+  "$RPS" "$DURATION" "$BASELINE_KB" "$STEPS" >BENCH_server.json
+echo "==> BENCH_server.json written"

@@ -13,6 +13,11 @@ cd "$(dirname "$0")/.."
 # Exported once so all cargo invocations share one artifact cache.
 export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
 
+# The event-loop suites hold four-digit connection counts from a single
+# test process; the usual 1024-fd soft limit is not enough. Best-effort:
+# the tests themselves also raise the server-side limit via setrlimit.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || ulimit -n 16384 2>/dev/null || true
+
 CARGO_FLAGS=()
 for arg in "$@"; do
   case "$arg" in
@@ -40,6 +45,9 @@ run scripts/obs_smoke.sh
 # leader, and assert the follower converges, stamps reads with its
 # position, and redirects writes.
 run scripts/repl_smoke.sh
+# Event-loop smoke: the release server holds 1k concurrent connections
+# on two worker threads and still answers every probed one.
+run scripts/net_smoke.sh
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
 # Crash-recovery integration suite (kill/restart, corrupt + truncated WAL
 # tails) in release mode — the durability guarantees must hold under the

@@ -84,6 +84,8 @@ for family in \
   '# TYPE datacron_pipeline_stage_latency_us summary' \
   '# TYPE datacron_requests_total counter' \
   '# TYPE datacron_queue_depth gauge' \
+  '# TYPE datacron_net_open_connections gauge' \
+  '# TYPE datacron_net_loop_latency_us summary' \
   '# TYPE datacron_graph_triples gauge' \
   '# TYPE datacron_wal_bytes gauge' \
   '# TYPE datacron_wal_fsync_latency_us summary'; do
