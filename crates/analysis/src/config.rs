@@ -11,6 +11,12 @@
 //! - `wallclock` (L4) applies everywhere except designated clock modules
 //!   and load-generation/bench tools that pace against real deadlines.
 //! - `lock_order` (L5) applies to all non-test code.
+//! - `reactor_blocking` (L6) and `lock_across_call` (L9) are call-graph
+//!   rules over the item model; their scoping (reactor entry points,
+//!   crate membership) lives in [`crate::model`].
+//! - `ffi_retcheck` (L7) applies to the hand-declared FFI surface,
+//!   `crates/net/src/sys.rs`.
+//! - `atomic_audit` (L8) applies to all non-test code.
 //!
 //! When the binary is given explicit file arguments ("strict mode", used
 //! for the lint fixtures), every rule applies to every file regardless of
@@ -21,7 +27,7 @@ use std::fmt;
 use std::io::{self, Write as _};
 use std::path::Path;
 
-/// The five repo-specific lint rules.
+/// The nine repo-specific lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// L1: no `unwrap()`/`expect()`/`panic!`/`todo!` in non-test code of
@@ -35,19 +41,34 @@ pub enum Rule {
     Wallclock,
     /// L5: nested lock acquisitions must appear in the lock-order manifest.
     LockOrder,
+    /// L6: no blocking operation reachable from a reactor entry point
+    /// (call-graph rule; vetted handbacks in `reactor-allow.manifest`).
+    ReactorBlocking,
+    /// L7: FFI/syscall call results must be checked, never discarded.
+    FfiRetcheck,
+    /// L8: `Ordering::Relaxed` requires an `// ordering:` justification
+    /// or an `atomic-ordering.manifest` entry.
+    AtomicAudit,
+    /// L9: a lock guard live across a call into another workspace crate
+    /// must be vetted (`lock -> crate:<name>`) in the lock-order manifest.
+    LockAcrossCall,
 }
 
 impl Rule {
-    /// All rules, in L1..L5 order.
-    pub const ALL: [Rule; 5] = [
+    /// All rules, in L1..L9 order.
+    pub const ALL: [Rule; 9] = [
         Rule::NoPanic,
         Rule::SafetyComment,
         Rule::Truncation,
         Rule::Wallclock,
         Rule::LockOrder,
+        Rule::ReactorBlocking,
+        Rule::FfiRetcheck,
+        Rule::AtomicAudit,
+        Rule::LockAcrossCall,
     ];
 
-    /// Short id, `L1`..`L5`.
+    /// Short id, `L1`..`L9`.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoPanic => "L1",
@@ -55,6 +76,10 @@ impl Rule {
             Rule::Truncation => "L3",
             Rule::Wallclock => "L4",
             Rule::LockOrder => "L5",
+            Rule::ReactorBlocking => "L6",
+            Rule::FfiRetcheck => "L7",
+            Rule::AtomicAudit => "L8",
+            Rule::LockAcrossCall => "L9",
         }
     }
 
@@ -66,12 +91,113 @@ impl Rule {
             Rule::Truncation => "truncation",
             Rule::Wallclock => "wallclock",
             Rule::LockOrder => "lock_order",
+            Rule::ReactorBlocking => "reactor_blocking",
+            Rule::FfiRetcheck => "ffi_retcheck",
+            Rule::AtomicAudit => "atomic_audit",
+            Rule::LockAcrossCall => "lock_across_call",
         }
     }
 
-    /// Parses a rule name as written in `lint:allow(...)`.
+    /// Parses a rule name or id (`lock_order` or `L5`).
     pub fn from_name(name: &str) -> Option<Rule> {
-        Rule::ALL.iter().copied().find(|r| r.name() == name)
+        Rule::ALL
+            .iter()
+            .copied()
+            .find(|r| r.name() == name || r.id() == name)
+    }
+
+    /// Long-form description for `datacron-lint --explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "L1 no_panic: `.unwrap()`, `.expect()`, `panic!`, `todo!` and \
+                 `unimplemented!` are forbidden in non-test code of the serving and \
+                 durability crates. A panic on the serving path takes the request \
+                 (or, on the reactor thread, the whole box) down; return a typed \
+                 error instead. Escape hatch: `// lint:allow(no_panic) <why>` when \
+                 an invariant makes the panic unreachable."
+            }
+            Rule::SafetyComment => {
+                "L2 safety_comment: every `unsafe` block must carry a `// SAFETY:` \
+                 comment immediately above it (or as the first token inside it) \
+                 stating the invariant that makes the block sound. Applies to test \
+                 code too."
+            }
+            Rule::Truncation => {
+                "L3 truncation: no `as <int>` casts in the binary-format modules \
+                 (WAL, snapshot, RDF binary, codec, b64, net framing). A silent \
+                 truncation there corrupts bytes on disk or on the wire; use \
+                 From/TryFrom, or `// lint:allow(truncation)` with the \
+                 widening/masking argument."
+            }
+            Rule::Wallclock => {
+                "L4 wallclock: `Instant::now()`/`SystemTime::now()` only in the \
+                 designated clock modules and load/bench tools. Everything else \
+                 takes time through the injectable clock so tests can control it."
+            }
+            Rule::LockOrder => {
+                "L5 lock_order: acquiring lock B while holding lock A requires the \
+                 edge `A -> B` in crates/analysis/lock-order.manifest. The manifest \
+                 is the vetted partial order; the dynamic tracked-locks checker \
+                 verifies it is acyclic at runtime. `--fix-manifest` appends \
+                 unvetted pairs for review."
+            }
+            Rule::ReactorBlocking => {
+                "L6 reactor_blocking: from every reactor entry point (methods of \
+                 `impl Reactor`, impls of the `Handler` trait) no call chain may \
+                 reach a blocking operation: file I/O, fsync, Condvar/Child wait, \
+                 thread join, blocking channel recv, thread sleep. Handler \
+                 callbacks run on the event-loop thread; one blocking call stalls \
+                 every connection on the box. Hand the work to a worker and vet \
+                 the handback function in crates/analysis/reactor-allow.manifest \
+                 (`<fn> # why`). The call graph is name-resolved: same-crate \
+                 definitions win, cross-crate edges only for unambiguous names — \
+                 an over-approximation, so every vet entry records its reason."
+            }
+            Rule::FfiRetcheck => {
+                "L7 ffi_retcheck: every call to a function declared in an \
+                 `unsafe extern \"C\"` block must consume its return value — \
+                 through `cvt()`, a binding, or a comparison. A discarded syscall \
+                 result (statement position or `let _ =`) silently drops an errno; \
+                 check it and surface the error."
+            }
+            Rule::AtomicAudit => {
+                "L8 atomic_audit: an atomic access with `Ordering::Relaxed` needs \
+                 either an `// ordering:` comment in the same statement (or \
+                 trailing on the line) justifying why no happens-before edge is \
+                 needed, or an entry `<atomic-name> # <why>` in \
+                 crates/analysis/atomic-ordering.manifest. Relaxed is correct for \
+                 monotonic counters and heuristics; it is wrong for \
+                 publish/consume pairs (use Release/Acquire and say so in an \
+                 `// ordering:` comment)."
+            }
+            Rule::LockAcrossCall => {
+                "L9 lock_across_call: a lock guard live across a call that \
+                 resolves into another workspace crate extends the critical \
+                 section by an amount this crate cannot see (I/O, other locks). \
+                 Vet the pair as `<lock> -> crate:<crate-name>` in \
+                 lock-order.manifest, or release the guard before the call."
+            }
+        }
+    }
+
+    /// Short machine-readable fix hint attached to JSON diagnostics.
+    pub fn fix_hint(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "return a typed error; or lint:allow(no_panic) with the invariant",
+            Rule::SafetyComment => "add a `// SAFETY:` comment stating the invariant",
+            Rule::Truncation => "use From/TryFrom; or lint:allow(truncation) with the argument",
+            Rule::Wallclock => "take time through the injectable clock",
+            Rule::LockOrder => "vet the pair in lock-order.manifest (--fix-manifest)",
+            Rule::ReactorBlocking => {
+                "hand work to a worker; vet the handback in reactor-allow.manifest"
+            }
+            Rule::FfiRetcheck => "check the return value and surface errno",
+            Rule::AtomicAudit => {
+                "add an `// ordering:` comment or an atomic-ordering.manifest entry"
+            }
+            Rule::LockAcrossCall => "release the guard first, or vet `lock -> crate:<name>`",
+        }
     }
 }
 
@@ -132,6 +258,12 @@ pub fn rule_applies(rule: Rule, path: &str) -> bool {
         Rule::Truncation => TRUNCATION_SCOPE.contains(&path),
         Rule::Wallclock => !WALLCLOCK_ALLOW.iter().any(|p| path.starts_with(p)),
         Rule::LockOrder => true,
+        // Model rules: scoping is internal (entry points / crate
+        // membership), the per-file walk never runs them.
+        Rule::ReactorBlocking | Rule::LockAcrossCall => true,
+        // The FFI surface is hand-declared in exactly one module.
+        Rule::FfiRetcheck => path == "crates/net/src/sys.rs",
+        Rule::AtomicAudit => true,
     }
 }
 
@@ -223,9 +355,101 @@ impl Manifest {
     }
 }
 
+/// A manifest of vetted *names*, each required to carry a justification:
+/// one `<name> # <why>` per line. Lines without a justification comment
+/// do not vet anything — the why is the point. Used by L6
+/// (`reactor-allow.manifest`: sanctioned worker-handback functions) and
+/// L8 (`atomic-ordering.manifest`: atomics whose Relaxed accesses are
+/// vetted, e.g. monotonic metrics counters).
+#[derive(Debug, Default, Clone)]
+pub struct NameManifest {
+    entries: std::collections::BTreeMap<String, String>,
+}
+
+impl NameManifest {
+    /// Parses manifest text. An entry counts only when the `# why` part
+    /// is present and non-empty.
+    pub fn parse(text: &str) -> NameManifest {
+        let mut entries = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let Some((name, why)) = line.split_once('#') else {
+                continue;
+            };
+            let (name, why) = (name.trim(), why.trim());
+            if !name.is_empty() && !why.is_empty() {
+                entries.insert(name.to_string(), why.to_string());
+            }
+        }
+        NameManifest { entries }
+    }
+
+    /// Loads a manifest file; a missing file is an empty manifest.
+    pub fn load(path: &Path) -> io::Result<NameManifest> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(NameManifest::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(NameManifest::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True when `name` is vetted (with a justification).
+    pub fn vetted(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of vetted names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is vetted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn name_manifest_requires_a_justification() {
+        let m = NameManifest::parse(
+            "wal_flush_worker # runs on the flush thread, not the loop\nbare_entry\n",
+        );
+        assert!(m.vetted("wal_flush_worker"));
+        assert!(!m.vetted("bare_entry"), "no justification, no vet");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn rule_names_and_ids_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+            assert_eq!(Rule::from_name(rule.id()), Some(rule));
+            assert!(!rule.explain().is_empty());
+            assert!(!rule.fix_hint().is_empty());
+        }
+        assert_eq!(Rule::from_name("L9"), Some(Rule::LockAcrossCall));
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+
+    #[test]
+    fn new_rule_scoping() {
+        assert!(rule_applies(Rule::FfiRetcheck, "crates/net/src/sys.rs"));
+        assert!(!rule_applies(
+            Rule::FfiRetcheck,
+            "crates/net/src/reactor.rs"
+        ));
+        assert!(rule_applies(
+            Rule::AtomicAudit,
+            "crates/server/src/server.rs"
+        ));
+        assert!(rule_applies(
+            Rule::AtomicAudit,
+            "crates/obs/src/registry.rs"
+        ));
+    }
 
     #[test]
     fn manifest_parses_pairs_and_comments() {

@@ -6,8 +6,9 @@ use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::config::{path_is_test, rule_applies, Manifest, Rule};
+use crate::config::{path_is_test, rule_applies, Manifest, NameManifest, Rule};
 use crate::lexer::{lex, Token};
+use crate::model::{self, Model};
 use crate::rules;
 
 /// One rendered finding.
@@ -18,9 +19,11 @@ pub struct Diagnostic {
     pub path: String,
     pub line: u32,
     pub message: String,
-    /// For `lock_order`: the unvetted `(held, acquired)` pair, consumed
-    /// by `--fix-manifest`.
+    /// For `lock_order`/`lock_across_call`: the unvetted
+    /// `(held, acquired)` pair, consumed by `--fix-manifest`.
     pub pair: Option<(String, String)>,
+    /// Machine-readable fix hint (carried into `--format json`).
+    pub fix: String,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -36,9 +39,13 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Engine configuration: the lock-order manifest and the mode.
+/// Engine configuration: the manifests and the mode.
 pub struct Engine {
     pub manifest: Manifest,
+    /// L8: atomics whose Relaxed accesses are vetted, with justification.
+    pub atomics: NameManifest,
+    /// L6: vetted worker-handback functions.
+    pub reactor_allow: NameManifest,
     /// Strict mode (explicit file arguments): every rule runs on every
     /// file, and path-based test detection is off. Used for fixtures.
     pub strict: bool,
@@ -49,6 +56,8 @@ impl Engine {
     pub fn workspace(manifest: Manifest) -> Engine {
         Engine {
             manifest,
+            atomics: NameManifest::default(),
+            reactor_allow: NameManifest::default(),
             strict: false,
         }
     }
@@ -57,12 +66,23 @@ impl Engine {
     pub fn strict(manifest: Manifest) -> Engine {
         Engine {
             manifest,
+            atomics: NameManifest::default(),
+            reactor_allow: NameManifest::default(),
             strict: true,
         }
     }
 
-    /// Lints one source text. `path` is used for scoping (workspace mode)
-    /// and in the rendered diagnostics.
+    /// Replaces the L8/L6 name manifests (builder style).
+    pub fn with_name_manifests(mut self, atomics: NameManifest, reactor: NameManifest) -> Engine {
+        self.atomics = atomics;
+        self.reactor_allow = reactor;
+        self
+    }
+
+    /// Runs the per-file token rules (L1–L5, L7, L8) on one source text.
+    /// `path` is used for scoping (workspace mode) and in the rendered
+    /// diagnostics. The call-graph rules L6/L9 need the whole file set —
+    /// see [`Engine::lint_sources`].
     pub fn lint_source(&self, path: &str, src: &str) -> Vec<Diagnostic> {
         let tokens = lex(src);
         let in_test_file = !self.strict && path_is_test(path);
@@ -86,6 +106,10 @@ impl Engine {
                 Rule::Truncation => rules::truncation(&tokens, &mask),
                 Rule::Wallclock => rules::wallclock(&tokens, &mask),
                 Rule::LockOrder => rules::lock_order(&tokens, &mask, &self.manifest),
+                // Model rules run in lint_sources over the full file set.
+                Rule::ReactorBlocking | Rule::LockAcrossCall => Vec::new(),
+                Rule::FfiRetcheck => rules::ffi_retcheck(&tokens, &mask),
+                Rule::AtomicAudit => rules::atomic_audit(&tokens, &mask, &self.atomics),
             };
             for f in findings {
                 if allows.contains(&(rule, f.line)) {
@@ -97,6 +121,7 @@ impl Engine {
                     line: f.line,
                     message: f.message,
                     pair: f.pair,
+                    fix: rule.fix_hint().to_string(),
                 });
             }
         }
@@ -104,21 +129,48 @@ impl Engine {
         out
     }
 
-    /// Lints one file on disk.
+    /// Lints a set of `(path, source)` pairs: the per-file token rules on
+    /// each file, then the call-graph rules (L6 `reactor_blocking`, L9
+    /// `lock_across_call`) over the item model built from the whole set.
+    pub fn lint_sources(&self, files: &[(String, String)]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut allows_by_path: std::collections::HashMap<String, HashSet<(Rule, u32)>> =
+            std::collections::HashMap::new();
+        for (path, src) in files {
+            out.extend(self.lint_source(path, src));
+            allows_by_path.insert(path.clone(), allow_lines(&lex(src)));
+        }
+        let model = Model::build(files);
+        let mut model_diags = model::reactor_blocking(&model, &self.reactor_allow);
+        model_diags.extend(model::lock_across_call(&model, &self.manifest));
+        for d in model_diags {
+            let allowed = allows_by_path
+                .get(&d.path)
+                .is_some_and(|a| a.contains(&(d.rule, d.line)));
+            if !allowed {
+                out.push(d);
+            }
+        }
+        out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        out
+    }
+
+    /// Lints one file on disk (the file is its own model, so L6/L9 see
+    /// only intra-file calls — which is exactly what the fixtures need).
     pub fn lint_file(&self, root: &Path, rel: &str) -> io::Result<Vec<Diagnostic>> {
         let src = std::fs::read_to_string(root.join(rel))?;
-        Ok(self.lint_source(rel, &src))
+        Ok(self.lint_sources(&[(rel.to_string(), src)]))
     }
 
     /// Walks the workspace at `root` and lints every tracked `.rs` file.
     /// The lint engine's own test fixtures are deliberate violations and
     /// are skipped.
     pub fn lint_workspace(&self, root: &Path) -> io::Result<Vec<Diagnostic>> {
+        let mut paths = Vec::new();
+        collect_rs(&root.join("crates"), &mut paths)?;
+        collect_rs(&root.join("tests"), &mut paths)?;
         let mut files = Vec::new();
-        collect_rs(&root.join("crates"), &mut files)?;
-        collect_rs(&root.join("tests"), &mut files)?;
-        let mut out = Vec::new();
-        for file in files {
+        for file in paths {
             let rel = file
                 .strip_prefix(root)
                 .unwrap_or(&file)
@@ -127,10 +179,9 @@ impl Engine {
             if rel.starts_with("crates/analysis/tests/fixtures/") {
                 continue;
             }
-            out.extend(self.lint_file(root, &rel)?);
+            files.push((rel, std::fs::read_to_string(&file)?));
         }
-        out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-        Ok(out)
+        Ok(self.lint_sources(&files))
     }
 }
 

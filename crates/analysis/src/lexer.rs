@@ -189,8 +189,14 @@ pub fn lex(src: &str) -> Vec<Token<'_>> {
                 i += 1;
                 while i < bytes.len() && (is_ident_continue(bytes[i]) || bytes[i] == b'.') {
                     // `1..10` — the range dots are punctuation, not part of
-                    // the number.
-                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                    // the number. Likewise `self.0.load(..)` — a dot
+                    // followed by an identifier is a method/field access
+                    // on the number, not a fractional part.
+                    if bytes[i] == b'.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|&b| b == b'.' || is_ident_start(b))
+                    {
                         break;
                     }
                     i += 1;

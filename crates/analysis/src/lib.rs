@@ -1,17 +1,23 @@
 //! datacron-analysis: the workspace lint engine.
 //!
 //! A self-contained static analysis over the workspace's Rust sources —
-//! no external parser crates, just a hand-rolled lexer
-//! ([`lexer`]) and token-stream rules ([`rules`]). It enforces the
-//! repo-specific correctness gates for the serving/durability path:
+//! no external parser crates, just a hand-rolled lexer ([`lexer`]),
+//! token-stream rules ([`rules`]), and a lightweight syntactic item
+//! model with an approximate intra-workspace call graph ([`model`]).
+//! It enforces the repo-specific correctness gates for the
+//! serving/durability path:
 //!
-//! | id | name             | what it guards                                           |
-//! |----|------------------|----------------------------------------------------------|
-//! | L1 | `no_panic`       | no `unwrap`/`expect`/`panic!`/`todo!` in serving crates  |
-//! | L2 | `safety_comment` | every `unsafe` block carries `// SAFETY:`                |
-//! | L3 | `truncation`     | no `as` integer casts in binary-format modules           |
-//! | L4 | `wallclock`      | wall-clock reads only in designated clock modules        |
-//! | L5 | `lock_order`     | nested lock acquisitions vetted in `lock-order.manifest` |
+//! | id | name               | what it guards                                           |
+//! |----|--------------------|----------------------------------------------------------|
+//! | L1 | `no_panic`         | no `unwrap`/`expect`/`panic!`/`todo!` in serving crates  |
+//! | L2 | `safety_comment`   | every `unsafe` block carries `// SAFETY:`                |
+//! | L3 | `truncation`       | no `as` integer casts in binary-format modules           |
+//! | L4 | `wallclock`        | wall-clock reads only in designated clock modules        |
+//! | L5 | `lock_order`       | nested lock acquisitions vetted in `lock-order.manifest` |
+//! | L6 | `reactor_blocking` | no blocking op reachable from a reactor entry point      |
+//! | L7 | `ffi_retcheck`     | FFI/syscall results checked, errno surfaced              |
+//! | L8 | `atomic_audit`     | every `Ordering::Relaxed` justified (comment/manifest)   |
+//! | L9 | `lock_across_call` | lock guards held across cross-crate calls vetted         |
 //!
 //! Escape hatch: `// lint:allow(<rule>)` on the offending line or the
 //! line above suppresses exactly that rule, there. The comment should
@@ -27,7 +33,8 @@
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
-pub use config::{Manifest, Rule};
+pub use config::{Manifest, NameManifest, Rule};
 pub use engine::{Diagnostic, Engine};

@@ -4,8 +4,14 @@
 //!   datacron-lint                       # walk the workspace, scoped rules
 //!   datacron-lint FILE...               # strict mode: all rules on FILEs
 //!   datacron-lint --manifest PATH ...   # alternate lock-order manifest
+//!   datacron-lint --atomics PATH        # alternate atomic-ordering manifest
+//!   datacron-lint --reactor-allow PATH  # alternate reactor allow-manifest
 //!   datacron-lint --fix-manifest        # vet unknown lock pairs instead
 //!                                       # of failing on them
+//!   datacron-lint --format json         # SARIF-lite JSON on stdout
+//!   datacron-lint --baseline PATH       # suppress findings listed in PATH
+//!   datacron-lint --write-baseline PATH # record current findings, exit 0
+//!   datacron-lint --explain RULE        # long-form rule description
 //!   datacron-lint --root PATH           # workspace root override
 //!
 //! Exit status: 0 when clean, 1 on violations, 2 on usage/IO errors.
@@ -16,13 +22,24 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use datacron_analysis::config::{Manifest, Rule};
+use datacron_analysis::config::{Manifest, NameManifest, Rule};
 use datacron_analysis::engine::{Diagnostic, Engine};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut manifest_path: Option<PathBuf> = None;
+    let mut atomics_path: Option<PathBuf> = None;
+    let mut reactor_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut fix_manifest = false;
+    let mut format = Format::Text;
     let mut files: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -32,10 +49,41 @@ fn main() -> ExitCode {
                 Some(p) => manifest_path = Some(PathBuf::from(p)),
                 None => return usage("--manifest needs a path"),
             },
+            "--atomics" => match args.next() {
+                Some(p) => atomics_path = Some(PathBuf::from(p)),
+                None => return usage("--atomics needs a path"),
+            },
+            "--reactor-allow" => match args.next() {
+                Some(p) => reactor_path = Some(PathBuf::from(p)),
+                None => return usage("--reactor-allow needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage("--write-baseline needs a path"),
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                Some(other) => return usage(&format!("unknown format {other}")),
+                None => return usage("--format needs `text` or `json`"),
+            },
+            "--explain" => {
+                return match args.next().as_deref().and_then(Rule::from_name) {
+                    Some(rule) => {
+                        println!("{} {}\n\n{}", rule.id(), rule.name(), rule.explain());
+                        ExitCode::SUCCESS
+                    }
+                    None => usage("--explain needs a rule name or id (e.g. lock_order, L6)"),
+                };
+            }
             "--fix-manifest" => fix_manifest = true,
             "--help" | "-h" => {
                 print!("{}", HELP);
@@ -57,15 +105,21 @@ fn main() -> ExitCode {
     });
     let manifest_path =
         manifest_path.unwrap_or_else(|| root.join("crates/analysis/lock-order.manifest"));
+    let atomics_path =
+        atomics_path.unwrap_or_else(|| root.join("crates/analysis/atomic-ordering.manifest"));
+    let reactor_path =
+        reactor_path.unwrap_or_else(|| root.join("crates/analysis/reactor-allow.manifest"));
     let mut manifest = match Manifest::load(&manifest_path) {
         Ok(m) => m,
-        Err(e) => {
-            eprintln!(
-                "datacron-lint: cannot read {}: {e}",
-                manifest_path.display()
-            );
-            return ExitCode::from(2);
-        }
+        Err(e) => return io_err(&manifest_path, e),
+    };
+    let atomics = match NameManifest::load(&atomics_path) {
+        Ok(m) => m,
+        Err(e) => return io_err(&atomics_path, e),
+    };
+    let reactor_allow = match NameManifest::load(&reactor_path) {
+        Ok(m) => m,
+        Err(e) => return io_err(&reactor_path, e),
     };
 
     let strict = !files.is_empty();
@@ -73,20 +127,21 @@ fn main() -> ExitCode {
         Engine::strict(manifest.clone())
     } else {
         Engine::workspace(manifest.clone())
-    };
+    }
+    .with_name_manifests(atomics, reactor_allow);
 
     let result = if strict {
-        let mut all = Vec::new();
+        let mut sources = Vec::new();
         for f in &files {
             match std::fs::read_to_string(f) {
-                Ok(src) => all.extend(engine.lint_source(f, &src)),
+                Ok(src) => sources.push((f.clone(), src)),
                 Err(e) => {
                     eprintln!("datacron-lint: cannot read {f}: {e}");
                     return ExitCode::from(2);
                 }
             }
         }
-        Ok(all)
+        Ok(engine.lint_sources(&sources))
     } else {
         engine.lint_workspace(&root)
     };
@@ -111,26 +166,107 @@ fn main() -> ExitCode {
                 }
                 diags.retain(|d| d.pair.is_none());
             }
-            Err(e) => {
-                eprintln!(
-                    "datacron-lint: cannot update {}: {e}",
-                    manifest_path.display()
-                );
-                return ExitCode::from(2);
-            }
+            Err(e) => return io_err(&manifest_path, e),
         }
     }
 
-    for d in &diags {
-        println!("{d}");
+    // Baseline suppression: known findings (path:line:rule) are not
+    // violations; they are debt recorded for burn-down.
+    if let Some(bp) = &baseline_path {
+        let baseline = match std::fs::read_to_string(bp) {
+            Ok(t) => t,
+            Err(e) => return io_err(bp, e),
+        };
+        let known: std::collections::HashSet<&str> = baseline
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        diags.retain(|d| !known.contains(baseline_key(d).as_str()));
     }
-    print_summary(&diags);
+
+    if let Some(wp) = &write_baseline {
+        let mut text = String::from("# datacron-lint baseline: path:line:rule, one per line\n");
+        for d in &diags {
+            text.push_str(&baseline_key(d));
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(wp, text) {
+            return io_err(wp, e);
+        }
+        eprintln!(
+            "datacron-lint: wrote {} finding(s) to {}",
+            diags.len(),
+            wp.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match format {
+        Format::Json => print_json(&diags),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+            print_summary(&diags);
+        }
+    }
 
     if diags.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The stable identity of a finding in a baseline file.
+fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}:{}:{}", d.path, d.line, d.rule.name())
+}
+
+/// SARIF-lite: a JSON array of `{rule, name, path, line, message, fix}`
+/// objects. Hand-rolled (no serde in the workspace); strings escaped per
+/// RFC 8259.
+fn print_json(diags: &[Diagnostic]) {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"name\":\"{}\",\"path\":\"{}\",\"line\":{},\
+             \"message\":\"{}\",\"fix\":\"{}\"}}",
+            d.rule.id(),
+            d.rule.name(),
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message),
+            json_escape(&d.fix),
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    println!("{out}");
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn io_err(path: &std::path::Path, e: std::io::Error) -> ExitCode {
+    eprintln!("datacron-lint: cannot access {}: {e}", path.display());
+    ExitCode::from(2)
 }
 
 /// Per-rule violation counts, printed even when clean so CI logs show the
@@ -144,7 +280,7 @@ fn print_summary(diags: &[Diagnostic]) {
     println!("---");
     for rule in Rule::ALL {
         println!(
-            "{} {:<15} {}",
+            "{} {:<17} {}",
             rule.id(),
             rule.name(),
             counts.get(&rule).copied().unwrap_or(0)
@@ -164,12 +300,18 @@ fn usage(msg: &str) -> ExitCode {
 }
 
 const HELP: &str = "\
-usage: datacron-lint [--root PATH] [--manifest PATH] [--fix-manifest] [FILE...]
+usage: datacron-lint [OPTIONS] [FILE...]
 
-Without FILEs, walks the workspace and applies the scoped rules L1-L5.
+Without FILEs, walks the workspace and applies the scoped rules L1-L9.
 With FILEs, runs in strict mode: every rule on every named file.
 
-  --root PATH       workspace root (default: inferred from the binary)
-  --manifest PATH   lock-order manifest (default: crates/analysis/lock-order.manifest)
-  --fix-manifest    append unvetted lock pairs to the manifest instead of failing
+  --root PATH           workspace root (default: inferred from the binary)
+  --manifest PATH       lock-order manifest (default: crates/analysis/lock-order.manifest)
+  --atomics PATH        atomic-ordering manifest (default: crates/analysis/atomic-ordering.manifest)
+  --reactor-allow PATH  reactor allow-manifest (default: crates/analysis/reactor-allow.manifest)
+  --fix-manifest        append unvetted lock pairs to the manifest instead of failing
+  --format text|json    output format (json is SARIF-lite with fix hints)
+  --baseline PATH       suppress findings listed in PATH (path:line:rule)
+  --write-baseline PATH record current findings to PATH and exit 0
+  --explain RULE        print the long-form description of a rule (name or id)
 ";

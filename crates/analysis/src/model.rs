@@ -1,0 +1,966 @@
+//! A lightweight syntactic item model over the token stream, and the
+//! two rules that need it (L6 `reactor_blocking`, L9 `lock_across_call`).
+//!
+//! The token-stream rules (L1–L5, L7, L8) see one file at a time; the
+//! invariants added with the reactor and the replication layer are
+//! *inter-procedural*: "no blocking call reachable from the event loop"
+//! and "no lock held across a call into another crate" cannot be checked
+//! without knowing what a called name resolves to. This module recovers
+//! just enough structure from the lexer output to answer that:
+//!
+//! - **Items**: every `fn` with a body, its name, the `impl` type and
+//!   trait it belongs to (if any), and the crate it lives in (derived
+//!   from `crates/<dir>/` in the path).
+//! - **Call sites**: `name(...)` / `recv.name(...)` / `Path::name(...)`
+//!   occurrences inside each body, with their leading path segments and
+//!   the set of lock guards live at the call (reusing the L5 guard
+//!   heuristics).
+//! - **Blocking sites**: direct occurrences of known-blocking operations
+//!   (file I/O, fsync, `Condvar::wait`, `JoinHandle::join`, channel
+//!   `recv`, `thread::sleep`).
+//!
+//! **Name resolution is a documented over/under-approximation.** Calls
+//! resolve by bare name: candidates in the caller's own crate win; a
+//! cross-crate edge is added only when the name is defined in exactly
+//! one other crate (or the call names the crate explicitly, as in
+//! `datacron_storage::append(..)`). Names defined in several foreign
+//! crates are ambiguous and produce *no* edge — the model prefers a
+//! false negative with a stable shape over a flood of speculative
+//! edges. Conversely a method call `x.append(..)` on a non-workspace
+//! type can resolve to a workspace `fn append`, which is the
+//! over-approximation: such findings are vetted once, in a manifest
+//! with a justification, exactly like L5's lock-order pairs.
+//!
+//! Test code (by path and by `#[cfg(test)]` region) is excluded from
+//! the model entirely: a test Handler impl is not an event-loop entry.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::config::{path_is_test, Manifest, NameManifest, Rule};
+use crate::engine::{test_mask, Diagnostic};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One call site inside a function body.
+#[derive(Debug)]
+struct CallSite {
+    /// The called name (`append` in `wal.append(..)`).
+    name: String,
+    /// Leading path segments, outermost first (`["datacron_storage"]`
+    /// for `datacron_storage::append(..)`, `["Wal"]` for
+    /// `Wal::append(..)`, empty for bare and method calls).
+    segments: Vec<String>,
+    line: u32,
+    /// Lock guards (by lock field name) live at this call, per the L5
+    /// guard heuristics. Drives L9.
+    held: Vec<String>,
+}
+
+/// One direct blocking operation inside a function body.
+#[derive(Debug)]
+struct BlockSite {
+    /// What kind of blocking op (for the message).
+    what: &'static str,
+    line: u32,
+}
+
+/// One `fn` with a body.
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// `impl` type the fn sits in (`Reactor` for `impl Reactor {..}`,
+    /// `EchoServer` for `impl Handler for EchoServer {..}`).
+    pub qual: Option<String>,
+    /// Trait being implemented, for trait impls.
+    pub trait_name: Option<String>,
+    /// Crate name (`datacron-net`), derived from `crates/<dir>/` in the
+    /// path; `local` for files outside the crates tree (fixtures).
+    pub krate: String,
+    pub path: String,
+    pub line: u32,
+    calls: Vec<CallSite>,
+    blocking: Vec<BlockSite>,
+}
+
+impl FnItem {
+    /// `Qual::name` or bare `name` — the keys the reactor allow-manifest
+    /// may vet this function under.
+    fn manifest_keys(&self) -> Vec<String> {
+        let mut keys = vec![self.name.clone()];
+        if let Some(q) = &self.qual {
+            keys.push(format!("{q}::{}", self.name));
+        }
+        keys
+    }
+
+    /// Display name for call chains.
+    fn display(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace item model: all functions plus a name index.
+#[derive(Debug, Default)]
+pub struct Model {
+    items: Vec<FnItem>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+/// Crate name for a workspace-relative path.
+fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map(|dir| format!("datacron-{dir}"))
+        .unwrap_or_else(|| "local".to_string())
+}
+
+impl Model {
+    /// Builds the model over `(path, source)` pairs. Test files and
+    /// `#[cfg(test)]` regions are skipped.
+    pub fn build(files: &[(String, String)]) -> Model {
+        let mut model = Model::default();
+        for (path, src) in files {
+            if path_is_test(path) {
+                continue;
+            }
+            let tokens = lex(src);
+            let mask = test_mask(&tokens);
+            extract_items(path, &tokens, &mask, &mut model.items);
+        }
+        for (i, item) in model.items.iter().enumerate() {
+            model.by_name.entry(item.name.clone()).or_default().push(i);
+        }
+        model
+    }
+
+    /// Number of functions in the model (used by tests).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves a call site to item indices, per the policy in the
+    /// module docs.
+    fn resolve(&self, call: &CallSite, from: &FnItem) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        // Explicit crate path: `datacron_storage::append(..)`.
+        if let Some(root) = call.segments.first() {
+            if let Some(rest) = root.strip_prefix("datacron_") {
+                let krate = format!("datacron-{}", rest.replace('_', "-"));
+                return cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.items[i].krate == krate)
+                    .collect();
+            }
+            if root == "std" || root == "core" || root == "alloc" {
+                return Vec::new();
+            }
+            if root == "Self" {
+                return cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.items[i].krate == from.krate && self.items[i].qual == from.qual
+                    })
+                    .collect();
+            }
+        }
+        // Qualified by a type: `Wal::append(..)` — only impls of that
+        // type count; a type the workspace doesn't implement resolves
+        // to nothing (it's std or a dependency).
+        if let Some(q) = call.segments.last() {
+            if q.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                let v: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.items[i].qual.as_deref() == Some(q.as_str()))
+                    .collect();
+                return prefer_same_crate(&self.items, v, &from.krate);
+            }
+        }
+        // Bare or method call: own crate wins; else a single foreign
+        // crate; else ambiguous -> no edge. Ubiquitous std method names
+        // never cross crates: `path.join(..)`, `map.insert(..)` and
+        // friends are almost always std calls, and letting them resolve
+        // to a workspace fn that happens to share the name floods the
+        // graph with spurious edges (the under-approximation half of
+        // the documented policy).
+        if call.segments.is_empty() && COMMON_STD_NAMES.contains(&call.name.as_str()) {
+            return cands
+                .iter()
+                .copied()
+                .filter(|&i| self.items[i].krate == from.krate)
+                .collect();
+        }
+        prefer_same_crate(&self.items, cands.clone(), &from.krate)
+    }
+}
+
+/// Method/function names so common in std that an unqualified call is
+/// assumed NOT to target a same-named workspace item in another crate.
+const COMMON_STD_NAMES: [&str; 46] = [
+    "read",
+    "write",
+    "lock",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clear",
+    "contains",
+    "contains_key",
+    "drain",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "max",
+    "min",
+    "abs",
+    "clone",
+    "extend",
+    "retain",
+    "sort",
+    "sort_by",
+    "send",
+    "take",
+    "replace",
+    "swap",
+    "count",
+    "sum",
+    "first",
+    "last",
+    "split",
+    "trim",
+    "parse",
+    "join",
+    "flush",
+    "map",
+    "find",
+    "new",
+    "as_str",
+    "saturating_add",
+    "saturating_sub",
+];
+
+/// Same-crate candidates if any; otherwise all candidates iff they all
+/// live in one (other) crate; otherwise none (ambiguous).
+fn prefer_same_crate(items: &[FnItem], cands: Vec<usize>, krate: &str) -> Vec<usize> {
+    let same: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| items[i].krate == krate)
+        .collect();
+    if !same.is_empty() {
+        return same;
+    }
+    let crates: HashSet<&str> = cands.iter().map(|&i| items[i].krate.as_str()).collect();
+    if crates.len() == 1 {
+        cands
+    } else {
+        Vec::new()
+    }
+}
+
+/// Walks one file's tokens and appends its `fn` items.
+fn extract_items(path: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<FnItem>) {
+    let krate = crate_of(path);
+    // (depth inside the impl body, type, trait)
+    let mut impls: Vec<(usize, Option<String>, Option<String>)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            impls.retain(|(d, _, _)| *d <= depth);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") && !mask[i] {
+            if let Some((open, qual, tr)) = parse_impl_header(tokens, i) {
+                depth += 1;
+                impls.push((depth, qual, tr));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && !mask[i] {
+            if let Some(item) = parse_fn(path, &krate, tokens, mask, i, impls.last(), &mut i) {
+                out.push(item);
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses an `impl` header starting at token `i` (`impl`). Returns the
+/// index of the body `{` plus the implemented type and trait names.
+fn parse_impl_header(
+    tokens: &[Token],
+    i: usize,
+) -> Option<(usize, Option<String>, Option<String>)> {
+    let mut idents: Vec<String> = Vec::new();
+    let mut for_at: Option<usize> = None;
+    let mut angle = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_comment() {
+            j += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let qual_from = for_at.unwrap_or(0);
+            let qual = idents.get(qual_from..).and_then(|s| s.first()).cloned();
+            let trait_name = match for_at {
+                Some(f) if f > 0 => idents.get(f - 1).cloned(),
+                _ => None,
+            };
+            return Some((j, qual, trait_name));
+        }
+        if t.is_punct(';') {
+            return None; // e.g. `impl Trait for Type;` (unreachable in practice)
+        }
+        // `->` inside bound like `Fn() -> T` must not count as `>`.
+        if t.is_punct('-') && tokens.get(j + 1).is_some_and(|n| n.is_punct('>')) {
+            j += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = angle.saturating_sub(1);
+        } else if angle == 0 && t.kind == TokenKind::Ident {
+            if t.text == "for" {
+                for_at = Some(idents.len());
+            } else if t.text != "where" && t.text != "dyn" {
+                idents.push(t.text.to_string());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses a `fn` item starting at token `i` (`fn`). On success returns
+/// the item and advances `*next` past the body; trait-method
+/// declarations without a body advance past the `;` and return None.
+fn parse_fn(
+    path: &str,
+    krate: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    i: usize,
+    ctx: Option<&(usize, Option<String>, Option<String>)>,
+    next: &mut usize,
+) -> Option<FnItem> {
+    let name_idx = i + 1;
+    let name_tok = tokens.get(name_idx)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None; // `fn(..)` pointer type
+    }
+    // Find the body `{` (or `;` for a bodyless declaration) at zero
+    // paren/bracket depth.
+    let mut j = name_idx + 1;
+    let (mut paren, mut bracket) = (0usize, 0usize);
+    let body_open = loop {
+        let t = tokens.get(j)?;
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket = bracket.saturating_sub(1);
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct('{') {
+                break j;
+            }
+            if t.is_punct(';') {
+                *next = j + 1;
+                return None;
+            }
+        }
+        j += 1;
+    };
+    // Matching close brace.
+    let mut d = 1usize;
+    let mut end = body_open + 1;
+    while end < tokens.len() && d > 0 {
+        if tokens[end].is_punct('{') {
+            d += 1;
+        } else if tokens[end].is_punct('}') {
+            d -= 1;
+        }
+        end += 1;
+    }
+    *next = end;
+    let (mut calls, mut blocking) = (Vec::new(), Vec::new());
+    extract_body(tokens, mask, body_open, end, &mut calls, &mut blocking);
+    Some(FnItem {
+        name: name_tok.text.to_string(),
+        qual: ctx.and_then(|(_, q, _)| q.clone()),
+        trait_name: ctx.and_then(|(_, _, t)| t.clone()),
+        krate: krate.to_string(),
+        path: path.to_string(),
+        line: tokens[i].line,
+        calls,
+        blocking,
+    })
+}
+
+/// Index of the next non-comment token at or after `i`.
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if !tokens[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the previous non-comment token strictly before `i`.
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !tokens[j].is_comment() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+struct Guard {
+    var: Option<String>,
+    lock: String,
+    depth: usize,
+}
+
+/// If the receiver chain ending at token `r` (`shared.state` in
+/// `let g = shared.state.write()`) is bound by a `let`, returns the
+/// bound variable name — same walk as L5's.
+fn let_binding_of(tokens: &[Token], r: usize) -> Option<String> {
+    let mut b = r;
+    while let Some(p) = prev_code(tokens, b) {
+        if tokens[p].is_punct('.') {
+            if let Some(pp) = prev_code(tokens, p) {
+                if tokens[pp].kind == TokenKind::Ident {
+                    b = pp;
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    let eq = prev_code(tokens, b)?;
+    if !tokens[eq].is_punct('=') {
+        return None;
+    }
+    let v = prev_code(tokens, eq)?;
+    if tokens[v].kind != TokenKind::Ident {
+        return None;
+    }
+    let kw = prev_code(tokens, v)?;
+    let is_let = tokens[kw].is_ident("let")
+        || (tokens[kw].is_ident("mut")
+            && prev_code(tokens, kw).is_some_and(|k| tokens[k].is_ident("let")));
+    is_let.then(|| tokens[v].text.to_string())
+}
+
+/// Walks a fn body (`tokens[start..end]`, `start` at the `{`) collecting
+/// call sites, blocking sites, and L5-style lock-guard liveness.
+fn extract_body(
+    tokens: &[Token],
+    mask: &[bool],
+    start: usize,
+    end: usize,
+    calls: &mut Vec<CallSite>,
+    blocking: &mut Vec<BlockSite>,
+) {
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_comment() || mask[i] {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            held.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            held.retain(|g| g.var.is_some());
+            i += 1;
+            continue;
+        }
+        if t.is_ident("drop") {
+            if let Some(p1) = next_code(tokens, i + 1) {
+                if tokens[p1].is_punct('(') {
+                    if let Some(a) = next_code(tokens, p1 + 1) {
+                        if tokens[a].kind == TokenKind::Ident
+                            && next_code(tokens, a + 1).is_some_and(|c| tokens[c].is_punct(')'))
+                        {
+                            let name = tokens[a].text;
+                            held.retain(|g| g.var.as_deref() != Some(name));
+                        }
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Lock acquisition (same heuristics as L5): track the guard and
+        // do not record the acquisition itself as a call.
+        if matches!(t.text, "read" | "write" | "lock")
+            && prev_code(tokens, i).is_some_and(|p| tokens[p].is_punct('.'))
+        {
+            let open = next_code(tokens, i + 1);
+            let close = open.and_then(|o| next_code(tokens, o + 1));
+            if let (Some(o), Some(c)) = (open, close) {
+                if tokens[o].is_punct('(') && tokens[c].is_punct(')') {
+                    let dot = prev_code(tokens, i).unwrap_or(0);
+                    if let Some(r) = prev_code(tokens, dot) {
+                        if tokens[r].kind == TokenKind::Ident && tokens[r].text != "self" {
+                            let var = let_binding_of(tokens, r);
+                            held.push(Guard {
+                                var,
+                                lock: tokens[r].text.to_string(),
+                                depth,
+                            });
+                            i = c + 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // A call: ident [turbofish] `(`.
+        if let Some(open) = call_open(tokens, i) {
+            if !is_call_keyword(t.text) && !tokens[open].is_punct('!') {
+                let is_method = prev_code(tokens, i).is_some_and(|p| tokens[p].is_punct('.'));
+                let segments = path_segments(tokens, i);
+                let empty_args =
+                    next_code(tokens, open + 1).is_some_and(|n| tokens[n].is_punct(')'));
+                if let Some(what) = classify_blocking(t.text, is_method, &segments, empty_args) {
+                    blocking.push(BlockSite { what, line: t.line });
+                }
+                let mut live: Vec<String> = held.iter().map(|g| g.lock.clone()).collect();
+                live.dedup();
+                calls.push(CallSite {
+                    name: t.text.to_string(),
+                    segments,
+                    line: t.line,
+                    held: live,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If token `i` (an ident) heads a call, returns the index of its `(`
+/// (skipping a `::<..>` turbofish). Returns the `!` index for macros so
+/// the caller can reject them.
+fn call_open(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = next_code(tokens, i + 1)?;
+    if tokens[j].is_punct('!') {
+        return Some(j); // macro; caller filters
+    }
+    // Turbofish `::<..>`.
+    if tokens[j].is_punct(':') {
+        let c2 = next_code(tokens, j + 1)?;
+        let lt = next_code(tokens, c2 + 1)?;
+        if !(tokens[c2].is_punct(':') && tokens[lt].is_punct('<')) {
+            return None;
+        }
+        let mut d = 1usize;
+        j = lt + 1;
+        while j < tokens.len() && d > 0 {
+            if tokens[j].is_punct('<') {
+                d += 1;
+            } else if tokens[j].is_punct('>') {
+                d -= 1;
+            }
+            j += 1;
+        }
+        j = next_code(tokens, j)?;
+    }
+    tokens[j].is_punct('(').then_some(j)
+}
+
+/// Leading `seg::seg::` path of a call, outermost first.
+fn path_segments(tokens: &[Token], name_idx: usize) -> Vec<String> {
+    let mut segs = Vec::new();
+    let mut j = name_idx;
+    while let Some(c2) = prev_code(tokens, j) {
+        if !tokens[c2].is_punct(':') {
+            break;
+        }
+        let Some(c1) = prev_code(tokens, c2) else {
+            break;
+        };
+        if !tokens[c1].is_punct(':') {
+            break;
+        }
+        let Some(s) = prev_code(tokens, c1) else {
+            break;
+        };
+        if tokens[s].kind != TokenKind::Ident {
+            break;
+        }
+        segs.push(tokens[s].text.to_string());
+        j = s;
+    }
+    segs.reverse();
+    segs
+}
+
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "let"
+            | "fn"
+            | "move"
+            | "unsafe"
+            | "in"
+            | "as"
+            | "ref"
+            | "mut"
+            | "else"
+            | "impl"
+            | "where"
+            | "await"
+    )
+}
+
+/// Classifies a call as a known-blocking operation, or None.
+///
+/// Policy: lock acquisition is *not* in this set — short mailbox locks
+/// are the reactor's sanctioned handback mechanism, and locks held
+/// across calls are L9's domain. The set names the operations that park
+/// the calling thread outright.
+fn classify_blocking(
+    name: &str,
+    is_method: bool,
+    segments: &[String],
+    empty_args: bool,
+) -> Option<&'static str> {
+    let seg0 = segments.first().map(String::as_str);
+    let seg_last = segments.last().map(String::as_str);
+    match name {
+        "wait" | "wait_timeout" if is_method => Some("Condvar/Child wait"),
+        // `JoinHandle::join()` takes no args; `Path::join(p)` does.
+        "join" if is_method && empty_args => Some("thread join"),
+        "recv" | "recv_timeout" if is_method => Some("blocking channel recv"),
+        "sync_all" | "sync_data" | "fsync" => Some("file sync (fsync)"),
+        "sleep" if seg0 == Some("thread") || segments.is_empty() => Some("thread sleep"),
+        "open" | "create" if seg_last == Some("File") => Some("file open"),
+        "open" if is_method => Some("file open (OpenOptions)"),
+        _ if seg0 == Some("fs") || seg_last == Some("fs") => Some("std::fs I/O"),
+        _ => None,
+    }
+}
+
+/// L6 `reactor_blocking`: from every reactor entry point (methods of
+/// `impl Reactor` and impls of the `Handler` trait), walk the call graph
+/// and flag any reachable blocking operation. A function vetted in the
+/// reactor allow-manifest (by `name` or `Qual::name`, with a
+/// justification) is a sanctioned handback point: neither it nor
+/// anything it calls is reported.
+pub fn reactor_blocking(model: &Model, allow: &NameManifest) -> Vec<Diagnostic> {
+    let mut entries: Vec<usize> = Vec::new();
+    for (i, item) in model.items.iter().enumerate() {
+        let is_reactor_method = item.qual.as_deref() == Some("Reactor");
+        let is_handler_impl = item.trait_name.as_deref() == Some("Handler");
+        if (is_reactor_method || is_handler_impl)
+            && !item.manifest_keys().iter().any(|k| allow.vetted(k))
+        {
+            entries.push(i);
+        }
+    }
+    let mut out = Vec::new();
+    let mut reported: HashSet<(String, u32)> = HashSet::new();
+    for &entry in &entries {
+        // BFS with parent pointers for chain rendering.
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::from([entry]);
+        let mut seen: HashSet<usize> = HashSet::from([entry]);
+        while let Some(v) = queue.pop_front() {
+            let item = &model.items[v];
+            for b in &item.blocking {
+                if !reported.insert((item.path.clone(), b.line)) {
+                    continue;
+                }
+                let chain = render_chain(model, &parent, entry, v);
+                out.push(Diagnostic {
+                    rule: Rule::ReactorBlocking,
+                    path: item.path.clone(),
+                    line: b.line,
+                    message: format!(
+                        "{} reachable from reactor entry `{}` via {}",
+                        b.what,
+                        model.items[entry].display(),
+                        chain
+                    ),
+                    pair: None,
+                    fix: format!(
+                        "hand the work to a worker thread, or vet the handback point in \
+                         reactor-allow.manifest (`{} # why it does not run on the loop`)",
+                        item.display()
+                    ),
+                });
+            }
+            for call in &item.calls {
+                for tgt in model.resolve(call, item) {
+                    if seen.insert(tgt) {
+                        let t = &model.items[tgt];
+                        if t.manifest_keys().iter().any(|k| allow.vetted(k)) {
+                            continue; // vetted handback: prune the subtree
+                        }
+                        parent.insert(tgt, v);
+                        queue.push_back(tgt);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders `entry -> ... -> v` from BFS parent pointers.
+fn render_chain(model: &Model, parent: &HashMap<usize, usize>, entry: usize, v: usize) -> String {
+    let mut names = vec![model.items[v].display()];
+    let mut cur = v;
+    while cur != entry {
+        let Some(&p) = parent.get(&cur) else { break };
+        names.push(model.items[p].display());
+        cur = p;
+    }
+    names.reverse();
+    names.join(" -> ")
+}
+
+/// L9 `lock_across_call`: a lock guard live across a call that resolves
+/// into another workspace crate must be vetted in the lock-order
+/// manifest as `lock -> crate:<crate-name>`. The cross-crate call
+/// extends the lock's critical section by an amount this crate cannot
+/// see, so the pair is vetted like a lock-order edge.
+pub fn lock_across_call(model: &Model, manifest: &Manifest) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut reported: HashSet<(String, u32, String, String)> = HashSet::new();
+    for item in &model.items {
+        for call in &item.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let mut target_crates: Vec<String> = model
+                .resolve(call, item)
+                .into_iter()
+                .map(|i| model.items[i].krate.clone())
+                .filter(|k| *k != item.krate)
+                .collect();
+            target_crates.sort();
+            target_crates.dedup();
+            for krate in target_crates {
+                let edge = format!("crate:{krate}");
+                for lock in &call.held {
+                    if manifest.allows(lock, &edge) {
+                        continue;
+                    }
+                    let key = (item.path.clone(), call.line, lock.clone(), edge.clone());
+                    if !reported.insert(key) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        rule: Rule::LockAcrossCall,
+                        path: item.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "lock `{lock}` held across call `{}` into {krate}; \
+                             vet the pair in lock-order.manifest",
+                            call.name
+                        ),
+                        pair: Some((lock.clone(), edge.clone())),
+                        fix: format!(
+                            "release `{lock}` before the call, or add `{lock} -> {edge}` \
+                             to lock-order.manifest with a justification"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(files: &[(&str, &str)]) -> Model {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Model::build(&owned)
+    }
+
+    #[test]
+    fn items_recover_impl_and_trait_context() {
+        let m = build(&[(
+            "crates/net/src/reactor.rs",
+            "impl Reactor { fn run(&mut self) { self.step(); } }\n\
+             impl Handler for Echo { fn on_line(&mut self) {} }\n\
+             fn free() {}",
+        )]);
+        assert_eq!(m.len(), 3);
+        let run = &m.items[0];
+        assert_eq!(run.qual.as_deref(), Some("Reactor"));
+        assert_eq!(run.trait_name, None);
+        let on_line = &m.items[1];
+        assert_eq!(on_line.qual.as_deref(), Some("Echo"));
+        assert_eq!(on_line.trait_name.as_deref(), Some("Handler"));
+        assert_eq!(run.krate, "datacron-net");
+    }
+
+    #[test]
+    fn test_regions_and_test_files_are_excluded() {
+        let m = build(&[
+            (
+                "crates/net/src/x.rs",
+                "#[cfg(test)]\nmod tests { fn helper() {} }\nfn live() {}",
+            ),
+            ("crates/net/tests/t.rs", "fn in_test_file() {}"),
+        ]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.items[0].name, "live");
+    }
+
+    #[test]
+    fn reactor_blocking_follows_the_call_graph() {
+        let src = "impl Reactor { fn run(&mut self) { step(); } }\n\
+                   fn step() { persist(); }\n\
+                   fn persist() { file.sync_all(); }";
+        let m = build(&[("crates/net/src/reactor.rs", src)]);
+        let diags = reactor_blocking(&m, &NameManifest::default());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("Reactor::run -> step -> persist"));
+    }
+
+    #[test]
+    fn reactor_allow_manifest_prunes_the_subtree() {
+        let src = "impl Reactor { fn run(&mut self) { handoff(); } }\n\
+                   fn handoff() { worker_loop(); }\n\
+                   fn worker_loop() { file.sync_all(); }";
+        let m = build(&[("crates/net/src/reactor.rs", src)]);
+        let allow = NameManifest::parse("handoff # enqueues to the worker pool");
+        assert!(reactor_blocking(&m, &allow).is_empty());
+        // Without the vet, the fsync is reachable.
+        assert_eq!(reactor_blocking(&m, &NameManifest::default()).len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_names_produce_no_edge() {
+        let files = [
+            (
+                "crates/net/src/reactor.rs",
+                "impl Reactor { fn run(&mut self) { tick(); } }",
+            ),
+            ("crates/storage/src/a.rs", "fn tick() { f.sync_all(); }"),
+            ("crates/rdf/src/b.rs", "fn tick() { f.sync_all(); }"),
+        ];
+        let m = build(&files);
+        // `tick` is defined in two foreign crates: ambiguous, no edge.
+        assert!(reactor_blocking(&m, &NameManifest::default()).is_empty());
+    }
+
+    #[test]
+    fn lock_across_call_flags_unvetted_cross_crate_calls() {
+        let files = [
+            (
+                "crates/server/src/s.rs",
+                "fn f(s: &S) { let g = s.state.write(); append_record(g.rec); }",
+            ),
+            ("crates/storage/src/w.rs", "fn append_record(r: R) {}"),
+        ];
+        let m = build(&files);
+        let diags = lock_across_call(&m, &Manifest::default());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(
+            diags[0]
+                .pair
+                .as_ref()
+                .map(|(h, a)| (h.as_str(), a.as_str())),
+            Some(("state", "crate:datacron-storage"))
+        );
+        let vetted = Manifest::parse("state -> crate:datacron-storage");
+        assert!(lock_across_call(&m, &vetted).is_empty());
+    }
+
+    #[test]
+    fn explicit_crate_path_resolves_without_a_definition_index_hit() {
+        let files = [
+            (
+                "crates/server/src/s.rs",
+                "fn f(s: &S) { let g = s.state.write(); datacron_storage::append_record(1); }",
+            ),
+            ("crates/storage/src/w.rs", "fn append_record(r: i64) {}"),
+        ];
+        let m = build(&files);
+        assert_eq!(lock_across_call(&m, &Manifest::default()).len(), 1);
+    }
+
+    #[test]
+    fn same_crate_calls_do_not_fire_l9() {
+        let src = "fn f(s: &S) { let g = s.state.write(); local(); }\nfn local() {}";
+        let m = build(&[("crates/server/src/s.rs", src)]);
+        assert!(lock_across_call(&m, &Manifest::default()).is_empty());
+    }
+}

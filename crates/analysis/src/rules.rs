@@ -5,7 +5,7 @@
 //! raw findings as `(line, message)` pairs; the engine attaches rule ids,
 //! applies `lint:allow`, and formats diagnostics.
 
-use crate::config::Manifest;
+use crate::config::{Manifest, NameManifest};
 use crate::lexer::{Token, TokenKind};
 
 /// A raw finding: 1-based line plus human-readable message. For
@@ -346,6 +346,231 @@ pub fn lock_order(tokens: &[Token], skip: &[bool], manifest: &Manifest) -> Vec<F
     out
 }
 
+/// L7 `ffi_retcheck`: every call to a function declared in an
+/// `unsafe extern "C"` block in the same file must consume its return
+/// value. Discarded results — statement-position calls (including
+/// `unsafe { call(..) };` wrappers) and `let _ = ..` bindings — drop an
+/// errno on the floor.
+pub fn ffi_retcheck(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    // Pass 1: names declared in extern "C" blocks.
+    let mut decls: Vec<&str> = Vec::new();
+    let mut decl_spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("extern")
+            && next_code(tokens, i + 1)
+                .is_some_and(|n| tokens[n].kind == TokenKind::Literal && tokens[n].text == "\"C\"")
+        {
+            let Some(open) = next_code(tokens, i + 1).and_then(|n| next_code(tokens, n + 1)) else {
+                break;
+            };
+            if tokens[open].is_punct('{') {
+                let mut depth = 1usize;
+                let mut j = open + 1;
+                while j < tokens.len() && depth > 0 {
+                    if tokens[j].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('}') {
+                        depth -= 1;
+                    } else if tokens[j].is_ident("fn") {
+                        if let Some(n) = next_code(tokens, j + 1) {
+                            if tokens[n].kind == TokenKind::Ident {
+                                decls.push(tokens[n].text);
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                decl_spans.push((open, j));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if decls.is_empty() {
+        return Vec::new();
+    }
+    // Pass 2: call sites of declared names with a discarded result.
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || t.kind != TokenKind::Ident || !decls.contains(&t.text) {
+            continue;
+        }
+        // Skip the declarations themselves.
+        if decl_spans.iter().any(|&(a, b)| i > a && i < b) {
+            continue;
+        }
+        let Some(open) = next_code(tokens, i + 1) else {
+            continue;
+        };
+        if !tokens[open].is_punct('(') {
+            continue;
+        }
+        // Matching close paren.
+        let mut depth = 1usize;
+        let mut j = open + 1;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        // After the call: skip closing braces of `unsafe { .. }` wrappers.
+        let mut after = j;
+        while let Some(n) = next_code(tokens, after) {
+            if tokens[n].is_punct('}') {
+                after = n + 1;
+            } else {
+                break;
+            }
+        }
+        let stmt_end = next_code(tokens, after).is_some_and(|n| tokens[n].is_punct(';'));
+        if !stmt_end {
+            continue; // result flows somewhere: `cvt(..)`, `==`, `.`, return position
+        }
+        // Walk left over `unsafe {` wrappers (only those — a bare `{` is
+        // the enclosing block, not a wrapper) to what consumes the value.
+        let mut b = i;
+        while let Some(p) = prev_code(tokens, b) {
+            if tokens[p].is_punct('{')
+                && prev_code(tokens, p).is_some_and(|u| tokens[u].is_ident("unsafe"))
+            {
+                b = prev_code(tokens, p).unwrap_or(p);
+            } else {
+                break;
+            }
+        }
+        let discarded = match prev_code(tokens, b) {
+            // `let _ = unsafe { call(..) };` discards deliberately — still
+            // flagged: check the value and surface the error instead.
+            Some(eq) if tokens[eq].is_punct('=') => {
+                prev_code(tokens, eq).is_some_and(|v| tokens[v].is_ident("_"))
+            }
+            // Statement start: nothing consumes the value.
+            Some(p) => {
+                tokens[p].is_punct(';') || tokens[p].is_punct('}') || tokens[p].is_punct('{')
+            }
+            None => true,
+        };
+        if discarded {
+            out.push(Finding::new(
+                t.line,
+                format!(
+                    "return value of FFI call `{}` discarded; check it and surface errno",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Atomic RMW/load/store method names whose argument list can carry an
+/// `Ordering`.
+const ATOMIC_METHODS: [&str; 10] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// L8 `atomic_audit`: an atomic access with `Ordering::Relaxed` must be
+/// justified — an `// ordering:` comment within the statement (or
+/// trailing on the same line), or the atomic's field name vetted in the
+/// atomic-ordering manifest. The rule cannot see threads, so it
+/// over-approximates: *every* Relaxed site needs one of the two.
+pub fn atomic_audit(tokens: &[Token], skip: &[bool], atomics: &NameManifest) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i]
+            || t.kind != TokenKind::Ident
+            || !ATOMIC_METHODS.contains(&t.text)
+            || !prev_code(tokens, i).is_some_and(|p| tokens[p].is_punct('.'))
+        {
+            continue;
+        }
+        let Some(open) = next_code(tokens, i + 1) else {
+            continue;
+        };
+        if !tokens[open].is_punct('(') {
+            continue;
+        }
+        // Scan the argument list for `Relaxed`.
+        let mut depth = 1usize;
+        let mut j = open + 1;
+        let mut relaxed = false;
+        let mut last_line = t.line;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+            } else if tokens[j].is_ident("Relaxed") {
+                relaxed = true;
+            }
+            last_line = tokens[j].line;
+            j += 1;
+        }
+        if !relaxed {
+            continue;
+        }
+        // The atomic's name: field ident before the method's dot.
+        let name = prev_code(tokens, i)
+            .and_then(|dot| prev_code(tokens, dot))
+            .filter(|&r| tokens[r].kind == TokenKind::Ident && tokens[r].text != "self")
+            .map(|r| tokens[r].text.to_string());
+        if let Some(n) = &name {
+            if atomics.vetted(n) {
+                continue;
+            }
+        }
+        // `// ordering:` within the statement (walk back over comments to
+        // the previous `;`/`{`/`}`) or trailing on any line of the call.
+        let mut justified = false;
+        let mut b = i;
+        while b > 0 {
+            b -= 1;
+            let back = &tokens[b];
+            if back.is_comment() {
+                if back.text.contains("ordering:") {
+                    justified = true;
+                    break;
+                }
+                continue;
+            }
+            if back.is_punct(';') || back.is_punct('{') || back.is_punct('}') {
+                break;
+            }
+        }
+        if !justified {
+            justified = tokens[j..]
+                .iter()
+                .take_while(|n| n.line <= last_line)
+                .any(|n| n.is_comment() && n.text.contains("ordering:"));
+        }
+        if !justified {
+            let shown = name.as_deref().unwrap_or("<unnamed>");
+            out.push(Finding::new(
+                t.line,
+                format!(
+                    "Ordering::Relaxed on `{shown}` without an `// ordering:` comment \
+                     or an atomic-ordering.manifest entry"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +689,67 @@ mod tests {
     fn lock_order_ignores_buffered_io_reads() {
         let src = "fn f(r: &mut R, buf: &mut [u8]) { let g = s.state.read(); r.read(buf); }";
         assert!(run_l5(src, "").is_empty());
+    }
+
+    const EXTERN_DECL: &str = "unsafe extern \"C\" { fn close(fd: i32) -> i32; }\n";
+
+    #[test]
+    fn ffi_retcheck_flags_discarded_results() {
+        // Statement-position call inside an unsafe block: discarded.
+        let bad = format!("{EXTERN_DECL}fn f(fd: i32) {{ unsafe {{ close(fd) }}; }}");
+        assert_eq!(run(&bad, ffi_retcheck).len(), 1);
+        // `let _ =` is a deliberate discard: still flagged.
+        let underscore =
+            format!("{EXTERN_DECL}fn f(fd: i32) {{ let _ = unsafe {{ close(fd) }}; }}");
+        assert_eq!(run(&underscore, ffi_retcheck).len(), 1);
+        // Consumed through cvt(): fine.
+        let wrapped = format!("{EXTERN_DECL}fn f(fd: i32) -> R {{ cvt(unsafe {{ close(fd) }}) }}");
+        assert!(run(&wrapped, ffi_retcheck).is_empty());
+        // Bound and checked: fine.
+        let bound = format!(
+            "{EXTERN_DECL}fn f(fd: i32) {{ let rc = unsafe {{ close(fd) }}; if rc < 0 {{ g(); }} }}"
+        );
+        assert!(run(&bound, ffi_retcheck).is_empty());
+        // Calls to undeclared names never fire.
+        assert!(run("fn f() { other(1); }", ffi_retcheck).is_empty());
+    }
+
+    fn run_l8(src: &str, manifest: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let skip = vec![false; toks.len()];
+        atomic_audit(&toks, &skip, &NameManifest::parse(manifest))
+    }
+
+    #[test]
+    fn atomic_audit_requires_justification() {
+        let bare = "fn f(c: &C) { c.hits.fetch_add(1, Ordering::Relaxed); }";
+        let diags = run_l8(bare, "");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`hits`"));
+        // Vetted by manifest (justification required by the parser).
+        assert!(run_l8(bare, "hits # monotonic metrics counter").is_empty());
+        // Justified by a preceding `// ordering:` comment.
+        let commented = "fn f(c: &C) {\n  // ordering: counter, no consumer orders on it\n  \
+                         c.hits.fetch_add(1, Ordering::Relaxed);\n}";
+        assert!(run_l8(commented, "").is_empty());
+        // Trailing comment on the same line also counts.
+        let trailing = "fn f(c: &C) { c.hits.load(Ordering::Relaxed); // ordering: heuristic\n}";
+        assert!(run_l8(trailing, "").is_empty());
+        // Non-Relaxed orderings need no justification.
+        let rel = "fn f(c: &C) { c.head.store(1, Ordering::Release); }";
+        assert!(run_l8(rel, "").is_empty());
+        // A bare `Relaxed` import is still caught.
+        let imported = "fn f(c: &C) { c.hits.fetch_add(1, Relaxed); }";
+        assert_eq!(run_l8(imported, "").len(), 1);
+    }
+
+    #[test]
+    fn atomic_audit_unnamed_receiver_needs_a_comment() {
+        // Tuple-field receiver: no name to vet, so only a comment helps.
+        let src = "fn f(&self) { self.0.fetch_add(1, Ordering::Relaxed); }";
+        let diags = run_l8(src, "0 # not reachable by name");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("<unnamed>"));
     }
 
     #[test]

@@ -1,0 +1,17 @@
+// Fixture: L6 reactor_blocking violation — file I/O reachable from the
+// reactor entry point through a two-hop call chain.
+pub struct Reactor;
+
+impl Reactor {
+    pub fn run(&self) {
+        self.poll_once();
+    }
+
+    fn poll_once(&self) {
+        load_config();
+    }
+}
+
+fn load_config() {
+    let _ = std::fs::read_to_string("config.toml");
+}

@@ -1,0 +1,15 @@
+// Fixture: L6 negative — the reactor only does nonblocking work; the
+// blocking helper exists but is never reachable from a loop entry.
+pub struct Reactor;
+
+impl Reactor {
+    pub fn run(&self) {
+        enqueue(1);
+    }
+}
+
+fn enqueue(_job: u32) {}
+
+fn offline_compaction() {
+    let _ = std::fs::read_to_string("segments.idx");
+}

@@ -1,0 +1,15 @@
+// Fixture: L7 ffi_retcheck violation — the `close` return value is
+// discarded in statement position inside an unsafe wrapper.
+use std::os::raw::c_int;
+
+// SAFETY: the declaration matches the C prototype std already links.
+unsafe extern "C" {
+    fn close(fd: c_int) -> c_int;
+}
+
+pub fn drop_fd(fd: c_int) {
+    // SAFETY: `fd` is a valid fd owned by the caller, closed once.
+    unsafe {
+        close(fd);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: L7 negative — every syscall result is bound and checked.
+use std::os::raw::c_int;
+
+// SAFETY: the declaration matches the C prototype std already links.
+unsafe extern "C" {
+    fn close(fd: c_int) -> c_int;
+}
+
+pub fn drop_fd(fd: c_int) -> bool {
+    // SAFETY: `fd` is a valid fd owned by the caller, closed once.
+    let rc = unsafe { close(fd) };
+    rc == 0
+}

@@ -1,0 +1,7 @@
+// Fixture: L8 atomic_audit violation — a Relaxed access with neither an
+// `// ordering:` justification nor a manifest entry.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(probe_hits: &AtomicU64) {
+    probe_hits.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,11 @@
+// Fixture: L8 negative — the Relaxed access carries its justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(probe_hits: &AtomicU64) {
+    // ordering: pure statistic; no data is published through it.
+    probe_hits.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn snapshot(probe_hits: &AtomicU64) -> u64 {
+    probe_hits.load(Ordering::Relaxed) // ordering: stale reads acceptable
+}

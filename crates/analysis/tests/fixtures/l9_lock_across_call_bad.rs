@@ -1,0 +1,11 @@
+// Fixture: L9 lock_across_call violation — a guard stays live across a
+// call into another workspace crate. Linted via `lint_sources` with a
+// `crates/server/...` path alongside `l9_lock_across_call_callee.rs`
+// mapped into `crates/storage/...`.
+use std::sync::Mutex;
+
+pub fn persist(storage: &Mutex<u32>) {
+    let guard = storage.lock();
+    datacron_storage::append_record(7);
+    drop(guard);
+}

@@ -1,0 +1,3 @@
+// Fixture: the storage-side callee for the L9 pair; linted with a
+// `crates/storage/...` path so the call above crosses crates.
+pub fn append_record(_record: u32) {}

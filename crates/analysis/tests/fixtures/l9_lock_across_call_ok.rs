@@ -1,0 +1,9 @@
+// Fixture: L9 negative — the guard is released before the cross-crate
+// call, so no critical section spans the crate boundary.
+use std::sync::Mutex;
+
+pub fn persist(storage: &Mutex<u32>) {
+    let guard = storage.lock();
+    drop(guard);
+    datacron_storage::append_record(7);
+}

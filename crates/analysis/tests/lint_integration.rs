@@ -1,10 +1,12 @@
 //! Integration tests for the lint engine and the `datacron-lint` binary.
 //!
-//! Each rule L1–L5 has a positive fixture (must fire) and a negative
+//! Each rule L1–L9 has a positive fixture (must fire) and a negative
 //! fixture (must stay silent) under `tests/fixtures/`; the workspace walk
 //! skips that directory, so the deliberate violations never gate CI.
+//! L9 needs two crates, so its fixtures are fed through `lint_sources`
+//! with crate-shaped paths instead of the single-file strict mode.
 
-use datacron_analysis::{Engine, Manifest, Rule};
+use datacron_analysis::{Engine, Manifest, NameManifest, Rule};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -41,6 +43,9 @@ fn positive_fixtures_fire_their_rule() {
         ("l3_truncation_bad.rs", Rule::Truncation),
         ("l4_wallclock_bad.rs", Rule::Wallclock),
         ("l5_lock_order_bad.rs", Rule::LockOrder),
+        ("l6_reactor_blocking_bad.rs", Rule::ReactorBlocking),
+        ("l7_ffi_retcheck_bad.rs", Rule::FfiRetcheck),
+        ("l8_atomic_audit_bad.rs", Rule::AtomicAudit),
     ] {
         assert!(
             rules_fired(fixture).contains(&rule),
@@ -58,6 +63,9 @@ fn negative_fixtures_stay_silent() {
         "l3_truncation_ok.rs",
         "l4_wallclock_ok.rs",
         "l5_lock_order_ok.rs",
+        "l6_reactor_blocking_ok.rs",
+        "l7_ffi_retcheck_ok.rs",
+        "l8_atomic_audit_ok.rs",
     ] {
         let diags = lint_fixture(fixture);
         assert!(
@@ -115,9 +123,103 @@ fn lock_order_diagnostic_names_the_pair() {
     );
 }
 
+/// Reads an L9 fixture pair mapped into two different workspace crates.
+fn l9_sources(caller: &str) -> Vec<(String, String)> {
+    let fixtures = crate_dir().join("tests/fixtures");
+    let read = |n: &str| std::fs::read_to_string(fixtures.join(n)).expect("fixture readable");
+    vec![
+        ("crates/server/src/persist.rs".to_string(), read(caller)),
+        (
+            "crates/storage/src/records.rs".to_string(),
+            read("l9_lock_across_call_callee.rs"),
+        ),
+    ]
+}
+
+#[test]
+fn lock_across_call_fires_and_manifest_vets_it() {
+    // Unvetted: the live guard crossing into datacron-storage fires.
+    let engine = Engine::strict(Manifest::parse(""));
+    let diags = engine.lint_sources(&l9_sources("l9_lock_across_call_bad.rs"));
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::LockAcrossCall)
+        .expect("L9 must fire on the unvetted pair");
+    assert_eq!(d.path, "crates/server/src/persist.rs");
+    assert_eq!(
+        d.pair.as_ref().map(|(h, a)| (h.as_str(), a.as_str())),
+        Some(("storage", "crate:datacron-storage"))
+    );
+
+    // Vetted pair: same sources, manifest carries the edge — silent.
+    let vetted = Manifest::parse("storage -> crate:datacron-storage # wal append is the design\n");
+    let engine = Engine::strict(vetted);
+    let diags = engine.lint_sources(&l9_sources("l9_lock_across_call_bad.rs"));
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::LockAcrossCall),
+        "vetted pair must not fire"
+    );
+
+    // Guard dropped before the call: nothing to vet.
+    let engine = Engine::strict(Manifest::parse(""));
+    let diags = engine.lint_sources(&l9_sources("l9_lock_across_call_ok.rs"));
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::LockAcrossCall),
+        "released guard must not fire"
+    );
+}
+
+#[test]
+fn reactor_allow_manifest_prunes_the_handback_subtree() {
+    let fixtures = crate_dir().join("tests/fixtures");
+    let src =
+        std::fs::read_to_string(fixtures.join("l6_reactor_blocking_bad.rs")).expect("fixture");
+    let allow = NameManifest::parse("load_config # runs on the flush thread, not the loop\n");
+    let engine =
+        Engine::strict(Manifest::parse("")).with_name_manifests(NameManifest::default(), allow);
+    let diags = engine.lint_sources(&[("l6_reactor_blocking_bad.rs".to_string(), src)]);
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::ReactorBlocking),
+        "vetted handback must prune the blocking subtree"
+    );
+}
+
+#[test]
+fn atomic_manifest_vets_named_atomics() {
+    let fixtures = crate_dir().join("tests/fixtures");
+    let src = std::fs::read_to_string(fixtures.join("l8_atomic_audit_bad.rs")).expect("fixture");
+    let atomics = NameManifest::parse("probe_hits # stats only, summed after join\n");
+    let engine =
+        Engine::strict(Manifest::parse("")).with_name_manifests(atomics, NameManifest::default());
+    let diags = engine.lint_sources(&[("l8_atomic_audit_bad.rs".to_string(), src.clone())]);
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::AtomicAudit),
+        "manifest-vetted atomic must not fire"
+    );
+
+    // An entry without a justification vets nothing.
+    let bare = NameManifest::parse("probe_hits\n");
+    let engine =
+        Engine::strict(Manifest::parse("")).with_name_manifests(bare, NameManifest::default());
+    let diags = engine.lint_sources(&[("l8_atomic_audit_bad.rs".to_string(), src)]);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::AtomicAudit),
+        "justification-free entry must be ignored"
+    );
+}
+
+fn name_manifests() -> (NameManifest, NameManifest) {
+    let atomics =
+        NameManifest::load(&crate_dir().join("atomic-ordering.manifest")).expect("atomics");
+    let reactor =
+        NameManifest::load(&crate_dir().join("reactor-allow.manifest")).expect("reactor allow");
+    (atomics, reactor)
+}
+
 #[test]
 fn workspace_is_lint_clean() {
-    let engine = Engine::workspace(manifest());
+    let (atomics, reactor) = name_manifests();
+    let engine = Engine::workspace(manifest()).with_name_manifests(atomics, reactor);
     let diags = engine
         .lint_workspace(&workspace_root())
         .expect("workspace readable");
@@ -162,6 +264,9 @@ fn binary_exits_nonzero_with_located_diagnostics_on_fixtures() {
         ("l3_truncation_bad.rs", "truncation", 4),
         ("l4_wallclock_bad.rs", "wallclock", 3),
         ("l5_lock_order_bad.rs", "lock_order", 9),
+        ("l6_reactor_blocking_bad.rs", "reactor_blocking", 16),
+        ("l7_ffi_retcheck_bad.rs", "ffi_retcheck", 13),
+        ("l8_atomic_audit_bad.rs", "atomic_audit", 6),
     ] {
         let (code, text) = run_lint(&[fixture], &fixtures);
         assert_eq!(code, 1, "{fixture} must exit 1:\n{text}");
@@ -199,4 +304,82 @@ fn binary_fix_manifest_vets_the_reported_pair() {
     let (code, _) = run_lint(&["--manifest", &tmp_s, "l5_lock_order_bad.rs"], &fixtures);
     assert_eq!(code, 0);
     let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn binary_baseline_round_trip_suppresses_known_findings() {
+    let fixtures = crate_dir().join("tests/fixtures");
+    let tmp = std::env::temp_dir().join(format!("lint-baseline-{}", std::process::id()));
+    let tmp_s = tmp.to_string_lossy().into_owned();
+
+    // Recording the debt exits 0 even though findings exist…
+    let (code, text) = run_lint(
+        &["--write-baseline", &tmp_s, "l1_no_panic_bad.rs"],
+        &fixtures,
+    );
+    assert_eq!(code, 0, "write-baseline must exit 0:\n{text}");
+    let recorded = std::fs::read_to_string(&tmp).unwrap();
+    assert!(
+        recorded.contains("l1_no_panic_bad.rs:4:no_panic"),
+        "baseline keys are path:line:rule: {recorded}"
+    );
+
+    // …and replaying it suppresses exactly those findings.
+    let (code, text) = run_lint(&["--baseline", &tmp_s, "l1_no_panic_bad.rs"], &fixtures);
+    assert_eq!(code, 0, "baselined findings must not gate:\n{text}");
+    assert!(text.contains("datacron-lint: clean"), "summary: {text}");
+
+    // A fresh violation not in the baseline still fails the run.
+    let (code, _) = run_lint(
+        &[
+            "--baseline",
+            &tmp_s,
+            "l1_no_panic_bad.rs",
+            "l8_atomic_audit_bad.rs",
+        ],
+        &fixtures,
+    );
+    assert_eq!(code, 1, "unbaselined findings must still gate");
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn binary_json_format_emits_located_records_with_fix_hints() {
+    let fixtures = crate_dir().join("tests/fixtures");
+    let (code, text) = run_lint(&["--format", "json", "l8_atomic_audit_bad.rs"], &fixtures);
+    assert_eq!(code, 1, "violations still set the exit code in json mode");
+    let json = text.trim();
+    assert!(
+        json.starts_with('[') && json.ends_with(']'),
+        "array: {json}"
+    );
+    assert!(json.contains("\"rule\":\"L8\""), "rule id: {json}");
+    assert!(
+        json.contains("\"name\":\"atomic_audit\""),
+        "rule name: {json}"
+    );
+    assert!(
+        json.contains("\"path\":\"l8_atomic_audit_bad.rs\"") && json.contains("\"line\":6"),
+        "location: {json}"
+    );
+    assert!(json.contains("\"fix\":\""), "fix hint present: {json}");
+
+    // A clean file yields an empty array and exit 0.
+    let (code, text) = run_lint(&["--format", "json", "l8_atomic_audit_ok.rs"], &fixtures);
+    assert_eq!(code, 0);
+    assert_eq!(text.trim(), "[]");
+}
+
+#[test]
+fn binary_explains_every_rule() {
+    for rule in Rule::ALL {
+        for key in [rule.id(), rule.name()] {
+            let (code, text) = run_lint(&["--explain", key], &workspace_root());
+            assert_eq!(code, 0, "--explain {key} must succeed:\n{text}");
+            assert!(
+                text.contains(rule.name()) && text.len() > 60,
+                "--explain {key} must describe the rule:\n{text}"
+            );
+        }
+    }
 }

@@ -1,6 +1,6 @@
 //! E8 timing: event recognition throughput — detectors and the NFA engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datacron_bench::{maritime_small, reports_of};
 use datacron_cep::{
     CpaDetector, LoiteringDetector, Pattern, PatternElem, RendezvousDetector, Runs,
@@ -55,33 +55,29 @@ fn bench_cep(c: &mut Criterion) {
     let events: Vec<u32> = (0..50_000u32).map(|i| i % 10).collect();
     group.throughput(Throughput::Elements(events.len() as u64));
     for n_patterns in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("patterns", n_patterns),
-            &n_patterns,
-            |b, &n_patterns| {
-                b.iter(|| {
-                    let mut runs: Vec<Runs<u32>> = (0..n_patterns)
-                        .map(|i| {
-                            Runs::new(Pattern::new(
-                                format!("p{i}"),
-                                vec![
-                                    PatternElem::single(move |e: &u32| *e == i as u32),
-                                    PatternElem::single(move |e: &u32| *e == (i + 1) as u32),
-                                ],
-                                60_000,
-                            ))
-                        })
-                        .collect();
-                    let mut matches = 0usize;
-                    for (i, e) in events.iter().enumerate() {
-                        for r in &mut runs {
-                            matches += r.on_event(TimeMs(i as i64 * 10), black_box(e)).len();
-                        }
+        group.bench_function(&format!("patterns/{n_patterns}"), |b| {
+            b.iter(|| {
+                let mut runs: Vec<Runs<u32>> = (0..n_patterns)
+                    .map(|i| {
+                        Runs::new(Pattern::new(
+                            format!("p{i}"),
+                            vec![
+                                PatternElem::single(move |e: &u32| *e == i as u32),
+                                PatternElem::single(move |e: &u32| *e == (i + 1) as u32),
+                            ],
+                            60_000,
+                        ))
+                    })
+                    .collect();
+                let mut matches = 0usize;
+                for (i, e) in events.iter().enumerate() {
+                    for r in &mut runs {
+                        matches += r.on_event(TimeMs(i as i64 * 10), black_box(e)).len();
                     }
-                    black_box(matches)
-                })
-            },
-        );
+                }
+                black_box(matches)
+            })
+        });
     }
     group.finish();
 }

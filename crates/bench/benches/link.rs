@@ -1,6 +1,6 @@
 //! E4 timing: link discovery — blocking vs the quadratic baseline (A3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
 use datacron_geo::TimeMs;
 use datacron_link::{discover_links, discover_links_exhaustive, LinkRecord, LinkRule};
 use datacron_sim::{
@@ -32,13 +32,13 @@ fn bench_link(c: &mut Criterion) {
     group.sample_size(20);
     for n in [100usize, 300] {
         let (a, b) = registries(n);
-        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+        group.bench_function(&format!("blocked/{n}"), |bench| {
             bench.iter(|| {
                 let (links, _) = discover_links(black_box(&a), black_box(&b), &LinkRule::default());
                 black_box(links.len())
             })
         });
-        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |bench, _| {
+        group.bench_function(&format!("exhaustive/{n}"), |bench| {
             bench.iter(|| {
                 let links =
                     discover_links_exhaustive(black_box(&a), black_box(&b), &LinkRule::default());

@@ -1,6 +1,6 @@
 //! E11 timing: end-to-end pipeline throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datacron_bench::{maritime_small, reports_of};
 use datacron_core::{Pipeline, PipelineConfig};
 use std::hint::black_box;
@@ -13,23 +13,19 @@ fn bench_pipeline(c: &mut Criterion) {
     group.throughput(Throughput::Elements(reports.len() as u64));
 
     for (name, enable_rdf) in [("full", true), ("analytics_only", false)] {
-        group.bench_with_input(
-            BenchmarkId::new("end_to_end", name),
-            &enable_rdf,
-            |b, &enable_rdf| {
-                b.iter(|| {
-                    let mut p = Pipeline::new(PipelineConfig {
-                        enable_rdf,
-                        ..PipelineConfig::default()
-                    });
-                    let mut events = 0usize;
-                    for r in &reports {
-                        events += p.process(black_box(r)).len();
-                    }
-                    black_box(events)
-                })
-            },
-        );
+        group.bench_function(&format!("end_to_end/{name}"), |b| {
+            b.iter(|| {
+                let mut p = Pipeline::new(PipelineConfig {
+                    enable_rdf,
+                    ..PipelineConfig::default()
+                });
+                let mut events = 0usize;
+                for r in &reports {
+                    events += p.process(black_box(r)).len();
+                }
+                black_box(events)
+            })
+        });
     }
     group.finish();
 }

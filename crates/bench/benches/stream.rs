@@ -1,6 +1,6 @@
 //! E12 timing: stream-engine operator and windowing throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datacron_geo::TimeMs;
 use datacron_stream::{
     with_watermarks, BoundedOutOfOrderness, CountAny, KeyedWindowOp, MapOp, Message, Operator,
@@ -35,21 +35,16 @@ fn bench_stream(c: &mut Criterion) {
     });
 
     for keys in [8u32, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("tumbling_window", keys),
-            &keys,
-            |b, &keys| {
-                let src: Vec<(TimeMs, u32)> =
-                    (0..n).map(|i| (TimeMs(i), i as u32 % keys)).collect();
-                let msgs: Vec<Message<u32>> =
-                    with_watermarks(src, BoundedOutOfOrderness::new(100, 64)).collect();
-                b.iter(|| {
-                    let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
-                        KeyedWindowOp::new(WindowSpec::tumbling(1000), |k: &u32| *k);
-                    black_box(op.run(black_box(msgs.clone())).len())
-                })
-            },
-        );
+        group.bench_function(&format!("tumbling_window/{keys}"), |b| {
+            let src: Vec<(TimeMs, u32)> = (0..n).map(|i| (TimeMs(i), i as u32 % keys)).collect();
+            let msgs: Vec<Message<u32>> =
+                with_watermarks(src, BoundedOutOfOrderness::new(100, 64)).collect();
+            b.iter(|| {
+                let mut op: KeyedWindowOp<u32, CountAny<u32>, _> =
+                    KeyedWindowOp::new(WindowSpec::tumbling(1000), |k: &u32| *k);
+                black_box(op.run(black_box(msgs.clone())).len())
+            })
+        });
     }
     group.finish();
 }

@@ -1,6 +1,6 @@
 //! E1 timing: in-situ cleansing, compression and critical-point detection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datacron_bench::{maritime_small, reports_of};
 use datacron_synopses::{Cleanser, CriticalPointDetector, DeadReckoningCompressor, SynopsisConfig};
 use std::hint::black_box;
@@ -25,22 +25,18 @@ fn bench_synopses(c: &mut Criterion) {
     });
 
     for threshold in [50.0, 100.0, 250.0] {
-        group.bench_with_input(
-            BenchmarkId::new("dead_reckoning", threshold as u64),
-            &threshold,
-            |b, &threshold| {
-                b.iter(|| {
-                    let mut comp = DeadReckoningCompressor::new(threshold);
-                    let mut kept = 0usize;
-                    for r in &reports {
-                        if comp.check(black_box(r)) {
-                            kept += 1;
-                        }
+        group.bench_function(&format!("dead_reckoning/{}", threshold as u64), |b| {
+            b.iter(|| {
+                let mut comp = DeadReckoningCompressor::new(threshold);
+                let mut kept = 0usize;
+                for r in &reports {
+                    if comp.check(black_box(r)) {
+                        kept += 1;
                     }
-                    black_box(kept)
-                })
-            },
-        );
+                }
+                black_box(kept)
+            })
+        });
     }
 
     group.bench_function("critical_points", |b| {

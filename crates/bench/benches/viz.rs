@@ -1,6 +1,6 @@
 //! E10 timing: visual-analytics aggregation rates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datacron_bench::{maritime_small, reports_of};
 use datacron_geo::Grid;
 use datacron_viz::DensityGrid;
@@ -14,19 +14,15 @@ fn bench_viz(c: &mut Criterion) {
     let mut group = c.benchmark_group("viz");
     group.throughput(Throughput::Elements(points.len() as u64));
     for cell_deg in [0.02, 0.1] {
-        group.bench_with_input(
-            BenchmarkId::new("density_build", format!("{cell_deg}")),
-            &cell_deg,
-            |b, &cell_deg| {
-                b.iter(|| {
-                    let mut d = DensityGrid::new(Grid::new(data.world.region, cell_deg).unwrap());
-                    for p in &points {
-                        d.add(black_box(p));
-                    }
-                    black_box(d.occupied_cells())
-                })
-            },
-        );
+        group.bench_function(&format!("density_build/{cell_deg}"), |b| {
+            b.iter(|| {
+                let mut d = DensityGrid::new(Grid::new(data.world.region, cell_deg).unwrap());
+                for p in &points {
+                    d.add(black_box(p));
+                }
+                black_box(d.occupied_cells())
+            })
+        });
     }
 
     let mut density = DensityGrid::new(Grid::new(data.world.region, 0.02).unwrap());

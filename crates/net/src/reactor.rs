@@ -318,6 +318,8 @@ impl<H: Handler> Reactor<H> {
         let timeout_ms = i32::try_from(self.cfg.poll_interval.as_millis().max(1)).unwrap_or(50);
         let mut sweep_sw = Stopwatch::start();
         loop {
+            // lint:allow(reactor_blocking) the epoll wait IS the loop's
+            // one sanctioned block: it parks until readiness or timeout.
             let n = self.epoll.wait(&mut events, timeout_ms)?;
             let iter_sw = Stopwatch::start();
             if self.handle.is_shutdown() {

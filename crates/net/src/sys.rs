@@ -150,10 +150,23 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
-        // SAFETY: `self.fd` is a valid fd owned exclusively by this
-        // Epoll; drop runs at most once.
-        unsafe {
-            close(self.fd);
+        close_or_report(self.fd, "epoll");
+    }
+}
+
+/// Closes `fd` once and reports any real failure on stderr with its
+/// errno. Drop impls cannot propagate, but a failing `close` (bad fd,
+/// lost writeback) must not vanish silently. Never retried: on Linux
+/// the fd is released even when `close` returns `EINTR`, and a second
+/// call could close an unrelated fd reused by another thread.
+fn close_or_report(fd: RawFd, what: &str) {
+    // SAFETY: `fd` is a valid fd owned exclusively by the caller's
+    // value being dropped; each fd is closed at most once.
+    let rc = unsafe { close(fd) };
+    if rc != 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            eprintln!("datacron-net: close({what} fd {fd}) failed: {e}");
         }
     }
 }
@@ -186,16 +199,28 @@ impl WakePipe {
         self.r
     }
 
-    /// Nudges the reactor: writes one byte, ignoring a full pipe (the
-    /// reactor is already pending a wake) and any other failure (the
-    /// loop also polls on a bounded timeout, so a lost wake only delays).
+    /// Nudges the reactor: writes one byte. A full pipe (`EAGAIN`) means
+    /// a wake is already pending and is fine; an interrupted write is
+    /// retried; any other errno is reported on stderr (the loop also
+    /// polls on a bounded timeout, so a lost wake only delays it).
     pub fn wake(&self) {
         let byte = [1u8];
-        // SAFETY: `byte` is a valid 1-byte buffer; the fd is owned and
-        // open for the lifetime of self. The result is deliberately
-        // ignored per the doc comment above.
-        unsafe {
-            write(self.w, byte.as_ptr().cast::<c_void>(), 1);
+        loop {
+            // SAFETY: `byte` is a valid 1-byte buffer; the fd is owned
+            // and open for the lifetime of self.
+            let n = unsafe { write(self.w, byte.as_ptr().cast::<c_void>(), 1) };
+            if n >= 0 {
+                return;
+            }
+            let e = io::Error::last_os_error();
+            match e.kind() {
+                io::ErrorKind::Interrupted => continue,
+                io::ErrorKind::WouldBlock => return,
+                _ => {
+                    eprintln!("datacron-net: wake-pipe write failed: {e}");
+                    return;
+                }
+            }
         }
     }
 
@@ -215,12 +240,8 @@ impl WakePipe {
 
 impl Drop for WakePipe {
     fn drop(&mut self) {
-        // SAFETY: both fds are valid and owned exclusively by this pipe;
-        // drop runs at most once.
-        unsafe {
-            close(self.r);
-            close(self.w);
-        }
+        close_or_report(self.r, "wake-pipe read end");
+        close_or_report(self.w, "wake-pipe write end");
     }
 }
 

@@ -31,11 +31,14 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: pure statistic; readers only want an eventual count,
+        // no data is published through this atomic.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: statistic read; staleness is acceptable by contract.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -47,11 +50,14 @@ pub struct Gauge(Arc<AtomicU64>);
 impl Gauge {
     /// Sets the value.
     pub fn set(&self, v: u64) {
+        // ordering: last-writer-wins point-in-time value; no other data
+        // is ordered against it.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: statistic read; staleness is acceptable by contract.
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -512,7 +512,12 @@ fn install_collectors(
             } => {
                 let labels = [("role", "leader")];
                 sink.gauge("datacron_repl_epoch", &labels, *epoch);
-                let next_seq = head.load(Ordering::Relaxed).saturating_add(1);
+                // ordering: Acquire pairs with the Release publish in
+                // `ingest_durable` — lag gauges computed from this head
+                // must not run ahead of the append it covers. `head` is
+                // already an LSN (one past the last appended seq), the
+                // same value `replication_json` hands to `snapshot`.
+                let next_seq = head.load(Ordering::Acquire);
                 sink.gauge(
                     "datacron_repl_followers",
                     &labels,
@@ -1107,7 +1112,10 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
             if env.req.is_read() {
                 let (leader_epoch, applied_lsn) = match &shared.repl {
                     ReplRuntime::Leader { epoch, head, .. } => {
-                        (*epoch, head.load(Ordering::Relaxed))
+                        // ordering: Acquire pairs with the Release
+                        // publish in `ingest_durable`; responses stamped
+                        // with this LSN promise the records exist.
+                        (*epoch, head.load(Ordering::Acquire))
                     }
                     ReplRuntime::Follower { progress, .. } => {
                         (progress.leader_epoch(), progress.applied_lsn())
@@ -1235,7 +1243,10 @@ fn replication_json(shared: &Shared) -> Json {
             registry,
             head,
         } => {
-            let next_seq = head.load(Ordering::Relaxed);
+            // ordering: Acquire pairs with the Release publish in
+            // `ingest_durable` — followers treat this `next_seq` as a
+            // promise that records `0..next_seq` are pullable.
+            let next_seq = head.load(Ordering::Acquire);
             let followers: Vec<Json> = registry
                 .snapshot(next_seq, now)
                 .iter()
@@ -1353,7 +1364,11 @@ fn ingest_durable(
         .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?;
     if let ReplRuntime::Leader { registry, head, .. } = &shared.repl {
         // `head` is an LSN: one past the sequence just appended.
-        head.store(seq.saturating_add(1), Ordering::Relaxed);
+        // ordering: Release publishes the WAL append — a reader that
+        // Acquire-loads this head may serve/stamp records `0..head`
+        // without re-taking the storage lock, so the store must not be
+        // reorderable before the append it advertises.
+        head.store(seq.saturating_add(1), Ordering::Release);
         registry.observe_append(seq, shared.clock.now_us());
     }
     let out = state.ingest(reports);

@@ -548,3 +548,122 @@ fn follower_rejects_durable_config_and_memory_leader_rejects_subscribe() {
     drop(c);
     memory.shutdown();
 }
+
+/// Regression: the metrics collector must hand `registry.snapshot` the
+/// same LSN `replication_json` does. `head` is already one past the last
+/// appended sequence; adding one again overstated every follower's
+/// record lag by exactly one, so a fully caught-up follower never read
+/// as caught up on the dashboard.
+#[test]
+fn caught_up_follower_reports_zero_lag_in_metrics() {
+    let dir = TempDir::new("repl-lag-gauge");
+    let leader = start(leader_config(dir.path(), 0)).expect("leader start");
+    let mut c = connect(leader.local_addr);
+    feed(&mut c);
+    let head = leader_head(&mut c);
+    assert_eq!(head, 5);
+
+    // Poll exactly at the head: this follower wants nothing, so its
+    // acked position equals the leader's next_seq.
+    let resp = c
+        .call(
+            &Json::obj()
+                .field("type", "repl_frame")
+                .field("follower", "gauge-probe")
+                .field("from_seq", head)
+                .build(),
+        )
+        .unwrap();
+    assert!(is_ok(&resp), "{resp}");
+
+    let resp = c
+        .call(&Json::obj().field("type", "metrics").build())
+        .unwrap();
+    assert!(is_ok(&resp), "{resp}");
+    let text = resp
+        .get("exposition")
+        .and_then(Json::as_str)
+        .expect("exposition string")
+        .to_string();
+    let lag_line = text
+        .lines()
+        .find(|l| l.starts_with("datacron_repl_follower_lag_records") && l.contains("gauge-probe"))
+        .expect("follower lag gauge present");
+    let lag: u64 = lag_line
+        .rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("gauge value");
+    assert_eq!(lag, 0, "caught-up follower must show zero lag: {lag_line}");
+}
+
+/// Regression for the `head` publication ordering: `ingest_durable`
+/// Release-stores the head only after the WAL append, and every status
+/// read Acquire-loads it, so an advertised head is a promise that
+/// records `0..head` are pullable. Concurrent writers plus a status
+/// poller check the promise — a relaxed store hoisted above the append
+/// (or a stale monotonicity violation) shows up as an empty pull at
+/// `head - 1` or a head that moves backwards.
+#[test]
+fn advertised_head_is_always_pullable_under_concurrent_ingest() {
+    let dir = TempDir::new("repl-head-order");
+    let leader = start(leader_config(dir.path(), 0)).expect("leader start");
+    let addr = leader.local_addr;
+
+    let writers: Vec<_> = (0..2u64)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = connect(addr);
+                for i in 0..10 {
+                    let resp = c
+                        .call(&ingest_request(100 + w, i * 1000, 3, 20.5, 37.0))
+                        .unwrap();
+                    assert!(is_ok(&resp), "ingest failed: {resp}");
+                }
+            })
+        })
+        .collect();
+
+    let mut c = connect(addr);
+    let mut last_head = 0u64;
+    loop {
+        let head = leader_head(&mut c);
+        assert!(
+            head >= last_head,
+            "head moved backwards: {last_head} -> {head}"
+        );
+        last_head = head;
+        if head > 0 {
+            let resp = c
+                .call(
+                    &Json::obj()
+                        .field("type", "repl_frame")
+                        .field("follower", "order-probe")
+                        .field("from_seq", head - 1)
+                        .field("max", 1u64)
+                        .build(),
+                )
+                .unwrap();
+            assert!(is_ok(&resp), "{resp}");
+            let frames = resp.get("frames").and_then(Json::as_array).expect("frames");
+            let first_seq = frames
+                .first()
+                .and_then(|f| f.get("seq"))
+                .and_then(Json::as_u64);
+            assert_eq!(
+                first_seq,
+                Some(head - 1),
+                "advertised head {head} but record {} not pullable",
+                head - 1
+            );
+        }
+        if head >= 20 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    assert_eq!(leader_head(&mut connect(addr)), 20);
+}

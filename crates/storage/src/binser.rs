@@ -292,6 +292,17 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Copies the `N` bytes at `off` out of a header buffer, for the
+/// `from_le_bytes` decoders in `wal` and `snapshot`. Offsets and widths
+/// are compile-time constants at every call site, inside fixed-size
+/// headers that were filled by `read_exact`, so the slice arithmetic
+/// cannot go out of bounds at runtime.
+pub(crate) fn field<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[off..off + N]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,15 +418,4 @@ mod tests {
     fn empty_input_finishes_clean() {
         Reader::new(&[]).finish().unwrap();
     }
-}
-
-/// Copies the `N` bytes at `off` out of a header buffer, for the
-/// `from_le_bytes` decoders in `wal` and `snapshot`. Offsets and widths
-/// are compile-time constants at every call site, inside fixed-size
-/// headers that were filled by `read_exact`, so the slice arithmetic
-/// cannot go out of bounds at runtime.
-pub(crate) fn field<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
-    let mut out = [0u8; N];
-    out.copy_from_slice(&buf[off..off + N]);
-    out
 }

@@ -33,10 +33,27 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
-# Workspace lint gate: the datacron-analysis rules (L1 no_panic,
-# L2 safety_comment, L3 truncation, L4 wallclock, L5 lock_order) are a
-# hard failure. The binary prints the per-rule violation counts.
+# Workspace lint gate: all nine datacron-analysis rules (L1 no_panic,
+# L2 safety_comment, L3 truncation, L4 wallclock, L5 lock_order,
+# L6 reactor_blocking, L7 ffi_retcheck, L8 atomic_audit,
+# L9 lock_across_call) are a hard failure. The text run prints the
+# per-rule counts; the JSON run produces the machine-readable artifact
+# and is timed against the lint runtime budget (the walk itself, after
+# the binary is built, must stay under 5 s).
+run cargo build "${CARGO_FLAGS[@]}" -q -p datacron-analysis
 run cargo run "${CARGO_FLAGS[@]}" -q -p datacron-analysis
+LINT_JSON="${LINT_JSON:-target/lint-report.json}"
+echo "==> cargo run -q -p datacron-analysis -- --format json > ${LINT_JSON}"
+lint_start=$(date +%s%N)
+cargo run "${CARGO_FLAGS[@]}" -q -p datacron-analysis -- --format json > "$LINT_JSON"
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "==> lint artifact: ${LINT_JSON} (${lint_elapsed_ms} ms)"
+# The artifact must be well-formed JSON — CI consumers parse it blind.
+run python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$LINT_JSON"
+if [ "$lint_elapsed_ms" -ge 5000 ]; then
+  echo "lint runtime budget exceeded: ${lint_elapsed_ms} ms >= 5000 ms" >&2
+  exit 1
+fi
 run cargo build "${CARGO_FLAGS[@]}" --release --workspace
 # Observability smoke: boot the release server, scrape `metrics` and
 # `slowlog` over the wire, and assert the exposition is well-formed.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Run the datacron-analysis workspace lint (rules L1–L5).
+# Run the datacron-analysis workspace lint (rules L1–L9).
 #
-# Usage: scripts/lint.sh [--fix-manifest] [--offline] [FILE...]
+# Usage: scripts/lint.sh [--fix-manifest] [--json] [--offline] [FILE...]
 #
 #   (no args)        walk the workspace with the path-scoped rules;
 #                    exits non-zero on any violation
@@ -10,9 +10,13 @@
 #                    to crates/analysis/lock-order.manifest, then succeed
 #                    if nothing else fired (review the diff before
 #                    committing!)
+#   --json           SARIF-lite JSON on stdout (shorthand for
+#                    --format json; machine-readable CI artifact)
 #   --offline        pass --offline to cargo
 #
-# The binary prints a per-rule violation count summary either way.
+# Every other flag (--baseline, --write-baseline, --explain, ...) is
+# passed straight through to the datacron-lint binary; in text mode it
+# prints a per-rule violation count summary either way.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +26,7 @@ LINT_ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --offline) CARGO_FLAGS+=(--offline) ;;
+    --json) LINT_ARGS+=(--format json) ;;
     *) LINT_ARGS+=("$arg") ;;
   esac
 done
