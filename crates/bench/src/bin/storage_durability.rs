@@ -9,7 +9,11 @@
 //! Part 1 sweeps the WAL's group-commit fsync policy (`always`,
 //! `every=8`, `every=64`, `never`) over a fixed stream of encoded ingest
 //! batches and reports append throughput plus fsync p99 — the durability
-//! price list. Part 2 grows the WAL, then measures a cold recovery the
+//! price list. Part 3 re-runs `always` with 1/4/8/32 concurrent
+//! appenders through the group-commit fsync thread: each client blocks
+//! on the shared `durable_lsn` watermark instead of its own fsync, so
+//! one `sync_data` covers the whole group and throughput scales with
+//! client count. Part 2 grows the WAL, then measures a cold recovery the
 //! way `datacron-server` performs it: read + verify + decode the log,
 //! replay it through a fresh analytics state, and — for comparison — a
 //! snapshot-only restart of the same state. Replay is measured both
@@ -113,6 +117,80 @@ fn fsync_sweep(policy: FsyncPolicy, name: &str, batches: &[Vec<u8>]) -> SweepRes
         mib_per_s: bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64(),
         fsync_p99_us: stats.fsync_p99_us,
         fsyncs: stats.fsyncs,
+    }
+}
+
+struct ConcurrentResult {
+    clients: usize,
+    records_per_s: u64,
+    fsyncs: u64,
+    commit_batches: u64,
+    avg_group: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Part 3: concurrent durable ingest at `fsync=always` through the
+/// group-commit path. N appender threads share the storage lock only
+/// for the (short) buffered write, then block on the durable watermark
+/// — the same discipline the server's deferred acks follow. The fsync
+/// thread amortises one `sync_data` over every record written since the
+/// previous one, so throughput scales with client count instead of
+/// paying one fsync per record.
+fn concurrent_always(
+    clients: usize,
+    total_batches: usize,
+    batches: &[Vec<u8>],
+    serial_rps: u64,
+) -> ConcurrentResult {
+    use std::sync::{Arc, Mutex};
+    let dir = TempDir::new("bench-group");
+    let (storage, _) = Storage::open(dir.path(), storage_cfg(FsyncPolicy::Always)).expect("open");
+    assert!(storage.group_commit_active(), "always => group commit");
+    let commit = storage.commit();
+    let storage = Arc::new(Mutex::new(storage));
+    let per_thread = total_batches / clients;
+
+    let t = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let storage = Arc::clone(&storage);
+            let commit = Arc::clone(&commit);
+            let my: Vec<Vec<u8>> = (0..per_thread)
+                .map(|i| batches[(c * per_thread + i) % batches.len()].clone())
+                .collect();
+            std::thread::spawn(move || {
+                for payload in &my {
+                    let (seq, deferred) = storage
+                        .lock()
+                        .expect("storage lock")
+                        .append_async(payload)
+                        .expect("append");
+                    if deferred {
+                        commit.wait_durable(seq + 1).expect("durable");
+                    }
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("appender thread");
+    }
+    let elapsed = t.elapsed();
+
+    let appended = per_thread * clients;
+    let rps = appended as f64 / elapsed.as_secs_f64();
+    let stats = storage.lock().expect("storage lock").stats();
+    assert!(
+        stats.durable_lsn >= appended as u64,
+        "every appended record must be durable before its waiter returns"
+    );
+    ConcurrentResult {
+        clients,
+        records_per_s: rps as u64,
+        fsyncs: stats.fsyncs,
+        commit_batches: stats.commit_batches,
+        avg_group: appended as f64 / stats.fsyncs.max(1) as f64,
+        speedup_vs_serial: rps / serial_rps.max(1) as f64,
     }
 }
 
@@ -240,6 +318,25 @@ fn main() {
         sweep.push(r);
     }
 
+    // Part 3: the group-commit sweep. Speedup is against this run's own
+    // serial `always` result so the comparison shares hardware and page
+    // cache state.
+    let serial_rps = sweep
+        .iter()
+        .find(|r| r.policy == "always")
+        .map(|r| r.records_per_s)
+        .unwrap_or(1);
+    let concurrent_batches = if quick { 2_000 } else { 8_000 };
+    let mut concurrent = Vec::new();
+    for clients in [1usize, 4, 8, 32] {
+        let r = concurrent_always(clients, concurrent_batches, &batches, serial_rps);
+        eprintln!(
+            "group-commit {:>2} clients: {:>8} rec/s ({:.1}x serial always, {} fsyncs, avg group {:.1})",
+            r.clients, r.records_per_s, r.speedup_vs_serial, r.fsyncs, r.avg_group
+        );
+        concurrent.push(r);
+    }
+
     let mut recoveries = Vec::new();
     for &n in recovery_sizes {
         let r = recovery_run(n, &batches);
@@ -272,6 +369,22 @@ fn main() {
             r.fsync_p99_us,
             r.fsyncs,
             if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"concurrent_batches\": {concurrent_batches},");
+    out.push_str("  \"concurrent_always\": [\n");
+    for (i, r) in concurrent.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"clients\": {}, \"records_per_s\": {}, \"fsyncs\": {}, \"commit_batches\": {}, \"avg_group_size\": {:.1}, \"speedup_vs_serial\": {:.1}}}{}",
+            r.clients,
+            r.records_per_s,
+            r.fsyncs,
+            r.commit_batches,
+            r.avg_group,
+            r.speedup_vs_serial,
+            if i + 1 < concurrent.len() { "," } else { "" }
         );
     }
     out.push_str("  ],\n  \"recovery\": [\n");

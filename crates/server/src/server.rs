@@ -30,7 +30,7 @@ use datacron_geo::BoundingBox;
 use datacron_net::{ConnId, LineAction, Open, Reactor, ReactorConfig, ReactorHandle};
 use datacron_obs::{ClockSource, MonotonicClock, Registry, SlowLog, Trace};
 use datacron_repl::{b64, epoch, FollowerProgress, FollowerRegistry, StalenessVerdict};
-use datacron_storage::{Storage, StorageConfig};
+use datacron_storage::{GroupCommit, Storage, StorageConfig};
 use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
 use std::io::{self, ErrorKind};
@@ -245,9 +245,13 @@ impl ServerHandle {
     /// Unclean stop for crash-recovery tests: threads are joined so the
     /// process can proceed, but the WAL gets no final fsync and no
     /// shutdown snapshot is taken — exactly what a `kill -9` after the
-    /// last append would leave on disk.
+    /// last append would leave on disk. The group-commit thread is told
+    /// to abandon (not flush) pending work for the same reason.
     pub fn abort(mut self) {
         self.stop_threads();
+        if let Some(storage) = &self.storage {
+            storage.lock().commit().abandon();
+        }
     }
 
     fn stop_threads(&mut self) {
@@ -284,6 +288,10 @@ struct Shared {
     /// Lock order: state write lock first, then storage — both ingest
     /// and shutdown follow it, so they can never deadlock.
     storage: Option<Arc<TrackedMutex<Storage>>>,
+    /// The group-commit core, captured once at startup so deferred acks
+    /// never take the storage lock. `Some` exactly when the store runs
+    /// the fsync thread (`fsync=always` with a data dir).
+    commit: Option<Arc<GroupCommit>>,
     /// Replication role plus its shared trackers.
     repl: ReplRuntime,
     started: Stopwatch,
@@ -393,6 +401,13 @@ pub fn start_with_clock(
         .saturating_add(64);
     let _ = datacron_net::sys::raise_nofile_limit(want_fds);
 
+    let commit = match &storage {
+        Some(storage) => {
+            let guard = storage.lock();
+            guard.group_commit_active().then(|| guard.commit())
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
         state: Arc::clone(&state),
         metrics: Arc::clone(&metrics),
@@ -405,6 +420,7 @@ pub fn start_with_clock(
         net: OnceLock::new(),
         cfg,
         storage: storage.clone(),
+        commit,
         repl,
         started: Stopwatch::start(),
     });
@@ -610,7 +626,15 @@ fn install_collectors(
                 s.records_since_snapshot,
             );
             sink.gauge("datacron_wal_next_seq", &[], s.next_seq);
+            sink.gauge("datacron_wal_durable_lsn", &[], s.durable_lsn);
             sink.counter("datacron_wal_fsyncs_total", &[], s.fsyncs);
+            sink.counter("datacron_wal_commit_batches_total", &[], s.commit_batches);
+            sink.counter("datacron_wal_commit_waiters_total", &[], s.commit_waiters);
+            sink.counter(
+                "datacron_storage_snapshot_failures_total",
+                &[],
+                s.snapshot_failures,
+            );
             if let Some(age) = s.snapshot_age_us {
                 sink.gauge("datacron_snapshot_age_us", &[], age);
             }
@@ -858,17 +882,91 @@ impl datacron_net::Handler for ServerHandler {
 /// back to the reactor. recv() errors only when the reactor exits and
 /// drops the sender; queued jobs are still drained first (channel
 /// semantics), their completions harmlessly dropped by the dead loop.
+///
+/// A durable ingest under group commit returns `None` from
+/// [`handle_line`]: the worker moves straight to the next job and the
+/// registered [`DeferredAck`] completes the response once the fsync
+/// thread's watermark covers the batch — workers never park on fsync.
 fn worker_loop(shared: &Shared, net: &ReactorHandle) {
     while let Ok(job) = shared.queue.recv() {
         let queue_wait_us = shared.clock.now_us().saturating_sub(job.enqueued_us);
-        let mut response = handle_line(&job.line, shared, Some(queue_wait_us));
-        response.push('\n');
-        shared.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
-        net.complete(job.conn, response.into_bytes());
+        if let Some(mut response) =
+            handle_line(&job.line, shared, Some(queue_wait_us), job.conn, net)
+        {
+            response.push('\n');
+            shared.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+            net.complete(job.conn, response.into_bytes());
+        }
     }
 }
 
-fn handle_line(line: &str, shared: &Shared, queue_wait_us: Option<u64>) -> String {
+/// Everything a deferred durable ack needs to finish a request once the
+/// group-commit watermark covers its batch: the serialized success
+/// response, the reactor handback, and the metrics/slowlog bookkeeping
+/// the worker would otherwise have done inline. Owns its `Trace` so the
+/// slowlog entry includes the real `durable_wait` span.
+struct DeferredAck {
+    net: ReactorHandle,
+    conn: ConnId,
+    metrics: Arc<ServerMetrics>,
+    slowlog: Arc<SlowLog>,
+    jobs_in_flight: Arc<AtomicU64>,
+    idx: usize,
+    start: Stopwatch,
+    trace: Trace,
+    wait_begin: u64,
+    tag: &'static str,
+    detail: String,
+    id: Json,
+    response: String,
+}
+
+impl DeferredAck {
+    /// Fired exactly once by the commit core — from the fsync thread on
+    /// success, from whoever poisons the WAL on failure, or inline when
+    /// the watermark already covered the batch at registration.
+    fn finish(mut self, result: Result<u64, String>) {
+        self.trace.end_span("durable_wait", self.wait_begin);
+        let (mut response, ok) = match result {
+            Ok(_) => (self.response, true),
+            Err(msg) => (
+                error_response(
+                    &self.id,
+                    ErrorCode::StorageError,
+                    &format!("wal fsync: {msg}"),
+                ),
+                false,
+            ),
+        };
+        self.metrics.latency[self.idx].observe(&self.start);
+        let counter = if ok {
+            &self.metrics.requests_ok
+        } else {
+            &self.metrics.requests_err
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.slowlog.record(
+            self.tag,
+            self.trace.total_us(),
+            self.trace.into_spans(),
+            self.detail,
+        );
+        response.push('\n');
+        self.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.net.complete(self.conn, response.into_bytes());
+    }
+}
+
+/// Executes one request line. Returns `Some(response)` for the worker
+/// to complete immediately, or `None` when the ack was deferred to the
+/// group-commit watermark (a [`DeferredAck`] now owns the completion).
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    queue_wait_us: Option<u64>,
+    conn: ConnId,
+    net: &ReactorHandle,
+) -> Option<String> {
     let start = Stopwatch::start();
     match parse_request(line) {
         Ok(env) => {
@@ -877,7 +975,35 @@ fn handle_line(line: &str, shared: &Shared, queue_wait_us: Option<u64>) -> Strin
                 trace.add_span_us("queue_wait", wait);
             }
             let idx = env.req.index();
-            let (resp, ok) = dispatch(&env, shared, &mut trace);
+            let (resp, ok) = match dispatch(&env, shared, &mut trace) {
+                Dispatched::Done { response, ok } => (response, ok),
+                Dispatched::Deferred { response, lsn } => match &shared.commit {
+                    Some(commit) => {
+                        let wait_begin = trace.begin();
+                        let ack = DeferredAck {
+                            net: net.clone(),
+                            conn,
+                            metrics: Arc::clone(&shared.metrics),
+                            slowlog: Arc::clone(&shared.slowlog),
+                            jobs_in_flight: Arc::clone(&shared.jobs_in_flight),
+                            idx,
+                            start,
+                            trace,
+                            wait_begin,
+                            tag: env.req.tag(),
+                            detail: detail_for(&env.req),
+                            id: env.id.clone(),
+                            response,
+                        };
+                        commit.ack_when(lsn, Box::new(move |r| ack.finish(r)));
+                        return None;
+                    }
+                    // Unreachable in practice (deferral only happens in
+                    // group mode, which implies a commit handle); answer
+                    // rather than wedge the connection if it ever isn't.
+                    None => (response, true),
+                },
+            };
             shared.metrics.latency[idx].observe(&start);
             let counter = if ok {
                 &shared.metrics.requests_ok
@@ -891,7 +1017,7 @@ fn handle_line(line: &str, shared: &Shared, queue_wait_us: Option<u64>) -> Strin
                 trace.into_spans(),
                 detail_for(&env.req),
             );
-            resp
+            Some(resp)
         }
         Err(e) => {
             shared.metrics.requests_err.fetch_add(1, Ordering::Relaxed);
@@ -900,7 +1026,7 @@ fn handle_line(line: &str, shared: &Shared, queue_wait_us: Option<u64>) -> Strin
                 .ok()
                 .and_then(|v| v.get("id").cloned())
                 .unwrap_or(Json::Null);
-            error_response(&id, e.code, &e.msg)
+            Some(error_response(&id, e.code, &e.msg))
         }
     }
 }
@@ -941,8 +1067,19 @@ fn not_leader(repl: &ReplRuntime) -> ProtocolError {
     }
 }
 
-fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool) {
+/// What [`dispatch`] produced: a finished response, or a success
+/// response that must be withheld until the durable watermark covers
+/// `lsn` (group-commit ingest — the ack may not outrun the fsync).
+enum Dispatched {
+    Done { response: String, ok: bool },
+    Deferred { response: String, lsn: u64 },
+}
+
+fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> Dispatched {
     let id = &env.id;
+    // Set by the ingest arm when the batch's durability was deferred to
+    // the fsync thread: the LSN the ack must wait for.
+    let mut pending_lsn: Option<u64> = None;
     // Follower read path: bounded staleness is enforced before touching
     // state, so a shed read costs no locks.
     if let ReplRuntime::Follower {
@@ -962,15 +1099,15 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
                     ("lag_records".to_string(), Json::from(lag_records)),
                     ("silence_us".to_string(), Json::from(silence_us)),
                 ];
-                return (
-                    error_response_with(
+                return Dispatched::Done {
+                    response: error_response_with(
                         id,
                         ErrorCode::Stale,
                         "replica lag exceeds the configured bound",
                         extra,
                     ),
-                    false,
-                );
+                    ok: false,
+                };
             }
         }
     }
@@ -980,8 +1117,8 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
             if matches!(&shared.repl, ReplRuntime::Follower { .. }) {
                 Err(not_leader(&shared.repl))
             } else {
-                let mut state = shared.state.write();
-                ingest_durable(&mut state, reports, shared, trace).map(|out| {
+                ingest_durable(reports, shared, trace).map(|(out, lsn)| {
+                    pending_lsn = lsn;
                     vec![
                         ("accepted".into(), Json::from(out.accepted)),
                         ("clean".into(), Json::from(out.clean)),
@@ -1076,9 +1213,17 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
                         .field("segments", s.segments as u64)
                         .field("records_since_snapshot", s.records_since_snapshot)
                         .field("next_seq", s.next_seq)
+                        .field("durable_lsn", s.durable_lsn)
                         .field("last_snapshot_seq", s.last_snapshot_seq)
                         .field("fsync_p99_us", s.fsync_p99_us)
                         .field("fsyncs", s.fsyncs)
+                        .field("commit_batches", s.commit_batches)
+                        .field("commit_waiters", s.commit_waiters)
+                        .field("snapshot_failures", s.snapshot_failures)
+                        .field(
+                            "last_snapshot_error",
+                            s.last_snapshot_error.map(Json::Str).unwrap_or(Json::Null),
+                        )
                         .build(),
                 ));
             }
@@ -1124,9 +1269,16 @@ fn dispatch(env: &Envelope, shared: &Shared, trace: &mut Trace) -> (String, bool
                 fields.push(("leader_epoch".into(), Json::from(leader_epoch)));
                 fields.push(("applied_lsn".into(), Json::from(applied_lsn)));
             }
-            (ok_response(id, fields), true)
+            let response = ok_response(id, fields);
+            match pending_lsn {
+                Some(lsn) => Dispatched::Deferred { response, lsn },
+                None => Dispatched::Done { response, ok: true },
+            }
         }
-        Err(e) => (error_response_with(id, e.code, &e.msg, e.extra), false),
+        Err(e) => Dispatched::Done {
+            response: error_response_with(id, e.code, &e.msg, e.extra),
+            ok: false,
+        },
     };
     trace.end_span("serialize", ser_begin);
     out
@@ -1340,28 +1492,42 @@ fn slowlog_fields(log: &SlowLog, limit: usize) -> Vec<(String, Json)> {
     ]
 }
 
-/// Write-ahead order: the batch is appended to the WAL (and fsynced per
-/// policy) *before* it touches the in-memory state, so an acknowledged
-/// batch is always recoverable; an append failure rejects the batch
-/// without applying it. After applying, the snapshot threshold is checked
-/// under the same state write lock, so the serialized snapshot can never
-/// miss a batch whose WAL position it claims to cover.
+/// Write-ahead order: the batch is appended to the WAL *before* it
+/// touches the in-memory state, so an acknowledged batch is always
+/// recoverable; an append failure rejects the batch without applying
+/// it. After applying, the snapshot threshold is checked under the same
+/// state write lock, so the serialized snapshot can never miss a batch
+/// whose WAL position it claims to cover.
+///
+/// Under group commit the append only *writes* the record (no fsync)
+/// and returns `Some(lsn)`: the caller must withhold the client's ack
+/// until the durable watermark reaches `lsn`. The state write lock is
+/// therefore never held across an fsync — the flush happens on the
+/// dedicated thread after every lock here is released, and concurrent
+/// batches share it. `None` means the configured policy already ran
+/// inline (memory-only, `EveryN`, `Never`, or `Always` without the
+/// thread) and the old ack-on-return contract holds.
 fn ingest_durable(
-    state: &mut AnalyticsState,
     reports: &[datacron_model::PositionReport],
     shared: &Shared,
     trace: &mut Trace,
-) -> Result<datacron_core::IngestOutcome, ProtocolError> {
+) -> Result<(datacron_core::IngestOutcome, Option<u64>), ProtocolError> {
     let Some(storage) = &shared.storage else {
-        return Ok(state.ingest(reports));
+        let mut state = shared.state.write();
+        return Ok((state.ingest(reports), None));
     };
     let payload = codec::encode_batch(reports);
-    let mut storage = storage.lock();
-    let wal_begin = trace.begin();
-    let appended = storage.append(&payload);
-    trace.end_span("wal_append", wal_begin);
-    let seq = appended
-        .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?;
+    let mut state = shared.state.write();
+    // Short storage critical section: write the record and return; the
+    // fsync (if any) is the thread's job.
+    let (seq, deferred) = {
+        let mut guard = storage.lock();
+        let wal_begin = trace.begin();
+        let appended = guard.append_async(&payload);
+        trace.end_span("wal_append", wal_begin);
+        appended
+            .map_err(|e| ProtocolError::new(ErrorCode::StorageError, format!("wal append: {e}")))?
+    };
     if let ReplRuntime::Leader { registry, head, .. } = &shared.repl {
         // `head` is an LSN: one past the sequence just appended.
         // ordering: Release publishes the WAL append — a reader that
@@ -1372,12 +1538,16 @@ fn ingest_durable(
         registry.observe_append(seq, shared.clock.now_us());
     }
     let out = state.ingest(reports);
-    if storage.should_snapshot() {
-        if let Err(e) = storage.install_snapshot(&state.to_snapshot_bytes()) {
-            // Durability is unharmed (the WAL has everything); the next
-            // threshold crossing retries.
-            eprintln!("datacron-server: snapshot failed: {e}");
+    {
+        let mut guard = storage.lock();
+        if guard.should_snapshot() {
+            if let Err(e) = guard.install_snapshot(&state.to_snapshot_bytes()) {
+                // Durability is unharmed (the WAL has everything); the
+                // next threshold crossing retries. The failure is also
+                // counted in storage stats/metrics for operators.
+                eprintln!("datacron-server: snapshot failed: {e}");
+            }
         }
     }
-    Ok(out)
+    Ok((out, deferred.then(|| seq.saturating_add(1))))
 }

@@ -1,0 +1,412 @@
+//! Group commit: a shared durable-LSN watermark plus the dedicated
+//! fsync thread that advances it.
+//!
+//! # Why a thread
+//!
+//! Under [`FsyncPolicy::Always`](crate::FsyncPolicy::Always) the naive
+//! path fsyncs inside `Wal::append`, so every concurrent ingest pays a
+//! full device flush and the caller's lock is held across it. Group
+//! commit splits the ack from the flush: `append` writes the record and
+//! *requests* durability for its LSN, the fsync thread flushes the
+//! active segment once per batch, and every request at or below the new
+//! watermark completes with that single fsync. Throughput scales with
+//! concurrency while the guarantee — an acknowledged record is on disk —
+//! is unchanged.
+//!
+//! # LSN semantics
+//!
+//! Positions are counts, matching the replication code: `durable_lsn ==
+//! n` means records `0..n` are durable. An append that got sequence
+//! `seq` is durable once `durable_lsn >= seq + 1`.
+//!
+//! # The segment-roll invariant
+//!
+//! The thread only ever fsyncs the *current* active segment (a cloned
+//! fd handed over by the WAL). That is sufficient because sealing a
+//! segment fsyncs it inline before the new file becomes active — so at
+//! the instant the thread samples `(requested, file)` under the lock,
+//! every record below `requested` is either already durable (sealed
+//! segments) or sits in `file`.
+//!
+//! # Poisoning (fsyncgate)
+//!
+//! After a failed fsync the kernel may have dropped the dirty pages
+//! while clearing the error, so a retried fsync can "succeed" without
+//! the data ever reaching disk. The first fsync failure therefore
+//! poisons the log permanently: pending and future waiters fail with
+//! the original error, appends and syncs refuse to run, and no fsync is
+//! ever retried.
+
+use datacron_stream::clock::Stopwatch;
+use datacron_stream::LatencyHistogram;
+use std::fs::File;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Completion callback for a deferred durability request: `Ok(lsn)`
+/// once the watermark covers the request, `Err(reason)` if the log was
+/// poisoned first. Fired exactly once, never under the commit lock.
+pub type AckCallback = Box<dyn FnOnce(Result<u64, String>) + Send>;
+
+/// Mutable state behind the commit lock.
+struct CommitState {
+    /// Highest LSN anyone has asked to make durable.
+    requested: u64,
+    /// Cloned fd of the active segment — what the thread fsyncs.
+    file: Option<Arc<File>>,
+    /// Deferred acks, each waiting for `durable >= lsn`.
+    waiters: Vec<(u64, AckCallback)>,
+    /// First fsync failure, verbatim; set once, never cleared.
+    poisoned: Option<String>,
+    /// Thread exit requested (pending work is drained first).
+    shutdown: bool,
+    /// Crash-simulation exit: the thread returns immediately, flushing
+    /// nothing — what a `kill -9` would leave behind.
+    abandon: bool,
+    /// Test hook: fail this many upcoming fsyncs.
+    fail_fsyncs: u32,
+}
+
+/// Shared group-commit core: the durable watermark, the waiter list,
+/// and the poison flag. One per [`Wal`](crate::Wal); the fsync thread
+/// and every appender hold an `Arc` to it.
+pub struct GroupCommit {
+    state: Mutex<CommitState>,
+    /// Wakes the fsync thread when `requested` advances or on shutdown.
+    work_cv: Condvar,
+    /// Wakes blocking [`GroupCommit::wait_durable`] callers.
+    durable_cv: Condvar,
+    /// The watermark: records `0..durable` are on disk. Written under
+    /// the state lock; read lock-free.
+    durable: AtomicU64,
+    /// Records made durable per fsync batch (the group size).
+    group_size: Arc<LatencyHistogram>,
+    batches: AtomicU64,
+    waiters_total: AtomicU64,
+    /// Shared with the WAL so thread-issued fsyncs land in the same
+    /// latency histogram as inline ones.
+    fsync_lat: Arc<LatencyHistogram>,
+}
+
+impl std::fmt::Debug for GroupCommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCommit")
+            .field("durable", &self.durable_lsn())
+            .field("batches", &self.batches())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupCommit {
+    /// A fresh core whose watermark starts at `durable`: everything
+    /// recovered from disk counts as durable.
+    pub(crate) fn new(fsync_lat: Arc<LatencyHistogram>, durable: u64) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(CommitState {
+                requested: durable,
+                file: None,
+                waiters: Vec::new(),
+                poisoned: None,
+                shutdown: false,
+                abandon: false,
+                fail_fsyncs: 0,
+            }),
+            work_cv: Condvar::new(),
+            durable_cv: Condvar::new(),
+            durable: AtomicU64::new(durable),
+            group_size: Arc::new(LatencyHistogram::new()),
+            batches: AtomicU64::new(0),
+            waiters_total: AtomicU64::new(0),
+            fsync_lat,
+        })
+    }
+
+    /// Locks the state, absorbing poisoning from a panicked peer — the
+    /// state stays coherent because every mutation completes before the
+    /// guard drops.
+    fn lock(&self) -> MutexGuard<'_, CommitState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The durability watermark: records `0..lsn` are on disk.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// fsync batches completed (inline or by the thread).
+    pub fn batches(&self) -> u64 {
+        // ordering: pure statistic; readers only want an eventual count.
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Deferred-ack waiters ever registered.
+    pub fn waiters_registered(&self) -> u64 {
+        // ordering: pure statistic; readers only want an eventual count.
+        self.waiters_total.load(Ordering::Relaxed)
+    }
+
+    /// Waiters currently parked (a point-in-time gauge).
+    pub fn pending_waiters(&self) -> usize {
+        self.lock().waiters.len()
+    }
+
+    /// Shared handle to the group-size histogram (records per fsync
+    /// batch), the form a metrics registry registers.
+    pub fn group_size_shared(&self) -> Arc<LatencyHistogram> {
+        Arc::clone(&self.group_size)
+    }
+
+    /// `Err` with the original fsync error once the log is poisoned.
+    pub fn check_poison(&self) -> io::Result<()> {
+        match &self.lock().poisoned {
+            Some(msg) => Err(io::Error::other(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Hands the thread a cloned fd for the (new) active segment. Must
+    /// be called under the same serialization that orders appends (the
+    /// caller's storage lock), before any append to the new file asks
+    /// for durability.
+    pub(crate) fn set_active_file(&self, file: File) {
+        self.lock().file = Some(Arc::new(file));
+    }
+
+    /// Asks the thread to make records `0..lsn` durable. Returns
+    /// immediately; pair with [`GroupCommit::ack_when`] or
+    /// [`GroupCommit::wait_durable`].
+    pub fn request(&self, lsn: u64) {
+        let mut g = self.lock();
+        if lsn > g.requested {
+            // Only signal when the thread could be idle: if `requested`
+            // was already ahead of the watermark the thread is settling
+            // or fsyncing and will observe the new value on its own —
+            // waking it per append just churns the hot commit lock.
+            let idle = g.requested == self.durable.load(Ordering::Acquire);
+            g.requested = lsn;
+            if idle {
+                self.work_cv.notify_one();
+            }
+        }
+    }
+
+    /// Registers `cb` to fire once `durable_lsn >= lsn` (or fail on
+    /// poison). Fires inline — outside the lock — when the condition
+    /// already holds.
+    pub fn ack_when(&self, lsn: u64, cb: AckCallback) {
+        let mut g = self.lock();
+        if let Some(msg) = g.poisoned.clone() {
+            drop(g);
+            cb(Err(msg));
+            return;
+        }
+        if self.durable.load(Ordering::Acquire) >= lsn {
+            drop(g);
+            cb(Ok(lsn));
+            return;
+        }
+        // ordering: pure statistic; readers only want an eventual count.
+        self.waiters_total.fetch_add(1, Ordering::Relaxed);
+        g.waiters.push((lsn, cb));
+    }
+
+    /// Blocks until records `0..lsn` are durable (requesting the work
+    /// if nobody has yet). The synchronous-append path.
+    pub fn wait_durable(&self, lsn: u64) -> io::Result<u64> {
+        let mut g = self.lock();
+        if lsn > g.requested {
+            let idle = g.requested == self.durable.load(Ordering::Acquire);
+            g.requested = lsn;
+            if idle {
+                self.work_cv.notify_one();
+            }
+        }
+        loop {
+            if let Some(msg) = &g.poisoned {
+                return Err(io::Error::other(msg.clone()));
+            }
+            let d = self.durable.load(Ordering::Acquire);
+            if d >= lsn {
+                return Ok(d);
+            }
+            g = self.durable_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Advances the watermark to `lsn` (monotonically) after a
+    /// successful fsync covering it, waking and completing every waiter
+    /// the new watermark covers. Callbacks fire after the lock drops.
+    pub(crate) fn complete_through(&self, lsn: u64) {
+        let mut due: Vec<(u64, AckCallback)> = Vec::new();
+        {
+            let mut g = self.lock();
+            if g.poisoned.is_some() {
+                return;
+            }
+            let prev = self.durable.load(Ordering::Acquire);
+            if lsn <= prev {
+                return;
+            }
+            self.durable.store(lsn, Ordering::Release);
+            self.group_size.record_us(lsn - prev);
+            // ordering: pure statistic; readers only want an eventual count.
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            let mut i = 0;
+            while i < g.waiters.len() {
+                if g.waiters[i].0 <= lsn {
+                    due.push(g.waiters.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Notify after the lock drops so woken waiters can take it
+        // immediately instead of piling up behind the notifier. Safe:
+        // the watermark was published under the same lock the waiters'
+        // predicate check holds.
+        self.durable_cv.notify_all();
+        for (w_lsn, cb) in due {
+            cb(Ok(w_lsn));
+        }
+    }
+
+    /// Poisons the log with the first failure's message (later calls
+    /// keep the original), failing every pending waiter. Callbacks fire
+    /// after the lock drops.
+    pub(crate) fn poison(&self, msg: String) {
+        let (msg, waiters) = {
+            let mut g = self.lock();
+            let msg = g.poisoned.get_or_insert(msg).clone();
+            let waiters = std::mem::take(&mut g.waiters);
+            self.work_cv.notify_all();
+            self.durable_cv.notify_all();
+            (msg, waiters)
+        };
+        for (_, cb) in waiters {
+            cb(Err(msg.clone()));
+        }
+    }
+
+    /// Asks the thread to exit once pending requests are flushed.
+    pub(crate) fn shutdown(&self) {
+        let mut g = self.lock();
+        g.shutdown = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Crash-simulation hook: the thread exits without flushing pending
+    /// work, so an `abort()`ed server leaves exactly what a `kill -9`
+    /// would — unfsynced (hence unacknowledged) records stay that way.
+    #[doc(hidden)]
+    pub fn abandon(&self) {
+        let mut g = self.lock();
+        g.abandon = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Test hook: the next `n` fsyncs (inline or thread) fail with an
+    /// injected I/O error, exercising the poison path without a real
+    /// device failure.
+    #[doc(hidden)]
+    pub fn inject_fsync_failures(&self, n: u32) {
+        self.lock().fail_fsyncs = n;
+    }
+
+    /// Consumes one armed injected failure, if any.
+    pub(crate) fn take_injected_failure(&self) -> bool {
+        let mut g = self.lock();
+        if g.fail_fsyncs > 0 {
+            g.fail_fsyncs -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Group-formation window. A completion wakes every blocked client
+    /// at once, but they re-append one at a time through the storage
+    /// lock — sampling `requested` the instant it moves would fsync a
+    /// fragment of the forming group and pay a whole device flush for
+    /// it. Wait until `requested` holds still for one quiet window (or
+    /// the deadline passes), then let the caller fsync the whole group.
+    /// Durability is unaffected: acks still fire only after the fsync.
+    fn settle<'a>(&'a self, mut g: MutexGuard<'a, CommitState>) -> MutexGuard<'a, CommitState> {
+        const QUIET: Duration = Duration::from_micros(20);
+        const DEADLINE: Duration = Duration::from_micros(200);
+        let start = Stopwatch::start();
+        let mut last = g.requested;
+        loop {
+            if g.poisoned.is_some() || g.abandon || g.shutdown || start.elapsed() >= DEADLINE {
+                return g;
+            }
+            let (guard, wait) = self
+                .work_cv
+                .wait_timeout(g, QUIET)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if wait.timed_out() && g.requested == last {
+                return g;
+            }
+            last = g.requested;
+        }
+    }
+
+    /// The fsync-thread body: wait for requested work, let the group
+    /// settle, fsync the active segment *outside* the lock, advance the
+    /// watermark. Exits on shutdown (after draining pending work), on
+    /// poison, and immediately after poisoning on its own fsync failure
+    /// — a failed fsync is never retried.
+    pub(crate) fn run(self: Arc<Self>) {
+        loop {
+            let (file, target, inject) = {
+                let mut g = self.lock();
+                loop {
+                    if g.poisoned.is_some() || g.abandon {
+                        return;
+                    }
+                    let mut pending = g.requested > self.durable.load(Ordering::Acquire);
+                    if pending && g.file.is_some() && !g.shutdown {
+                        g = self.settle(g);
+                        if g.poisoned.is_some() || g.abandon {
+                            return;
+                        }
+                        pending = g.requested > self.durable.load(Ordering::Acquire);
+                    }
+                    if pending {
+                        if let Some(f) = &g.file {
+                            let file = Arc::clone(f);
+                            let target = g.requested;
+                            let inject = g.fail_fsyncs > 0;
+                            if inject {
+                                g.fail_fsyncs -= 1;
+                            }
+                            break (file, target, inject);
+                        }
+                    }
+                    if g.shutdown {
+                        return;
+                    }
+                    g = self.work_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let t = Stopwatch::start();
+            let res = if inject {
+                Err(io::Error::other("injected fsync failure"))
+            } else {
+                file.sync_data()
+            };
+            match res {
+                Ok(()) => {
+                    self.fsync_lat.observe(&t);
+                    self.complete_through(target);
+                }
+                Err(e) => {
+                    self.poison(format!("wal fsync failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+}

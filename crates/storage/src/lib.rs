@@ -8,6 +8,9 @@
 //!
 //! * [`wal`] — a segmented append-only log of ingest batches with
 //!   CRC-checksummed records and group-commit fsync batching;
+//! * [`commit`] — the group-commit core: a dedicated fsync thread, a
+//!   shared `durable_lsn` watermark, deferred-ack callbacks, and
+//!   permanent poisoning on fsync failure;
 //! * [`snapshot`] — atomic point-in-time snapshots of pipeline state,
 //!   CRC-verified with fallback to older snapshots on corruption;
 //! * [`binser`] — the compact binary codec both use for payloads;
@@ -29,11 +32,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod binser;
+pub mod commit;
 pub mod crc;
 pub mod snapshot;
 pub mod wal;
 
 pub use binser::{BinError, Reader, Writer};
+pub use commit::{AckCallback, GroupCommit};
 pub use crc::{crc32, Crc32};
 pub use snapshot::SnapshotStore;
 pub use wal::{FsyncPolicy, Replay, ReplayEnd, Wal, WalConfig};
@@ -82,7 +87,7 @@ pub struct Recovery {
 }
 
 /// Point-in-time storage counters for the server's `stats` endpoint.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StorageStats {
     /// Total bytes across WAL segment files.
     pub wal_bytes: u64,
@@ -102,6 +107,17 @@ pub struct StorageStats {
     /// the injected clock. `None` until the first install (a snapshot
     /// recovered from disk predates the clock, so its age is unknown).
     pub snapshot_age_us: Option<u64>,
+    /// Durability watermark: records `0..durable_lsn` are on disk.
+    pub durable_lsn: u64,
+    /// Group-commit fsync batches completed.
+    pub commit_batches: u64,
+    /// Deferred-ack waiters ever registered with the commit core.
+    pub commit_waiters: u64,
+    /// Snapshot installations that failed.
+    pub snapshot_failures: u64,
+    /// The most recent snapshot-installation error, if the last attempt
+    /// failed (cleared by the next success).
+    pub last_snapshot_error: Option<String>,
 }
 
 /// The durable-state façade: one WAL plus one snapshot store in a data
@@ -117,6 +133,14 @@ pub struct Storage {
     clock: Arc<dyn ClockSource>,
     /// Clock reading when this handle last installed a snapshot.
     last_snapshot_at_us: Option<u64>,
+    /// The group-commit fsync thread (policy `Always` only); joined on
+    /// drop after a shutdown request drains pending work.
+    fsync_thread: Option<std::thread::JoinHandle<()>>,
+    /// Snapshot installations that failed (surfaced in stats/metrics;
+    /// the old path only `eprintln!`ed at the call site).
+    snapshot_failures: u64,
+    /// Most recent snapshot-installation error, cleared on success.
+    last_snapshot_error: Option<String>,
 }
 
 impl Storage {
@@ -136,13 +160,28 @@ impl Storage {
         clock: Arc<dyn ClockSource>,
     ) -> io::Result<(Self, Recovery)> {
         let dir: PathBuf = dir.as_ref().into();
-        let wal = Wal::open(
+        let mut wal = Wal::open(
             dir.join("wal"),
             WalConfig {
                 segment_bytes: cfg.segment_bytes,
                 fsync: cfg.fsync,
             },
         )?;
+        // Policy `Always` gets the dedicated fsync thread: appends write
+        // and request durability; the thread batches concurrent requests
+        // into one fsync and advances the shared watermark. `EveryN` and
+        // `Never` keep their inline behavior.
+        let fsync_thread = if cfg.fsync == FsyncPolicy::Always {
+            wal.enable_group_commit()?;
+            let commit = wal.commit_handle();
+            Some(
+                std::thread::Builder::new()
+                    .name("datacron-wal-fsync".into())
+                    .spawn(move || commit.run())?,
+            )
+        } else {
+            None
+        };
         let snaps = SnapshotStore::open(dir.join("snapshots"))?;
         let snapshot = snaps.load_latest()?;
         let from_seq = snapshot.as_ref().map_or(0, |(seq, _)| *seq);
@@ -167,6 +206,9 @@ impl Storage {
             cfg,
             clock,
             last_snapshot_at_us: None,
+            fsync_thread,
+            snapshot_failures: 0,
+            last_snapshot_error: None,
         };
         Ok((
             storage,
@@ -179,9 +221,41 @@ impl Storage {
     }
 
     /// Appends one durable record (an encoded ingest batch). When this
-    /// returns under [`FsyncPolicy::Always`], the record is on disk.
+    /// returns under [`FsyncPolicy::Always`], the record is on disk —
+    /// with group commit active the call blocks until the watermark
+    /// covers the record (sharing the fsync with concurrent appends).
+    /// Callers who can defer the ack should use
+    /// [`Storage::append_async`] instead and not block at all.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
-        self.wal.append(payload)
+        let (seq, deferred) = self.append_async(payload)?;
+        if deferred {
+            self.wal.commit_handle().wait_durable(seq + 1)?;
+        }
+        Ok(seq)
+    }
+
+    /// Appends one record without waiting for durability. Returns the
+    /// record's sequence number and whether durability was *deferred*:
+    /// `false` means the configured policy already ran inline (the old
+    /// contract holds); `true` means the caller must gate its ack on
+    /// the commit core — [`Storage::commit`] — reaching
+    /// `durable_lsn >= seq + 1` (via `ack_when` or `wait_durable`).
+    pub fn append_async(&mut self, payload: &[u8]) -> io::Result<(u64, bool)> {
+        let seq = self.wal.append(payload)?;
+        Ok((seq, self.wal.group_commit_active()))
+    }
+
+    /// The shared group-commit core: durable watermark, deferred acks,
+    /// poison state. Present under every policy (the watermark advances
+    /// on inline fsyncs too); only [`FsyncPolicy::Always`] runs the
+    /// fsync thread against it.
+    pub fn commit(&self) -> Arc<GroupCommit> {
+        self.wal.commit_handle()
+    }
+
+    /// True when appends defer fsync to the group-commit thread.
+    pub fn group_commit_active(&self) -> bool {
+        self.wal.group_commit_active()
     }
 
     /// Flushes and fsyncs the WAL regardless of policy (shutdown path).
@@ -205,6 +279,20 @@ impl Storage {
     /// WAL, writes the snapshot at the current WAL position, and retires
     /// the segments the snapshot made redundant.
     pub fn install_snapshot(&mut self, payload: &[u8]) -> io::Result<u64> {
+        match self.install_snapshot_inner(payload) {
+            Ok(seq) => {
+                self.last_snapshot_error = None;
+                Ok(seq)
+            }
+            Err(e) => {
+                self.snapshot_failures += 1;
+                self.last_snapshot_error = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn install_snapshot_inner(&mut self, payload: &[u8]) -> io::Result<u64> {
         self.wal.sync()?;
         let wal_seq = self.wal.next_seq();
         self.snaps.save(wal_seq, payload)?;
@@ -212,6 +300,11 @@ impl Storage {
         self.last_snapshot_at_us = Some(self.clock.now_us());
         self.wal.retire_through(wal_seq)?;
         Ok(wal_seq)
+    }
+
+    /// Snapshot installations that failed since this handle opened.
+    pub fn snapshot_failures(&self) -> u64 {
+        self.snapshot_failures
     }
 
     /// Sequence number the next WAL append will get (the leader's
@@ -241,6 +334,7 @@ impl Storage {
     /// Storage counters for the stats endpoint.
     pub fn stats(&self) -> StorageStats {
         let fsync = self.wal.fsync_latency();
+        let commit = self.wal.commit_handle();
         StorageStats {
             wal_bytes: self.wal.wal_bytes(),
             segments: self.wal.segment_count(),
@@ -252,20 +346,44 @@ impl Storage {
             snapshot_age_us: self
                 .last_snapshot_at_us
                 .map(|at| self.clock.now_us().saturating_sub(at)),
+            durable_lsn: commit.durable_lsn(),
+            commit_batches: commit.batches(),
+            commit_waiters: commit.waiters_registered(),
+            snapshot_failures: self.snapshot_failures,
+            last_snapshot_error: self.last_snapshot_error.clone(),
         }
     }
 
     /// Registers this store's durability metrics into `registry`:
     /// the shared fsync latency histogram as
-    /// `datacron_wal_fsync_latency_us`. Point-in-time gauges (WAL bytes,
-    /// segment count, snapshot age) need `&self` at scrape time, so the
-    /// owner installs a collector for those — see the server crate.
+    /// `datacron_wal_fsync_latency_us` and the records-per-fsync-batch
+    /// histogram as `datacron_wal_group_size`. Point-in-time gauges
+    /// (WAL bytes, segment count, durable LSN, snapshot age) need
+    /// `&self` at scrape time, so the owner installs a collector for
+    /// those — see the server crate.
     pub fn register_metrics(&self, registry: &Registry) {
         registry.register_histogram(
             "datacron_wal_fsync_latency_us",
             &[],
             self.wal.fsync_latency_shared(),
         );
+        registry.register_histogram(
+            "datacron_wal_group_size",
+            &[],
+            self.wal.commit_handle().group_size_shared(),
+        );
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if let Some(handle) = self.fsync_thread.take() {
+            // Drain-then-exit: the thread flushes any requested-but-not-
+            // yet-durable records before returning, so dropping a healthy
+            // store loses nothing.
+            self.wal.commit_handle().shutdown();
+            let _ = handle.join();
+        }
     }
 }
 
@@ -509,6 +627,111 @@ mod tests {
         let got = st.read_from(0, 10, usize::MAX).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].1, b"unsynced");
+    }
+
+    fn always_cfg() -> StorageConfig {
+        StorageConfig {
+            segment_bytes: 8 * 1024 * 1024,
+            fsync: FsyncPolicy::Always,
+            snapshot_every_records: 0,
+        }
+    }
+
+    #[test]
+    fn group_commit_blocking_append_is_durable() {
+        let dir = TempDir::new("storage-group-append");
+        let (mut st, _) = Storage::open(dir.path(), always_cfg()).unwrap();
+        assert!(st.group_commit_active(), "Always spawns the fsync thread");
+        for i in 0..10u64 {
+            assert_eq!(st.append(format!("r{i}").as_bytes()).unwrap(), i);
+            assert!(
+                st.commit().durable_lsn() > i,
+                "blocking append must not return before its record is durable"
+            );
+        }
+        let stats = st.stats();
+        assert_eq!(stats.durable_lsn, 10);
+        assert!(stats.commit_batches >= 1);
+        assert!(stats.fsyncs >= 1);
+    }
+
+    #[test]
+    fn deferred_acks_fire_on_watermark() {
+        let dir = TempDir::new("storage-group-acks");
+        let (mut st, _) = Storage::open(dir.path(), always_cfg()).unwrap();
+        let commit = st.commit();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut expected = Vec::new();
+        for i in 0..8u64 {
+            let (seq, deferred) = st.append_async(format!("r{i}").as_bytes()).unwrap();
+            assert!(deferred);
+            assert_eq!(seq, i);
+            let tx = tx.clone();
+            commit.ack_when(
+                seq + 1,
+                Box::new(move |r| {
+                    let _ = tx.send(r);
+                }),
+            );
+            expected.push(seq + 1);
+        }
+        let mut got: Vec<u64> = (0..8)
+            .map(|_| {
+                rx.recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("ack within 10s")
+                    .expect("durable, not poisoned")
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(commit.durable_lsn() >= 8);
+        assert_eq!(commit.pending_waiters(), 0);
+        assert_eq!(st.stats().commit_waiters, 8);
+    }
+
+    #[test]
+    fn thread_fsync_failure_poisons_storage() {
+        let dir = TempDir::new("storage-group-poison");
+        let (mut st, _) = Storage::open(dir.path(), always_cfg()).unwrap();
+        st.append(b"fine").unwrap();
+        st.commit().inject_fsync_failures(1);
+        let err = st
+            .append(b"doomed")
+            .expect_err("fsync failure must surface");
+        assert!(err.to_string().contains("injected fsync failure"), "{err}");
+        // Poison is permanent: later appends fail with the original
+        // error without touching the device again.
+        let fsyncs = st.stats().fsyncs;
+        for _ in 0..3 {
+            assert!(st.append(b"after").is_err());
+        }
+        assert!(st.sync().is_err());
+        assert_eq!(st.stats().fsyncs, fsyncs, "no fsync retried after poison");
+        // Dropping joins the (already exited) fsync thread cleanly.
+        drop(st);
+    }
+
+    #[test]
+    fn snapshot_failure_is_counted_and_reported() {
+        let dir = TempDir::new("storage-snap-fail");
+        let (mut st, _) = Storage::open(dir.path(), cfg(0)).unwrap();
+        st.append(b"r").unwrap();
+        // Sabotage the snapshot directory: replace it with a plain file
+        // so the tempfile write inside save() fails.
+        let snap_dir = dir.path().join("snapshots");
+        std::fs::remove_dir_all(&snap_dir).unwrap();
+        std::fs::write(&snap_dir, b"not a directory").unwrap();
+        assert!(st.install_snapshot(b"state").is_err());
+        let stats = st.stats();
+        assert_eq!(stats.snapshot_failures, 1);
+        assert!(stats.last_snapshot_error.is_some());
+        // A later success clears the sticky error but not the counter.
+        std::fs::remove_file(&snap_dir).unwrap();
+        std::fs::create_dir_all(&snap_dir).unwrap();
+        st.install_snapshot(b"state").unwrap();
+        let stats = st.stats();
+        assert_eq!(stats.snapshot_failures, 1);
+        assert!(stats.last_snapshot_error.is_none());
     }
 
     #[test]

@@ -32,8 +32,14 @@
 //! record that fails its checksum or breaks seq monotonicity and reports
 //! how far it got — it never panics and never returns bytes that did not
 //! pass verification.
+//!
+//! A *failed* fsync poisons the log permanently (see [`crate::commit`]):
+//! after the kernel reports an fsync error it may drop the dirty pages,
+//! so a retried fsync can falsely succeed — every later append or sync
+//! returns the original error and no fsync is ever retried.
 
 use crate::binser;
+use crate::commit::GroupCommit;
 use crate::crc::Crc32;
 use datacron_stream::clock::Stopwatch;
 use datacron_stream::LatencyHistogram;
@@ -144,6 +150,12 @@ pub struct Wal {
     appended: u64,
     /// What open-time recovery cut off the newest segment, if anything.
     truncation_note: Option<String>,
+    /// The shared group-commit core: durable watermark, waiters, and
+    /// the poison flag (consulted even when no fsync thread runs).
+    commit: Arc<GroupCommit>,
+    /// When set (policy `Always` with a fsync thread attached), appends
+    /// request durability from the thread instead of fsyncing inline.
+    group_mode: bool,
 }
 
 fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
@@ -280,6 +292,7 @@ impl Wal {
         file.seek(SeekFrom::End(0))?;
         let active_bytes = valid_end;
 
+        let fsync_lat = Arc::new(LatencyHistogram::new());
         Ok(Self {
             dir,
             cfg,
@@ -287,11 +300,35 @@ impl Wal {
             active_bytes,
             next_seq,
             unsynced: 0,
-            fsync_lat: Arc::new(LatencyHistogram::new()),
+            // Everything recovered from disk counts as durable.
+            commit: GroupCommit::new(Arc::clone(&fsync_lat), next_seq),
+            fsync_lat,
             appended: 0,
             truncation_note,
             segments,
+            group_mode: false,
         })
+    }
+
+    /// Switches [`FsyncPolicy::Always`] appends from inline fsync to
+    /// requesting durability from a fsync thread (which the owner must
+    /// run on [`Wal::commit_handle`]). Hands the thread the active
+    /// segment's fd.
+    pub fn enable_group_commit(&mut self) -> io::Result<()> {
+        self.commit.set_active_file(self.active.try_clone()?);
+        self.group_mode = true;
+        Ok(())
+    }
+
+    /// The shared group-commit core (durable watermark, deferred acks,
+    /// poison state).
+    pub fn commit_handle(&self) -> Arc<GroupCommit> {
+        Arc::clone(&self.commit)
+    }
+
+    /// True when appends defer fsync to the group-commit thread.
+    pub fn group_commit_active(&self) -> bool {
+        self.group_mode
     }
 
     /// The sequence number the next append will get.
@@ -339,8 +376,15 @@ impl Wal {
 
     /// Appends one record and applies the fsync policy. Returns the
     /// record's sequence number; when this returns under
-    /// [`FsyncPolicy::Always`], the record is on disk.
+    /// [`FsyncPolicy::Always`] *without* group commit, the record is on
+    /// disk. With group commit enabled the record's durability is
+    /// requested from the fsync thread instead — wait on the commit
+    /// handle for `durable_lsn >= seq + 1` before acknowledging.
+    ///
+    /// Fails immediately (with the original error, no fsync retried)
+    /// once the log is poisoned by a failed fsync.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        self.commit.check_poison()?;
         if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -366,7 +410,13 @@ impl Wal {
         self.appended += 1;
         self.unsynced += 1;
         match self.cfg.fsync {
-            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Always => {
+                if self.group_mode {
+                    self.commit.request(self.next_seq);
+                } else {
+                    self.sync()?;
+                }
+            }
             FsyncPolicy::EveryN(n) => {
                 if self.unsynced >= n.max(1) {
                     self.sync()?;
@@ -377,19 +427,39 @@ impl Wal {
         Ok(seq)
     }
 
-    /// Flushes and fsyncs the active segment now, regardless of policy.
+    /// Flushes and fsyncs the active segment now, regardless of policy,
+    /// advancing the durable watermark. On failure the log is poisoned:
+    /// this and every later append/sync return the original error and
+    /// the fsync is never retried (see the module docs).
     pub fn sync(&mut self) -> io::Result<()> {
+        self.commit.check_poison()?;
         let t = Stopwatch::start();
-        self.active.sync_data()?;
-        self.fsync_lat.observe(&t);
-        self.unsynced = 0;
-        Ok(())
+        let res = if self.commit.take_injected_failure() {
+            Err(io::Error::other("injected fsync failure"))
+        } else {
+            self.active.sync_data()
+        };
+        match res {
+            Ok(()) => {
+                self.fsync_lat.observe(&t);
+                self.unsynced = 0;
+                self.commit.complete_through(self.next_seq);
+                Ok(())
+            }
+            Err(e) => {
+                self.commit.poison(format!("wal fsync failed: {e}"));
+                Err(e)
+            }
+        }
     }
 
-    /// Seals the active segment (fsync) and starts a new one named after
-    /// the next sequence number.
+    /// Seals the active segment and starts a new one named after the
+    /// next sequence number. The seal goes through [`Wal::sync`] so it
+    /// is counted, timed, and poison-checked like every other fsync —
+    /// and so the group-commit thread never needs to touch a sealed
+    /// segment (its records are durable before the swap).
     fn roll_segment(&mut self) -> io::Result<()> {
-        self.active.sync_data()?;
+        self.sync()?;
         let path = segment_path(&self.dir, self.next_seq);
         self.active = OpenOptions::new()
             .create(true)
@@ -402,6 +472,9 @@ impl Wal {
             first_seq: self.next_seq,
             path,
         });
+        if self.group_mode {
+            self.commit.set_active_file(self.active.try_clone()?);
+        }
         Ok(())
     }
 
@@ -710,6 +783,76 @@ mod tests {
         let before = w.fsync_latency().count();
         w.sync().unwrap();
         assert_eq!(w.fsync_latency().count(), before + 1);
+    }
+
+    #[test]
+    fn failed_fsync_poisons_permanently() {
+        let dir = TempDir::new("wal-poison");
+        let mut w = wal_in(&dir, WalConfig::default());
+        assert_eq!(w.append(b"good").unwrap(), 0);
+        let fsyncs_before_failure = w.fsync_latency().count();
+
+        w.commit_handle().inject_fsync_failures(1);
+        assert!(
+            w.append(b"doomed").is_err(),
+            "append over a failing fsync must error"
+        );
+
+        // Every later append and sync returns the original error without
+        // issuing another fsync (a retry could falsely succeed after the
+        // kernel dropped the dirty pages).
+        for _ in 0..3 {
+            let e = w.append(b"after-poison").expect_err("poisoned");
+            assert!(e.to_string().contains("injected fsync failure"), "{e}");
+        }
+        let e = w.sync().expect_err("poisoned");
+        assert!(e.to_string().contains("injected fsync failure"), "{e}");
+        assert_eq!(
+            w.fsync_latency().count(),
+            fsyncs_before_failure,
+            "no fsync may run after poisoning"
+        );
+        assert!(w.commit_handle().check_poison().is_err());
+    }
+
+    #[test]
+    fn segment_seal_counts_as_fsync() {
+        // The roll_segment seal used to call sync_data() directly,
+        // bypassing the latency histogram and the fsync counter.
+        let dir = TempDir::new("wal-seal-count");
+        let mut w = wal_in(
+            &dir,
+            WalConfig {
+                segment_bytes: 128,
+                fsync: FsyncPolicy::Never,
+            },
+        );
+        for _ in 0..20 {
+            w.append(&[0x5A; 48]).unwrap();
+        }
+        let rolls = (w.segment_count() - 1) as u64;
+        assert!(rolls > 0, "must have rolled");
+        assert_eq!(w.fsync_latency().count(), rolls, "each seal is one fsync");
+    }
+
+    #[test]
+    fn group_mode_defers_fsync_and_watermark_tracks() {
+        let dir = TempDir::new("wal-group-mode");
+        let mut w = wal_in(&dir, WalConfig::default());
+        w.enable_group_commit().unwrap();
+        let commit = w.commit_handle();
+        for i in 0..5u64 {
+            assert_eq!(w.append(b"deferred").unwrap(), i);
+        }
+        // No inline fsync ran; durability was only *requested*.
+        assert_eq!(w.fsync_latency().count(), 0);
+        assert_eq!(commit.durable_lsn(), 0);
+        // An explicit sync (no thread in this test) advances the
+        // watermark and completes the whole group at once.
+        w.sync().unwrap();
+        assert_eq!(commit.durable_lsn(), 5);
+        assert_eq!(commit.wait_durable(5).unwrap(), 5);
+        assert_eq!(commit.batches(), 1);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 #
 # Builds the release storage_durability binary, sweeps the WAL fsync
 # policies (always / every=8 / every=64 / never) over a fixed encoded
-# ingest stream, measures cold recovery (WAL read+replay vs. snapshot
-# restore) at several log lengths, and writes BENCH_storage.json at the
-# repo root.
+# ingest stream, re-runs `always` with 1/4/8/32 concurrent appenders
+# through the group-commit fsync thread (one sync_data per group, every
+# client blocking on the shared durable_lsn watermark), measures cold
+# recovery (WAL read+replay vs. snapshot restore) at several log
+# lengths, and writes BENCH_storage.json at the repo root.
 #
 # Usage: scripts/bench_storage.sh [--quick] [--offline]
 #   --quick    smaller sweep and shorter logs (CI-sized run)

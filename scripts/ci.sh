@@ -66,8 +66,11 @@ run scripts/repl_smoke.sh
 # on two worker threads and still answers every probed one.
 run scripts/net_smoke.sh
 run cargo test "${CARGO_FLAGS[@]}" -q --workspace
-# Crash-recovery integration suite (kill/restart, corrupt + truncated WAL
-# tails) in release mode — the durability guarantees must hold under the
+# Crash-recovery integration suite in release mode — kill/restart,
+# corrupt + truncated WAL tails, and the group-commit crash-torture run
+# (concurrent clients at fsync=always, abort mid-stream, every acked
+# batch must replay; the ingest window is a fixed 300 ms so the step
+# stays bounded). The durability guarantees must hold under the
 # optimized build the server actually ships.
 run cargo test "${CARGO_FLAGS[@]}" --release -q -p datacron-server --test integration_storage
 run cargo bench "${CARGO_FLAGS[@]}" --workspace --no-run

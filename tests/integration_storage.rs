@@ -10,6 +10,7 @@
 use datacron_core::{PipelineConfig, PolygonSpec};
 use datacron_geo::BoundingBox;
 use datacron_server::client::is_ok;
+use datacron_server::codec::decode_batch;
 use datacron_server::{start, Client, Json, ServerConfig};
 use datacron_storage::test_util::TempDir;
 use datacron_storage::{FsyncPolicy, Storage, StorageConfig};
@@ -351,6 +352,112 @@ fn bit_flipped_tail_recovers_to_last_valid_record() {
         bytes[n - 1] ^= 0x80;
         std::fs::write(&seg, &bytes).unwrap();
     });
+}
+
+/// Crash-torture for group commit: concurrent clients hammer durable
+/// ingest at `fsync=always`, each recording exactly the batches the
+/// server acknowledged; the server is `abort()`ed mid-stream (no final
+/// fsync, pending group-commit work abandoned); recovery must contain
+/// every acknowledged batch. Durable-but-unacked extras are allowed —
+/// the invariant under test is ack ⟹ durable, never the converse.
+///
+/// Each batch uses a unique object id encoding (client, batch), so "batch
+/// replayed" reduces to "object present in the decoded WAL".
+#[test]
+fn crash_torture_every_acked_batch_survives_abort() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    const CLIENTS: u64 = 8;
+    let dir = TempDir::new("itest-torture");
+    let handle = start(durable_config(dir.path(), 0)).expect("start");
+    let addr = handle.local_addr;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(CLIENTS as usize + 1));
+    let mut threads = Vec::new();
+    for client in 0..CLIENTS {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let mut c = connect(addr);
+            let mut acked: Vec<u64> = Vec::new();
+            barrier.wait();
+            for batch in 0.. {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let object = 10_000 + client * 10_000 + batch;
+                // An errored or unread response simply isn't recorded:
+                // losing an unacked batch is legal, losing an acked one
+                // is the bug this test exists to catch.
+                match c.call(&ingest_request(object, 0, 2, 20.0 + client as f64, 36.0)) {
+                    Ok(resp) if is_ok(&resp) => acked.push(object),
+                    _ => break,
+                }
+            }
+            acked
+        }));
+    }
+
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::SeqCst);
+    // Mid-stream unclean stop: closes every connection (unblocking any
+    // client still waiting on a response) and abandons pending fsyncs.
+    handle.abort();
+    let acked: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread"))
+        .collect();
+    assert!(
+        acked.len() as u64 >= CLIENTS,
+        "torture run acked too little ({} batches) to be meaningful",
+        acked.len()
+    );
+
+    // Recover the directory and decode what actually hit the log.
+    let (_, recovery) = Storage::open(
+        dir.path(),
+        StorageConfig {
+            segment_bytes: 4096,
+            fsync: FsyncPolicy::Always,
+            snapshot_every_records: 0,
+        },
+    )
+    .expect("reopen");
+    assert!(recovery.snapshot.is_none(), "snapshots were disabled");
+    let recovered: std::collections::HashSet<u64> = recovery
+        .wal_tail
+        .iter()
+        .flat_map(|(_, payload)| decode_batch(payload).expect("decode recovered batch"))
+        .map(|r| r.object.raw())
+        .collect();
+    let lost: Vec<u64> = acked
+        .iter()
+        .copied()
+        .filter(|o| !recovered.contains(o))
+        .collect();
+    assert!(
+        lost.is_empty(),
+        "{} acked batches lost after crash (of {} acked, {} recovered): {:?}",
+        lost.len(),
+        acked.len(),
+        recovered.len(),
+        &lost[..lost.len().min(16)]
+    );
+
+    // And a restarted server replays them into query-visible state.
+    let restarted = start(durable_config(dir.path(), 0)).expect("restart");
+    let mut c = connect(restarted.local_addr);
+    for &object in acked.iter().take(3).chain(acked.iter().rev().take(3)) {
+        assert!(
+            object_rows(&mut c, object) > 0,
+            "acked object {object} missing after replay"
+        );
+    }
+    drop(c);
+    restarted.shutdown();
 }
 
 #[test]
